@@ -1,0 +1,336 @@
+(* The benchmark harness: regenerates every table and figure in the
+   paper's evaluation (Table 3 subsumes Figures 3-6), runs the ablation
+   studies DESIGN.md calls out, and runs one Bechamel microbenchmark per
+   paper artifact against the real (wall-clock) implementation.
+
+   Usage:
+     bench/main.exe [all|tab3|fig3|fig4|fig5|fig6|ablate|sequoia|micro] [--mb N]
+
+   [--mb N] sizes the benchmark file (default 25, the paper's size; the
+   create time is scaled for smaller files so reports stay comparable). *)
+
+module W = Benchlib.Workload
+module S = Benchlib.Systems
+module R = Benchlib.Report
+
+let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* Paper workload on the three configurations                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_three ~mb =
+  progress "running Inversion client/server (%d MB)..." mb;
+  let inv_cs = W.run ~file_mb:mb (S.inversion_client_server ()) in
+  progress "running ULTRIX NFS + PRESTOserve (%d MB)..." mb;
+  let nfs = W.run ~file_mb:mb (S.ultrix_nfs ()) in
+  progress "running Inversion single-process (%d MB)..." mb;
+  let inv_sp = W.run ~file_mb:mb (S.inversion_single_process ()) in
+  (inv_cs, nfs, inv_sp)
+
+let print_figures (inv_cs, nfs, inv_sp) which =
+  let fig f =
+    print_string (R.figure f ~inv_cs ~nfs ~inv_sp ());
+    print_newline ()
+  in
+  List.iter fig which
+
+let print_tab3 (inv_cs, nfs, inv_sp) =
+  print_string (R.table3 ~inv_cs ~nfs ~inv_sp);
+  print_newline ();
+  print_string (R.shape_check ~inv_cs ~nfs ~inv_sp);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablate_presto ~mb =
+  print_endline "Ablation: PRESTOserve (the knob the paper couldn't turn)";
+  let with_p = W.run ~file_mb:mb (S.ultrix_nfs ~presto:true ()) in
+  let without = W.run ~file_mb:mb (S.ultrix_nfs ~presto:false ()) in
+  let row op =
+    Printf.printf "  %-36s with NVRAM %7.2fs   without %7.2fs   (x%.1f)\n"
+      (W.op_label op) (W.find with_p op) (W.find without op)
+      (W.find without op /. W.find with_p op)
+  in
+  List.iter row [ W.Create_file; W.Write_1mb_seq; W.Write_1mb_rand; W.Write_byte ];
+  print_newline ()
+
+(* Figure 3's slowdown comes from every auto-committed write forcing the
+   status log and flushing index pages alongside data.  Batch the whole
+   create into one client transaction and the penalty vanishes. *)
+let ablate_create_txn ~mb =
+  print_endline "Ablation: create inside one client transaction (vs per-write commits)";
+  let sys = S.inversion_single_process () in
+  let mbytes = mb * 1024 * 1024 in
+  let timed f =
+    let t0 = Simclock.Clock.now sys.S.clock in
+    f ();
+    (Simclock.Clock.now sys.S.clock -. t0) *. (25. /. float_of_int mb)
+  in
+  let stream path batched =
+    timed (fun () ->
+        if batched then sys.S.begin_batch ();
+        let f = sys.S.create path in
+        let off = ref 0 in
+        while !off < mbytes do
+          let len = min sys.S.io_unit (mbytes - !off) in
+          sys.S.write f ~off:(Int64.of_int !off) (Bytes.create len);
+          off := !off + len
+        done;
+        if batched then sys.S.end_batch ())
+  in
+  let auto = stream "/auto.dat" false in
+  let batched = stream "/batched.dat" true in
+  Printf.printf "  auto-commit per write (the paper's create): %8.2fs\n" auto;
+  Printf.printf "  one transaction around the whole create:    %8.2fs\n" batched;
+  print_newline ()
+
+(* Cache sizes matter on the re-read path: a 5 MB file does not fit in
+   the 300-page DBMS pool, so the second pass is served by the OS cache
+   only when that is big enough. *)
+let ablate_cache_size ~mb =
+  ignore mb;
+  print_endline
+    "Ablation: cache sizes (DBMS buffers x OS file-system cache pages), 5MB re-read";
+  let one (dbms, os) =
+    let clock = Simclock.Clock.create () in
+    let db = Relstore.Db.create ~clock ~cache_capacity:dbms ~os_cache_blocks:os () in
+    let fs = Invfs.Fs.make db () in
+    let s = Invfs.Fs.new_session fs in
+    let size = 5 * 1024 * 1024 in
+    Invfs.Fs.write_file s "/f" (Bytes.create size);
+    let read_pass () =
+      let t0 = Simclock.Clock.now clock in
+      ignore (Invfs.Fs.read_whole_file s "/f" : bytes);
+      Simclock.Clock.now clock -. t0
+    in
+    let cold = read_pass () in
+    let warm = read_pass () in
+    Printf.printf "  dbms %4d / os %6d pages: first read %6.2fs  re-read %6.2fs\n" dbms
+      os cold warm
+  in
+  List.iter one [ (64, 128); (300, 128); (300, 1024); (300, 16384) ];
+  print_newline ()
+
+let ablate_cpu ~mb =
+  print_endline "Ablation: data-manager CPU cost (1.0 = 1993 DECsystem 5900, 0.0 = free)";
+  let one scale =
+    let r = W.run ~file_mb:mb (S.inversion_single_process ~cpu_scale:scale ()) in
+    Printf.printf "  scale %.2f: create %7.2fs  seq read %6.2fs  seq write %6.2fs\n" scale
+      (W.find r W.Create_file) (W.find r W.Read_1mb_seq) (W.find r W.Write_1mb_seq);
+    Relstore.Cpu_model.scale := 1.0
+  in
+  List.iter one [ 1.0; 0.25; 0.0 ];
+  print_newline ()
+
+let ablate_coalescing () =
+  print_endline
+    "Ablation: write coalescing (1000 x 512-byte sequential writes of one file)";
+  let build in_txn =
+    let clock = Simclock.Clock.create () in
+    let db = Relstore.Db.create ~clock () in
+    let fs = Invfs.Fs.make db () in
+    let s = Invfs.Fs.new_session fs in
+    let t0 = Simclock.Clock.now clock in
+    if in_txn then Invfs.Fs.p_begin s;
+    let fd = Invfs.Fs.p_creat s "/f" in
+    let data = Bytes.make 512 'x' in
+    for _ = 1 to 1000 do
+      ignore (Invfs.Fs.p_write s fd data 512 : int)
+    done;
+    Invfs.Fs.p_close s fd;
+    if in_txn then Invfs.Fs.p_commit s;
+    Simclock.Clock.now clock -. t0
+  in
+  Printf.printf "  inside one transaction (coalesced):     %8.3fs\n" (build true);
+  Printf.printf "  auto-commit per write (one chunk each): %8.3fs\n" (build false);
+  print_newline ()
+
+let ablate_compression () =
+  print_endline "Ablation: per-chunk compression (storage vs random-access latency)";
+  let build compressed =
+    let clock = Simclock.Clock.create () in
+    let db = Relstore.Db.create ~clock () in
+    let fs = Invfs.Fs.make db () in
+    let s = Invfs.Fs.new_session fs in
+    let text =
+      String.concat "\n"
+        (List.init 8000 (fun i -> Printf.sprintf "observation %06d: nominal" i))
+    in
+    let fd = Invfs.Fs.p_creat s ~compressed "/data" in
+    ignore (Invfs.Fs.p_write s fd (Bytes.of_string text) (String.length text) : int);
+    Invfs.Fs.p_close s fd;
+    let snap = Relstore.Snapshot.As_of (Relstore.Db.now db) in
+    let stored =
+      match Invfs.Fs.file_handle fs ~oid:(Invfs.Fs.lookup_oid s "/data") with
+      | Some inv -> Invfs.Inv_file.stored_bytes inv snap
+      | None -> -1
+    in
+    (* random access latency, cold cache *)
+    let cache = Relstore.Db.cache db in
+    Pagestore.Bufcache.flush cache;
+    Pagestore.Bufcache.crash cache;
+    let fd = Invfs.Fs.p_open s "/data" Invfs.Fs.Rdonly in
+    let buf = Bytes.create 64 in
+    let t0 = Simclock.Clock.now clock in
+    ignore (Invfs.Fs.p_lseek s fd 100_000L Invfs.Fs.Seek_set : int64);
+    ignore (Invfs.Fs.p_read s fd buf 64 : int);
+    let latency = Simclock.Clock.now clock -. t0 in
+    Invfs.Fs.p_close s fd;
+    (String.length text, stored, latency)
+  in
+  let raw, stored_plain, lat_plain = build false in
+  let _, stored_comp, lat_comp = build true in
+  Printf.printf "  plain:      %7d bytes stored (of %d), random 64B read %.4fs\n"
+    stored_plain raw lat_plain;
+  Printf.printf "  compressed: %7d bytes stored (%.0f%% saved), random 64B read %.4fs\n"
+    stored_comp
+    (100. *. (1. -. (float_of_int stored_comp /. float_of_int stored_plain)))
+    lat_comp;
+  print_newline ()
+
+let ablations ~mb =
+  ablate_presto ~mb;
+  ablate_create_txn ~mb;
+  ablate_cache_size ~mb;
+  ablate_cpu ~mb;
+  ablate_coalescing ();
+  ablate_compression ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks (real wall-clock, one per paper artifact)   *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* one shared file system with a prebuilt file for the data-path tests *)
+  let db = Relstore.Db.create () in
+  let fs = Invfs.Fs.make db () in
+  let s = Invfs.Fs.new_session fs in
+  let file_bytes = 64 * 1024 in
+  Invfs.Fs.write_file s "/micro.dat"
+    (Bytes.init file_bytes (fun i -> Char.chr (i mod 251)));
+  Invfs.Fs.define_type fs "tm";
+  Invfs.Fs.register_function fs ~name:"snow" ~file_type:"tm" ~arity:1 (fun _ _ ->
+      Postquel.Value.Int 42L);
+  Invfs.Fs.set_type s "/micro.dat" "tm";
+  let counter = ref 0 in
+  let rng = Simclock.Rng.create 7L in
+  let buf = Bytes.create 4096 in
+  let fig3_create () =
+    (* Figure 3's code path: create a file and stream chunks into it *)
+    incr counter;
+    let path = Printf.sprintf "/created.%d" !counter in
+    let fd = Invfs.Fs.p_creat s path in
+    ignore (Invfs.Fs.p_write s fd buf 4096 : int);
+    Invfs.Fs.p_close s fd
+  in
+  let fig4_byte () =
+    let fd = Invfs.Fs.p_open s "/micro.dat" Invfs.Fs.Rdonly in
+    let off = Int64.of_int (Simclock.Rng.int rng file_bytes) in
+    ignore (Invfs.Fs.p_lseek s fd off Invfs.Fs.Seek_set : int64);
+    ignore (Invfs.Fs.p_read s fd buf 1 : int);
+    Invfs.Fs.p_close s fd
+  in
+  let fig5_read () =
+    let fd = Invfs.Fs.p_open s "/micro.dat" Invfs.Fs.Rdonly in
+    let rec go () = if Invfs.Fs.p_read s fd buf 4096 > 0 then go () in
+    go ();
+    Invfs.Fs.p_close s fd
+  in
+  let fig6_write () =
+    let fd = Invfs.Fs.p_open s "/micro.dat" Invfs.Fs.Rdwr in
+    let off = Int64.of_int (Simclock.Rng.int rng (file_bytes - 4096)) in
+    ignore (Invfs.Fs.p_lseek s fd off Invfs.Fs.Seek_set : int64);
+    ignore (Invfs.Fs.p_write s fd buf 4096 : int);
+    Invfs.Fs.p_close s fd
+  in
+  let tab1_naming () = ignore (Invfs.Fs.stat s "/micro.dat" : Invfs.Fileatt.att) in
+  let tab2_query () =
+    ignore
+      (Invfs.Fs.query s {|retrieve (filename) where snow(file) > 0|}
+        : Postquel.Value.t list list)
+  in
+  let tab3_txn () =
+    Invfs.Fs.with_transaction s (fun () ->
+        let fd = Invfs.Fs.p_open s "/micro.dat" Invfs.Fs.Rdwr in
+        ignore (Invfs.Fs.p_write s fd buf 4096 : int);
+        Invfs.Fs.p_close s fd)
+  in
+  let tests =
+    Test.make_grouped ~name:"inversion"
+      [
+        Test.make ~name:"fig3:create+write" (Staged.stage fig3_create);
+        Test.make ~name:"fig4:random byte read" (Staged.stage fig4_byte);
+        Test.make ~name:"fig5:sequential read 64KB" (Staged.stage fig5_read);
+        Test.make ~name:"fig6:page write" (Staged.stage fig6_write);
+        Test.make ~name:"tab1:path resolution (stat)" (Staged.stage tab1_naming);
+        Test.make ~name:"tab2:typed-function query" (Staged.stage tab2_query);
+        Test.make ~name:"tab3:transactional write" (Staged.stage tab3_txn);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Bechamel microbenchmarks (real wall-clock of this implementation):";
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let print_row (name, est) =
+    match Analyze.OLS.estimates est with
+    | Some [ ns ] ->
+      let label =
+        if ns > 1e6 then Printf.sprintf "%8.2f ms/op" (ns /. 1e6)
+        else Printf.sprintf "%8.2f µs/op" (ns /. 1e3)
+      in
+      Printf.printf "  %-42s %s\n" name label
+    | Some _ | None -> Printf.printf "  %-42s (no estimate)\n" name
+  in
+  List.iter print_row rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let mb =
+    let rec find = function
+      | "--mb" :: n :: _ -> int_of_string n
+      | _ :: rest -> find rest
+      | [] -> 25
+    in
+    find args
+  in
+  let cmd =
+    match args with
+    | _ :: c :: _ when c <> "--mb" -> c
+    | _ -> "all"
+  in
+  match cmd with
+  | "all" ->
+    let results = run_three ~mb in
+    print_figures results [ `Fig3; `Fig4; `Fig5; `Fig6 ];
+    print_tab3 results;
+    ablations ~mb;
+    print_string (Benchlib.Sequoia.report_to_string (Benchlib.Sequoia.run ()));
+    print_newline ();
+    micro ()
+  | "tab3" -> print_tab3 (run_three ~mb)
+  | "fig3" -> print_figures (run_three ~mb) [ `Fig3 ]
+  | "fig4" -> print_figures (run_three ~mb) [ `Fig4 ]
+  | "fig5" -> print_figures (run_three ~mb) [ `Fig5 ]
+  | "fig6" -> print_figures (run_three ~mb) [ `Fig6 ]
+  | "ablate" -> ablations ~mb
+  | "sequoia" ->
+    print_string (Benchlib.Sequoia.report_to_string (Benchlib.Sequoia.run ()))
+  | "micro" -> micro ()
+  | other ->
+    Printf.eprintf
+      "unknown command %s (expected all|tab3|fig3|fig4|fig5|fig6|ablate|sequoia|micro)\n"
+      other;
+    exit 2

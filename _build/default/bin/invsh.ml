@@ -1,0 +1,233 @@
+(* invsh — an interactive shell over the Inversion file system.
+
+   Builds a fresh simulated machine (magnetic disk + NVRAM + WORM
+   jukebox) and drops you into a shell where every command is a paper
+   feature: transactions, time travel, queries, crash recovery,
+   migration, vacuuming.
+
+     dune exec bin/invsh.exe            # interactive
+     dune exec bin/invsh.exe -- -c script.invsh
+     echo 'help' | dune exec bin/invsh.exe
+
+   The simulated clock advances one second per command so "a moment ago"
+   is a meaningful timestamp. *)
+
+module Fs = Invfs.Fs
+
+type shell = {
+  clock : Simclock.Clock.t;
+  db : Relstore.Db.t;
+  fs : Fs.t;
+  mutable session : Fs.session;
+  mutable marks : (string * int64) list; (* named timestamps *)
+}
+
+let make_shell ~cache_pages =
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  let add name kind =
+    ignore (Pagestore.Switch.add_device switch ~name ~kind () : Pagestore.Device.t)
+  in
+  add "disk0" Pagestore.Device.Magnetic_disk;
+  add "nvram0" Pagestore.Device.Nvram;
+  add "jukebox" Pagestore.Device.Worm_jukebox;
+  let db = Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages () in
+  let fs = Fs.make db () in
+  { clock; db; fs; session = Fs.new_session fs; marks = [] }
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let help () =
+  say
+    "commands:\n\
+    \  ls [PATH]                list a directory (default /)\n\
+    \  mkdir PATH               create a directory\n\
+    \  put PATH TEXT...         write TEXT to a file (create or replace)\n\
+    \  cat PATH                 print a file\n\
+    \  rm PATH | rmdir PATH     remove a file / empty directory\n\
+    \  mv SRC DST               rename\n\
+    \  stat PATH                attributes (owner, type, size, device, times)\n\
+    \  chown PATH OWNER         set owner\n\
+    \  settype PATH TYPE        assign a declared file type\n\
+    \  deftype NAME             declare a file type\n\
+    \  deffn NAME BODY...       store a POSTQUEL function (callable in queries)\n\
+    \  fnsrc NAME               show a stored function's source\n\
+    \  query RETRIEVE...        run a POSTQUEL retrieve\n\
+    \  begin | commit | abort   transaction control (p_begin/p_commit/p_abort)\n\
+    \  mark NAME                remember the current instant\n\
+    \  marks                    list remembered instants\n\
+    \  asof NAME ls|cat|stat ARG   run a read-only command in the past\n\
+    \  undelete NAME PATH       restore PATH as it was at mark NAME\n\
+    \  migrate PATH DEVICE      move a file's storage (disk0|nvram0|jukebox)\n\
+    \  vacuum PATH archive|discard   vacuum one file's table\n\
+    \  crash                    crash the machine (instant recovery)\n\
+    \  fsck                     run the audit that never finds anything\n\
+    \  devices | clock | stats  inspect the simulated machine\n\
+    \  help | quit"
+
+let fmt_time us = Printf.sprintf "%.3fs" (Int64.to_float us /. 1e6)
+
+let find_mark shell name =
+  match List.assoc_opt name shell.marks with
+  | Some ts -> ts
+  | None -> failwith (Printf.sprintf "no mark named %s (see 'marks')" name)
+
+let print_stat (a : Invfs.Fileatt.att) =
+  say "  oid %Ld  owner %s  type %s  size %Ld  device %s%s" a.Invfs.Fileatt.file
+    a.Invfs.Fileatt.owner a.Invfs.Fileatt.ftype a.Invfs.Fileatt.size
+    (if a.Invfs.Fileatt.device = "" then "-" else a.Invfs.Fileatt.device)
+    (if a.Invfs.Fileatt.compressed then "  (compressed)" else "");
+  say "  ctime %s  mtime %s  atime %s" (fmt_time a.Invfs.Fileatt.ctime)
+    (fmt_time a.Invfs.Fileatt.mtime) (fmt_time a.Invfs.Fileatt.atime)
+
+let run_command shell line =
+  let s = shell.session in
+  let words =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> ()
+  | [ "help" ] -> help ()
+  | [ "ls" ] | [ "ls"; "/" ] ->
+    List.iter (fun n -> say "  %s" n) (Fs.readdir s "/")
+  | [ "ls"; path ] -> List.iter (fun n -> say "  %s" n) (Fs.readdir s path)
+  | [ "mkdir"; path ] -> Fs.mkdir s path
+  | "put" :: path :: rest ->
+    Fs.write_file s path (Bytes.of_string (String.concat " " rest));
+    say "wrote %s" path
+  | [ "cat"; path ] -> say "%s" (Bytes.to_string (Fs.read_whole_file s path))
+  | [ "rm"; path ] -> Fs.unlink s path
+  | [ "rmdir"; path ] -> Fs.rmdir s path
+  | [ "mv"; src; dst ] -> Fs.rename s src dst
+  | [ "stat"; path ] -> print_stat (Fs.stat s path)
+  | [ "chown"; path; owner ] -> Fs.set_owner s path owner
+  | [ "settype"; path; ftype ] -> Fs.set_type s path ftype
+  | [ "deftype"; name ] -> Fs.define_type shell.fs name
+  | "deffn" :: name :: body ->
+    Invfs.Stored_fn.define shell.fs s ~name ~body:(String.concat " " body) ();
+    say "defined %s (stored at %s/%s)" name Invfs.Stored_fn.functions_dir name
+  | [ "fnsrc"; name ] -> say "%s" (Invfs.Stored_fn.source s name)
+  | [ "asof"; mark; "fnsrc"; name ] ->
+    say "%s" (Invfs.Stored_fn.source s ~timestamp:(find_mark shell mark) name)
+  | "query" :: rest ->
+    let rows = Fs.query s (String.concat " " rest) in
+    List.iter
+      (fun row -> say "  %s" (String.concat ", " (List.map Postquel.Value.to_string row)))
+      rows;
+    say "(%d rows)" (List.length rows)
+  | [ "begin" ] ->
+    Fs.p_begin s;
+    say "transaction open"
+  | [ "commit" ] ->
+    Fs.p_commit s;
+    say "committed"
+  | [ "abort" ] ->
+    Fs.p_abort s;
+    say "aborted"
+  | [ "mark"; name ] ->
+    shell.marks <- (name, Relstore.Db.now shell.db) :: shell.marks;
+    say "marked %s at %s" name (fmt_time (Relstore.Db.now shell.db))
+  | [ "marks" ] ->
+    List.iter (fun (n, ts) -> say "  %-12s %s" n (fmt_time ts)) (List.rev shell.marks)
+  | [ "asof"; mark; "ls"; path ] ->
+    let ts = find_mark shell mark in
+    List.iter (fun n -> say "  %s" n) (Fs.readdir s ~timestamp:ts path)
+  | [ "asof"; mark; "cat"; path ] ->
+    let ts = find_mark shell mark in
+    say "%s" (Bytes.to_string (Fs.read_whole_file s ~timestamp:ts path))
+  | [ "asof"; mark; "stat"; path ] ->
+    let ts = find_mark shell mark in
+    print_stat (Fs.stat s ~timestamp:ts path)
+  | [ "undelete"; mark; path ] ->
+    let ts = find_mark shell mark in
+    Fs.write_file s path (Fs.read_whole_file s ~timestamp:ts path);
+    say "restored %s as of mark %s" path mark
+  | [ "migrate"; path; device ] ->
+    Fs.migrate_file shell.fs ~oid:(Fs.lookup_oid s path) ~device;
+    say "moved %s to %s" path device
+  | [ "vacuum"; path; mode ] ->
+    let mode =
+      match mode with
+      | "archive" -> `Archive
+      | "discard" -> `Discard
+      | m -> failwith ("vacuum mode must be archive or discard, not " ^ m)
+    in
+    let stats = Fs.vacuum_file shell.fs ~oid:(Fs.lookup_oid s path) ~mode () in
+    say "scanned %d, archived %d, discarded %d" stats.Relstore.Vacuum.scanned
+      stats.Relstore.Vacuum.archived stats.Relstore.Vacuum.discarded
+  | [ "crash" ] ->
+    Fs.crash shell.fs;
+    shell.session <- Fs.new_session shell.fs;
+    say "crashed and recovered (open transactions rolled back, no fsck needed)"
+  | [ "fsck" ] -> say "%s" (Invfs.Fsck.report_to_string (Invfs.Fsck.audit shell.fs))
+  | [ "devices" ] ->
+    List.iter
+      (fun d ->
+        say "  %-8s %-14s %d reads, %d writes" (Pagestore.Device.name d)
+          (Pagestore.Device.kind_to_string (Pagestore.Device.kind d))
+          (Pagestore.Device.reads d) (Pagestore.Device.writes d))
+      (Pagestore.Switch.devices (Relstore.Db.switch shell.db))
+  | [ "clock" ] -> say "simulated time: %.3fs" (Simclock.Clock.now shell.clock)
+  | [ "stats" ] ->
+    List.iter
+      (fun (k, v) -> say "  %-22s %8.3fs" k v)
+      (Simclock.Clock.accounts shell.clock);
+    List.iter (fun (k, v) -> say "  %-22s %8d" k v) (Simclock.Clock.counters shell.clock)
+  | [ "quit" ] | [ "exit" ] -> raise Exit
+  | cmd :: _ -> say "unknown command %s (try 'help')" cmd
+
+let repl shell ~input ~interactive =
+  (try
+     while true do
+       if interactive then (
+         print_string "invsh> ";
+         flush stdout);
+       let line = input_line input in
+       Simclock.Clock.advance shell.clock ~account:"shell.idle" 1.0;
+       (try run_command shell line with
+       | Exit -> raise Exit
+       | Invfs.Errors.Fs_error (code, msg) ->
+         say "error: %s (%s)" msg (Invfs.Errors.code_to_string code)
+       | Failure msg -> say "error: %s" msg
+       | Invalid_argument msg -> say "error: %s" msg
+       | Postquel.Parser.Parse_error msg -> say "parse error: %s" msg
+       | Postquel.Lexer.Lex_error (msg, pos) -> say "lex error at %d: %s" pos msg
+       | Postquel.Eval.Unknown_function f -> say "error: unknown function %s" f
+       | Not_found -> say "error: not found")
+     done
+   with Exit | End_of_file -> ());
+  if interactive then say "bye."
+
+(* ---- cmdliner wiring ---- *)
+
+let main script cache_pages =
+  let shell = make_shell ~cache_pages in
+  match script with
+  | None ->
+    say "Inversion file system shell — 'help' lists commands.";
+    repl shell ~input:stdin ~interactive:(Unix.isatty Unix.stdin)
+  | Some path ->
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> repl shell ~input:ic ~interactive:false)
+
+let () =
+  let open Cmdliner in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "c"; "script" ] ~docv:"FILE" ~doc:"Run commands from $(docv) instead of stdin.")
+  in
+  let cache_pages =
+    Arg.(
+      value & opt int 300
+      & info [ "cache-pages" ] ~docv:"N" ~doc:"DBMS buffer cache size in 8 KB pages.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "invsh" ~doc:"Interactive shell over the Inversion file system")
+      Term.(const main $ script $ cache_pages)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/migration.ml: Bytes Invfs List Pagestore Printf Relstore Simclock

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Invfs List Postquel Printf Relstore Simclock String

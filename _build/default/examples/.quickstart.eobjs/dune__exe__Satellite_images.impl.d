@@ -1,0 +1,1 @@
+examples/satellite_images.ml: Bytes Char Int64 Invfs List Postquel Printf Relstore Simclock String

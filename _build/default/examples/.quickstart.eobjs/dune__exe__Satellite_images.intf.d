@@ -1,0 +1,1 @@
+examples/satellite_images.mli:

@@ -1,0 +1,1 @@
+examples/source_control.ml: Bytes Invfs List Printf Relstore Simclock String

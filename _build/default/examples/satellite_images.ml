@@ -1,0 +1,167 @@
+(* Satellite images: typed files, user-defined functions, and the exact
+   queries from the paper.
+
+   Run with:  dune exec examples/satellite_images.exe
+
+   The Sequoia 2000 scientists stored Thematic Mapper satellite images in
+   Inversion and queried them with functions like [snow] that run inside
+   the data manager.  This example reproduces Table 2 (file types and
+   their functions) and the two queries from "Access To Inversion Files":
+
+     retrieve (filename) where "RISC" in keywords(file)
+     retrieve (snow(file), filename)
+       where filetype(file) = "tm" and snow(file)/size(file) > 0.5
+         and month_of(file) = "April"
+
+   Our "TM image": a synthetic raster of bands where band 0 pixels above
+   a threshold count as snow — the same code path as the real transducer
+   (the function reads the file's bytes inside the storage manager, no
+   copies out). *)
+
+module Fs = Invfs.Fs
+module V = Postquel.Value
+
+let say fmt = Printf.printf (fmt ^^ "\n")
+
+(* ---- a tiny TM-like raster format: 1-byte header (bands), then
+   band-major 64x64 pixels ---- *)
+
+let tm_width = 64
+let tm_height = 64
+let tm_pixels = tm_width * tm_height
+
+let make_tm_image ~bands ~snow_fraction seed =
+  let rng = Simclock.Rng.create seed in
+  let b = Bytes.create (1 + (bands * tm_pixels)) in
+  Bytes.set b 0 (Char.chr bands);
+  for band = 0 to bands - 1 do
+    for p = 0 to tm_pixels - 1 do
+      let snowy = band = 0 && Simclock.Rng.float rng 1.0 < snow_fraction in
+      let v = if snowy then 200 + Simclock.Rng.int rng 56 else Simclock.Rng.int rng 100 in
+      Bytes.set b (1 + (band * tm_pixels) + p) (Char.chr v)
+    done
+  done;
+  b
+
+let snow_threshold = 180
+
+(* ---- registered functions (Table 2) ---- *)
+
+let register_functions fs =
+  List.iter (Fs.define_type fs) [ "ascii"; "troff"; "tm"; "avhrr" ];
+  let with_file_bytes f ctx args =
+    match args with
+    | [ V.Int oid ] -> f (Fs.read_file_at ctx.Fs.qfs ctx.Fs.snapshot ~oid)
+    | _ -> V.Null
+  in
+  (* ASCII documents: linecount *)
+  Fs.register_function fs ~name:"linecount" ~file_type:"ascii" ~arity:1
+    (with_file_bytes (fun data ->
+         let lines = ref 0 in
+         Bytes.iter (fun c -> if c = '\n' then incr lines) data;
+         V.Int (Int64.of_int !lines)));
+  (* troff documents: keywords and wordcount *)
+  let words data =
+    String.split_on_char ' ' (String.map (function '\n' -> ' ' | c -> c) (Bytes.to_string data))
+    |> List.filter (fun w -> w <> "")
+  in
+  Fs.register_function fs ~name:"wordcount" ~file_type:"troff" ~arity:1
+    (with_file_bytes (fun data -> V.Int (Int64.of_int (List.length (words data)))));
+  Fs.register_function fs ~name:"keywords" ~file_type:"troff" ~arity:1
+    (with_file_bytes (fun data ->
+         (* transducer: capitalized words are "keywords" *)
+         let caps =
+           List.filter (fun w -> String.length w > 2 && w.[0] >= 'A' && w.[0] <= 'Z') (words data)
+         in
+         V.List (List.map (fun w -> V.Str w) (List.sort_uniq compare caps))));
+  (* TM satellite images: snow, pixelcount, pixelavg, getband *)
+  let band0 data f =
+    if Bytes.length data < 1 + tm_pixels then V.Null
+    else f (Bytes.sub data 1 tm_pixels)
+  in
+  Fs.register_function fs ~name:"snow" ~file_type:"tm" ~arity:1
+    (with_file_bytes (fun data ->
+         band0 data (fun px ->
+             let count = ref 0 in
+             Bytes.iter (fun c -> if Char.code c >= snow_threshold then incr count) px;
+             V.Int (Int64.of_int !count))));
+  Fs.register_function fs ~name:"pixelcount" ~file_type:"tm" ~arity:1
+    (with_file_bytes (fun data ->
+         if Bytes.length data < 1 then V.Null
+         else V.Int (Int64.of_int (Char.code (Bytes.get data 0) * tm_pixels))));
+  Fs.register_function fs ~name:"pixelavg" ~file_type:"tm" ~arity:1
+    (with_file_bytes (fun data ->
+         band0 data (fun px ->
+             let total = ref 0 in
+             Bytes.iter (fun c -> total := !total + Char.code c) px;
+             V.Float (float_of_int !total /. float_of_int tm_pixels))));
+  Fs.register_function fs ~name:"getpixel" ~file_type:"tm" ~arity:2 (fun ctx args ->
+      match args with
+      | [ V.Int oid; V.Int idx ] ->
+        let data = Fs.read_file_at ctx.Fs.qfs ctx.Fs.snapshot ~oid in
+        let i = 1 + Int64.to_int idx in
+        if i < Bytes.length data then V.Int (Int64.of_int (Char.code (Bytes.get data i)))
+        else V.Null
+      | _ -> V.Null)
+
+let print_table2 fs =
+  say "Table 2: file types and their registered functions";
+  let reg = Fs.registry fs in
+  List.iter
+    (fun ftype ->
+      say "  %-10s %s" ftype
+        (String.concat ", " (Postquel.Registry.functions_for_type reg ftype)))
+    [ "ascii"; "troff"; "tm" ]
+
+let () =
+  let clock = Simclock.Clock.create () in
+  let db = Relstore.Db.create ~clock () in
+  let fs = Fs.make db () in
+  let s = Fs.new_session fs in
+  register_functions fs;
+
+  (* populate: documentation and satellite imagery, as at Berkeley *)
+  Fs.mkdir s "/doc";
+  Fs.mkdir s "/images";
+  let put path ftype owner data =
+    let fd = Fs.p_creat s ~ftype ~owner path in
+    ignore (Fs.p_write s fd data (Bytes.length data) : int);
+    Fs.p_close s fd
+  in
+  put "/doc/sprite.ms" "troff" "mao"
+    (Bytes.of_string
+       "The RISC revolution and the Sprite operating system.\n\
+        We compare RISC and CISC workstations running Sprite.\n");
+  put "/doc/readme.txt" "ascii" "mao"
+    (Bytes.of_string "line one\nline two\nline three\n");
+  (* images written in April (simulated calendar starts 1993-01-01) *)
+  let april = 86400. *. (31. +. 28. +. 31. +. 10.) in
+  Simclock.Clock.advance clock april;
+  put "/images/tm_sierra.tm" "tm" "sequoia" (make_tm_image ~bands:5 ~snow_fraction:0.7 1L);
+  put "/images/tm_delta.tm" "tm" "sequoia" (make_tm_image ~bands:5 ~snow_fraction:0.1 2L);
+  Simclock.Clock.advance clock (86400. *. 60.);
+  put "/images/tm_june.tm" "tm" "sequoia" (make_tm_image ~bands:5 ~snow_fraction:0.8 3L);
+
+  print_table2 fs;
+  say "";
+
+  let show q =
+    say "query> %s" q;
+    List.iter
+      (fun row ->
+        say "  %s" (String.concat ", " (List.map V.to_string row)))
+      (Fs.query s q);
+    say ""
+  in
+  (* the paper's keyword query *)
+  show {|retrieve (filename) where "RISC" in keywords(file)|};
+  (* the paper's snow query: April images that are majority snow.
+     snow(file) counts snowy pixels; size is in bytes, so we compare
+     against pixelcount like the paper compares against size. *)
+  show
+    {|retrieve (snow(file), filename) where filetype(file) = "tm" and snow(file) / pixelcount(file) > 0.1 and month_of(file) = "April"|};
+  (* typed dispatch: linecount is only defined on ascii files *)
+  show {|retrieve (filename, linecount(file)) where linecount(file) > 0|};
+  (* functions compose with arithmetic *)
+  show {|retrieve (filename, pixelavg(file)) where pixelavg(file) > 100.0|};
+  say "done."

@@ -1,0 +1,1 @@
+lib/benchlib/paper.mli: Workload

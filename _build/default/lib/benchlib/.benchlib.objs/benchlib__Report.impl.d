@@ -1,0 +1,1 @@
+lib/benchlib/report.ml: Buffer List Paper Printf String Workload

@@ -1,0 +1,1 @@
+lib/benchlib/report.mli: Workload

@@ -1,0 +1,1 @@
+lib/benchlib/sequoia.ml: Buffer Bytes Char Int64 Invfs List Pagestore Postquel Printf Relstore Simclock

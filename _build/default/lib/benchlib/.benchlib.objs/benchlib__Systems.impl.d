@@ -1,0 +1,1 @@
+lib/benchlib/systems.ml: Bytes Invfs Netsim Nfsbaseline Pagestore Relstore Simclock String

@@ -1,0 +1,1 @@
+lib/benchlib/workload.ml: Bytes Char Int64 List Option Simclock Systems

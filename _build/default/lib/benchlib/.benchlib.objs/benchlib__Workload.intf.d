@@ -1,0 +1,1 @@
+lib/benchlib/workload.mli: Systems

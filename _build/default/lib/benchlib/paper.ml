@@ -1,0 +1,26 @@
+type row = { inv_cs : float; nfs : float; inv_sp : float }
+
+let table3 = function
+  | Workload.Create_file -> { inv_cs = 141.5; nfs = 50.6; inv_sp = 111.6 }
+  | Workload.Read_1mb_single -> { inv_cs = 3.4; nfs = 2.8; inv_sp = 0.4 }
+  | Workload.Read_1mb_seq -> { inv_cs = 4.8; nfs = 2.2; inv_sp = 0.4 }
+  | Workload.Read_1mb_rand -> { inv_cs = 5.5; nfs = 2.4; inv_sp = 0.8 }
+  | Workload.Write_1mb_single -> { inv_cs = 4.6; nfs = 2.0; inv_sp = 1.4 }
+  | Workload.Write_1mb_seq -> { inv_cs = 5.6; nfs = 1.7; inv_sp = 1.4 }
+  | Workload.Write_1mb_rand -> { inv_cs = 6.0; nfs = 1.7; inv_sp = 2.9 }
+  | Workload.Read_byte -> { inv_cs = 0.02; nfs = 0.01; inv_sp = 0.01 }
+  | Workload.Write_byte -> { inv_cs = 0.03; nfs = 0.02; inv_sp = 0.02 }
+
+let figure_ops = function
+  | `Fig3 -> [ Workload.Create_file ]
+  | `Fig4 -> [ Workload.Read_byte; Workload.Write_byte ]
+  | `Fig5 ->
+    [ Workload.Read_1mb_single; Workload.Read_1mb_seq; Workload.Read_1mb_rand ]
+  | `Fig6 ->
+    [ Workload.Write_1mb_single; Workload.Write_1mb_seq; Workload.Write_1mb_rand ]
+
+let figure_title = function
+  | `Fig3 -> "Figure 3: 25MByte file creation times"
+  | `Fig4 -> "Figure 4: Random byte access"
+  | `Fig5 -> "Figure 5: Read throughput"
+  | `Fig6 -> "Figure 6: Write throughput"

@@ -1,0 +1,16 @@
+(** The paper's published numbers, for side-by-side reporting.
+
+    Table 3: "Elapsed time in seconds for benchmark tests in three
+    configurations" — Inversion client/server, ULTRIX NFS, Inversion
+    single process.  Figures 3–6 plot subsets of the same nine
+    operations, so one table covers every evaluation artifact. *)
+
+type row = { inv_cs : float; nfs : float; inv_sp : float }
+
+val table3 : Workload.op -> row
+(** The paper's measurement for an operation. *)
+
+val figure_ops : [ `Fig3 | `Fig4 | `Fig5 | `Fig6 ] -> Workload.op list
+(** Which operations each figure plots. *)
+
+val figure_title : [ `Fig3 | `Fig4 | `Fig5 | `Fig6 ] -> string

@@ -1,0 +1,106 @@
+let throughput_pct a b op =
+  let ta = Workload.find a op and tb = Workload.find b op in
+  if ta <= 0. then infinity else 100. *. tb /. ta
+
+let fmt_secs v = if v < 0.1 then Printf.sprintf "%8.3f" v else Printf.sprintf "%8.1f" v
+
+let table3 ~inv_cs ~nfs ~inv_sp =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Table 3: elapsed seconds, paper vs this reproduction (simulated)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s | %-19s | %-19s | %-19s\n" ""
+       "Inversion c/s" "ULTRIX NFS" "Inversion single");
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s | %8s %9s | %8s %9s | %8s %9s\n" "operation" "paper"
+       "measured" "paper" "measured" "paper" "measured");
+  Buffer.add_string buf (String.make 104 '-');
+  Buffer.add_char buf '\n';
+  let row op =
+    let p = Paper.table3 op in
+    Buffer.add_string buf
+      (Printf.sprintf "%-36s | %s %s | %s %s | %s %s\n" (Workload.op_label op)
+         (fmt_secs p.Paper.inv_cs)
+         (fmt_secs (Workload.find inv_cs op))
+         (fmt_secs p.Paper.nfs)
+         (fmt_secs (Workload.find nfs op))
+         (fmt_secs p.Paper.inv_sp)
+         (fmt_secs (Workload.find inv_sp op)))
+  in
+  List.iter row Workload.all_ops;
+  Buffer.contents buf
+
+let figure fig ~inv_cs ~nfs ?inv_sp () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Paper.figure_title fig);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s | %17s | %17s | %s\n" "operation" "Inversion c/s"
+       "ULTRIX NFS" "Inv as % of NFS (paper / measured)");
+  Buffer.add_string buf (String.make 110 '-');
+  Buffer.add_char buf '\n';
+  let row op =
+    let p = Paper.table3 op in
+    let m_inv = Workload.find inv_cs op and m_nfs = Workload.find nfs op in
+    let pct_paper = 100. *. p.Paper.nfs /. p.Paper.inv_cs in
+    let pct_meas = 100. *. m_nfs /. m_inv in
+    Buffer.add_string buf
+      (Printf.sprintf "%-36s | %7.2fs / %6.2fs | %7.2fs / %6.2fs | %3.0f%% / %3.0f%%\n"
+         (Workload.op_label op) p.Paper.inv_cs m_inv p.Paper.nfs m_nfs pct_paper
+         pct_meas)
+  in
+  List.iter row (Paper.figure_ops fig);
+  (match (fig, inv_sp) with
+  | `Fig3, Some sp ->
+    Buffer.add_string buf
+      (Printf.sprintf "%-36s | paper %6.1fs / measured %6.1fs\n"
+         "  (single-process Inversion)" (Paper.table3 Workload.Create_file).Paper.inv_sp
+         (Workload.find sp Workload.Create_file))
+  | _ -> ());
+  Buffer.contents buf
+
+let shape_check ~inv_cs ~nfs ~inv_sp =
+  let buf = Buffer.create 1024 in
+  let check name ok detail =
+    Buffer.add_string buf
+      (Printf.sprintf "  [%s] %-58s %s\n" (if ok then "PASS" else "FAIL") name detail)
+  in
+  let t sys op = Workload.find sys op in
+  Buffer.add_string buf "Shape checks against the paper's qualitative claims:\n";
+  check "NFS wins 25MB file creation"
+    (t nfs Workload.Create_file < t inv_cs Workload.Create_file
+    && t nfs Workload.Create_file < t inv_sp Workload.Create_file)
+    (Printf.sprintf "(nfs %.1fs, inv c/s %.1fs, inv sp %.1fs)" (t nfs Workload.Create_file)
+       (t inv_cs Workload.Create_file) (t inv_sp Workload.Create_file));
+  let pcts =
+    List.map
+      (fun op -> throughput_pct inv_cs nfs op)
+      [
+        Workload.Read_1mb_single; Workload.Read_1mb_seq; Workload.Read_1mb_rand;
+        Workload.Write_1mb_single; Workload.Write_1mb_seq; Workload.Write_1mb_rand;
+      ]
+  in
+  let lo = List.fold_left min infinity pcts and hi = List.fold_left max 0. pcts in
+  check "Inversion gets ~30-80% of NFS throughput on 1MB ops"
+    (lo >= 15. && hi <= 110.)
+    (Printf.sprintf "(measured %.0f%%..%.0f%%; paper 28%%..80%%)" lo hi);
+  check "single-process Inversion beats client/server everywhere"
+    (List.for_all (fun op -> t inv_sp op <= t inv_cs op) Workload.all_ops)
+    "";
+  check "single-process beats NFS on sequential reads"
+    (t inv_sp Workload.Read_1mb_seq < t nfs Workload.Read_1mb_seq)
+    (Printf.sprintf "(sp %.2fs vs nfs %.2fs)" (t inv_sp Workload.Read_1mb_seq)
+       (t nfs Workload.Read_1mb_seq));
+  check "PRESTOserve: NFS random writes no slower than sequential"
+    (t nfs Workload.Write_1mb_rand <= t nfs Workload.Write_1mb_seq *. 1.15)
+    (Printf.sprintf "(rand %.2fs vs seq %.2fs)" (t nfs Workload.Write_1mb_rand)
+       (t nfs Workload.Write_1mb_seq));
+  check "remote access adds seconds per 1MB operation"
+    (t inv_cs Workload.Read_1mb_seq -. t inv_sp Workload.Read_1mb_seq > 1.0)
+    (Printf.sprintf "(delta %.2fs; paper 3-5s)"
+       (t inv_cs Workload.Read_1mb_seq -. t inv_sp Workload.Read_1mb_seq));
+  check "byte ops are tens of milliseconds"
+    (t inv_cs Workload.Read_byte < 0.2 && t inv_cs Workload.Write_byte < 0.2)
+    (Printf.sprintf "(read %.3fs write %.3fs)" (t inv_cs Workload.Read_byte)
+       (t inv_cs Workload.Write_byte));
+  Buffer.contents buf

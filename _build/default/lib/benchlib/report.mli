@@ -1,0 +1,32 @@
+(** Plain-text tables comparing measured (simulated) times against the
+    paper's, with the ratio checks that matter: who wins each operation,
+    and roughly by what factor. *)
+
+val table3 :
+  inv_cs:Workload.results ->
+  nfs:Workload.results ->
+  inv_sp:Workload.results ->
+  string
+(** The full Table 3 reproduction: paper vs measured for all nine
+    operations in all three configurations. *)
+
+val figure :
+  [ `Fig3 | `Fig4 | `Fig5 | `Fig6 ] ->
+  inv_cs:Workload.results ->
+  nfs:Workload.results ->
+  ?inv_sp:Workload.results ->
+  unit ->
+  string
+(** One figure's operations, Inversion vs NFS (the paper's figures plot
+    these two; single-process appears only in Table 3). *)
+
+val shape_check :
+  inv_cs:Workload.results -> nfs:Workload.results -> inv_sp:Workload.results -> string
+(** Pass/fail summary of the qualitative claims: NFS wins creation;
+    Inversion gets 30–80 % of NFS throughput remotely; single-process
+    Inversion beats both on reads; PRESTOserve makes NFS random writes
+    immune to seek costs; remote access adds seconds per 1 MB op. *)
+
+val throughput_pct : Workload.results -> Workload.results -> Workload.op -> float
+(** [throughput_pct a b op]: a's throughput as a percentage of b's (time
+    ratio inverted). *)

@@ -1,0 +1,192 @@
+module Fs = Invfs.Fs
+
+type file = {
+  fread : off:int64 -> len:int -> int;
+  fwrite : off:int64 -> bytes -> unit;
+}
+
+type t = {
+  sys_name : string;
+  clock : Simclock.Clock.t;
+  io_unit : int;
+  create : string -> file;
+  open_file : string -> file;
+  read : file -> off:int64 -> len:int -> int;
+  write : file -> off:int64 -> bytes -> unit;
+  begin_batch : unit -> unit;
+  end_batch : unit -> unit;
+  flush_caches : unit -> unit;
+}
+
+(* ---------------- Inversion ---------------- *)
+
+(* [remote]: charge the paper's heavy TCP/IP path around every p_* call. *)
+let inversion ~remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
+    ~compressed name =
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  let (_ : Pagestore.Device.t) =
+    Pagestore.Switch.add_device switch ~name:"disk0" ~kind:Pagestore.Device.Magnetic_disk ()
+  in
+  let db =
+    Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages
+      ~os_cache_blocks:os_cache_pages ()
+  in
+  let fs = Fs.make db () in
+  let session = Fs.new_session fs in
+  let net = Netsim.create ~clock Netsim.tcp_1993 in
+  let rpc_header = 96 in
+  let charge_call ~request ~reply =
+    if remote then Netsim.call net ~request:(rpc_header + request) ~reply:(rpc_header + reply)
+  in
+  (* reads bigger than a chunk stream back as multiple messages *)
+  let charge_bulk_reply bytes =
+    if remote then begin
+      Netsim.send net ~bytes:rpc_header;
+      let rec go remaining =
+        if remaining > 0 then begin
+          let now = min (Invfs.Chunk.capacity + 64) remaining in
+          Netsim.send net ~bytes:(rpc_header + now);
+          go (remaining - now)
+        end
+      in
+      go bytes
+    end
+  in
+  (* Writes stream through a windowed connection: wire and protocol time
+     overlap the server's work, so elapsed time is bounded by the slower
+     of the two plus an overlap-inefficiency tax.  (The paper's own
+     numbers need this: creation pays ~9 ms of network per chunk while
+     synchronous 1 MB requests pay ~30 ms.) *)
+  let charge_pipelined_request bytes ~server_dt =
+    if remote then begin
+      let net_dt = ref 0. in
+      let rec go remaining =
+        if remaining > 0 then begin
+          let now = min (Invfs.Chunk.capacity + 64) remaining in
+          net_dt := !net_dt +. Netsim.cost_of_send net ~bytes:(rpc_header + now);
+          go (remaining - now)
+        end
+      in
+      go bytes;
+      net_dt := !net_dt +. Netsim.cost_of_send net ~bytes:rpc_header;
+      let stall = max 0. (!net_dt -. server_dt) +. (0.3 *. min !net_dt server_dt) in
+      Simclock.Clock.advance clock ~account:"net.pipeline" stall
+    end
+  in
+  let apply_cpu_scale () = Relstore.Cpu_model.scale := cpu_scale in
+  let mk_file fd =
+    {
+      fread =
+        (fun ~off ~len ->
+          apply_cpu_scale ();
+          ignore (Fs.p_lseek session fd off Fs.Seek_set : int64);
+          let buf = Bytes.create len in
+          let n = Fs.p_read session fd buf len in
+          charge_bulk_reply n;
+          n);
+      fwrite =
+        (fun ~off data ->
+          apply_cpu_scale ();
+          let t0 = Simclock.Clock.now clock in
+          ignore (Fs.p_lseek session fd off Fs.Seek_set : int64);
+          ignore (Fs.p_write session fd data (Bytes.length data) : int);
+          let server_dt = Simclock.Clock.now clock -. t0 in
+          charge_pipelined_request (Bytes.length data) ~server_dt);
+    }
+  in
+  let create path =
+    apply_cpu_scale ();
+    charge_call ~request:(String.length path) ~reply:8;
+    let fd = Fs.p_creat session ~compressed path in
+    (match Fs.file_handle fs ~oid:(Fs.fd_oid session fd) with
+    | Some inv -> Invfs.Inv_file.set_write_through inv index_write_through
+    | None -> ());
+    mk_file fd
+  in
+  let open_file path =
+    apply_cpu_scale ();
+    charge_call ~request:(String.length path) ~reply:8;
+    let fd = Fs.p_open session path Fs.Rdwr in
+    (match Fs.file_handle fs ~oid:(Fs.fd_oid session fd) with
+    | Some inv -> Invfs.Inv_file.set_write_through inv index_write_through
+    | None -> ());
+    mk_file fd
+  in
+  {
+    sys_name = name;
+    clock;
+    io_unit = Invfs.Chunk.capacity;
+    create;
+    open_file;
+    read = (fun f ~off ~len -> f.fread ~off ~len);
+    write = (fun f ~off data -> f.fwrite ~off data);
+    begin_batch =
+      (fun () ->
+        apply_cpu_scale ();
+        charge_call ~request:8 ~reply:8;
+        Fs.p_begin session);
+    end_batch =
+      (fun () ->
+        apply_cpu_scale ();
+        charge_call ~request:8 ~reply:8;
+        Fs.p_commit session);
+    flush_caches =
+      (fun () ->
+        let cache = Relstore.Db.cache db in
+        Pagestore.Bufcache.flush cache;
+        Pagestore.Bufcache.crash cache);
+  }
+
+let inversion_client_server ?(cache_pages = 300) ?(os_cache_pages = 16384)
+    ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false) () =
+  inversion ~remote:true ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
+    ~compressed "Inversion client/server"
+
+let inversion_single_process ?(cache_pages = 300) ?(os_cache_pages = 16384)
+    ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false) () =
+  inversion ~remote:false ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
+    ~compressed "Inversion single process"
+
+(* ---------------- ULTRIX NFS ---------------- *)
+
+let ultrix_nfs ?(presto = true) ?(cache_pages = 2048) () =
+  let clock = Simclock.Clock.create () in
+  let device =
+    Pagestore.Device.create ~clock ~name:"rz58" ~kind:Pagestore.Device.Magnetic_disk ()
+  in
+  let ffs = Nfsbaseline.Ffs.create ~device ~cache_pages () in
+  let presto_board =
+    if presto then Some (Nfsbaseline.Presto.create ~clock ()) else None
+  in
+  let server = Nfsbaseline.Nfs.make_server ~ffs ?presto:presto_board () in
+  let net = Netsim.create ~clock Netsim.udp_rpc_1993 in
+  let client = Nfsbaseline.Nfs.connect ~server ~net in
+  let mk_file fh =
+    {
+      fread =
+        (fun ~off ~len ->
+          let buf = Bytes.create len in
+          Nfsbaseline.Nfs.read client fh ~off ~buf ~len);
+      fwrite = (fun ~off data -> Nfsbaseline.Nfs.write client fh ~off ~data);
+    }
+  in
+  let name =
+    if presto then "ULTRIX NFS (PRESTOserve)" else "ULTRIX NFS (no NVRAM)"
+  in
+  {
+    sys_name = name;
+    clock;
+    io_unit = Nfsbaseline.Nfs.max_transfer;
+    create = (fun path -> mk_file (Nfsbaseline.Nfs.create client path));
+    open_file =
+      (fun path ->
+        match Nfsbaseline.Nfs.lookup client path with
+        | Some fh -> mk_file fh
+        | None -> invalid_arg ("ultrix_nfs: no such file " ^ path));
+    read = (fun f ~off ~len -> f.fread ~off ~len);
+    write = (fun f ~off data -> f.fwrite ~off data);
+    begin_batch = (fun () -> ());
+    end_batch = (fun () -> ());
+    flush_caches = (fun () -> Nfsbaseline.Nfs.drop_caches server);
+  }

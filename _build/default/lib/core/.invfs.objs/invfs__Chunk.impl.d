@@ -1,0 +1,1 @@
+lib/core/chunk.ml: Bytes Int32 Int64 Relstore

@@ -1,0 +1,1 @@
+lib/core/compress.ml: Array Buffer Bytes Char

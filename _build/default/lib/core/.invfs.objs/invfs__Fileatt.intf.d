@@ -1,0 +1,1 @@
+lib/core/fileatt.mli: Relstore

@@ -1,0 +1,1 @@
+lib/core/fs.ml: Array Buffer Bytes Chunk Errors Fileatt Fun Hashtbl Int64 Inv_file List Naming Option Pagestore Postquel Relstore String

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Fileatt Inv_file Naming Postquel Relstore Simclock

@@ -1,0 +1,1 @@
+lib/core/fsck.ml: Bytes Chunk Fileatt Fs Int64 Inv_file List Naming Printf Relstore String

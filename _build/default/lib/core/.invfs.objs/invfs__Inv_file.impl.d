@@ -1,0 +1,1 @@
+lib/core/inv_file.ml: Bytes Chunk Compress Index List Option Pagestore Printf Relstore

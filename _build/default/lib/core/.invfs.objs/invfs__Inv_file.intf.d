@@ -1,0 +1,1 @@
+lib/core/inv_file.mli: Relstore

@@ -1,0 +1,1 @@
+lib/core/large_object.mli: Fs

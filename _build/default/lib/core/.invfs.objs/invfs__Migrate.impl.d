@@ -1,0 +1,1 @@
+lib/core/migrate.ml: Fileatt Fs List Naming Postquel Relstore String

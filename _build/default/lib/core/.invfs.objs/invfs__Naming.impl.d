@@ -1,0 +1,1 @@
+lib/core/naming.ml: Bytes Index List Relstore String

@@ -1,0 +1,1 @@
+lib/core/nfs_facade.ml: Bytes Errors Fileatt Fs Fun Int64 String

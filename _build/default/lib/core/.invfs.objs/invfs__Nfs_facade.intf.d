@@ -1,0 +1,1 @@
+lib/core/nfs_facade.mli: Fileatt Fs

@@ -1,0 +1,1 @@
+lib/core/stored_fn.ml: Bytes Errors Fs Fun Hashtbl List Option Postquel Printf String

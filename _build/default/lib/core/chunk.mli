@@ -1,0 +1,45 @@
+(** Chunk records: how file bytes are packed into database records.
+
+    "File data are collected into chunks slightly smaller than 8 KBytes.
+    The size of the chunk is calculated so that a single record will fit
+    exactly on a POSTGRES data manager page" (paper, Figure 1).  Each
+    record is [(chunk number, chunk data)]; we add a small header carrying
+    the compression flag and the uncompressed length for the compressed-
+    chunk extension ("Services Under Investigation").
+
+    Record payload layout:
+    {v
+    0  chunkno          i64
+    8  data length      u32
+    12 flags            u16   bit 0 = compressed
+    14 uncompressed len u32   (= data length when not compressed)
+    18 data
+    v} *)
+
+type t = {
+  chunkno : int64;
+  compressed : bool;
+  uncompressed_len : int;
+  data : bytes;  (** stored bytes (compressed form if [compressed]) *)
+}
+
+val header_size : int
+
+val capacity : int
+(** Usable file bytes per chunk: {!Relstore.Heap_page.max_payload} minus
+    the header — 8130 bytes, "slightly smaller than 8 KB". *)
+
+val chunkno_of_offset : int64 -> int64
+(** Which chunk holds the byte at this file offset. *)
+
+val offset_of_chunkno : int64 -> int64
+(** First file offset covered by a chunk. *)
+
+val encode : t -> bytes
+(** Raises [Invalid_argument] if the data exceeds {!capacity}. *)
+
+val decode : bytes -> t
+(** Raises [Invalid_argument] on a malformed payload. *)
+
+val make_plain : chunkno:int64 -> bytes -> t
+val make_compressed : chunkno:int64 -> uncompressed_len:int -> bytes -> t

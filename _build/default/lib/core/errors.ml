@@ -1,0 +1,29 @@
+type code =
+  | ENOENT
+  | EEXIST
+  | EISDIR
+  | ENOTDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | EROFS
+  | ETXN
+  | EDEADLK
+  | EAGAIN
+
+exception Fs_error of code * string
+
+let code_to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | EISDIR -> "EISDIR"
+  | ENOTDIR -> "ENOTDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | EROFS -> "EROFS"
+  | ETXN -> "ETXN"
+  | EDEADLK -> "EDEADLK"
+  | EAGAIN -> "EAGAIN"
+
+let fail code fmt = Printf.ksprintf (fun msg -> raise (Fs_error (code, msg))) fmt

@@ -1,0 +1,21 @@
+(** File-system error codes, UNIX-flavoured like the paper's client
+    library. *)
+
+type code =
+  | ENOENT  (** no such file or directory *)
+  | EEXIST  (** file exists *)
+  | EISDIR  (** is a directory *)
+  | ENOTDIR  (** a path component is not a directory *)
+  | ENOTEMPTY  (** directory not empty *)
+  | EBADF  (** bad file descriptor *)
+  | EINVAL  (** invalid argument *)
+  | EROFS  (** write to a historical (time-travel) open *)
+  | ETXN  (** transaction misuse, e.g. nested p_begin *)
+  | EDEADLK  (** deadlock detected; transaction aborted *)
+  | EAGAIN  (** lock conflict; retry after the holder commits *)
+
+exception Fs_error of code * string
+
+val code_to_string : code -> string
+val fail : code -> ('a, unit, string, 'b) format4 -> 'a
+(** [fail code fmt ...] raises {!Fs_error}. *)

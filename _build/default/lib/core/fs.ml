@@ -1,0 +1,971 @@
+module Db = Relstore.Db
+module Txn = Relstore.Txn
+module Snapshot = Relstore.Snapshot
+module Value = Postquel.Value
+
+type t = {
+  db : Db.t;
+  naming : Naming.t;
+  fileatt : Fileatt.t;
+  registry : Postquel.Registry.t;
+  root_oid : int64;
+  default_device : string option;
+  atime_enabled : bool;
+  files : (int64, Inv_file.t) Hashtbl.t; (* open storage handles by oid *)
+  mutable qsnap : Snapshot.t; (* snapshot of the query being evaluated *)
+}
+
+type query_ctx = { qfs : t; snapshot : Snapshot.t }
+
+type open_mode = Rdonly | Rdwr
+type whence = Seek_set | Seek_cur | Seek_end
+type fd = int
+
+type pending = { mutable pstart : int64; pbuf : Buffer.t }
+
+type open_file = {
+  oid : int64;
+  inv : Inv_file.t option; (* None when opened via a historical unlink edge *)
+  mode : open_mode;
+  hist : int64 option;
+  mutable pos : int64;
+  mutable pending : pending option;
+}
+
+type session = {
+  owner_fs : t;
+  fds : (int, open_file) Hashtbl.t;
+  mutable next_fd : int;
+  mutable txn : Txn.t option;
+  pending_att : (int64, Fileatt.att) Hashtbl.t;
+}
+
+let chunk_capacity = Chunk.capacity
+let max_file_size = 17_600_000_000_000L (* the paper's 17.6 TB *)
+let directory_type = "directory"
+
+let db t = t.db
+let clock t = Db.clock t.db
+let registry t = t.registry
+let root_oid t = t.root_oid
+let fs s = s.owner_fs
+
+(* ---------- transactions ---------- *)
+
+let in_transaction s = s.txn <> None
+
+let translate_locks f =
+  try f () with
+  | Relstore.Lock_mgr.Would_block { resource; _ } ->
+    Errors.fail Errors.EAGAIN "lock conflict on %s" resource
+  | Relstore.Lock_mgr.Deadlock xid -> Errors.fail Errors.EDEADLK "deadlock, victim xid %d" xid
+
+let flush_pending_atts s txn =
+  Hashtbl.iter (fun _ att -> Fileatt.set s.owner_fs.fileatt txn att) s.pending_att;
+  Hashtbl.reset s.pending_att
+
+(* Run one operation in the session's transaction, or in a private
+   auto-commit transaction when none is open. *)
+let with_op s f =
+  translate_locks (fun () ->
+      match s.txn with
+      | Some txn -> f txn
+      | None ->
+        Db.with_txn s.owner_fs.db (fun txn ->
+            let r = f txn in
+            flush_pending_atts s txn;
+            r))
+
+let p_begin s =
+  if in_transaction s then Errors.fail Errors.ETXN "transaction already active";
+  s.txn <- Some (Db.begin_txn s.owner_fs.db)
+
+let discard_all_pending s =
+  Hashtbl.iter (fun _ of_ -> of_.pending <- None) s.fds;
+  Hashtbl.reset s.pending_att
+
+(* forward declared: flush_pending needs write_at defined below *)
+let flush_pending_ref :
+    (session -> Txn.t -> open_file -> unit) ref =
+  ref (fun _ _ _ -> assert false)
+
+let p_commit s =
+  match s.txn with
+  | None -> Errors.fail Errors.ETXN "no transaction active"
+  | Some txn ->
+    translate_locks (fun () ->
+        Hashtbl.iter (fun _ of_ -> !flush_pending_ref s txn of_) s.fds;
+        flush_pending_atts s txn;
+        ignore (Txn.commit txn : int64);
+        s.txn <- None)
+
+let p_abort s =
+  match s.txn with
+  | None -> Errors.fail Errors.ETXN "no transaction active"
+  | Some txn ->
+    discard_all_pending s;
+    Txn.abort txn;
+    s.txn <- None
+
+let with_transaction s f =
+  p_begin s;
+  match f () with
+  | v ->
+    p_commit s;
+    v
+  | exception e ->
+    if in_transaction s then p_abort s;
+    raise e
+
+(* ---------- attribute access with session-pending overlay ---------- *)
+
+let session_att s txn ~oid =
+  match Hashtbl.find_opt s.pending_att oid with
+  | Some att -> Some att
+  | None -> Fileatt.get s.owner_fs.fileatt (Txn.snapshot txn) ~file:oid
+
+let stage_att s txn att =
+  match s.txn with
+  | Some _ -> Hashtbl.replace s.pending_att att.Fileatt.file att
+  | None -> Fileatt.set s.owner_fs.fileatt txn att
+
+let internal_att t s ~oid =
+  match Hashtbl.find_opt s.pending_att oid with
+  | Some att -> Some att
+  | None ->
+    let snap =
+      match s.txn with
+      | Some txn -> Txn.snapshot txn
+      | None -> Snapshot.As_of (Db.now t.db)
+    in
+    Fileatt.get t.fileatt snap ~file:oid
+
+(* ---------- path resolution ---------- *)
+
+let split_path path =
+  if String.length path = 0 || path.[0] <> '/' then
+    Errors.fail Errors.EINVAL "path must be absolute: %S" path;
+  String.split_on_char '/' path
+  |> List.filter (fun c -> c <> "")
+  |> List.map (fun c ->
+         if c = "." || c = ".." then
+           Errors.fail Errors.EINVAL "path component %S not supported" c
+         else c)
+
+let is_dir (att : Fileatt.att) = String.equal att.ftype directory_type
+
+let att_of t snap oid =
+  match Fileatt.get t.fileatt snap ~file:oid with
+  | Some att -> att
+  | None -> Errors.fail Errors.ENOENT "dangling oid %Ld" oid
+
+(* Walk to the oid of the directory containing the last component;
+   returns (parent oid, basename).  "/" itself has no parent. *)
+let resolve_parent t snap path =
+  match List.rev (split_path path) with
+  | [] -> Errors.fail Errors.EINVAL "path %S has no basename" path
+  | base :: rev_dirs ->
+    let walk parent comp =
+      match Naming.lookup t.naming snap ~parentid:parent ~name:comp with
+      | None -> Errors.fail Errors.ENOENT "%s (component %s)" path comp
+      | Some e ->
+        if not (is_dir (att_of t snap e.Naming.file)) then
+          Errors.fail Errors.ENOTDIR "%s (component %s)" path comp
+        else e.Naming.file
+    in
+    (List.fold_left walk t.root_oid (List.rev rev_dirs), base)
+
+let resolve_entry t snap path =
+  match split_path path with
+  | [] -> None (* "/" the root *)
+  | _ ->
+    let parent, base = resolve_parent t snap path in
+    Naming.lookup t.naming snap ~parentid:parent ~name:base
+
+let resolve_oid t snap path =
+  match resolve_entry t snap path with
+  | None -> if split_path path = [] then Some t.root_oid else None
+  | Some e -> Some e.Naming.file
+
+(* ---------- construction ---------- *)
+
+let now_ts t = Db.now t.db
+
+let get_inv t snap oid =
+  match Hashtbl.find_opt t.files oid with
+  | Some inv -> Some inv
+  | None -> (
+    match Fileatt.get t.fileatt snap ~file:oid with
+    | Some att when not (is_dir att) ->
+      let inv =
+        Inv_file.attach t.db ~oid ~index_segid:att.Fileatt.index_segid
+          ~compressed:att.Fileatt.compressed
+      in
+      Hashtbl.replace t.files oid inv;
+      Some inv
+    | Some _ | None -> None)
+
+let file_handle t ~oid =
+  match Hashtbl.find_opt t.files oid with
+  | Some inv -> Some inv
+  | None -> get_inv t (Snapshot.As_of (now_ts t)) oid
+
+let read_file_at t snap ~oid =
+  match get_inv t snap oid with
+  | None -> Bytes.create 0
+  | Some inv ->
+    let att =
+      match Fileatt.get t.fileatt snap ~file:oid with
+      | Some a -> a
+      | None -> Errors.fail Errors.ENOENT "no attributes for oid %Ld" oid
+    in
+    let size = Int64.to_int att.Fileatt.size in
+    let out = Bytes.make size '\000' in
+    let cap = chunk_capacity in
+    let nchunks = (size + cap - 1) / cap in
+    for c = 0 to nchunks - 1 do
+      match Inv_file.read_chunk inv snap ~chunkno:(Int64.of_int c) with
+      | Some data ->
+        let off = c * cap in
+        let len = min (Bytes.length data) (size - off) in
+        Bytes.blit data 0 out off len
+      | None -> ()
+    done;
+    out
+
+let read_file_snapshot t snap path =
+  match resolve_oid t snap path with
+  | Some oid -> Some (read_file_at t snap ~oid)
+  | None -> None
+  | exception Errors.Fs_error ((Errors.ENOENT | Errors.ENOTDIR), _) ->
+    None (* an intermediate directory did not exist at that moment *)
+
+let file_type_at t snap oid =
+  Option.map (fun a -> a.Fileatt.ftype) (Fileatt.get t.fileatt snap ~file:oid)
+
+let iter_files t snap f =
+  Naming.iter_all t.naming snap (fun entry ->
+      match Fileatt.get t.fileatt snap ~file:entry.Naming.file with
+      | Some att -> f entry att
+      | None -> ())
+
+let rec path_of_oid_snap t snap oid =
+  if Int64.equal oid t.root_oid then Some "/"
+  else
+    match Naming.by_oid t.naming snap ~file:oid with
+    | None -> None
+    | Some e -> (
+      match path_of_oid_snap t snap e.Naming.parentid with
+      | Some "/" -> Some ("/" ^ e.Naming.name)
+      | Some parent -> Some (parent ^ "/" ^ e.Naming.name)
+      | None -> None)
+
+(* Months of the simulated calendar: the clock starts at the Sequoia-era
+   epoch 1993-01-01T00:00Z (not a leap year). *)
+let month_names =
+  [| "January"; "February"; "March"; "April"; "May"; "June"; "July"; "August";
+     "September"; "October"; "November"; "December" |]
+
+let month_lengths = [| 31; 28; 31; 30; 31; 30; 31; 31; 30; 31; 30; 31 |]
+
+let month_of_timestamp us =
+  let day = Int64.to_int (Int64.div us 86_400_000_000L) mod 365 in
+  let rec pick m acc = if day < acc + month_lengths.(m) then m else pick (m + 1) (acc + month_lengths.(m)) in
+  month_names.(pick 0 0)
+
+let register_function t ~name ?file_type ?arity f =
+  let impl args = f { qfs = t; snapshot = t.qsnap } args in
+  Postquel.Registry.register t.registry ~name ?file_type ?arity impl
+
+let builtin_att_fn t extract ctx args =
+  match args with
+  | [ Value.Int oid ] -> (
+    match Fileatt.get t.fileatt ctx.snapshot ~file:oid with
+    | Some att -> extract att
+    | None -> Value.Null)
+  | _ -> Value.Null
+
+let register_builtins t =
+  let reg name extract =
+    register_function t ~name ~arity:1 (fun ctx args -> builtin_att_fn t extract ctx args)
+  in
+  reg "owner" (fun a -> Value.Str a.Fileatt.owner);
+  reg "filetype" (fun a -> Value.Str a.Fileatt.ftype);
+  reg "size" (fun a -> Value.Int a.Fileatt.size);
+  reg "ctime" (fun a -> Value.Int a.Fileatt.ctime);
+  reg "mtime" (fun a -> Value.Int a.Fileatt.mtime);
+  reg "atime" (fun a -> Value.Int a.Fileatt.atime);
+  reg "month_of" (fun a -> Value.Str (month_of_timestamp a.Fileatt.mtime));
+  register_function t ~name:"name" ~arity:1 (fun ctx args ->
+      match args with
+      | [ Value.Int oid ] -> (
+        match Naming.by_oid t.naming ctx.snapshot ~file:oid with
+        | Some e -> Value.Str e.Naming.name
+        | None -> Value.Null)
+      | _ -> Value.Null);
+  register_function t ~name:"dir" ~arity:1 (fun ctx args ->
+      match args with
+      | [ Value.Int oid ] -> (
+        match Naming.by_oid t.naming ctx.snapshot ~file:oid with
+        | Some e -> (
+          match path_of_oid_snap t ctx.snapshot e.Naming.parentid with
+          | Some p -> Value.Str p
+          | None -> Value.Null)
+        | None -> Value.Null)
+      | _ -> Value.Null)
+
+let make db ?default_device ?(atime = false) () =
+  let naming = Naming.create db () in
+  let fileatt = Fileatt.create db () in
+  let registry = Postquel.Registry.create () in
+  let root_oid = Db.allocate_oid db in
+  let t =
+    {
+      db;
+      naming;
+      fileatt;
+      registry;
+      root_oid;
+      default_device;
+      atime_enabled = atime;
+      files = Hashtbl.create 64;
+      qsnap = Snapshot.As_of 0L;
+    }
+  in
+  Postquel.Registry.define_type registry directory_type;
+  Db.with_txn db (fun txn ->
+      ignore
+        (Naming.insert naming txn ~parentid:Naming.root_parent ~file:root_oid ~name:"/"
+          : Naming.entry);
+      Fileatt.insert fileatt txn
+        {
+          Fileatt.file = root_oid;
+          size = 0L;
+          owner = "root";
+          ftype = directory_type;
+          device = "";
+          index_segid = -1;
+          compressed = false;
+          ctime = now_ts t;
+          mtime = now_ts t;
+          atime = now_ts t;
+        });
+  register_builtins t;
+  t
+
+let define_type t name = Postquel.Registry.define_type t.registry name
+
+(* ---------- sessions ---------- *)
+
+let new_session t =
+  {
+    owner_fs = t;
+    fds = Hashtbl.create 16;
+    next_fd = 3;
+    txn = None;
+    pending_att = Hashtbl.create 8;
+  }
+
+let alloc_fd s of_ =
+  let fd = s.next_fd in
+  s.next_fd <- fd + 1;
+  Hashtbl.replace s.fds fd of_;
+  fd
+
+let find_fd s fd =
+  match Hashtbl.find_opt s.fds fd with
+  | Some of_ -> of_
+  | None -> Errors.fail Errors.EBADF "fd %d not open" fd
+
+(* ---------- data path ---------- *)
+
+let require_inv of_ =
+  match of_.inv with
+  | Some inv -> inv
+  | None -> Errors.fail Errors.EBADF "file storage unavailable"
+
+(* Write [data] at [offset], chunk by chunk (read-modify-write at the
+   edges), and stage the size/mtime update. *)
+let write_at s txn of_ ~offset data =
+  let t = s.owner_fs in
+  let inv = require_inv of_ in
+  let len = Bytes.length data in
+  if len > 0 then begin
+    if Int64.add offset (Int64.of_int len) > max_file_size then
+      Errors.fail Errors.EINVAL "write past the 17.6 TB limit";
+    let cap = Int64.of_int chunk_capacity in
+    let att =
+      match session_att s txn ~oid:of_.oid with
+      | Some a -> a
+      | None -> Errors.fail Errors.ENOENT "file oid %Ld has no attributes" of_.oid
+    in
+    let snap = Txn.snapshot txn in
+    let first = Int64.div offset cap in
+    let last = Int64.div (Int64.add offset (Int64.of_int (len - 1))) cap in
+    let c = ref first in
+    while Int64.compare !c last <= 0 do
+      let chunk_start = Int64.mul !c cap in
+      let lo = max offset chunk_start in
+      let hi = min (Int64.add offset (Int64.of_int len)) (Int64.add chunk_start cap) in
+      let in_chunk_off = Int64.to_int (Int64.sub lo chunk_start) in
+      let slice_len = Int64.to_int (Int64.sub hi lo) in
+      let src_off = Int64.to_int (Int64.sub lo offset) in
+      let payload =
+        if in_chunk_off = 0 && slice_len = chunk_capacity then Bytes.sub data src_off slice_len
+        else begin
+          let existing =
+            match Inv_file.read_chunk inv snap ~chunkno:!c with
+            | Some d -> d
+            | None -> Bytes.create 0
+          in
+          let need = max (Bytes.length existing) (in_chunk_off + slice_len) in
+          let buf = Bytes.make need '\000' in
+          Bytes.blit existing 0 buf 0 (Bytes.length existing);
+          Bytes.blit data src_off buf in_chunk_off slice_len;
+          buf
+        end
+      in
+      Inv_file.write_chunk inv txn ~chunkno:!c payload;
+      c := Int64.add !c 1L
+    done;
+    let new_size = max att.Fileatt.size (Int64.add offset (Int64.of_int len)) in
+    stage_att s txn { att with Fileatt.size = new_size; mtime = now_ts t }
+  end
+
+let flush_pending s txn of_ =
+  match of_.pending with
+  | None -> ()
+  | Some p ->
+    of_.pending <- None;
+    write_at s txn of_ ~offset:p.pstart (Buffer.to_bytes p.pbuf)
+
+let () = flush_pending_ref := flush_pending
+
+let read_at t snap inv ~size ~pos buf len =
+  let avail = Int64.sub size pos in
+  let n = min (Int64.of_int len) (max 0L avail) in
+  let n = Int64.to_int n in
+  if n > 0 then begin
+    Bytes.fill buf 0 n '\000';
+    let cap = Int64.of_int chunk_capacity in
+    let first = Int64.div pos cap in
+    let last = Int64.div (Int64.add pos (Int64.of_int (n - 1))) cap in
+    let c = ref first in
+    while Int64.compare !c last <= 0 do
+      let chunk_start = Int64.mul !c cap in
+      (match Inv_file.read_chunk inv snap ~chunkno:!c with
+      | Some data ->
+        let lo = max pos chunk_start in
+        let hi =
+          min (Int64.add pos (Int64.of_int n)) (Int64.add chunk_start cap)
+        in
+        let in_chunk = Int64.to_int (Int64.sub lo chunk_start) in
+        let want = Int64.to_int (Int64.sub hi lo) in
+        let have = max 0 (min want (Bytes.length data - in_chunk)) in
+        if have > 0 then
+          Bytes.blit data in_chunk buf (Int64.to_int (Int64.sub lo pos)) have
+      | None -> () (* sparse: already zeroed *));
+      c := Int64.add !c 1L
+    done
+  end;
+  ignore t;
+  n
+
+(* ---------- the p_* interface ---------- *)
+
+let default_device_name t =
+  match t.default_device with
+  | Some d -> d
+  | None -> Pagestore.Device.name (Pagestore.Switch.default_device (Db.switch t.db))
+
+let p_creat s ?device ?(ftype = "unknown") ?(owner = "user") ?(compressed = false) path =
+  let t = s.owner_fs in
+  let oid =
+    with_op s (fun txn ->
+        let snap = Txn.snapshot txn in
+        let parent, base = resolve_parent t snap path in
+        (match Naming.lookup t.naming snap ~parentid:parent ~name:base with
+        | Some _ -> Errors.fail Errors.EEXIST "%s" path
+        | None -> ());
+        let oid = Db.allocate_oid t.db in
+        let device = match device with Some d -> d | None -> default_device_name t in
+        if Pagestore.Switch.find_opt (Db.switch t.db) device = None then
+          Errors.fail Errors.EINVAL "no device named %s on the switch" device;
+        let inv = Inv_file.create t.db ~oid ~device ~compressed in
+        Hashtbl.replace t.files oid inv;
+        ignore (Naming.insert t.naming txn ~parentid:parent ~file:oid ~name:base : Naming.entry);
+        Fileatt.insert t.fileatt txn
+          {
+            Fileatt.file = oid;
+            size = 0L;
+            owner;
+            ftype;
+            device;
+            index_segid = Inv_file.index_segid inv;
+            compressed;
+            ctime = now_ts t;
+            mtime = now_ts t;
+            atime = now_ts t;
+          };
+        oid)
+  in
+  let inv = Hashtbl.find t.files oid in
+  alloc_fd s { oid; inv = Some inv; mode = Rdwr; hist = None; pos = 0L; pending = None }
+
+let p_open s ?timestamp path mode =
+  let t = s.owner_fs in
+  (match (timestamp, mode) with
+  | Some _, Rdwr -> Errors.fail Errors.EROFS "historical files may not be opened for writing"
+  | _ -> ());
+  let snap =
+    match (timestamp, s.txn) with
+    | Some ts, _ -> Snapshot.As_of ts
+    | None, Some txn -> Txn.snapshot txn (* own uncommitted creates are visible *)
+    | None, None -> Snapshot.As_of (now_ts t)
+  in
+  let oid =
+    match resolve_oid t snap path with
+    | Some oid -> oid
+    | None -> Errors.fail Errors.ENOENT "%s" path
+  in
+  let att = att_of t snap oid in
+  if is_dir att then Errors.fail Errors.EISDIR "%s" path;
+  let inv = get_inv t snap oid in
+  alloc_fd s { oid; inv; mode; hist = timestamp; pos = 0L; pending = None }
+
+let p_close s fd =
+  let of_ = find_fd s fd in
+  if of_.pending <> None then with_op s (fun txn -> flush_pending s txn of_);
+  Hashtbl.remove s.fds fd
+
+let maybe_touch_atime s txn of_ =
+  let t = s.owner_fs in
+  if t.atime_enabled then
+    match session_att s txn ~oid:of_.oid with
+    | Some att -> stage_att s txn { att with Fileatt.atime = now_ts t }
+    | None -> ()
+
+let p_read s fd buf len =
+  let t = s.owner_fs in
+  let of_ = find_fd s fd in
+  if len < 0 || len > Bytes.length buf then Errors.fail Errors.EINVAL "bad length %d" len;
+  let inv = require_inv of_ in
+  let n =
+    match of_.hist with
+    | Some ts ->
+      let snap = Snapshot.As_of ts in
+      let att = att_of t snap of_.oid in
+      read_at t snap inv ~size:att.Fileatt.size ~pos:of_.pos buf len
+    | None ->
+      with_op s (fun txn ->
+          flush_pending s txn of_;
+          Relstore.Heap.read_lock (Inv_file.heap inv) txn;
+          let att =
+            match session_att s txn ~oid:of_.oid with
+            | Some a -> a
+            | None -> Errors.fail Errors.ENOENT "file oid %Ld vanished" of_.oid
+          in
+          let n = read_at t (Txn.snapshot txn) inv ~size:att.Fileatt.size ~pos:of_.pos buf len in
+          maybe_touch_atime s txn of_;
+          n)
+  in
+  of_.pos <- Int64.add of_.pos (Int64.of_int n);
+  n
+
+let p_write s fd buf len =
+  let of_ = find_fd s fd in
+  if of_.hist <> None then Errors.fail Errors.EROFS "historical open";
+  if of_.mode <> Rdwr then Errors.fail Errors.EROFS "fd %d is read-only" fd;
+  if len < 0 || len > Bytes.length buf then Errors.fail Errors.EINVAL "bad length %d" len;
+  let data = Bytes.sub buf 0 len in
+  (match s.txn with
+  | None ->
+    (* auto-commit: each write is its own transaction, nothing coalesces *)
+    with_op s (fun txn -> write_at s txn of_ ~offset:of_.pos data)
+  | Some txn ->
+    (* coalesce sequential writes within the transaction *)
+    let appended =
+      match of_.pending with
+      | Some p
+        when Int64.add p.pstart (Int64.of_int (Buffer.length p.pbuf)) = of_.pos
+             && Buffer.length p.pbuf < chunk_capacity ->
+        Buffer.add_bytes p.pbuf data;
+        true
+      | _ -> false
+    in
+    if not appended then begin
+      translate_locks (fun () -> flush_pending s txn of_);
+      let p = { pstart = of_.pos; pbuf = Buffer.create (min len chunk_capacity) } in
+      Buffer.add_bytes p.pbuf data;
+      of_.pending <- Some p
+    end;
+    (match of_.pending with
+    | Some p when Buffer.length p.pbuf >= chunk_capacity ->
+      translate_locks (fun () -> flush_pending s txn of_)
+    | _ -> ()));
+  of_.pos <- Int64.add of_.pos (Int64.of_int len);
+  len
+
+let ftruncate s fd new_size =
+  let t = s.owner_fs in
+  let of_ = find_fd s fd in
+  if of_.hist <> None then Errors.fail Errors.EROFS "historical open";
+  if of_.mode <> Rdwr then Errors.fail Errors.EROFS "fd %d is read-only" fd;
+  if Int64.compare new_size 0L < 0 then Errors.fail Errors.EINVAL "negative length";
+  with_op s (fun txn ->
+      flush_pending s txn of_;
+      let inv = require_inv of_ in
+      let att =
+        match session_att s txn ~oid:of_.oid with
+        | Some a -> a
+        | None -> Errors.fail Errors.ENOENT "file oid %Ld vanished" of_.oid
+      in
+      if Int64.compare new_size att.Fileatt.size < 0 then begin
+        let cap = Int64.of_int chunk_capacity in
+        let boundary = Int64.div new_size cap in
+        let keep = Int64.to_int (Int64.rem new_size cap) in
+        (* trim the boundary chunk, drop everything after it *)
+        (match Inv_file.read_chunk inv (Txn.snapshot txn) ~chunkno:boundary with
+        | Some data when Bytes.length data > keep ->
+          Inv_file.delete_chunks_from inv txn ~chunkno:boundary;
+          if keep > 0 then
+            Inv_file.write_chunk inv txn ~chunkno:boundary (Bytes.sub data 0 keep)
+        | Some _ | None ->
+          Inv_file.delete_chunks_from inv txn ~chunkno:(Int64.add boundary 1L))
+      end;
+      stage_att s txn { att with Fileatt.size = new_size; mtime = now_ts t })
+
+let file_size_now s of_ =
+  let t = s.owner_fs in
+  match of_.hist with
+  | Some ts -> (att_of t (Snapshot.As_of ts) of_.oid).Fileatt.size
+  | None ->
+    with_op s (fun txn ->
+        match session_att s txn ~oid:of_.oid with
+        | Some a -> a.Fileatt.size
+        | None -> 0L)
+
+let p_lseek s fd offset whence =
+  let of_ = find_fd s fd in
+  if of_.pending <> None then
+    (match s.txn with
+    | Some txn -> translate_locks (fun () -> flush_pending s txn of_)
+    | None -> ());
+  let base =
+    match whence with
+    | Seek_set -> 0L
+    | Seek_cur -> of_.pos
+    | Seek_end -> file_size_now s of_
+  in
+  let target = Int64.add base offset in
+  if Int64.compare target 0L < 0 then Errors.fail Errors.EINVAL "negative seek";
+  of_.pos <- target;
+  target
+
+let p_tell s fd = (find_fd s fd).pos
+let fd_oid s fd = (find_fd s fd).oid
+
+(* ---------- namespace operations ---------- *)
+
+let snapshot_for s timestamp =
+  match timestamp with
+  | Some ts -> Snapshot.As_of ts
+  | None -> (
+    match s.txn with
+    | Some txn -> Txn.snapshot txn
+    | None -> Snapshot.As_of (now_ts s.owner_fs))
+
+let mkdir s ?(owner = "user") path =
+  let t = s.owner_fs in
+  with_op s (fun txn ->
+      let snap = Txn.snapshot txn in
+      let parent, base = resolve_parent t snap path in
+      (match Naming.lookup t.naming snap ~parentid:parent ~name:base with
+      | Some _ -> Errors.fail Errors.EEXIST "%s" path
+      | None -> ());
+      let oid = Db.allocate_oid t.db in
+      ignore (Naming.insert t.naming txn ~parentid:parent ~file:oid ~name:base : Naming.entry);
+      Fileatt.insert t.fileatt txn
+        {
+          Fileatt.file = oid;
+          size = 0L;
+          owner;
+          ftype = directory_type;
+          device = "";
+          index_segid = -1;
+          compressed = false;
+          ctime = now_ts t;
+          mtime = now_ts t;
+          atime = now_ts t;
+        })
+
+let readdir s ?timestamp path =
+  let t = s.owner_fs in
+  let snap = snapshot_for s timestamp in
+  match resolve_oid t snap path with
+  | None -> Errors.fail Errors.ENOENT "%s" path
+  | Some oid ->
+    if not (is_dir (att_of t snap oid)) then Errors.fail Errors.ENOTDIR "%s" path;
+    List.map (fun e -> e.Naming.name) (Naming.list_dir t.naming snap ~parentid:oid)
+
+let stat s ?timestamp path =
+  let t = s.owner_fs in
+  let snap = snapshot_for s timestamp in
+  match resolve_oid t snap path with
+  | None -> Errors.fail Errors.ENOENT "%s" path
+  | Some oid -> (
+    match (timestamp, s.txn) with
+    | None, Some _ -> (
+      match Hashtbl.find_opt s.pending_att oid with
+      | Some att -> att
+      | None -> att_of t snap oid)
+    | _ -> att_of t snap oid)
+
+let exists s ?timestamp path =
+  let t = s.owner_fs in
+  let snap = snapshot_for s timestamp in
+  match resolve_oid t snap path with Some _ -> true | None -> false
+
+let lookup_oid s ?timestamp path =
+  let t = s.owner_fs in
+  let snap = snapshot_for s timestamp in
+  match resolve_oid t snap path with
+  | Some oid -> oid
+  | None -> Errors.fail Errors.ENOENT "%s" path
+
+let resolve_oid_opt s ?timestamp path =
+  resolve_oid s.owner_fs (snapshot_for s timestamp) path
+
+let path_of_oid s ?timestamp oid =
+  path_of_oid_snap s.owner_fs (snapshot_for s timestamp) oid
+
+let unlink s path =
+  let t = s.owner_fs in
+  with_op s (fun txn ->
+      let snap = Txn.snapshot txn in
+      match resolve_entry t snap path with
+      | None -> Errors.fail Errors.ENOENT "%s" path
+      | Some e ->
+        if is_dir (att_of t snap e.Naming.file) then Errors.fail Errors.EISDIR "%s" path;
+        Naming.remove t.naming txn e;
+        Fileatt.remove t.fileatt txn ~file:e.Naming.file;
+        Hashtbl.remove s.pending_att e.Naming.file)
+
+let rmdir s path =
+  let t = s.owner_fs in
+  with_op s (fun txn ->
+      let snap = Txn.snapshot txn in
+      match resolve_entry t snap path with
+      | None -> Errors.fail Errors.ENOENT "%s" path
+      | Some e ->
+        if not (is_dir (att_of t snap e.Naming.file)) then
+          Errors.fail Errors.ENOTDIR "%s" path;
+        if Naming.list_dir t.naming snap ~parentid:e.Naming.file <> [] then
+          Errors.fail Errors.ENOTEMPTY "%s" path;
+        Naming.remove t.naming txn e;
+        Fileatt.remove t.fileatt txn ~file:e.Naming.file)
+
+let rename s src dst =
+  let t = s.owner_fs in
+  with_op s (fun txn ->
+      let snap = Txn.snapshot txn in
+      match resolve_entry t snap src with
+      | None -> Errors.fail Errors.ENOENT "%s" src
+      | Some e ->
+        let dparent, dbase = resolve_parent t snap dst in
+        (match Naming.lookup t.naming snap ~parentid:dparent ~name:dbase with
+        | Some _ -> Errors.fail Errors.EEXIST "%s" dst
+        | None -> ());
+        Naming.remove t.naming txn e;
+        ignore
+          (Naming.insert t.naming txn ~parentid:dparent ~file:e.Naming.file ~name:dbase
+            : Naming.entry))
+
+let set_att_field s path f =
+  let t = s.owner_fs in
+  with_op s (fun txn ->
+      let snap = Txn.snapshot txn in
+      match resolve_oid t snap path with
+      | None -> Errors.fail Errors.ENOENT "%s" path
+      | Some oid -> (
+        match session_att s txn ~oid with
+        | Some att -> stage_att s txn (f att)
+        | None -> Errors.fail Errors.ENOENT "%s" path))
+
+let set_owner s path owner = set_att_field s path (fun a -> { a with Fileatt.owner })
+
+let set_type s path ftype =
+  if not (Postquel.Registry.type_exists s.owner_fs.registry ftype) then
+    Errors.fail Errors.EINVAL "type %s not defined" ftype;
+  set_att_field s path (fun a -> { a with Fileatt.ftype })
+
+(* ---------- queries ---------- *)
+
+let query s ?timestamp text =
+  let t = s.owner_fs in
+  match Postquel.Parser.parse_statement text with
+  | Postquel.Ast.Define_type name ->
+    define_type t name;
+    []
+  | Postquel.Ast.Retrieve { targets; where } ->
+    let snap = snapshot_for s timestamp in
+    t.qsnap <- snap;
+    let rows = ref [] in
+    (* System files (stored functions, large objects) live in
+       dot-directories and stay out of user queries, like catalogs. *)
+    let hidden (entry : Naming.entry) =
+      (String.length entry.Naming.name > 0 && entry.Naming.name.[0] = '.')
+      ||
+      match Naming.by_oid t.naming snap ~file:entry.Naming.parentid with
+      | Some parent -> String.length parent.Naming.name > 0 && parent.Naming.name.[0] = '.'
+      | None -> false
+    in
+    let run_row (entry : Naming.entry) (att : Fileatt.att) =
+      if (not (Int64.equal entry.Naming.file t.root_oid)) && not (hidden entry) then begin
+        let lookup = function
+          | "file" -> Some (Value.Int entry.Naming.file)
+          | "filename" -> Some (Value.Str entry.Naming.name)
+          | _ -> None
+        in
+        let type_of = function
+          | Value.Int oid when Int64.equal oid entry.Naming.file -> Some att.Fileatt.ftype
+          | Value.Int oid ->
+            Option.map (fun a -> a.Fileatt.ftype) (Fileatt.get t.fileatt snap ~file:oid)
+          | _ -> None
+        in
+        let env = { Postquel.Eval.lookup; type_of } in
+        if Postquel.Eval.eval_predicate t.registry env where then
+          rows := List.map (Postquel.Eval.eval t.registry env) targets :: !rows
+      end
+    in
+    iter_files t snap run_row;
+    List.rev !rows
+
+let with_query_snapshot t snap f =
+  let saved = t.qsnap in
+  t.qsnap <- snap;
+  Fun.protect ~finally:(fun () -> t.qsnap <- saved) f
+
+(* ---------- maintenance ---------- *)
+
+let crash t = Db.crash t.db
+
+let vacuum_file t ~oid ?horizon ~mode () =
+  match file_handle t ~oid with
+  | None -> Errors.fail Errors.ENOENT "no file with oid %Ld" oid
+  | Some inv ->
+    Db.vacuum t.db ~relation:(Inv_file.relname oid) ?horizon ~mode
+      ~on_remove:(Inv_file.index_maintenance_on_vacuum inv) ()
+
+let migrate_file t ~oid ~device =
+  match file_handle t ~oid with
+  | None -> Errors.fail Errors.ENOENT "no file with oid %Ld" oid
+  | Some old_inv ->
+    if String.equal (Inv_file.device_name old_inv) device then ()
+    else begin
+      let tmp_name = Inv_file.relname oid ^ ".migrating" in
+      let dst =
+        Inv_file.create_named t.db ~oid ~relname:tmp_name ~device
+          ~compressed:(Inv_file.is_compressed old_inv)
+      in
+      Inv_file.copy_all_versions_to old_inv dst;
+      Inv_file.drop old_inv;
+      Db.rename_relation t.db ~old_name:tmp_name ~new_name:(Inv_file.relname oid);
+      Hashtbl.replace t.files oid dst;
+      Db.with_txn t.db (fun txn ->
+          match Fileatt.get t.fileatt (Txn.snapshot txn) ~file:oid with
+          | Some att ->
+            Fileatt.set t.fileatt txn
+              { att with Fileatt.device; index_segid = Inv_file.index_segid dst }
+          | None -> ())
+    end
+
+let vacuum_catalogs t ?horizon ~mode () =
+  let s1 =
+    Db.vacuum t.db ~relation:"naming" ?horizon ~mode
+      ~on_remove:(Naming.index_maintenance_on_vacuum t.naming) ()
+  in
+  let s2 =
+    Db.vacuum t.db ~relation:"fileatt" ?horizon ~mode
+      ~on_remove:(Fileatt.index_maintenance_on_vacuum t.fileatt) ()
+  in
+  {
+    Relstore.Vacuum.scanned = s1.Relstore.Vacuum.scanned + s2.Relstore.Vacuum.scanned;
+    archived = s1.archived + s2.archived;
+    discarded = s1.discarded + s2.discarded;
+    pages_compacted = s1.pages_compacted + s2.pages_compacted;
+  }
+
+let combine_stats (a : Relstore.Vacuum.stats) (b : Relstore.Vacuum.stats) =
+  {
+    Relstore.Vacuum.scanned = a.Relstore.Vacuum.scanned + b.Relstore.Vacuum.scanned;
+    archived = a.archived + b.archived;
+    discarded = a.discarded + b.discarded;
+    pages_compacted = a.pages_compacted + b.pages_compacted;
+  }
+
+let vacuum_all t ?horizon ~mode () =
+  (* Every inv<oid> relation in the catalog — named or unlinked — then
+     the catalogs themselves.  Archive relations are skipped (they are
+     the destination, not a source). *)
+  let is_file_table name =
+    String.length name > 3
+    && String.sub name 0 3 = "inv"
+    && (not (String.length name > 5 && String.sub name (String.length name - 5) 5 = "_arch"))
+    &&
+    match Int64.of_string_opt (String.sub name 3 (String.length name - 3)) with
+    | Some _ -> true
+    | None -> false
+  in
+  let oid_of name = Int64.of_string (String.sub name 3 (String.length name - 3)) in
+  let stats = ref { Relstore.Vacuum.scanned = 0; archived = 0; discarded = 0; pages_compacted = 0 } in
+  let ensure_handle oid =
+    match file_handle t ~oid with
+    | Some _ -> true
+    | None -> (
+      (* unlinked file: recover the index segment from any historical
+         attribute version *)
+      match Fileatt.find_any t.fileatt ~file:oid with
+      | Some att when att.Fileatt.index_segid >= 0 ->
+        let inv =
+          Inv_file.attach t.db ~oid ~index_segid:att.Fileatt.index_segid
+            ~compressed:att.Fileatt.compressed
+        in
+        Hashtbl.replace t.files oid inv;
+        true
+      | Some _ | None -> false)
+  in
+  List.iter
+    (fun rel ->
+      if is_file_table rel then begin
+        let oid = oid_of rel in
+        if ensure_handle oid then
+          stats := combine_stats !stats (vacuum_file t ~oid ?horizon ~mode ())
+      end)
+    (Db.relations t.db);
+  combine_stats !stats (vacuum_catalogs t ?horizon ~mode ())
+
+(* ---------- convenience ---------- *)
+
+let write_file s path data =
+  let run () =
+    let fd =
+      if exists s path then p_open s path Rdwr else p_creat s path
+    in
+    Fun.protect
+      ~finally:(fun () -> p_close s fd)
+      (fun () ->
+        ignore (p_write s fd data (Bytes.length data) : int);
+        ftruncate s fd (Int64.of_int (Bytes.length data)))
+  in
+  if in_transaction s then run () else with_transaction s run
+
+let read_whole_file s ?timestamp path =
+  let fd = p_open s ?timestamp path Rdonly in
+  Fun.protect
+    ~finally:(fun () -> p_close s fd)
+    (fun () ->
+      let size = Int64.to_int (file_size_now s (find_fd s fd)) in
+      let buf = Bytes.create size in
+      let n = p_read s fd buf size in
+      if n = size then buf else Bytes.sub buf 0 n)

@@ -1,0 +1,249 @@
+(** The Inversion file system.
+
+    The public face of the reproduction: the paper's client library
+    (Figure 2) —
+
+    {v
+    int p_creat(char *path, int mode)
+    int p_open(char *fname, int mode, int timestamp)
+    int p_close(int fd)
+    int p_read(int fd, char *buf, int len)
+    int p_write(int fd, char *buf, int len)
+    int p_lseek(int fd, long off_hi, long off_lo, int whence)
+    p_begin() / p_commit() / p_abort()
+    v}
+
+    — plus the namespace operations, typed files with registered
+    functions, POSTQUEL queries over metadata, time travel, crash
+    recovery, and compression.
+
+    {2 Sessions and transactions}
+
+    A {!session} models one client program linked against the library.
+    "Neither POSTGRES nor Inversion supports nested transactions, so a
+    single application program may only have one transaction active at any
+    time": {!p_begin} with a transaction already open raises
+    [Fs_error (ETXN, _)].  Operations outside an explicit transaction
+    auto-commit individually.
+
+    {2 Time travel}
+
+    [p_open ~timestamp] (µs of simulated time) opens the file as of that
+    instant; historical opens are read-only ([EROFS] on write).  The same
+    timestamp option applies to {!readdir}, {!stat} and {!query}, so the
+    whole file-system state at any past moment is inspectable.
+
+    {2 Write coalescing}
+
+    "Multiple small sequential writes during a single transaction are
+    coalesced to maximize the size of the chunk stored in each database
+    record."  Pending bytes flush on read, seek, close, commit, or when a
+    full chunk accumulates.  Outside an explicit transaction each write
+    stands alone, so nothing coalesces (each op is its own transaction,
+    exactly the NFS-like discipline the paper contrasts against). *)
+
+type t
+type session
+type fd = int
+
+type open_mode = Rdonly | Rdwr
+type whence = Seek_set | Seek_cur | Seek_end
+
+val make : Relstore.Db.t -> ?default_device:string -> ?atime:bool -> unit -> t
+(** Build a file system in the database: creates the [naming] and
+    [fileatt] catalogs and the root directory ["/"], defines the built-in
+    ["directory"] type and registers the built-in query functions
+    ([owner], [size], [filetype], [dir], [ctime], [mtime], [atime],
+    [name]).  [atime] (default false) enables access-time maintenance on
+    reads (an extra metadata version per read transaction).
+    [default_device] is where file tables land when [p_creat] does not
+    say otherwise. *)
+
+val db : t -> Relstore.Db.t
+val clock : t -> Simclock.Clock.t
+val registry : t -> Postquel.Registry.t
+val root_oid : t -> int64
+val chunk_capacity : int
+(** Bytes of file data per chunk (8130). *)
+
+val max_file_size : int64
+(** The paper's 17.6 TB limit (2^31 chunks × chunk capacity is far above
+    it; we enforce the paper's figure). *)
+
+(* {2 Sessions and transactions} *)
+
+val new_session : t -> session
+val fs : session -> t
+
+val p_begin : session -> unit
+val p_commit : session -> unit
+val p_abort : session -> unit
+val in_transaction : session -> bool
+
+val with_transaction : session -> (unit -> 'a) -> 'a
+(** [p_begin], run, [p_commit]; [p_abort] if the function raises. *)
+
+(* {2 The file interface} *)
+
+val p_creat :
+  session ->
+  ?device:string ->
+  ?ftype:string ->
+  ?owner:string ->
+  ?compressed:bool ->
+  string ->
+  fd
+(** Create a file (the [mode] argument of the paper's [p_creat] encoded
+    the target device; ours is a labelled argument) and open it
+    read-write.  [compressed] turns on per-chunk compression.
+    [EEXIST] if the name is taken. *)
+
+val p_open : session -> ?timestamp:int64 -> string -> open_mode -> fd
+(** Open an existing file.  [timestamp] gives a historical, read-only
+    view: "Historical files may not be opened for writing." *)
+
+val p_close : session -> fd -> unit
+val p_read : session -> fd -> bytes -> int -> int
+(** Read up to [len] bytes at the file position into the buffer prefix;
+    returns the count (0 at EOF). *)
+
+val p_write : session -> fd -> bytes -> int -> int
+(** Write the first [len] bytes of the buffer at the file position.
+    Returns [len].  [EROFS] on read-only and historical opens. *)
+
+val p_lseek : session -> fd -> int64 -> whence -> int64
+(** 64-bit seek (the paper splits the offset across two [long]s to reach
+    17.6 TB files; OCaml has [int64]).  Returns the new position. *)
+
+val ftruncate : session -> fd -> int64 -> unit
+(** Set the file length: shrink stamps dead the chunks past the boundary
+    and trims the boundary chunk; grow just extends (sparse).  [EROFS] on
+    read-only/historical opens. *)
+
+val p_tell : session -> fd -> int64
+val fd_oid : session -> fd -> int64
+(** The open file's oid (for registering per-file state in tests). *)
+
+(* {2 Namespace} *)
+
+val mkdir : session -> ?owner:string -> string -> unit
+val readdir : session -> ?timestamp:int64 -> string -> string list
+(** Entry names, sorted. *)
+
+val unlink : session -> string -> unit
+(** Remove a file's name and attributes.  Its data relation is retained,
+    so the file remains reachable by time travel ("allows users to
+    undelete files removed accidentally"); the vacuum cleaner is what
+    eventually reclaims or archives the storage. *)
+
+val rmdir : session -> string -> unit
+(** [ENOTEMPTY] if the directory has entries. *)
+
+val rename : session -> string -> string -> unit
+(** Move/rename within the file system, atomically (it is one transaction
+    over the naming table). *)
+
+val stat : session -> ?timestamp:int64 -> string -> Fileatt.att
+val exists : session -> ?timestamp:int64 -> string -> bool
+val lookup_oid : session -> ?timestamp:int64 -> string -> int64
+
+val resolve_oid_opt : session -> ?timestamp:int64 -> string -> int64 option
+(** Like {!lookup_oid} but [None] instead of [ENOENT]. *)
+
+val path_of_oid : session -> ?timestamp:int64 -> int64 -> string option
+(** Reconstruct an absolute pathname from an oid (the paper's "construct
+    pathnames for particular file identifiers"). *)
+
+val set_owner : session -> string -> string -> unit
+val set_type : session -> string -> string -> unit
+(** Assign a declared file type to a file.  [EINVAL] if the type was
+    never defined. *)
+
+(* {2 Types, functions, queries} *)
+
+type query_ctx = { qfs : t; snapshot : Relstore.Snapshot.t }
+(** Context handed to registered file functions: which file system and
+    which moment in time the enclosing query sees. *)
+
+val define_type : t -> string -> unit
+(** [define type NAME]. *)
+
+val register_function :
+  t ->
+  name:string ->
+  ?file_type:string ->
+  ?arity:int ->
+  (query_ctx -> Postquel.Value.t list -> Postquel.Value.t) ->
+  unit
+(** Register a user function for use in queries — the reproduction of
+    "dynamically loaded into the POSTGRES data manager": the closure runs
+    inside the storage engine with no data copied out. *)
+
+val read_file_at : t -> Relstore.Snapshot.t -> oid:int64 -> bytes
+(** Whole-file contents under a snapshot — the building block for file
+    functions like [keywords] and [snow] (and the single-process
+    benchmark, which runs as registered functions). *)
+
+val read_file_snapshot : t -> Relstore.Snapshot.t -> string -> bytes option
+(** Resolve a path and read the whole file under a snapshot ([None] if
+    absent then).  Used by stored functions, whose {e source} is read
+    under the calling query's snapshot. *)
+
+val file_type_at : t -> Relstore.Snapshot.t -> int64 -> string option
+(** A file's type under a snapshot (typed-function dispatch for nested
+    calls inside stored functions). *)
+
+val query : session -> ?timestamp:int64 -> string -> Postquel.Value.t list list
+(** Run a [retrieve] over every file in the system; each row binds [file]
+    (oid) and [filename].  [define type] statements are also accepted and
+    return no rows. *)
+
+val with_query_snapshot : t -> Relstore.Snapshot.t -> (unit -> 'a) -> 'a
+(** Evaluate [f] with registered functions seeing the given snapshot —
+    for callers (like the migration rules engine) that evaluate query
+    expressions outside {!query}. *)
+
+(* {2 Maintenance} *)
+
+val crash : t -> unit
+(** Crash the machine: buffer cache gone, open transactions rolled back.
+    Sessions created before the crash must be discarded.  Recovery is
+    instantaneous — the next operation just runs. *)
+
+val vacuum_file :
+  t -> oid:int64 -> ?horizon:int64 -> mode:[ `Archive | `Discard ] -> unit -> Relstore.Vacuum.stats
+(** Vacuum one file's chunk table, keeping its chunk index consistent. *)
+
+val migrate_file : t -> oid:int64 -> device:string -> unit
+(** Move a file's storage (all record versions, stamps intact, plus a
+    rebuilt chunk index) to another device and update its attributes.
+    The mechanism under the {!Migrate} rules engine — the paper's
+    "Services Under Investigation" file-migration feature. *)
+
+val vacuum_catalogs :
+  t -> ?horizon:int64 -> mode:[ `Archive | `Discard ] -> unit -> Relstore.Vacuum.stats
+(** Vacuum [naming] and [fileatt] (combined stats). *)
+
+val vacuum_all :
+  t -> ?horizon:int64 -> mode:[ `Archive | `Discard ] -> unit -> Relstore.Vacuum.stats
+(** The vacuum cleaner's full sweep: every file table (including those of
+    unlinked files, whose storage this is what finally reclaims or
+    archives) plus the catalogs.  Combined stats. *)
+
+val write_file : session -> string -> bytes -> unit
+(** Convenience: create-or-truncate and write whole contents in one
+    transaction. *)
+
+val read_whole_file : session -> ?timestamp:int64 -> string -> bytes
+(** Convenience: open, read everything, close. *)
+
+val iter_files : t -> Relstore.Snapshot.t -> (Naming.entry -> Fileatt.att -> unit) -> unit
+(** Every (naming, fileatt) join row visible under the snapshot — the
+    query executor's row source, also used by migration and fsck. *)
+
+val file_handle : t -> oid:int64 -> Inv_file.t option
+(** The open storage handle for a file oid (None for directories). *)
+
+val internal_att : t -> session -> oid:int64 -> Fileatt.att option
+(** Attribute lookup that sees the session's uncommitted metadata (size
+    updates pending in its transaction). *)

@@ -1,0 +1,73 @@
+type problem = { relation : string; detail : string }
+
+type report = {
+  relations_checked : int;
+  files_checked : int;
+  problems : problem list;
+}
+
+let is_clean r = r.problems = []
+
+let report_to_string r =
+  if is_clean r then
+    Printf.sprintf "clean: %d relations, %d files" r.relations_checked r.files_checked
+  else
+    String.concat "\n"
+      (List.map (fun p -> Printf.sprintf "%s: %s" p.relation p.detail) r.problems)
+
+let audit fs =
+  let db = Fs.db fs in
+  let snap = Relstore.Snapshot.As_of (Relstore.Db.now db) in
+  let problems = ref [] in
+  let push relation detail = problems := { relation; detail } :: !problems in
+  (* 1. media-level: every page self-identifies *)
+  let rels = Relstore.Db.relations db in
+  let check_pages name =
+    match Relstore.Heap.verify (Relstore.Db.find_relation db name) with
+    | Ok () -> ()
+    | Error msg -> push name msg
+  in
+  List.iter check_pages rels;
+  (* 2. namespace structure *)
+  let files_checked = ref 0 in
+  Fs.iter_files fs snap (fun entry att ->
+      incr files_checked;
+      let oid = entry.Naming.file in
+      if not (Int64.equal att.Fileatt.file oid) then
+        push "fileatt" (Printf.sprintf "oid %Ld attribute record names %Ld" oid att.Fileatt.file);
+      (* parent must exist and be a directory *)
+      if not (Int64.equal oid (Fs.root_oid fs)) then begin
+        let parent = entry.Naming.parentid in
+        if Int64.equal parent Naming.root_parent && not (String.equal entry.Naming.name "/")
+        then push "naming" (Printf.sprintf "%s claims the root pseudo-parent" entry.Naming.name)
+      end;
+      (* data relation exists and sizes are consistent *)
+      if att.Fileatt.index_segid >= 0 then begin
+        let relname = Inv_file.relname oid in
+        if not (Relstore.Db.relation_exists db relname) then
+          push relname "data relation missing"
+        else
+          match Fs.file_handle fs ~oid with
+          | None -> push relname "cannot attach storage handle"
+          | Some inv ->
+            let max_seen = ref (-1L) and total = ref 0L in
+            Inv_file.iter_chunks inv snap (fun chunkno data ->
+                if Int64.compare chunkno !max_seen > 0 then max_seen := chunkno;
+                total := Int64.add !total (Int64.of_int (Bytes.length data)));
+            let cap = Int64.of_int Chunk.capacity in
+            let min_size =
+              if Int64.compare !max_seen 0L < 0 then 0L else Int64.mul !max_seen cap
+            in
+            let max_size = Int64.mul (Int64.add !max_seen 1L) cap in
+            if Int64.compare att.Fileatt.size min_size < 0 then
+              push relname
+                (Printf.sprintf "size %Ld below chunk floor %Ld" att.Fileatt.size min_size);
+            if Int64.compare att.Fileatt.size max_size > 0 then
+              push relname
+                (Printf.sprintf "size %Ld above chunk ceiling %Ld" att.Fileatt.size max_size)
+      end);
+  {
+    relations_checked = List.length rels;
+    files_checked = !files_checked;
+    problems = List.rev !problems;
+  }

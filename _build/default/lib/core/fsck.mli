@@ -1,0 +1,28 @@
+(** The consistency checker that never has to run.
+
+    "No file system consistency checker needs to run on the Inversion file
+    system after a crash since recovery is managed by the POSTGRES storage
+    manager."  This module exists to {e demonstrate} that: tests crash the
+    system mid-transaction and then assert a full audit passes with no
+    repair phase.  It also covers the one case recovery cannot —
+    physically damaged media — via the self-identifying block checks the
+    paper reserves space for.
+
+    Checks: page self-identification (relid/blkno/CRC) on every relation;
+    every namespace entry joins to an attribute record; parents are
+    directories; no orphaned attribute records for named files; file sizes
+    are consistent with their stored chunks. *)
+
+type problem = { relation : string; detail : string }
+
+type report = {
+  relations_checked : int;
+  files_checked : int;
+  problems : problem list;
+}
+
+val audit : Fs.t -> report
+(** Full structural audit under a current snapshot. *)
+
+val is_clean : report -> bool
+val report_to_string : report -> string

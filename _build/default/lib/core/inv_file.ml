@@ -1,0 +1,172 @@
+module H = Relstore.Heap
+
+type t = {
+  db : Relstore.Db.t;
+  oid : int64;
+  heap : H.t;
+  index : Index.Btree.t;
+  compressed : bool;
+  mutable write_through : bool;
+}
+
+let relname oid = Printf.sprintf "inv%Ld" oid
+
+let create_named db ~oid ~relname ~device ~compressed =
+  let heap = Relstore.Db.create_relation db ~name:relname ~device () in
+  let index =
+    Index.Btree.create ~cache:(Relstore.Db.cache db) ~device:(H.device heap) ~klen:8
+  in
+  { db; oid; heap; index; compressed; write_through = false }
+
+let create db ~oid ~device ~compressed =
+  create_named db ~oid ~relname:(relname oid) ~device ~compressed
+
+let attach db ~oid ~index_segid ~compressed =
+  let heap = Relstore.Db.find_relation db (relname oid) in
+  let index =
+    Index.Btree.attach ~cache:(Relstore.Db.cache db) ~device:(H.device heap)
+      ~segid:index_segid
+  in
+  { db; oid; heap; index; compressed; write_through = false }
+
+let set_write_through t v = t.write_through <- v
+let write_through t = t.write_through
+
+let oid t = t.oid
+let heap t = t.heap
+let index_segid t = Index.Btree.segid t.index
+let device_name t = Pagestore.Device.name (H.device t.heap)
+let is_compressed t = t.compressed
+
+let decode_chunk payload =
+  let c = Chunk.decode payload in
+  if c.Chunk.compressed then begin
+    let data = Compress.decompress c.Chunk.data in
+    if Bytes.length data <> c.Chunk.uncompressed_len then
+      invalid_arg "Inv_file: compressed chunk length mismatch";
+    data
+  end
+  else c.Chunk.data
+
+let historical = function Relstore.Snapshot.As_of _ -> true | _ -> false
+
+(* All indexed versions of a chunk, newest (highest TID) first: the
+   common case — reading or replacing the current version — then finds it
+   on the first probe instead of walking the whole version chain. *)
+let versions_newest_first t ~chunkno =
+  List.rev (Index.Btree.lookup t.index ~key:(Index.Key.of_int64 chunkno))
+
+(* The visible version of a chunk: try the index first (all non-vacuumed
+   versions are indexed); for historical snapshots fall back to scanning
+   the heap + archive when vacuuming removed the version we need. *)
+let find_visible t snap ~chunkno =
+  let via_index =
+    let hit = ref None in
+    (try
+       List.iter
+         (fun v ->
+           match H.fetch t.heap snap (Relstore.Tid.decode v) with
+           | Some r ->
+             hit := Some r.H.payload;
+             raise Exit
+           | None -> ())
+         (versions_newest_first t ~chunkno)
+     with Exit -> ());
+    !hit
+  in
+  match via_index with
+  | Some _ as hit -> hit
+  | None ->
+    if historical snap then begin
+      let hit = ref None in
+      H.scan t.heap snap (fun r ->
+          if (Chunk.decode r.H.payload).Chunk.chunkno = chunkno then
+            hit := Some r.H.payload);
+      !hit
+    end
+    else None
+
+let read_chunk t snap ~chunkno =
+  Option.map decode_chunk (find_visible t snap ~chunkno)
+
+let encode_for_storage t ~chunkno data =
+  let plain = Chunk.make_plain ~chunkno data in
+  if not t.compressed then plain
+  else begin
+    let packed = Compress.compress data in
+    if Bytes.length packed < Bytes.length data then
+      Chunk.make_compressed ~chunkno ~uncompressed_len:(Bytes.length data) packed
+    else plain
+  end
+
+let write_chunk t txn ~chunkno data =
+  if Bytes.length data > Chunk.capacity then
+    invalid_arg "Inv_file.write_chunk: data exceeds chunk capacity";
+  let snap = Relstore.Txn.snapshot txn in
+  (* stamp the currently visible version dead, if any *)
+  (try
+     List.iter
+       (fun v ->
+         let tid = Relstore.Tid.decode v in
+         match H.fetch t.heap snap tid with
+         | Some _ ->
+           H.delete t.heap txn tid;
+           raise Exit
+         | None -> ())
+       (versions_newest_first t ~chunkno)
+   with Exit -> ());
+  let payload = Chunk.encode (encode_for_storage t ~chunkno data) in
+  let tid = H.insert t.heap txn ~oid:t.oid payload in
+  Index.Btree.insert t.index ~key:(Index.Key.of_int64 chunkno)
+    ~value:(Relstore.Tid.encode tid);
+  (* POSTGRES interleaved B-tree page writes with data file writes --
+     the head movement Figure 3 blames for Inversion's slower creates.
+     Benchmarks can ablate this with [set_write_through]. *)
+  if t.write_through then
+    Pagestore.Bufcache.flush_segment (Relstore.Db.cache t.db) (H.device t.heap)
+      ~segid:(Index.Btree.segid t.index)
+
+let delete_chunks_from t txn ~chunkno =
+  let snap = Relstore.Txn.snapshot txn in
+  let doomed = ref [] in
+  Index.Btree.scan_range t.index ~lo:(Index.Key.of_int64 chunkno)
+    ~hi:(Index.Key.max_key ~width:8)
+    (fun _ v ->
+      let tid = Relstore.Tid.decode v in
+      match H.fetch t.heap snap tid with
+      | Some _ -> doomed := tid :: !doomed
+      | None -> ());
+  List.iter (fun tid -> H.delete t.heap txn tid) !doomed
+
+let iter_chunks t snap f =
+  H.scan t.heap snap (fun r ->
+      let c = Chunk.decode r.H.payload in
+      f c.Chunk.chunkno (decode_chunk r.H.payload))
+
+let copy_all_versions_to src dst =
+  H.scan_raw src.heap (fun r ->
+      let c = Chunk.decode r.H.payload in
+      let tid = H.append_raw dst.heap ~oid:r.H.oid ~xmin:r.H.xmin ~xmax:r.H.xmax r.H.payload in
+      Index.Btree.insert dst.index ~key:(Index.Key.of_int64 c.Chunk.chunkno)
+        ~value:(Relstore.Tid.encode tid))
+
+let index_maintenance_on_vacuum t (r : H.record) =
+  let c = Chunk.decode r.H.payload in
+  ignore
+    (Index.Btree.delete t.index ~key:(Index.Key.of_int64 c.Chunk.chunkno)
+       ~value:(Relstore.Tid.encode r.H.tid)
+      : bool)
+
+let drop t =
+  let cache = Relstore.Db.cache t.db in
+  let dev = H.device t.heap in
+  Pagestore.Bufcache.invalidate_segment cache dev ~segid:(Index.Btree.segid t.index);
+  Pagestore.Device.drop_segment dev (Index.Btree.segid t.index);
+  Relstore.Db.drop_relation t.db (relname t.oid)
+
+let stored_bytes t snap =
+  let total = ref 0 in
+  H.scan t.heap snap (fun r ->
+      let c = Chunk.decode r.H.payload in
+      total := !total + Bytes.length c.Chunk.data);
+  !total

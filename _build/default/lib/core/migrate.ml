@@ -1,0 +1,57 @@
+module Value = Postquel.Value
+
+type rule = {
+  rule_name : string;
+  predicate : Postquel.Ast.expr;
+  target_device : string;
+}
+
+type move = { path : string; oid : int64; from_device : string; to_device : string }
+type report = { examined : int; moved : move list }
+
+let rule ~name ~predicate ~target_device =
+  { rule_name = name; predicate = Postquel.Parser.parse_expr predicate; target_device }
+
+let run fs rules =
+  let snap = Relstore.Snapshot.As_of (Relstore.Db.now (Fs.db fs)) in
+  let examined = ref 0 and moved = ref [] in
+  let candidates = ref [] in
+  (* Collect first: migration mutates the relation catalog under us. *)
+  Fs.iter_files fs snap (fun entry att ->
+      if att.Fileatt.index_segid >= 0 then
+        candidates := (entry, att) :: !candidates);
+  let consider ((entry : Naming.entry), (att : Fileatt.att)) =
+    incr examined;
+    let lookup = function
+      | "file" -> Some (Value.Int entry.Naming.file)
+      | "filename" -> Some (Value.Str entry.Naming.name)
+      | _ -> None
+    in
+    let type_of = function Value.Int _ -> Some att.Fileatt.ftype | _ -> None in
+    let env = { Postquel.Eval.lookup; type_of } in
+    let matching =
+      Fs.with_query_snapshot fs snap (fun () ->
+          List.find_opt
+            (fun r -> Value.truthy (Postquel.Eval.eval (Fs.registry fs) env r.predicate))
+            rules)
+    in
+    match matching with
+    | Some r when not (String.equal r.target_device att.Fileatt.device) ->
+      Fs.migrate_file fs ~oid:entry.Naming.file ~device:r.target_device;
+      moved :=
+        {
+          path =
+            (match
+               Fs.path_of_oid (Fs.new_session fs) entry.Naming.file
+             with
+            | Some p -> p
+            | None -> entry.Naming.name);
+          oid = entry.Naming.file;
+          from_device = att.Fileatt.device;
+          to_device = r.target_device;
+        }
+        :: !moved
+    | Some _ | None -> ()
+  in
+  List.iter consider (List.rev !candidates);
+  { examined = !examined; moved = List.rev !moved }

@@ -1,0 +1,31 @@
+(** Rule-driven file migration.
+
+    "Files that meet some selection criteria should be moved from fast,
+    expensive storage like magnetic disk to slower, cheaper storage ...
+    Arbitrarily complex rules controlling the locations of files or groups
+    of files would be declared to the database manager" (paper, "Services
+    Under Investigation").
+
+    A rule pairs a query-language predicate with a target device.  The
+    engine evaluates each file against the rules in order; the first rule
+    that matches and names a device other than the file's current one
+    triggers {!Fs.migrate_file}.  Predicates are ordinary query
+    expressions over [file]/[filename], e.g.
+    [size(file) > 1000000 and filetype(file) = "tm"]. *)
+
+type rule = {
+  rule_name : string;
+  predicate : Postquel.Ast.expr;
+  target_device : string;
+}
+
+type move = { path : string; oid : int64; from_device : string; to_device : string }
+
+type report = { examined : int; moved : move list }
+
+val rule : name:string -> predicate:string -> target_device:string -> rule
+(** Parse the predicate; raises {!Postquel.Parser.Parse_error} on bad
+    syntax and [Invalid_argument] if it is trivially malformed. *)
+
+val run : Fs.t -> rule list -> report
+(** One migration sweep over every file (directories are skipped). *)

@@ -1,0 +1,108 @@
+type t = { fs : Fs.t; session : Fs.session }
+type fh = { oid : int64; asof : int64 option }
+
+let max_transfer = 8192
+
+(* The session never opens a transaction, so every operation through it
+   auto-commits — the per-op atomicity the NFS protocol mandates. *)
+let serve fs = { fs; session = Fs.new_session fs }
+
+let root t = { oid = Fs.root_oid t.fs; asof = None }
+let fh_oid fh = fh.oid
+let fh_timestamp fh = fh.asof
+let fh_equal a b = Int64.equal a.oid b.oid && a.asof = b.asof
+
+let stale fh = Errors.fail Errors.ENOENT "stale file handle for oid %Ld" fh.oid
+
+let path_of t fh =
+  match Fs.path_of_oid t.session ?timestamp:fh.asof fh.oid with
+  | Some p -> p
+  | None -> stale fh
+
+let join dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+(* [name@T]: the 3DFS-style namespace extension for time travel. *)
+let split_timestamp name =
+  match String.rindex_opt name '@' with
+  | None -> (name, None)
+  | Some i -> (
+    let base = String.sub name 0 i in
+    let stamp = String.sub name (i + 1) (String.length name - i - 1) in
+    match Int64.of_string_opt stamp with
+    | Some ts when base <> "" -> (base, Some ts)
+    | Some _ | None -> (name, None))
+
+let lookup t ~dir name =
+  let base, requested_ts = split_timestamp name in
+  (* a historical directory handle keeps its children in the past *)
+  let asof = match requested_ts with Some _ as ts -> ts | None -> dir.asof in
+  let dpath = path_of t dir in
+  match Fs.resolve_oid_opt t.session ?timestamp:asof (join dpath base) with
+  | Some oid -> Some { oid; asof }
+  | None -> None
+
+let getattr t fh =
+  match Fs.path_of_oid t.session ?timestamp:fh.asof fh.oid with
+  | None -> None
+  | Some path -> (
+    try Some (Fs.stat t.session ?timestamp:fh.asof path)
+    with Errors.Fs_error (Errors.ENOENT, _) -> None)
+
+let readdir t fh = Fs.readdir t.session ?timestamp:fh.asof (path_of t fh)
+
+let check_len len =
+  if len < 0 || len > max_transfer then
+    Errors.fail Errors.EINVAL "transfer of %d exceeds the %d-byte NFS limit" len
+      max_transfer
+
+let read t fh ~off ~len =
+  check_len len;
+  let path = path_of t fh in
+  let fd = Fs.p_open t.session ?timestamp:fh.asof path Fs.Rdonly in
+  Fun.protect
+    ~finally:(fun () -> Fs.p_close t.session fd)
+    (fun () ->
+      ignore (Fs.p_lseek t.session fd off Fs.Seek_set : int64);
+      let buf = Bytes.create len in
+      let n = Fs.p_read t.session fd buf len in
+      if n = len then buf else Bytes.sub buf 0 n)
+
+let write t fh ~off data =
+  check_len (Bytes.length data);
+  if fh.asof <> None then Errors.fail Errors.EROFS "historical handles are read-only";
+  let path = path_of t fh in
+  let fd = Fs.p_open t.session path Fs.Rdwr in
+  Fun.protect
+    ~finally:(fun () -> Fs.p_close t.session fd)
+    (fun () ->
+      ignore (Fs.p_lseek t.session fd off Fs.Seek_set : int64);
+      ignore (Fs.p_write t.session fd data (Bytes.length data) : int))
+
+let require_current dir op =
+  if dir.asof <> None then Errors.fail Errors.EROFS "%s through a historical handle" op
+
+let create t ~dir name =
+  require_current dir "create";
+  let path = join (path_of t dir) name in
+  let fd = Fs.p_creat t.session path in
+  let oid = Fs.fd_oid t.session fd in
+  Fs.p_close t.session fd;
+  { oid; asof = None }
+
+let mkdir t ~dir name =
+  require_current dir "mkdir";
+  let path = join (path_of t dir) name in
+  Fs.mkdir t.session path;
+  { oid = Fs.lookup_oid t.session path; asof = None }
+
+let remove t ~dir name =
+  require_current dir "remove";
+  let path = join (path_of t dir) name in
+  let att = Fs.stat t.session path in
+  if String.equal att.Fileatt.ftype "directory" then Fs.rmdir t.session path
+  else Fs.unlink t.session path
+
+let rename t ~src_dir ~src ~dst_dir ~dst =
+  require_current src_dir "rename";
+  require_current dst_dir "rename";
+  Fs.rename t.session (join (path_of t src_dir) src) (join (path_of t dst_dir) dst)

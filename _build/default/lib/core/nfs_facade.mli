@@ -1,0 +1,69 @@
+(** NFS access to Inversion — the paper's near-term plan, implemented.
+
+    "In the near term, we plan to provide NFS access to Inversion ...
+    The NFS protocol makes every operation an atomic transaction, which
+    severely limits the utility of transactions in Inversion.  We are
+    most likely to follow the protocol specification, and to provide no
+    multi-operation transaction protection for Inversion files accessed
+    via NFS."  And for history: "an NFS server could manage time travel
+    by extending the file system namespace and passing dates along to the
+    database system for processing.  This approach has been explored by
+    [ROOM92]" (3DFS).
+
+    So this facade is:
+    - {b stateless}: file handles are oids; no open-file or transaction
+      state lives in the server.  Every operation is its own transaction
+      (which is exactly what the underlying auto-commit mode does).
+    - {b per-op atomic only}: there is deliberately no begin/commit.
+      Users who want multi-file transactions "may still link with the
+      special library" — i.e., use {!Fs} directly.
+    - {b time travel via the namespace}: looking up [name@T] (T = µs of
+      simulated time, as printed by {!Relstore.Db.now}) yields a
+      read-only handle onto that historical instant, 3DFS-style;
+      [ls], [read] and [getattr] through it see the past.  Writes through
+      a historical handle fail with [EROFS]. *)
+
+type t
+(** A server instance over one file system. *)
+
+type fh
+(** An NFS file handle: stable across server restarts and crashes (it is
+    the file's oid plus an optional historical timestamp). *)
+
+val serve : Fs.t -> t
+val root : t -> fh
+
+val fh_oid : fh -> int64
+val fh_timestamp : fh -> int64 option
+val fh_equal : fh -> fh -> bool
+
+val lookup : t -> dir:fh -> string -> fh option
+(** One directory-entry lookup.  [name@123456] resolves [name] as of
+    simulated microsecond 123456 and returns a historical handle;
+    looking up a plain name through an already-historical directory
+    handle stays in the past. *)
+
+val getattr : t -> fh -> Fileatt.att option
+(** [None] if the handle is stale (file since removed, for a current
+    handle). *)
+
+val readdir : t -> fh -> string list
+(** Sorted entry names.  Raises [Fs_error ENOTDIR] on a file handle. *)
+
+val read : t -> fh -> off:int64 -> len:int -> bytes
+(** Up to [len] bytes at [off] (short at EOF). *)
+
+val write : t -> fh -> off:int64 -> bytes -> unit
+(** One atomic write RPC.  [EROFS] on historical handles; [Fs_error
+    ESTALE]-style [ENOENT] if the file no longer exists. *)
+
+val create : t -> dir:fh -> string -> fh
+val mkdir : t -> dir:fh -> string -> fh
+val remove : t -> dir:fh -> string -> unit
+(** Files and empty directories both. *)
+
+val rename : t -> src_dir:fh -> src:string -> dst_dir:fh -> dst:string -> unit
+
+val max_transfer : int
+(** 8192 — the facade enforces the v2-style transfer limit on
+    [read]/[write] (callers split, as NFS clients do). *)

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Bytes Int64 List Pagestore Printf Relstore String

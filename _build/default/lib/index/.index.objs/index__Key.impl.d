@@ -1,0 +1,1 @@
+lib/index/key.ml: Array Bytes Char Int32 Int64 Lazy String

@@ -1,0 +1,55 @@
+type params = {
+  bandwidth_bps : float;
+  latency_s : float;
+  mss : int;
+  per_segment_cpu_s : float;
+  per_call_cpu_s : float;
+}
+
+let tcp_1993 =
+  {
+    bandwidth_bps = 10e6;
+    latency_s = 0.0008;
+    mss = 1460;
+    per_segment_cpu_s = 0.0028;
+    per_call_cpu_s = 0.004;
+  }
+
+let udp_rpc_1993 =
+  {
+    bandwidth_bps = 10e6;
+    latency_s = 0.0008;
+    mss = 1460;
+    per_segment_cpu_s = 0.00045;
+    per_call_cpu_s = 0.0012;
+  }
+
+type t = {
+  clock : Simclock.Clock.t;
+  p : params;
+  mutable messages : int;
+  mutable bytes_sent : int;
+}
+
+let create ~clock p = { clock; p; messages = 0; bytes_sent = 0 }
+let clock t = t.clock
+let params t = t.p
+let messages t = t.messages
+let bytes_sent t = t.bytes_sent
+
+let cost_of_send t ~bytes =
+  if bytes < 0 then invalid_arg "Netsim: negative size";
+  let segments = max 1 ((bytes + t.p.mss - 1) / t.p.mss) in
+  t.p.per_call_cpu_s
+  +. (float_of_int segments *. t.p.per_segment_cpu_s)
+  +. (float_of_int (bytes * 8) /. t.p.bandwidth_bps)
+  +. t.p.latency_s
+
+let send t ~bytes =
+  Simclock.Clock.advance t.clock ~account:"net" (cost_of_send t ~bytes);
+  t.messages <- t.messages + 1;
+  t.bytes_sent <- t.bytes_sent + bytes
+
+let call t ~request ~reply =
+  send t ~bytes:request;
+  send t ~bytes:reply

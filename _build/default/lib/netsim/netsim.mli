@@ -1,0 +1,53 @@
+(** Network cost models: 10 Mbit/s Ethernet, TCP streams, UDP RPC.
+
+    The paper's client/server experiments run over "TCP/IP over a
+    10Mbit/sec Ethernet" between a DECstation 3100 and a DECsystem 5900,
+    and conclude that "the client/server communication protocol used by
+    the file system is much too heavy-weight": remote access adds 3–5
+    seconds per 1 MB operation versus the single-process configuration.
+    NFS uses lighter-weight UDP RPC.
+
+    We model both as per-message CPU costs plus wire time:
+    - every message pays per-segment protocol processing (TCP's is the
+      heavy one — checksums, copies, small windows on a ~13 MIPS CPU),
+    - bytes move at the Ethernet's bandwidth,
+    - each direction pays propagation+interrupt latency.
+
+    All time goes to the shared clock under ["net.*"] accounts. *)
+
+type params = {
+  bandwidth_bps : float;  (** wire speed; 10 Mbit/s *)
+  latency_s : float;  (** one-way latency incl. interrupt handling *)
+  mss : int;  (** bytes per segment on the wire *)
+  per_segment_cpu_s : float;  (** protocol processing per segment *)
+  per_call_cpu_s : float;  (** marshalling etc. per request/response *)
+}
+
+val tcp_1993 : params
+(** Heavy-weight TCP/IP path of the Inversion client library. *)
+
+val udp_rpc_1993 : params
+(** Sun RPC / UDP as used by NFS. *)
+
+type t
+
+val create : clock:Simclock.Clock.t -> params -> t
+val clock : t -> Simclock.Clock.t
+val params : t -> params
+
+val send : t -> bytes:int -> unit
+(** One-way message of [bytes] payload: per-call CPU, segmentation,
+    per-segment CPU, wire time, latency. *)
+
+val call : t -> request:int -> reply:int -> unit
+(** A round trip: request out, reply back. *)
+
+val cost_of_send : t -> bytes:int -> float
+(** What {!send} would charge, without charging it.  Pipelined-transfer
+    models (windowed writes overlapping server work) use this to charge
+    only the non-overlapped remainder. *)
+
+val messages : t -> int
+(** Lifetime message count (both directions). *)
+
+val bytes_sent : t -> int

@@ -1,0 +1,1 @@
+lib/nfsbaseline/ffs.ml: Array Bytes Hashtbl Int64 List Option Pagestore Presto Printf

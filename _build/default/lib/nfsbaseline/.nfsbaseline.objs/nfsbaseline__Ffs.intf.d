@@ -1,0 +1,1 @@
+lib/nfsbaseline/ffs.mli: Pagestore Presto

@@ -1,0 +1,1 @@
+lib/nfsbaseline/nfs.ml: Bytes Ffs Int64 Netsim Presto String

@@ -1,0 +1,1 @@
+lib/nfsbaseline/nfs.mli: Ffs Netsim Presto

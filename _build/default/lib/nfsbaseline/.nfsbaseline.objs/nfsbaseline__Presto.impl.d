@@ -1,0 +1,1 @@
+lib/nfsbaseline/presto.ml: Hashtbl List Simclock

@@ -1,0 +1,64 @@
+type entry = { key : string; bytes : int; flush : unit -> unit }
+
+type t = {
+  clock : Simclock.Clock.t;
+  cap : int;
+  table : (string, entry) Hashtbl.t;
+  mutable fifo : string list; (* oldest last *)
+  mutable used : int;
+  mutable drains : int;
+  mutable absorbed : int;
+}
+
+(* NVRAM DMA across the bus: fast but not free. *)
+let nvram_write_cost bytes = 30e-6 +. (float_of_int bytes /. 10e6)
+
+let create ~clock ?(capacity_bytes = 1024 * 1024) () =
+  {
+    clock;
+    cap = capacity_bytes;
+    table = Hashtbl.create 256;
+    fifo = [];
+    used = 0;
+    drains = 0;
+    absorbed = 0;
+  }
+
+let capacity t = t.cap
+let used t = t.used
+let drains t = t.drains
+let absorbed t = t.absorbed
+
+let drain_oldest t =
+  match List.rev t.fifo with
+  | [] -> ()
+  | oldest :: _ -> (
+    t.fifo <- List.filter (fun k -> k <> oldest) t.fifo;
+    match Hashtbl.find_opt t.table oldest with
+    | None -> ()
+    | Some e ->
+      Hashtbl.remove t.table oldest;
+      t.used <- t.used - e.bytes;
+      t.drains <- t.drains + 1;
+      e.flush ())
+
+let write t ~key ~bytes ~flush =
+  Simclock.Clock.advance t.clock ~account:"presto.nvram" (nvram_write_cost bytes);
+  t.absorbed <- t.absorbed + 1;
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+    (* rewrite in place: newest data wins, no new space *)
+    t.used <- t.used - old.bytes;
+    Hashtbl.replace t.table key { key; bytes; flush }
+  | None ->
+    Hashtbl.replace t.table key { key; bytes; flush };
+    t.fifo <- key :: t.fifo);
+  t.used <- t.used + bytes;
+  while t.used > t.cap do
+    drain_oldest t
+  done
+
+let drain_all t =
+  while Hashtbl.length t.table > 0 do
+    drain_oldest t
+  done

@@ -1,0 +1,34 @@
+(** PRESTOserve: a battery-backed NVRAM write cache for NFS servers.
+
+    "PRESTOserve consists of a board containing 1 MByte of battery-backed
+    RAM and driver software to cache NFS writes in non-volatile memory."
+    A stateless NFS server must force every write to stable storage;
+    PRESTOserve makes the force an NVRAM write and drains to disk lazily.
+
+    The model: writes are keyed (inode, block); rewriting a resident key
+    costs only NVRAM time and takes no new space — which is why the
+    paper's 1 MB random write test "fits in the PRESTOserve cache, and is
+    not flushed to disk".  When a new key doesn't fit, the oldest entries
+    drain (their deferred disk-write charges fire). *)
+
+type t
+
+val create : clock:Simclock.Clock.t -> ?capacity_bytes:int -> unit -> t
+(** Default capacity 1 MB, like the board. *)
+
+val capacity : t -> int
+val used : t -> int
+
+val write : t -> key:string -> bytes:int -> flush:(unit -> unit) -> unit
+(** Absorb a write of [bytes] under [key].  Charges the NVRAM cost;
+    [flush] is retained and invoked when this entry later drains to disk
+    (it should charge exactly one disk write). *)
+
+val drain_all : t -> unit
+(** Flush every resident entry (server shutdown / explicit sync). *)
+
+val drains : t -> int
+(** How many entries have been flushed to disk so far. *)
+
+val absorbed : t -> int
+(** How many writes were absorbed (including rewrites of resident keys). *)

@@ -1,0 +1,1 @@
+lib/pagestore/bufcache.ml: Device Fun Hashtbl List Page Printf Simclock

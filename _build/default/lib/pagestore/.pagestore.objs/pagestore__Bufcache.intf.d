@@ -1,0 +1,1 @@
+lib/pagestore/bufcache.mli: Device Page

@@ -1,0 +1,1 @@
+lib/pagestore/device.ml: Bytes Hashtbl Option Page Printf Simclock

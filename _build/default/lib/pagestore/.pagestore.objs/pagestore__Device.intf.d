@@ -1,0 +1,1 @@
+lib/pagestore/device.mli: Page Simclock

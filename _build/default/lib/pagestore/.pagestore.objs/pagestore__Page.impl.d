@@ -1,0 +1,1 @@
+lib/pagestore/page.ml: Array Bytes Char Int32 Lazy String

@@ -1,0 +1,1 @@
+lib/pagestore/switch.ml: Device Hashtbl List Printf Simclock

@@ -1,0 +1,1 @@
+lib/pagestore/switch.mli: Device Simclock

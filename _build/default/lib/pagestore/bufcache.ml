@@ -1,0 +1,214 @@
+type key = string * int * int (* device name, segid, blkno *)
+
+type entry = {
+  key : key;
+  dev : Device.t;
+  segid : int;
+  blkno : int;
+  page : Page.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable stamp : int; (* recency: higher = more recently used *)
+}
+
+(* The UNIX file system buffer cache sitting under the magnetic-disk
+   device manager: "the file system buffer cache is a secondary buffer
+   cache for magnetic disk pages in POSTGRES" (paper, "Cache
+   Management").  Pages written back from the DBMS cache land here at
+   memory speed and reach the platter asynchronously (POSTGRES 4.0.1 did
+   not force them); reads that hit here cost a copy, not a seek.  Only
+   magnetic-disk devices get this treatment — NVRAM and the jukebox
+   device managers operate on raw devices. *)
+module Os_cache = struct
+  type t = {
+    cap : int;
+    table : (key, int) Hashtbl.t;
+    mutable stamp : int;
+  }
+
+  let create cap = { cap; table = Hashtbl.create 256; stamp = 0 }
+  let mem t k = Hashtbl.mem t.table k
+
+  let touch t k =
+    t.stamp <- t.stamp + 1;
+    Hashtbl.replace t.table k t.stamp
+
+  let add t k =
+    if t.cap > 0 then begin
+      if (not (mem t k)) && Hashtbl.length t.table >= t.cap then begin
+        let victim = ref None and oldest = ref max_int in
+        Hashtbl.iter
+          (fun k s ->
+            if s < !oldest then begin
+              oldest := s;
+              victim := Some k
+            end)
+          t.table;
+        match !victim with Some k -> Hashtbl.remove t.table k | None -> ()
+      end;
+      touch t k
+    end
+
+  let clear t = Hashtbl.reset t.table
+end
+
+(* One 8 KB copy between address spaces on the era's CPU. *)
+let os_copy_cost = 0.00025
+
+type t = {
+  cap : int;
+  table : (key, entry) Hashtbl.t;
+  os_cache : Os_cache.t;
+  mutable clock_hand : int; (* recency stamp source *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable evictions : int;
+  mutable os_hits : int;
+}
+
+let create ?(capacity = 300) ?(os_cache_blocks = 16384) () =
+  if capacity < 1 then invalid_arg "Bufcache.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    os_cache = Os_cache.create os_cache_blocks;
+    clock_hand = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+    evictions = 0;
+    os_hits = 0;
+  }
+
+let capacity t = t.cap
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+let evictions t = t.evictions
+let resident t = Hashtbl.length t.table
+
+let touch t e =
+  t.clock_hand <- t.clock_hand + 1;
+  e.stamp <- t.clock_hand
+
+let os_cached_device dev = Device.kind dev = Device.Magnetic_disk
+
+let write_back t e =
+  if e.dirty then begin
+    if os_cached_device e.dev then begin
+      (* hand the page to the FS buffer cache: contents are stored, the
+         platter write happens asynchronously off the critical path *)
+      Device.poke_block e.dev ~segid:e.segid ~blkno:e.blkno e.page;
+      Simclock.Clock.advance (Device.clock e.dev) ~account:"oscache.write" os_copy_cost;
+      Os_cache.add t.os_cache e.key
+    end
+    else Device.write_block e.dev ~segid:e.segid ~blkno:e.blkno e.page;
+    e.dirty <- false;
+    t.writebacks <- t.writebacks + 1
+  end
+
+(* Evict the least recently used unpinned page.  A full scan is O(resident)
+   but resident is the (small, 64-300) buffer pool size, matching the
+   simplicity of the original clock-sweep. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ e ->
+      if e.pins = 0 then
+        match !victim with
+        | Some v when v.stamp <= e.stamp -> ()
+        | _ -> victim := Some e)
+    t.table;
+  match !victim with
+  | None -> failwith "Bufcache: all pages pinned, cannot evict"
+  | Some e ->
+    write_back t e;
+    Hashtbl.remove t.table e.key;
+    t.evictions <- t.evictions + 1
+
+let ensure_room t = while Hashtbl.length t.table >= t.cap do evict_one t done
+
+let install t dev segid blkno page ~pins =
+  ensure_room t;
+  let key = (Device.name dev, segid, blkno) in
+  let e = { key; dev; segid; blkno; page; dirty = false; pins; stamp = 0 } in
+  touch t e;
+  Hashtbl.replace t.table key e;
+  e
+
+let get t dev ~segid ~blkno =
+  let key = (Device.name dev, segid, blkno) in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    e.pins <- e.pins + 1;
+    touch t e;
+    e.page
+  | None ->
+    t.misses <- t.misses + 1;
+    let page =
+      if os_cached_device dev && Os_cache.mem t.os_cache key then begin
+        t.os_hits <- t.os_hits + 1;
+        Simclock.Clock.advance (Device.clock dev) ~account:"oscache.read" os_copy_cost;
+        Os_cache.touch t.os_cache key;
+        Device.peek_block dev ~segid ~blkno
+      end
+      else begin
+        let page = Device.read_block dev ~segid ~blkno in
+        if os_cached_device dev then Os_cache.add t.os_cache key;
+        page
+      end
+    in
+    let e = install t dev segid blkno page ~pins:1 in
+    e.page
+
+let find_entry t dev ~segid ~blkno =
+  let key = (Device.name dev, segid, blkno) in
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Bufcache: page %s/%d/%d not resident" (Device.name dev) segid blkno)
+
+let unpin t dev ~segid ~blkno =
+  let e = find_entry t dev ~segid ~blkno in
+  if e.pins <= 0 then invalid_arg "Bufcache.unpin: page not pinned";
+  e.pins <- e.pins - 1
+
+let mark_dirty t dev ~segid ~blkno =
+  let e = find_entry t dev ~segid ~blkno in
+  e.dirty <- true
+
+let with_page t dev ~segid ~blkno f =
+  let page = get t dev ~segid ~blkno in
+  Fun.protect ~finally:(fun () -> unpin t dev ~segid ~blkno) (fun () -> f page)
+
+let new_block t dev ~segid =
+  let blkno = Device.allocate_block dev segid in
+  let page = Page.create () in
+  let (_ : entry) = install t dev segid blkno page ~pins:0 in
+  blkno
+
+let flush t = Hashtbl.iter (fun _ e -> write_back t e) t.table
+
+let flush_segment t dev ~segid =
+  let dname = Device.name dev in
+  Hashtbl.iter
+    (fun (d, s, _) e -> if d = dname && s = segid then write_back t e)
+    t.table
+
+let invalidate_segment t dev ~segid =
+  let dname = Device.name dev in
+  let doomed =
+    Hashtbl.fold
+      (fun ((d, s, _) as key) _ acc -> if d = dname && s = segid then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed
+
+let crash t =
+  Hashtbl.reset t.table;
+  Os_cache.clear t.os_cache
+
+let os_hits t = t.os_hits

@@ -1,0 +1,67 @@
+(** Shared LRU buffer cache of 8 KB pages.
+
+    POSTGRES keeps an in-memory shared cache of recently used data pages;
+    pages are evicted in LRU order regardless of originating device, and
+    dirty pages are written back before eviction (paper, "Cache
+    Management").  The shipped size was 64 buffers; Berkeley ran 300 — both
+    are interesting points for the cache-size ablation bench.
+
+    Pages are pinned while in use; only unpinned pages are eviction
+    victims.  {!crash} drops the whole cache without write-back, which is
+    how uncommitted work disappears across a simulated failure. *)
+
+type t
+
+val create : ?capacity:int -> ?os_cache_blocks:int -> unit -> t
+(** [capacity] in pages, default 300 (the Berkeley configuration).
+    [os_cache_blocks] sizes the UNIX file-system buffer cache that sits
+    {e under} the DBMS cache for magnetic-disk devices (paper: "the file
+    system buffer cache is a secondary buffer cache"); default 16384
+    pages (the 128 MB evaluation machine cached whole benchmark files).
+    POSTGRES 4.0.1 wrote pages to this cache without forcing them, so
+    DBMS-level write-backs cost a copy, not a platter write. *)
+
+val capacity : t -> int
+
+val get : t -> Device.t -> segid:int -> blkno:int -> Page.t
+(** Pin a page and return it.  The caller must {!unpin} it (or use
+    {!with_page}).  The returned page is the cache's copy: mutations are
+    visible to other readers and must be followed by {!mark_dirty}. *)
+
+val unpin : t -> Device.t -> segid:int -> blkno:int -> unit
+
+val mark_dirty : t -> Device.t -> segid:int -> blkno:int -> unit
+(** Record that a pinned page was modified so eviction/flush writes it
+    back.  Raises [Invalid_argument] if the page is not resident. *)
+
+val with_page : t -> Device.t -> segid:int -> blkno:int -> (Page.t -> 'a) -> 'a
+(** [with_page c dev ~segid ~blkno f] pins, applies [f], unpins (also on
+    exception). *)
+
+val new_block : t -> Device.t -> segid:int -> int
+(** Extend the segment by one block on the device and install the zeroed
+    page in the cache (unpinned, clean).  Returns the new block number. *)
+
+val flush : t -> unit
+(** Write back every dirty page (pages stay resident and become clean).
+    Transaction commit uses this to make updates durable. *)
+
+val flush_segment : t -> Device.t -> segid:int -> unit
+(** Write back dirty pages of one segment only. *)
+
+val invalidate_segment : t -> Device.t -> segid:int -> unit
+(** Discard resident pages of a dropped segment without write-back. *)
+
+val crash : t -> unit
+(** Drop all cached pages without write-back — volatile memory is gone.
+    The OS buffer cache is volatile too and is cleared with it. *)
+
+val os_hits : t -> int
+(** Reads absorbed by the secondary (file-system) cache. *)
+
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+val evictions : t -> int
+val resident : t -> int
+(** Current number of resident pages. *)

@@ -1,0 +1,317 @@
+type kind = Magnetic_disk | Nvram | Worm_jukebox
+
+let kind_to_string = function
+  | Magnetic_disk -> "magnetic_disk"
+  | Nvram -> "nvram"
+  | Worm_jukebox -> "worm_jukebox"
+
+type geometry = {
+  seek_min_s : float;
+  seek_max_s : float;
+  rotation_s : float;
+  xfer_bytes_per_s : float;
+  per_io_s : float;
+  total_blocks : int;
+  extent_blocks : int;
+  platter_blocks : int;
+  platter_load_s : float;
+  cache_blocks : int;
+}
+
+let rz58 =
+  {
+    seek_min_s = 0.0025;
+    seek_max_s = 0.026;
+    rotation_s = 60. /. 5400.;
+    xfer_bytes_per_s = 2.1e6;
+    per_io_s = 0.0007;
+    total_blocks = 1_380_000_000 / 8192;
+    extent_blocks = 8;
+    platter_blocks = 0;
+    platter_load_s = 0.;
+    cache_blocks = 0;
+  }
+
+let nvram_geometry =
+  {
+    seek_min_s = 0.;
+    seek_max_s = 0.;
+    rotation_s = 0.;
+    xfer_bytes_per_s = 40.0e6;
+    per_io_s = 20e-6;
+    total_blocks = 16384;
+    extent_blocks = 1;
+    platter_blocks = 0;
+    platter_load_s = 0.;
+    cache_blocks = 0;
+  }
+
+let sony_worm =
+  {
+    seek_min_s = 0.08;
+    seek_max_s = 0.5;
+    rotation_s = 60. /. 1800.;
+    xfer_bytes_per_s = 0.6e6;
+    per_io_s = 0.002;
+    total_blocks = 327_000_000_000 / 8192;
+    extent_blocks = 16;
+    platter_blocks = 3_270_000_000 / 8192;
+    platter_load_s = 8.0;
+    cache_blocks = 10 * 1024 * 1024 / 8192;
+  }
+
+let default_geometry = function
+  | Magnetic_disk -> rz58
+  | Nvram -> nvram_geometry
+  | Worm_jukebox -> sony_worm
+
+(* A tiny LRU set of physical block numbers, used for the jukebox's
+   magnetic-disk cache.  Queue-based: O(1) amortized via a recency stamp. *)
+module Lru_set = struct
+  type t = {
+    capacity : int;
+    table : (int, int) Hashtbl.t; (* phys -> stamp *)
+    mutable stamp : int;
+  }
+
+  let create capacity = { capacity; table = Hashtbl.create 64; stamp = 0 }
+
+  let mem t phys = Hashtbl.mem t.table phys
+
+  let touch t phys =
+    t.stamp <- t.stamp + 1;
+    Hashtbl.replace t.table phys t.stamp
+
+  let evict_oldest t =
+    let victim = ref (-1) and oldest = ref max_int in
+    Hashtbl.iter
+      (fun phys stamp ->
+        if stamp < !oldest then begin
+          oldest := stamp;
+          victim := phys
+        end)
+      t.table;
+    if !victim >= 0 then Hashtbl.remove t.table !victim
+
+  let add t phys =
+    if t.capacity > 0 then begin
+      if (not (mem t phys)) && Hashtbl.length t.table >= t.capacity then evict_oldest t;
+      touch t phys
+    end
+end
+
+type t = {
+  name : string;
+  kind : kind;
+  geometry : geometry;
+  clock : Simclock.Clock.t;
+  blocks : (int * int, bytes) Hashtbl.t; (* (segid, blkno) -> contents *)
+  phys : (int * int, int) Hashtbl.t; (* (segid, blkno) -> physical block *)
+  seg_len : (int, int) Hashtbl.t; (* segid -> nblocks *)
+  seg_extent : (int, int * int) Hashtbl.t; (* segid -> (next phys, remaining) *)
+  mutable next_segid : int;
+  mutable next_phys : int;
+  mutable head_phys : int; (* disk-arm position *)
+  mutable loaded_platter : int; (* jukebox: platter in the drive, -1 none *)
+  worm_written : (int, unit) Hashtbl.t; (* jukebox: write-once physical blocks *)
+  cache : Lru_set.t; (* jukebox: disk block cache *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ~clock ~name ~kind ?geometry () =
+  let geometry = Option.value geometry ~default:(default_geometry kind) in
+  {
+    name;
+    kind;
+    geometry;
+    clock;
+    blocks = Hashtbl.create 1024;
+    phys = Hashtbl.create 1024;
+    seg_len = Hashtbl.create 32;
+    seg_extent = Hashtbl.create 32;
+    next_segid = 1;
+    next_phys = 0;
+    head_phys = 0;
+    loaded_platter = -1;
+    worm_written = Hashtbl.create 1024;
+    cache = Lru_set.create geometry.cache_blocks;
+    reads = 0;
+    writes = 0;
+  }
+
+let name t = t.name
+let kind t = t.kind
+let clock t = t.clock
+let reads t = t.reads
+let writes t = t.writes
+let used_blocks t = t.next_phys
+let worm_written_blocks t = Hashtbl.length t.worm_written
+
+let create_segment t =
+  let segid = t.next_segid in
+  t.next_segid <- segid + 1;
+  Hashtbl.replace t.seg_len segid 0;
+  segid
+
+let segment_exists t segid = Hashtbl.mem t.seg_len segid
+
+let drop_segment t segid =
+  let len = Option.value ~default:0 (Hashtbl.find_opt t.seg_len segid) in
+  for blkno = 0 to len - 1 do
+    Hashtbl.remove t.blocks (segid, blkno);
+    Hashtbl.remove t.phys (segid, blkno)
+  done;
+  Hashtbl.remove t.seg_len segid;
+  Hashtbl.remove t.seg_extent segid
+
+let nblocks t segid =
+  match Hashtbl.find_opt t.seg_len segid with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Device.nblocks: no segment %d on %s" segid t.name)
+
+(* Extent-based physical allocation: a segment's blocks come in runs of
+   [extent_blocks] contiguous physical blocks, so sequential scans of one
+   relation stream without long seeks even when relations interleave. *)
+let fresh_phys t segid =
+  let next, remaining =
+    match Hashtbl.find_opt t.seg_extent segid with
+    | Some (next, remaining) when remaining > 0 -> (next, remaining)
+    | _ ->
+      let next = t.next_phys in
+      t.next_phys <- next + t.geometry.extent_blocks;
+      (next, t.geometry.extent_blocks)
+  in
+  Hashtbl.replace t.seg_extent segid (next + 1, remaining - 1);
+  next
+
+let allocate_block t segid =
+  let len = nblocks t segid in
+  let phys = fresh_phys t segid in
+  Hashtbl.replace t.phys (segid, len) phys;
+  Hashtbl.replace t.blocks (segid, len) (Bytes.make Page.size '\000');
+  Hashtbl.replace t.seg_len segid (len + 1);
+  len
+
+let check_block t segid blkno =
+  if not (Hashtbl.mem t.blocks (segid, blkno)) then
+    invalid_arg
+      (Printf.sprintf "Device %s: block %d/%d does not exist" t.name segid blkno)
+
+let xfer_time g = float_of_int Page.size /. g.xfer_bytes_per_s
+
+(* Seek + rotate cost for moving the arm to [phys].  A transfer that
+   continues exactly where the last one ended streams for free. *)
+let charge_positioning t account phys =
+  let g = t.geometry in
+  if phys <> t.head_phys then begin
+    let distance = abs (phys - t.head_phys) in
+    let frac = float_of_int distance /. float_of_int (max 1 g.total_blocks) in
+    let seek = g.seek_min_s +. ((g.seek_max_s -. g.seek_min_s) *. frac) in
+    Simclock.Clock.advance t.clock ~account:(account ^ ".seek") seek;
+    Simclock.Clock.advance t.clock ~account:(account ^ ".rotate") (g.rotation_s /. 2.)
+  end;
+  t.head_phys <- phys + 1
+
+let charge_disk_io t account phys =
+  let g = t.geometry in
+  Simclock.Clock.advance t.clock ~account:(account ^ ".overhead") g.per_io_s;
+  charge_positioning t account phys;
+  Simclock.Clock.advance t.clock ~account:(account ^ ".xfer") (xfer_time g)
+
+let charge_nvram_io t account =
+  let g = t.geometry in
+  Simclock.Clock.advance t.clock ~account (g.per_io_s +. xfer_time g)
+
+(* The jukebox's magnetic-disk cache is charged with RZ58-style constants:
+   a cache hit costs a disk I/O, a miss costs platter positioning plus the
+   optical transfer plus the cache fill. *)
+let cache_io_cost = rz58.per_io_s +. (rz58.rotation_s /. 2.) +. (float_of_int Page.size /. rz58.xfer_bytes_per_s)
+
+let platter_of t phys =
+  if t.geometry.platter_blocks <= 0 then 0 else phys / t.geometry.platter_blocks
+
+let charge_jukebox_media t account phys =
+  let g = t.geometry in
+  let platter = platter_of t phys in
+  if platter <> t.loaded_platter then begin
+    Simclock.Clock.advance t.clock ~account:"jukebox.load" g.platter_load_s;
+    Simclock.Clock.tick t.clock "jukebox.platter_exchange";
+    t.loaded_platter <- platter
+  end;
+  Simclock.Clock.advance t.clock ~account:(account ^ ".overhead") g.per_io_s;
+  charge_positioning t account phys;
+  Simclock.Clock.advance t.clock ~account:(account ^ ".xfer") (xfer_time g)
+
+let charge_jukebox_read t phys =
+  if Lru_set.mem t.cache phys then begin
+    Simclock.Clock.tick t.clock "jukebox.cache_hit";
+    Simclock.Clock.advance t.clock ~account:"jukebox.cache" cache_io_cost;
+    Lru_set.touch t.cache phys
+  end
+  else begin
+    Simclock.Clock.tick t.clock "jukebox.cache_miss";
+    charge_jukebox_media t "jukebox" phys;
+    (* fill the cache *)
+    Simclock.Clock.advance t.clock ~account:"jukebox.cache" cache_io_cost;
+    Lru_set.add t.cache phys
+  end
+
+let charge_read t ~segid ~blkno =
+  check_block t segid blkno;
+  let phys = Hashtbl.find t.phys (segid, blkno) in
+  (match t.kind with
+  | Magnetic_disk -> charge_disk_io t "disk" phys
+  | Nvram -> charge_nvram_io t "nvram"
+  | Worm_jukebox -> charge_jukebox_read t phys);
+  t.reads <- t.reads + 1
+
+let peek_block t ~segid ~blkno =
+  check_block t segid blkno;
+  Page.of_bytes (Hashtbl.find t.blocks (segid, blkno))
+
+let poke_block t ~segid ~blkno page =
+  check_block t segid blkno;
+  Hashtbl.replace t.blocks (segid, blkno) (Page.to_bytes page)
+
+let read_block t ~segid ~blkno =
+  charge_read t ~segid ~blkno;
+  peek_block t ~segid ~blkno
+
+let charge_write t ~segid ~blkno =
+  check_block t segid blkno;
+  let phys = Hashtbl.find t.phys (segid, blkno) in
+  (match t.kind with
+  | Magnetic_disk -> charge_disk_io t "disk" phys
+  | Nvram -> charge_nvram_io t "nvram"
+  | Worm_jukebox ->
+    (* Write-once media: rewriting a logical block allocates a fresh
+       physical block, as the Sony device manager did. *)
+    let phys =
+      if Hashtbl.mem t.worm_written phys then begin
+        let fresh = fresh_phys t segid in
+        Hashtbl.replace t.phys (segid, blkno) fresh;
+        fresh
+      end
+      else phys
+    in
+    Hashtbl.replace t.worm_written phys ();
+    charge_jukebox_media t "jukebox" phys;
+    Simclock.Clock.advance t.clock ~account:"jukebox.cache" cache_io_cost;
+    Lru_set.add t.cache phys);
+  t.writes <- t.writes + 1
+
+let write_block t ~segid ~blkno page =
+  charge_write t ~segid ~blkno;
+  poke_block t ~segid ~blkno page
+
+let charge_drain t =
+  let g = t.geometry in
+  Simclock.Clock.advance t.clock ~account:"disk.drain" (g.per_io_s +. xfer_time g);
+  t.writes <- t.writes + 1
+
+let sync t = Simclock.Clock.tick t.clock (t.name ^ ".sync")
+
+let crash t =
+  t.head_phys <- 0;
+  t.loaded_platter <- -1

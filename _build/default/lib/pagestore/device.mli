@@ -1,0 +1,126 @@
+(** Storage device models behind the POSTGRES-style device manager switch.
+
+    The paper's system stored data on non-volatile RAM, magnetic disk, and a
+    327 GB Sony optical-disk WORM jukebox, all behind a [bdevsw]-style
+    switch ("The Device Manager Switch").  We reproduce the three device
+    classes as discrete-event cost models over an in-memory block store:
+
+    - {b Magnetic disk} (DEC RZ58 class): seek time proportional to head
+      travel, half-revolution rotational latency, ~2.1 MB/s transfer.
+    - {b NVRAM}: memory-speed, survives crashes (the PRESTOserve board in
+      the NFS baseline is built on this model).
+    - {b WORM jukebox}: pages live on platters; touching a platter other
+      than the one in the drive pays a multi-second load penalty; transfers
+      are slow; a magnetic-disk block cache (10 MB by default, as in the
+      paper) absorbs re-reads.  Physical blocks are write-once; logical
+      rewrites allocate a fresh physical block, as the real Sony device
+      manager did.
+
+    All devices charge elapsed time to the shared {!Simclock.Clock.t} under
+    accounts such as ["disk.seek"], ["disk.xfer"], ["jukebox.load"].
+    Contents survive {!crash} (they model persistent media); only
+    cost-model state such as head position is reset. *)
+
+type kind = Magnetic_disk | Nvram | Worm_jukebox
+
+val kind_to_string : kind -> string
+
+type geometry = {
+  seek_min_s : float;  (** single-track seek, seconds *)
+  seek_max_s : float;  (** full-stroke seek, seconds *)
+  rotation_s : float;  (** one revolution, seconds *)
+  xfer_bytes_per_s : float;  (** sustained media transfer rate *)
+  per_io_s : float;  (** fixed controller/driver overhead per I/O *)
+  total_blocks : int;  (** capacity in 8 KB blocks, for seek scaling *)
+  extent_blocks : int;  (** allocation unit, physically contiguous *)
+  platter_blocks : int;  (** jukebox only: blocks per platter side *)
+  platter_load_s : float;  (** jukebox only: platter exchange time *)
+  cache_blocks : int;  (** jukebox only: magnetic-disk cache size *)
+}
+
+val rz58 : geometry
+(** DEC RZ58-class magnetic disk (1.38 GB, ~12.9 ms average seek,
+    5400 RPM, ~2.1 MB/s). *)
+
+val nvram_geometry : geometry
+(** Battery-backed RAM: microsecond access. *)
+
+val sony_worm : geometry
+(** Sony WMJ-class optical jukebox: ~8 s platter exchange, ~0.6 MB/s
+    reads, 16-page extents, 10 MB disk cache (paper defaults). *)
+
+type t
+
+val create :
+  clock:Simclock.Clock.t -> name:string -> kind:kind -> ?geometry:geometry -> unit -> t
+(** A fresh, empty device.  [geometry] defaults to the class default for
+    [kind]. *)
+
+val name : t -> string
+val kind : t -> kind
+val clock : t -> Simclock.Clock.t
+
+val create_segment : t -> int
+(** Allocate a new empty segment (≈ one relation's storage) and return its
+    id.  Segments grow block-at-a-time via {!allocate_block}. *)
+
+val drop_segment : t -> int -> unit
+(** Release a segment.  On WORM media the physical blocks are not
+    reclaimed (write-once), only the logical mapping. *)
+
+val segment_exists : t -> int -> bool
+
+val nblocks : t -> int -> int
+(** Current length of a segment in blocks. *)
+
+val allocate_block : t -> int -> int
+(** [allocate_block dev segid] extends the segment by one zeroed block and
+    returns the new block number.  Allocation is extent-based: blocks of a
+    segment are physically contiguous in runs of [extent_blocks]. *)
+
+val read_block : t -> segid:int -> blkno:int -> Page.t
+(** Read one block (a fresh copy), charging simulated time.  Raises
+    [Invalid_argument] if the block does not exist. *)
+
+val write_block : t -> segid:int -> blkno:int -> Page.t -> unit
+(** Write one block, charging simulated time.  The block must have been
+    allocated. *)
+
+val peek_block : t -> segid:int -> blkno:int -> Page.t
+(** Read contents without charging time or counters.  For layered models
+    (the FFS baseline) that do their own cost accounting. *)
+
+val poke_block : t -> segid:int -> blkno:int -> Page.t -> unit
+(** Write contents without charging.  WORM accounting is bypassed too —
+    use only from models layered over magnetic-disk devices. *)
+
+val charge_read : t -> segid:int -> blkno:int -> unit
+(** Apply the read cost model (seek/rotate/transfer, counters) without
+    moving data. *)
+
+val charge_write : t -> segid:int -> blkno:int -> unit
+
+val charge_drain : t -> unit
+(** One background (sorted, overlapped) write's marginal cost: fixed
+    overhead plus one block's transfer, no positioning.  Used by models
+    whose writes drain asynchronously (PRESTOserve). *)
+
+val sync : t -> unit
+(** Barrier: charge any deferred write-back cost.  (The models here write
+    through, so this only ticks a counter.) *)
+
+val crash : t -> unit
+(** Simulate a machine crash: media contents survive; transient cost-model
+    state (head position, loaded platter, jukebox cache residency is kept —
+    it lives on disk) is reset. *)
+
+val used_blocks : t -> int
+(** Total physical blocks allocated on the device. *)
+
+val worm_written_blocks : t -> int
+(** Jukebox only: how many write-once physical blocks have been consumed
+    (a logical rewrite consumes a fresh one).  0 for other kinds. *)
+
+val reads : t -> int
+val writes : t -> int
+(** Lifetime I/O counters. *)

@@ -1,0 +1,92 @@
+type t = bytes
+
+let size = 8192
+
+let create () = Bytes.make size '\000'
+
+let copy p = Bytes.copy p
+
+let of_bytes b =
+  let p = create () in
+  Bytes.blit b 0 p 0 (min (Bytes.length b) size);
+  p
+
+let to_bytes p = Bytes.copy p
+let raw p = p
+
+let check off len =
+  if off < 0 || off + len > size then invalid_arg "Page: offset out of bounds"
+
+let get_u8 p off =
+  check off 1;
+  Char.code (Bytes.get p off)
+
+let set_u8 p off v =
+  check off 1;
+  Bytes.set p off (Char.chr (v land 0xff))
+
+let get_u16 p off =
+  check off 2;
+  Bytes.get_uint16_le p off
+
+let set_u16 p off v =
+  check off 2;
+  Bytes.set_uint16_le p off (v land 0xffff)
+
+let get_u32 p off =
+  check off 4;
+  Int32.to_int (Bytes.get_int32_le p off) land 0xffffffff
+
+let set_u32 p off v =
+  check off 4;
+  Bytes.set_int32_le p off (Int32.of_int v)
+
+let get_i64 p off =
+  check off 8;
+  Bytes.get_int64_le p off
+
+let set_i64 p off v =
+  check off 8;
+  Bytes.set_int64_le p off v
+
+let blit_in p off src srcoff len =
+  check off len;
+  Bytes.blit src srcoff p off len
+
+let blit_out p off dst dstoff len =
+  check off len;
+  Bytes.blit p off dst dstoff len
+
+let get_string p off len =
+  check off len;
+  Bytes.sub_string p off len
+
+let set_string p off s =
+  check off (String.length s);
+  Bytes.blit_string s 0 p off (String.length s)
+
+let clear p = Bytes.fill p 0 size '\000'
+
+(* CRC-32 (IEEE 802.3 polynomial), table-driven. *)
+let crc_table =
+  lazy
+    (let table = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       table.(n) <- !c
+     done;
+     table)
+
+let checksum p =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = 0 to size - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code (Bytes.get p i)))) 0xffl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl

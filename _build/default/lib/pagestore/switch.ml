@@ -1,0 +1,37 @@
+type t = {
+  clock : Simclock.Clock.t;
+  table : (string, Device.t) Hashtbl.t;
+  mutable order : Device.t list; (* reverse registration order *)
+}
+
+let create ~clock = { clock; table = Hashtbl.create 8; order = [] }
+
+let clock t = t.clock
+
+let register t dev =
+  let name = Device.name dev in
+  if Hashtbl.mem t.table name then
+    invalid_arg (Printf.sprintf "Switch.register: duplicate device %s" name);
+  Hashtbl.replace t.table name dev;
+  t.order <- dev :: t.order
+
+let add_device t ~name ~kind ?geometry () =
+  let dev = Device.create ~clock:t.clock ~name ~kind ?geometry () in
+  register t dev;
+  dev
+
+let find t name =
+  match Hashtbl.find_opt t.table name with
+  | Some dev -> dev
+  | None -> raise Not_found
+
+let find_opt t name = Hashtbl.find_opt t.table name
+
+let devices t = List.rev t.order
+
+let default_device t =
+  match List.rev t.order with
+  | dev :: _ -> dev
+  | [] -> failwith "Switch.default_device: no devices registered"
+
+let crash t = List.iter Device.crash (devices t)

@@ -1,0 +1,39 @@
+(** The device manager switch.
+
+    Modelled on the POSTGRES [smgr]/bdevsw-style switch the paper describes:
+    administrators register devices, relations are placed on a device at
+    creation, and from then on all access is location-transparent — callers
+    name a device and the switch routes the I/O ("Accesses to data are
+    location-transparent").  The Inversion namespace is uniform across
+    devices, so a single file system spans magnetic disk, NVRAM and the
+    jukebox. *)
+
+type t
+
+val create : clock:Simclock.Clock.t -> t
+(** An empty switch sharing one simulated clock for all devices. *)
+
+val clock : t -> Simclock.Clock.t
+
+val register : t -> Device.t -> unit
+(** Add a device.  Raises [Invalid_argument] if the name is taken. *)
+
+val add_device :
+  t -> name:string -> kind:Device.kind -> ?geometry:Device.geometry -> unit -> Device.t
+(** Create a device on this switch's clock and register it. *)
+
+val find : t -> string -> Device.t
+(** Raises [Not_found] if no such device. *)
+
+val find_opt : t -> string -> Device.t option
+
+val default_device : t -> Device.t
+(** The first registered device; relations that do not ask for a
+    particular placement land here.  Raises [Failure] if the switch is
+    empty. *)
+
+val devices : t -> Device.t list
+(** All devices, in registration order. *)
+
+val crash : t -> unit
+(** Propagate a simulated crash to every device. *)

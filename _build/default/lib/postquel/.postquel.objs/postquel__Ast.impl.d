@@ -1,0 +1,1 @@
+lib/postquel/ast.ml: List Printf String Value

@@ -1,0 +1,1 @@
+lib/postquel/ast.mli: Value

@@ -1,0 +1,1 @@
+lib/postquel/eval.ml: Ast List Option Registry Value

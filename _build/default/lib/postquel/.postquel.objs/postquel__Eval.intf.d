@@ -1,0 +1,1 @@
+lib/postquel/eval.mli: Ast Registry Value

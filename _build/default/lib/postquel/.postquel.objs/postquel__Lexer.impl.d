@@ -1,0 +1,1 @@
+lib/postquel/lexer.ml: Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/postquel/parser.ml: Ast Lexer List Printf Value

@@ -1,0 +1,1 @@
+lib/postquel/parser.mli: Ast

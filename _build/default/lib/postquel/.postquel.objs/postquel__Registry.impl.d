@@ -1,0 +1,1 @@
+lib/postquel/registry.ml: Hashtbl List Option Printf String Value

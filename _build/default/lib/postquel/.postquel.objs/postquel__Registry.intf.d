@@ -1,0 +1,1 @@
+lib/postquel/registry.mli: Value

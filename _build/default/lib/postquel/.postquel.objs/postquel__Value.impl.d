@@ -1,0 +1,1 @@
+lib/postquel/value.ml: Bool Float Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/postquel/value.mli:

@@ -1,0 +1,46 @@
+type binop = Eq | Ne | Lt | Le | Gt | Ge | Add | Sub | Mul | Div | And | Or | In
+
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Call of string * expr list
+  | Binop of binop * expr * expr
+  | Not of expr
+
+type statement =
+  | Retrieve of { targets : expr list; where : expr option }
+  | Define_type of string
+
+let binop_to_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "and"
+  | Or -> "or"
+  | In -> "in"
+
+let rec expr_to_string = function
+  | Const v -> Value.to_string v
+  | Var v -> v
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Not e -> Printf.sprintf "(not %s)" (expr_to_string e)
+
+let statement_to_string = function
+  | Retrieve { targets; where } ->
+    let t = String.concat ", " (List.map expr_to_string targets) in
+    let w =
+      match where with None -> "" | Some e -> " where " ^ expr_to_string e
+    in
+    Printf.sprintf "retrieve (%s)%s" t w
+  | Define_type name -> Printf.sprintf "define type %s" name

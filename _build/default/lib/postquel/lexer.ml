@@ -1,0 +1,151 @@
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int64
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | KW_RETRIEVE
+  | KW_WHERE
+  | KW_DEFINE
+  | KW_TYPE
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_IN
+  | EOF
+
+exception Lex_error of string * int
+
+let keyword_of = function
+  | "retrieve" -> Some KW_RETRIEVE
+  | "where" -> Some KW_WHERE
+  | "define" -> Some KW_DEFINE
+  | "type" -> Some KW_TYPE
+  | "and" -> Some KW_AND
+  | "or" -> Some KW_OR
+  | "not" -> Some KW_NOT
+  | "in" -> Some KW_IN
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match keyword_of (String.lowercase_ascii word) with
+      | Some kw -> emit kw
+      | None -> emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (INT (Int64.of_string (String.sub src start (!i - start))))
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+        | '"' -> closed := true
+        | '\\' when !i + 1 < n ->
+          incr i;
+          Buffer.add_char buf src.[!i]
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", start));
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "!=" | "<>" ->
+        emit NE;
+        i := !i + 2
+      | "<=" ->
+        emit LE;
+        i := !i + 2
+      | ">=" ->
+        emit GE;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | ',' -> emit COMMA
+        | '=' -> emit EQ
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | '+' -> emit PLUS
+        | '-' -> emit MINUS
+        | '*' -> emit STAR
+        | '/' -> emit SLASH
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)));
+        incr i
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "IDENT(%s)" s
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | INT i -> Printf.sprintf "INT(%Ld)" i
+  | FLOAT f -> Printf.sprintf "FLOAT(%g)" f
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | EQ -> "="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | KW_RETRIEVE -> "retrieve"
+  | KW_WHERE -> "where"
+  | KW_DEFINE -> "define"
+  | KW_TYPE -> "type"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_NOT -> "not"
+  | KW_IN -> "in"
+  | EOF -> "<eof>"

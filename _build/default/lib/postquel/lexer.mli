@@ -1,0 +1,38 @@
+(** Tokenizer for the query language. *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int64
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | KW_RETRIEVE
+  | KW_WHERE
+  | KW_DEFINE
+  | KW_TYPE
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_IN
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on malformed input (unterminated string, stray
+    character).  Keywords are case-insensitive, identifiers keep case. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,174 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s, found %s" what
+            (Lexer.token_to_string (peek st))))
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if peek st = Lexer.KW_OR then begin
+    advance st;
+    Ast.Binop (Ast.Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if peek st = Lexer.KW_AND then begin
+    advance st;
+    Ast.Binop (Ast.And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_not st =
+  if peek st = Lexer.KW_NOT then begin
+    advance st;
+    Ast.Not (parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.EQ -> Some Ast.Eq
+    | Lexer.NE -> Some Ast.Ne
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.GT -> Some Ast.Gt
+    | Lexer.GE -> Some Ast.Ge
+    | Lexer.KW_IN -> Some Ast.In
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Binop (Ast.Sub, Ast.Const (Value.Int 0L), parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    Ast.Const (Value.Int i)
+  | Lexer.FLOAT f ->
+    advance st;
+    Ast.Const (Value.Float f)
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Const (Value.Str s)
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN ")";
+      Ast.Call (name, args)
+    end
+    else Ast.Var name
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RPAREN ")";
+    e
+  | tok ->
+    raise (Parse_error (Printf.sprintf "unexpected %s" (Lexer.token_to_string tok)))
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then []
+  else begin
+    let rec loop acc =
+      let e = parse_or st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+  end
+
+let parse_expr src =
+  let st = { tokens = Lexer.tokenize src } in
+  let e = parse_or st in
+  expect st Lexer.EOF "end of input";
+  e
+
+let parse_statement src =
+  let st = { tokens = Lexer.tokenize src } in
+  match peek st with
+  | Lexer.KW_RETRIEVE ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let targets = parse_args st in
+    if targets = [] then raise (Parse_error "retrieve needs at least one target");
+    expect st Lexer.RPAREN ")";
+    let where =
+      if peek st = Lexer.KW_WHERE then begin
+        advance st;
+        Some (parse_or st)
+      end
+      else None
+    in
+    expect st Lexer.EOF "end of input";
+    Ast.Retrieve { targets; where }
+  | Lexer.KW_DEFINE ->
+    advance st;
+    expect st Lexer.KW_TYPE "type";
+    (match peek st with
+    | Lexer.IDENT name ->
+      advance st;
+      expect st Lexer.EOF "end of input";
+      Ast.Define_type name
+    | tok ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected type name, found %s" (Lexer.token_to_string tok))))
+  | tok ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a statement, found %s" (Lexer.token_to_string tok)))

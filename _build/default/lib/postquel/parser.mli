@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the query language.
+
+    Precedence, loosest first: [or], [and], [not], comparisons and [in],
+    [+ -], [* /], unary minus.  Boolean operators follow the mathematical
+    convention the paper's POSTQUEL used (or ≈ addition, and ≈
+    multiplication). *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Ast.statement
+(** Parse one [retrieve] or [define type] statement.  Raises
+    {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a stand-alone expression (used by tests and the migration rules
+    engine, whose predicates are query-language expressions). *)

@@ -1,0 +1,52 @@
+type impl = Value.t list -> Value.t
+
+type entry = { impl : impl; file_type : string option; arity : int option }
+
+type t = {
+  type_table : (string, unit) Hashtbl.t;
+  fn_table : (string, entry) Hashtbl.t;
+}
+
+let create () = { type_table = Hashtbl.create 16; fn_table = Hashtbl.create 32 }
+
+let define_type t name = Hashtbl.replace t.type_table name ()
+let type_exists t name = Hashtbl.mem t.type_table name
+
+let types t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.type_table [] |> List.sort String.compare
+
+let register t ~name ?file_type ?arity impl =
+  (match file_type with
+  | Some ft when not (type_exists t ft) ->
+    invalid_arg (Printf.sprintf "Registry.register: type %s not defined" ft)
+  | _ -> ());
+  Hashtbl.replace t.fn_table name { impl; file_type; arity }
+
+let find t ~name =
+  Option.map
+    (fun e -> (e.impl, e.file_type, e.arity))
+    (Hashtbl.find_opt t.fn_table name)
+
+let find_for_type t ~name ~file_type =
+  match Hashtbl.find_opt t.fn_table name with
+  | None -> None
+  | Some e -> (
+    match e.file_type with
+    | None -> Some e.impl
+    | Some required -> (
+      match file_type with
+      | Some ft when String.equal ft required -> Some e.impl
+      | _ -> None))
+
+let functions t =
+  Hashtbl.fold (fun name e acc -> (name, e.file_type) :: acc) t.fn_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let functions_for_type t ft =
+  Hashtbl.fold
+    (fun name e acc ->
+      match e.file_type with
+      | None -> name :: acc
+      | Some required -> if String.equal required ft then name :: acc else acc)
+    t.fn_table []
+  |> List.sort String.compare

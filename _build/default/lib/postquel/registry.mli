@@ -1,0 +1,50 @@
+(** Type and function extensibility.
+
+    "POSTGRES allows users to define new types ... In addition, users may
+    write functions in C or in POSTQUEL ... registered with the database
+    system, and ... dynamically loaded by the data manager when they are
+    invoked."  Our functions are OCaml closures registered at run time —
+    the same code path as dynamic loading (the function runs inside the
+    data manager, no data copies out), minus the 1993 security problem.
+
+    Functions are optionally restricted to a file type; applying a typed
+    function to a file of another type yields [Value.Null], which is how a
+    query selects "files for which the function was defined". *)
+
+type impl = Value.t list -> Value.t
+
+type t
+
+val create : unit -> t
+
+val define_type : t -> string -> unit
+(** Declare a file type ([define type] in the language).  Idempotent. *)
+
+val type_exists : t -> string -> bool
+val types : t -> string list
+(** Sorted. *)
+
+val register :
+  t -> name:string -> ?file_type:string -> ?arity:int -> impl -> unit
+(** Register a function.  With [file_type], the function only applies to
+    files of that type (the evaluator enforces this through
+    {!find_for_type}); the type must already be defined.  [arity] is
+    checked at call time when given.  Re-registering replaces (functions
+    are versioned data in Inversion — old versions remain reachable via
+    time travel at the file-system layer; the registry itself holds only
+    the current version). *)
+
+val find : t -> name:string -> (impl * string option * int option) option
+(** Implementation, restricting file type, declared arity. *)
+
+val find_for_type : t -> name:string -> file_type:string option -> impl option
+(** The implementation if the function exists and applies to a file of
+    [file_type] ([None] otherwise — evaluates as [Null]). *)
+
+val functions : t -> (string * string option) list
+(** (name, restricted-to-type) pairs, sorted by name: the paper's Table 2
+    contents. *)
+
+val functions_for_type : t -> string -> string list
+(** Names of functions applicable to the given file type (its own plus
+    untyped ones), sorted. *)

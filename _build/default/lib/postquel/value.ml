@@ -1,0 +1,76 @@
+type t =
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | List of t list
+  | Null
+
+let rec to_string = function
+  | Int i -> Int64.to_string i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Bool b -> string_of_bool b
+  | List vs -> "{" ^ String.concat ", " (List.map to_string vs) ^ "}"
+  | Null -> "null"
+
+let as_float = function Int i -> Some (Int64.to_float i) | Float f -> Some f | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, _ | _, Null -> false
+  | Int x, Int y -> Int64.equal x y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | List x, List y -> (
+    try List.for_all2 equal x y with Invalid_argument _ -> false)
+  | (Int _ | Float _), (Int _ | Float _) -> (
+    match (as_float a, as_float b) with
+    | Some x, Some y -> Float.equal x y
+    | _ -> false)
+  | _ -> false
+
+let compare_values a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Str x, Str y -> Some (String.compare x y)
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | (Int _ | Float _), (Int _ | Float _) -> (
+    match (as_float a, as_float b) with
+    | Some x, Some y -> Some (Float.compare x y)
+    | _ -> None)
+  | _ -> None
+
+let truthy = function Bool b -> b | _ -> false
+
+let member x xs =
+  match (x, xs) with
+  | _, List vs -> List.exists (equal x) vs
+  | Str needle, Str hay ->
+    let nl = String.length needle and hl = String.length hay in
+    nl = 0
+    ||
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  | _ -> false
+
+let arith fi ff a b =
+  match (a, b) with
+  | Int x, Int y -> fi x y
+  | (Int _ | Float _), (Int _ | Float _) -> (
+    match (as_float a, as_float b) with
+    | Some x, Some y -> ff x y
+    | _ -> Null)
+  | _ -> Null
+
+let add = arith (fun x y -> Int (Int64.add x y)) (fun x y -> Float (x +. y))
+let sub = arith (fun x y -> Int (Int64.sub x y)) (fun x y -> Float (x -. y))
+let mul = arith (fun x y -> Int (Int64.mul x y)) (fun x y -> Float (x *. y))
+
+let div =
+  arith
+    (fun x y ->
+      if Int64.equal y 0L then Null
+      else if Int64.equal (Int64.rem x y) 0L then Int (Int64.div x y)
+      else Float (Int64.to_float x /. Int64.to_float y))
+    (fun x y -> if Float.equal y 0. then Null else Float (x /. y))

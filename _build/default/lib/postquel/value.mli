@@ -1,0 +1,42 @@
+(** Runtime values for the POSTQUEL-flavoured query language.
+
+    [Null] is the result of applying a function to a file whose type does
+    not define it; any predicate over [Null] is false, which gives the
+    paper's semantics for "all the files for which the [keywords] function
+    was defined, and whose keywords included ..." — files without the
+    function simply never match. *)
+
+type t =
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | List of t list
+  | Null
+
+val to_string : t -> string
+(** Display form (strings quoted, lists braced). *)
+
+val equal : t -> t -> bool
+(** Structural equality with Int/Float numeric coercion.  [Null] equals
+    nothing, not even [Null]. *)
+
+val compare_values : t -> t -> int option
+(** Ordering for [<] etc.: numeric for Int/Float (coerced), lexicographic
+    for Str, [None] when incomparable or either side is [Null]. *)
+
+val truthy : t -> bool
+(** [Bool true] only; everything else (including [Null]) is false. *)
+
+val member : t -> t -> bool
+(** [member x xs] — the query language's [in] operator: membership when
+    [xs] is a [List], substring when both are [Str], false otherwise. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic with Int/Float coercion; [Null] propagates; division by
+    zero yields [Null] (and integer division of non-multiples promotes to
+    float).  Type mismatches yield [Null] rather than raising, so a query
+    over heterogeneous files degrades to "doesn't match". *)

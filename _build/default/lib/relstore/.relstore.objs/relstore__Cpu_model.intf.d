@@ -1,0 +1,1 @@
+lib/relstore/cpu_model.mli: Simclock

@@ -1,0 +1,1 @@
+lib/relstore/db.ml: Hashtbl Heap Int64 List Lock_mgr Option Pagestore Printf Simclock Status_log String Txn Vacuum

@@ -1,0 +1,1 @@
+lib/relstore/heap.ml: Bytes Cpu_model Heap_page List Lock_mgr Pagestore Printf Snapshot Status_log Tid Txn Xid

@@ -1,0 +1,1 @@
+lib/relstore/heap.mli: Pagestore Snapshot Status_log Tid Txn Xid

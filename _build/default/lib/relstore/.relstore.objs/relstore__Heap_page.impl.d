@@ -1,0 +1,1 @@
+lib/relstore/heap_page.ml: Bytes Int32 List Pagestore Printf Xid

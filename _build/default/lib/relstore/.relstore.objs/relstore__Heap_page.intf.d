@@ -1,0 +1,1 @@
+lib/relstore/heap_page.mli: Pagestore Xid

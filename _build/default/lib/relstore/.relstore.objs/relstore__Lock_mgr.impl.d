@@ -1,0 +1,1 @@
+lib/relstore/lock_mgr.ml: Hashtbl List Option String Xid

@@ -1,0 +1,1 @@
+lib/relstore/lock_mgr.mli: Xid

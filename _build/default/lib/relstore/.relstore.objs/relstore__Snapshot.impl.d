@@ -1,0 +1,1 @@
+lib/relstore/snapshot.ml: Printf Status_log Xid

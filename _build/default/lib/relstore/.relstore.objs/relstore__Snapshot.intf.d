@@ -1,0 +1,1 @@
+lib/relstore/snapshot.mli: Status_log Xid

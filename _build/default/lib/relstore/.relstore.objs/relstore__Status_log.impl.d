@@ -1,0 +1,1 @@
+lib/relstore/status_log.ml: Hashtbl List Printf Simclock Xid

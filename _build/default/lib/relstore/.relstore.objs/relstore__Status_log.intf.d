@@ -1,0 +1,1 @@
+lib/relstore/status_log.mli: Simclock Xid

@@ -1,0 +1,1 @@
+lib/relstore/tid.ml: Int Int64 Printf

@@ -1,0 +1,1 @@
+lib/relstore/tid.mli:

@@ -1,0 +1,1 @@
+lib/relstore/txn.ml: Cpu_model List Lock_mgr Pagestore Printf Simclock Snapshot Status_log Xid

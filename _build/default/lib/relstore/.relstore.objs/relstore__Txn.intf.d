@@ -1,0 +1,1 @@
+lib/relstore/txn.mli: Lock_mgr Pagestore Simclock Snapshot Status_log Xid

@@ -1,0 +1,1 @@
+lib/relstore/vacuum.ml: Hashtbl Heap List Status_log Tid Xid

@@ -1,0 +1,1 @@
+lib/relstore/vacuum.mli: Heap Status_log

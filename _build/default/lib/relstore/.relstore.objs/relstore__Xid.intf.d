@@ -1,0 +1,1 @@
+lib/relstore/xid.mli:

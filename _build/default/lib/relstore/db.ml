@@ -1,0 +1,123 @@
+type t = {
+  clock : Simclock.Clock.t;
+  switch : Pagestore.Switch.t;
+  cache : Pagestore.Bufcache.t;
+  log : Status_log.t;
+  locks : Lock_mgr.t;
+  mgr : Txn.manager;
+  relations : (string, Heap.t) Hashtbl.t;
+  mutable next_relid : int64;
+  mutable next_oid : int64;
+}
+
+let create ?(cache_capacity = 300) ?os_cache_blocks ?switch ?clock () =
+  let clock = match clock with Some c -> c | None -> Simclock.Clock.create () in
+  let switch =
+    match switch with
+    | Some s -> s
+    | None ->
+      let s = Pagestore.Switch.create ~clock in
+      let (_ : Pagestore.Device.t) =
+        Pagestore.Switch.add_device s ~name:"disk0" ~kind:Pagestore.Device.Magnetic_disk ()
+      in
+      s
+  in
+  let cache = Pagestore.Bufcache.create ~capacity:cache_capacity ?os_cache_blocks () in
+  let log = Status_log.create ~clock in
+  let locks = Lock_mgr.create () in
+  let mgr = Txn.create_manager ~clock ~log ~locks ~cache in
+  {
+    clock;
+    switch;
+    cache;
+    log;
+    locks;
+    mgr;
+    relations = Hashtbl.create 64;
+    next_relid = 1000L;
+    next_oid = 10000L;
+  }
+
+let clock t = t.clock
+let switch t = t.switch
+let cache t = t.cache
+let status_log t = t.log
+let lock_mgr t = t.locks
+let txn_manager t = t.mgr
+let begin_txn t = Txn.begin_txn t.mgr
+let with_txn t f = Txn.with_txn t.mgr f
+let now t = Simclock.Clock.timestamp t.clock
+
+let allocate_oid t =
+  let oid = t.next_oid in
+  t.next_oid <- Int64.add oid 1L;
+  oid
+
+let create_relation t ~name ?device () =
+  if Hashtbl.mem t.relations name then
+    invalid_arg (Printf.sprintf "Db.create_relation: relation %s exists" name);
+  let dev =
+    match device with
+    | Some d -> Pagestore.Switch.find t.switch d
+    | None -> Pagestore.Switch.default_device t.switch
+  in
+  let relid = t.next_relid in
+  t.next_relid <- Int64.add relid 1L;
+  let heap = Heap.create ~cache:t.cache ~device:dev ~log:t.log ~name ~relid in
+  Hashtbl.replace t.relations name heap;
+  heap
+
+let find_relation t name =
+  match Hashtbl.find_opt t.relations name with
+  | Some h -> h
+  | None -> raise Not_found
+
+let find_relation_opt t name = Hashtbl.find_opt t.relations name
+let relation_exists t name = Hashtbl.mem t.relations name
+
+let drop_relation t name =
+  let heap = find_relation t name in
+  Pagestore.Bufcache.invalidate_segment t.cache (Heap.device heap) ~segid:(Heap.segid heap);
+  Pagestore.Device.drop_segment (Heap.device heap) (Heap.segid heap);
+  Hashtbl.remove t.relations name
+
+let rename_relation t ~old_name ~new_name =
+  let heap = find_relation t old_name in
+  if Hashtbl.mem t.relations new_name then
+    invalid_arg (Printf.sprintf "Db.rename_relation: %s exists" new_name);
+  Hashtbl.remove t.relations old_name;
+  Heap.rename heap new_name;
+  Hashtbl.replace t.relations new_name heap
+
+let relations t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.relations [] |> List.sort String.compare
+
+let crash t =
+  Pagestore.Bufcache.crash t.cache;
+  Status_log.crash_recover t.log;
+  Lock_mgr.reset t.locks;
+  Pagestore.Switch.crash t.switch
+
+let find_jukebox t =
+  List.find_opt
+    (fun d -> Pagestore.Device.kind d = Pagestore.Device.Worm_jukebox)
+    (Pagestore.Switch.devices t.switch)
+
+let vacuum t ~relation ?horizon ~mode ?on_remove () =
+  let heap = find_relation t relation in
+  let horizon = match horizon with Some h -> h | None -> now t in
+  (match mode with
+  | `Discard -> ()
+  | `Archive ->
+    if Heap.archive heap = None then begin
+      let arch_name = relation ^ "_arch" in
+      let arch =
+        match find_relation_opt t arch_name with
+        | Some a -> a
+        | None ->
+          let device = Option.map Pagestore.Device.name (find_jukebox t) in
+          create_relation t ~name:arch_name ?device ()
+      in
+      Heap.set_archive heap arch
+    end);
+  Vacuum.run heap ~log:t.log ~horizon ~mode ?on_remove ()

@@ -1,0 +1,78 @@
+(** A database instance: one mount point's worth of storage.
+
+    Ties together the device switch, shared buffer cache, status log, lock
+    manager and transaction manager, owns the relation catalog and the oid
+    generator, and implements crash + instant recovery.  In the paper "a
+    single database corresponds to a mount point in conventional file
+    system architectures"; the Inversion layer builds one file system per
+    [Db.t].
+
+    Catalog and counters model POSTGRES system state that is itself stored
+    transactionally; we treat them as durable (they survive {!crash}),
+    which is documented in DESIGN.md. *)
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?os_cache_blocks:int ->
+  ?switch:Pagestore.Switch.t ->
+  ?clock:Simclock.Clock.t ->
+  unit ->
+  t
+(** Build a database.  Without [switch], a fresh switch with a single
+    magnetic disk named ["disk0"] is created.  [cache_capacity] defaults
+    to 300 pages (the Berkeley configuration). *)
+
+val clock : t -> Simclock.Clock.t
+val switch : t -> Pagestore.Switch.t
+val cache : t -> Pagestore.Bufcache.t
+val status_log : t -> Status_log.t
+val lock_mgr : t -> Lock_mgr.t
+val txn_manager : t -> Txn.manager
+
+val begin_txn : t -> Txn.t
+val with_txn : t -> (Txn.t -> 'a) -> 'a
+
+val now : t -> int64
+(** Current simulated time in µs — the coordinate system for time travel. *)
+
+val allocate_oid : t -> int64
+(** A fresh, never-reused object identifier.  Survives crashes. *)
+
+val create_relation : t -> name:string -> ?device:string -> unit -> Heap.t
+(** Create a relation, placed on the named device (default: the switch's
+    default device).  The placement is permanent; access thereafter is
+    location-transparent.  Raises [Invalid_argument] on duplicate name,
+    [Not_found] on unknown device. *)
+
+val find_relation : t -> string -> Heap.t
+(** Raises [Not_found]. *)
+
+val find_relation_opt : t -> string -> Heap.t option
+val relation_exists : t -> string -> bool
+
+val drop_relation : t -> string -> unit
+(** Drop the relation and release its storage.  Raises [Not_found]. *)
+
+val rename_relation : t -> old_name:string -> new_name:string -> unit
+(** Catalog rename (used by file migration to swap in the relocated
+    relation).  Raises [Not_found] / [Invalid_argument] on a missing
+    source or existing destination. *)
+
+val relations : t -> string list
+(** All relation names, sorted. *)
+
+val crash : t -> unit
+(** Simulate a machine failure and instant recovery: the buffer cache is
+    lost, in-progress transactions become aborted, all locks vanish.
+    Committed data (forced at commit) is intact; no fsck, no log replay.
+    The database is immediately usable. *)
+
+val vacuum :
+  t -> relation:string -> ?horizon:int64 -> mode:[ `Archive | `Discard ] ->
+  ?on_remove:(Heap.record -> unit) -> unit -> Vacuum.stats
+(** Run the vacuum cleaner on one relation.  [horizon] defaults to the
+    current time (archive everything already dead).  In [`Archive] mode an
+    archive relation [name ^ "_arch"] is created on demand — on a
+    jukebox-class device if one is registered, else the default device. *)

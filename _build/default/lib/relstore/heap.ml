@@ -1,0 +1,183 @@
+type t = {
+  cache : Pagestore.Bufcache.t;
+  device : Pagestore.Device.t;
+  log : Status_log.t;
+  mutable name : string;
+  relid : int64;
+  segid : int;
+  mutable insert_hint : int; (* block most likely to have room *)
+  mutable archive : t option;
+}
+
+type record = {
+  tid : Tid.t;
+  oid : int64;
+  xmin : Xid.t;
+  xmax : Xid.t;
+  payload : bytes;
+}
+
+let create ~cache ~device ~log ~name ~relid =
+  let segid = Pagestore.Device.create_segment device in
+  { cache; device; log; name; relid; segid; insert_hint = -1; archive = None }
+
+let name t = t.name
+let rename t new_name = t.name <- new_name
+let relid t = t.relid
+let device t = t.device
+let segid t = t.segid
+let nblocks t = Pagestore.Device.nblocks t.device t.segid
+let resource t = "rel:" ^ t.name
+let set_archive t a = t.archive <- Some a
+let archive t = t.archive
+
+let read_lock t txn = Txn.lock txn ~resource:(resource t) Lock_mgr.Shared
+let write_lock t txn = Txn.lock txn ~resource:(resource t) Lock_mgr.Exclusive
+
+let with_page t blkno f =
+  Pagestore.Bufcache.with_page t.cache t.device ~segid:t.segid ~blkno f
+
+let dirty t blkno = Pagestore.Bufcache.mark_dirty t.cache t.device ~segid:t.segid ~blkno
+
+let record_of_page_record blkno (r : Heap_page.record) =
+  {
+    tid = Tid.make ~blkno ~slot:r.slot;
+    oid = r.oid;
+    xmin = r.xmin;
+    xmax = r.xmax;
+    payload = r.payload;
+  }
+
+let fresh_block t =
+  let blkno = Pagestore.Bufcache.new_block t.cache t.device ~segid:t.segid in
+  with_page t blkno (fun page ->
+      Heap_page.init page ~relid:t.relid ~blkno;
+      Heap_page.seal page);
+  dirty t blkno;
+  blkno
+
+let try_insert_on t blkno ~oid ~xmin payload =
+  with_page t blkno (fun page ->
+      if not (Heap_page.is_initialized page) then Heap_page.init page ~relid:t.relid ~blkno;
+      match Heap_page.insert page ~oid ~xmin ~payload with
+      | Some slot ->
+        Heap_page.seal page;
+        dirty t blkno;
+        Some (Tid.make ~blkno ~slot)
+      | None -> None)
+
+let insert_payload t ~oid ~xmin payload =
+  let from_hint =
+    if t.insert_hint >= 0 && t.insert_hint < nblocks t then
+      try_insert_on t t.insert_hint ~oid ~xmin payload
+    else None
+  in
+  match from_hint with
+  | Some tid -> tid
+  | None ->
+    let blkno = fresh_block t in
+    t.insert_hint <- blkno;
+    (match try_insert_on t blkno ~oid ~xmin payload with
+    | Some tid -> tid
+    | None -> invalid_arg "Heap.insert: payload exceeds page capacity")
+
+let clock t = Pagestore.Device.clock t.device
+
+let insert t txn ~oid payload =
+  write_lock t txn;
+  Cpu_model.charge_record_write (clock t) ~bytes:(Bytes.length payload);
+  insert_payload t ~oid ~xmin:(Txn.xid txn) payload
+
+let append_raw t ~oid ~xmin ~xmax payload =
+  let tid = insert_payload t ~oid ~xmin payload in
+  if Xid.is_valid xmax then begin
+    with_page t tid.Tid.blkno (fun page ->
+        Heap_page.set_xmax page ~slot:tid.Tid.slot xmax;
+        Heap_page.seal page);
+    dirty t tid.Tid.blkno
+  end;
+  tid
+
+let fetch_any t (tid : Tid.t) =
+  if tid.blkno < 0 || tid.blkno >= nblocks t then None
+  else
+    with_page t tid.blkno (fun page ->
+        match Heap_page.read_record page ~slot:tid.slot with
+        | Some r -> Some (record_of_page_record tid.blkno r)
+        | None -> None)
+
+let fetch t snap tid =
+  match fetch_any t tid with
+  | Some r when Snapshot.visible t.log snap ~xmin:r.xmin ~xmax:r.xmax ->
+    Cpu_model.charge_record_read (clock t) ~bytes:(Bytes.length r.payload);
+    Some r
+  | Some _ | None -> None
+
+let delete t txn (tid : Tid.t) =
+  write_lock t txn;
+  Cpu_model.charge_record_write (clock t) ~bytes:0;
+  match fetch_any t tid with
+  | None -> raise Not_found
+  | Some r ->
+    if Xid.is_valid r.xmax && (r.xmax = Txn.xid txn || Status_log.is_committed t.log r.xmax)
+    then invalid_arg "Heap.delete: record already deleted";
+    with_page t tid.blkno (fun page ->
+        Heap_page.set_xmax page ~slot:tid.slot (Txn.xid txn);
+        Heap_page.seal page);
+    dirty t tid.blkno
+
+let update t txn tid payload =
+  match fetch_any t tid with
+  | None -> raise Not_found
+  | Some old ->
+    delete t txn tid;
+    insert t txn ~oid:old.oid payload
+
+let scan_raw t f =
+  for blkno = 0 to nblocks t - 1 do
+    (* Collect under the pin, apply after releasing it, so [f] may itself
+       touch the cache (e.g. follow the record into another relation). *)
+    let records = ref [] in
+    with_page t blkno (fun page ->
+        Heap_page.iter page (fun r -> records := record_of_page_record blkno r :: !records));
+    List.iter f (List.rev !records)
+  done
+
+let scan t snap f =
+  let emit r = if Snapshot.visible t.log snap ~xmin:r.xmin ~xmax:r.xmax then f r in
+  scan_raw t emit;
+  match (snap, t.archive) with
+  | Snapshot.As_of _, Some arch -> scan_raw arch emit
+  | _ -> ()
+
+let kill_tid t (tid : Tid.t) =
+  with_page t tid.blkno (fun page ->
+      Heap_page.kill_slot page ~slot:tid.slot;
+      Heap_page.seal page);
+  dirty t tid.blkno
+
+let compact_block t blkno =
+  with_page t blkno (fun page ->
+      Heap_page.compact page;
+      Heap_page.seal page);
+  dirty t blkno
+
+let verify t =
+  let result = ref (Ok ()) in
+  (try
+     for blkno = 0 to nblocks t - 1 do
+       with_page t blkno (fun page ->
+           match Heap_page.verify page ~expect_relid:t.relid ~expect_blkno:blkno with
+           | Ok () -> ()
+           | Error msg ->
+             result := Error (Printf.sprintf "%s block %d: %s" t.name blkno msg);
+             raise Exit)
+     done
+   with Exit -> ());
+  !result
+
+let seal_all t =
+  for blkno = 0 to nblocks t - 1 do
+    with_page t blkno (fun page -> Heap_page.seal page);
+    dirty t blkno
+  done

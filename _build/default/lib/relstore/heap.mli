@@ -1,0 +1,106 @@
+(** Heap relations: no-overwrite record storage.
+
+    A heap is one relation's record store on one device — in Inversion,
+    one file's chunk table, or a catalog like [naming] or [fileatt].
+    Updates never overwrite: [delete] stamps the old version's [xmax],
+    [update] stamps the old and appends the new, and readers pick versions
+    by {!Snapshot} visibility.  "When a record is updated or deleted, the
+    original record is marked invalid, but remains in place."
+
+    Writers take an exclusive two-phase lock on the relation; readers take
+    a shared lock.  All page traffic goes through the shared buffer cache,
+    so simulated I/O cost accrues naturally.
+
+    A heap may have an {e archive} companion (populated by {!Vacuum}):
+    historical scans transparently include archived record versions. *)
+
+type t
+
+type record = {
+  tid : Tid.t;
+  oid : int64;
+  xmin : Xid.t;
+  xmax : Xid.t;
+  payload : bytes;
+}
+
+val create :
+  cache:Pagestore.Bufcache.t ->
+  device:Pagestore.Device.t ->
+  log:Status_log.t ->
+  name:string ->
+  relid:int64 ->
+  t
+(** Create an empty relation: allocates a fresh device segment. *)
+
+val name : t -> string
+
+val rename : t -> string -> unit
+(** Catalog rename; used only by {!Db.rename_relation} during file
+    migration.  The lock resource name changes with it, so rename only
+    while no transaction holds locks on the relation. *)
+
+val relid : t -> int64
+val device : t -> Pagestore.Device.t
+val segid : t -> int
+val nblocks : t -> int
+val resource : t -> string
+(** The lock-manager resource name for this relation. *)
+
+val set_archive : t -> t -> unit
+(** Attach an archive heap (usually on slower media); see {!Vacuum}. *)
+
+val archive : t -> t option
+
+val insert : t -> Txn.t -> oid:int64 -> bytes -> Tid.t
+(** Append a record version stamped [xmin = xid].  Takes the relation's
+    exclusive lock.  Payloads up to {!Heap_page.max_payload} bytes. *)
+
+val delete : t -> Txn.t -> Tid.t -> unit
+(** Stamp [xmax = xid] on the version at [tid].  Raises [Not_found] if the
+    slot is dead/absent; [Invalid_argument] if already deleted by a
+    committed or same transaction. *)
+
+val update : t -> Txn.t -> Tid.t -> bytes -> Tid.t
+(** [delete] the old version and [insert] the replacement with the same
+    oid; returns the new version's TID. *)
+
+val fetch : t -> Snapshot.t -> Tid.t -> record option
+(** The version at [tid] if it exists and is visible.  Charges a shared
+    read through the buffer cache (no lock: validation against locks is
+    the caller's job via [read_lock]). *)
+
+val fetch_any : t -> Tid.t -> record option
+(** Like {!fetch} but ignores visibility (vacuum, debugging). *)
+
+val append_raw : t -> oid:int64 -> xmin:Xid.t -> xmax:Xid.t -> bytes -> Tid.t
+(** System-internal append preserving existing transaction stamps; used by
+    the vacuum cleaner to move record versions into an archive without
+    rewriting history.  Takes no locks. *)
+
+val read_lock : t -> Txn.t -> unit
+(** Take the relation's shared lock (two-phase read protection). *)
+
+val write_lock : t -> Txn.t -> unit
+
+val scan : t -> Snapshot.t -> (record -> unit) -> unit
+(** All visible records in physical order.  With an [As_of] snapshot the
+    attached archive (if any) is scanned too, so vacuumed history remains
+    reachable. *)
+
+val scan_raw : t -> (record -> unit) -> unit
+(** Every record version regardless of visibility, main heap only. *)
+
+val kill_tid : t -> Tid.t -> unit
+(** Vacuum only: mark the slot dead (see {!Heap_page.kill_slot}). *)
+
+val compact_block : t -> int -> unit
+(** Vacuum only: compact one page, preserving surviving TIDs. *)
+
+val verify : t -> (unit, string) result
+(** Check every page's self-identification (relid, blkno, checksum where
+    sealed).  The "fsck that never needs to run" — only media damage can
+    make it fail. *)
+
+val seal_all : t -> unit
+(** Recompute checksums on all pages (called after bulk loads/tests). *)

@@ -1,0 +1,113 @@
+type mode = Shared | Exclusive
+
+let mode_to_string = function Shared -> "shared" | Exclusive -> "exclusive"
+
+exception Would_block of { xid : Xid.t; resource : string; holders : Xid.t list }
+exception Deadlock of Xid.t
+
+type t = {
+  locks : (string, (Xid.t, mode) Hashtbl.t) Hashtbl.t; (* resource -> holders *)
+  wait_for : (Xid.t, Xid.t list) Hashtbl.t; (* waiter -> holders it waits on *)
+}
+
+let create () = { locks = Hashtbl.create 64; wait_for = Hashtbl.create 16 }
+
+let holders_table t resource =
+  match Hashtbl.find_opt t.locks resource with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 4 in
+    Hashtbl.replace t.locks resource h;
+    h
+
+let holders t ~resource =
+  match Hashtbl.find_opt t.locks resource with
+  | None -> []
+  | Some h ->
+    Hashtbl.fold (fun xid mode acc -> (xid, mode) :: acc) h []
+    |> List.sort (fun (a, _) (b, _) -> Xid.compare a b)
+
+let held_by t xid =
+  Hashtbl.fold
+    (fun resource h acc ->
+      match Hashtbl.find_opt h xid with
+      | Some mode -> (resource, mode) :: acc
+      | None -> acc)
+    t.locks []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let waiting t xid = Option.value ~default:[] (Hashtbl.find_opt t.wait_for xid)
+
+(* Depth-first reachability in the wait-for graph: does [target] appear on
+   a wait chain starting from [start]? *)
+let reaches t start target =
+  let visited = Hashtbl.create 8 in
+  let rec go xid =
+    if xid = target then true
+    else if Hashtbl.mem visited xid then false
+    else begin
+      Hashtbl.replace visited xid ();
+      List.exists go (waiting t xid)
+    end
+  in
+  go start
+
+let conflicting_holders h xid mode =
+  Hashtbl.fold
+    (fun holder hmode acc ->
+      if holder = xid then acc
+      else
+        match (mode, hmode) with
+        | Shared, Shared -> acc
+        | Shared, Exclusive | Exclusive, Shared | Exclusive, Exclusive -> holder :: acc)
+    h []
+  |> List.sort Xid.compare
+
+let acquire t xid ~resource mode =
+  let h = holders_table t resource in
+  let already =
+    match Hashtbl.find_opt h xid with
+    | Some Exclusive -> true (* exclusive covers both requests *)
+    | Some Shared -> mode = Shared
+    | None -> false
+  in
+  if not already then begin
+    match conflicting_holders h xid mode with
+    | [] ->
+      Hashtbl.replace h xid mode;
+      Hashtbl.remove t.wait_for xid
+    | conflicts ->
+      (* Would waiting on [conflicts] complete a cycle back to us? *)
+      if List.exists (fun holder -> reaches t holder xid) conflicts then begin
+        Hashtbl.remove t.wait_for xid;
+        raise (Deadlock xid)
+      end;
+      Hashtbl.replace t.wait_for xid conflicts;
+      raise (Would_block { xid; resource; holders = conflicts })
+  end
+
+let try_acquire t xid ~resource mode =
+  match acquire t xid ~resource mode with
+  | () -> true
+  | exception Would_block _ -> false
+
+let reset t =
+  Hashtbl.reset t.locks;
+  Hashtbl.reset t.wait_for
+
+let release_all t xid =
+  Hashtbl.iter (fun _ h -> Hashtbl.remove h xid) t.locks;
+  Hashtbl.remove t.wait_for xid;
+  (* Anyone recorded as waiting for [xid] no longer is. *)
+  let updates =
+    Hashtbl.fold
+      (fun waiter deps acc ->
+        if List.mem xid deps then (waiter, List.filter (fun d -> d <> xid) deps) :: acc
+        else acc)
+      t.wait_for []
+  in
+  let update (waiter, deps) =
+    if deps = [] then Hashtbl.remove t.wait_for waiter
+    else Hashtbl.replace t.wait_for waiter deps
+  in
+  List.iter update updates

@@ -1,0 +1,54 @@
+(** Two-phase lock manager.
+
+    "A standard database two-phase locking protocol [GRAY76] allows
+    concurrent access to files while preventing simultaneous changes from
+    interfering with one another" (paper, "Transaction Protection").  Locks
+    are taken at relation granularity (one Inversion file = one relation)
+    in shared or exclusive mode, held until the owning transaction commits
+    or aborts, and conflicts are detected against a wait-for graph.
+
+    The engine is a single-threaded simulation, so a conflicting request
+    cannot literally sleep: it raises {!Would_block} and records a wait-for
+    edge.  If the edge completes a cycle the request raises {!Deadlock}
+    instead, naming a victim (the requester).  Callers — concurrency tests
+    and the file-system layer — retry after the holder releases. *)
+
+type mode = Shared | Exclusive
+
+val mode_to_string : mode -> string
+
+exception Would_block of { xid : Xid.t; resource : string; holders : Xid.t list }
+(** The request conflicts with locks held by [holders]. *)
+
+exception Deadlock of Xid.t
+(** Granting the wait would close a cycle; the named xid should abort. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> Xid.t -> resource:string -> mode -> unit
+(** Grant the lock or raise {!Would_block} / {!Deadlock}.  Re-acquiring a
+    held lock is a no-op; a Shared → Exclusive upgrade succeeds when the
+    requester is the only holder. *)
+
+val try_acquire : t -> Xid.t -> resource:string -> mode -> bool
+(** Like {!acquire} but returns [false] instead of raising
+    {!Would_block}.  Still raises {!Deadlock}. *)
+
+val release_all : t -> Xid.t -> unit
+(** Strict two-phase release: drop every lock and wait-for edge of a
+    transaction (called at commit/abort). *)
+
+val holders : t -> resource:string -> (Xid.t * mode) list
+(** Current holders of a resource (empty if unlocked). *)
+
+val held_by : t -> Xid.t -> (string * mode) list
+(** All locks a transaction holds, sorted by resource. *)
+
+val waiting : t -> Xid.t -> Xid.t list
+(** Transactions [xid] is currently recorded as waiting for. *)
+
+val reset : t -> unit
+(** Drop every lock and wait-for edge.  Locks are volatile state: crash
+    recovery calls this. *)

@@ -1,0 +1,18 @@
+type t = Current of Xid.t | As_of of int64
+
+let visible log snap ~xmin ~xmax =
+  match snap with
+  | Current xid ->
+    let inserted = xmin = xid || Status_log.is_committed log xmin in
+    let deleted =
+      Xid.is_valid xmax && (xmax = xid || Status_log.is_committed log xmax)
+    in
+    inserted && not deleted
+  | As_of horizon ->
+    let inserted = Status_log.committed_before log xmin horizon in
+    let deleted = Xid.is_valid xmax && Status_log.committed_before log xmax horizon in
+    inserted && not deleted
+
+let to_string = function
+  | Current xid -> Printf.sprintf "current(xid=%d)" xid
+  | As_of t -> Printf.sprintf "as-of(%Ld µs)" t

@@ -1,0 +1,25 @@
+(** Visibility rules for the no-overwrite storage manager.
+
+    Every record version carries the xid that inserted it ([xmin]) and the
+    xid that deleted/replaced it ([xmax], 0 while live).  Nothing is ever
+    overwritten in place, so "what can this reader see?" is a pure function
+    of these stamps and the {!Status_log}:
+
+    - [Current xid] — an ordinary transaction sees its own changes plus
+      everything committed.  (Two-phase relation locks prevent concurrent
+      writers from changing a relation mid-read, so degree-3 consistency
+      needs no extra machinery.)
+    - [As_of t] — time travel: exactly the versions whose inserter had
+      committed by simulated time [t] and whose deleter had not.  "All
+      transactions that had committed as of that time will be visible, so
+      the file system state will be exactly the same as it was at that
+      moment." *)
+
+type t =
+  | Current of Xid.t  (** the given transaction's ordinary view *)
+  | As_of of int64  (** historical view at a simulated time, µs *)
+
+val visible : Status_log.t -> t -> xmin:Xid.t -> xmax:Xid.t -> bool
+(** Is a record version with these stamps visible under the snapshot? *)
+
+val to_string : t -> string

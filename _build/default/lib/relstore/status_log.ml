@@ -1,0 +1,64 @@
+type state = In_progress | Committed of int64 | Aborted
+
+type t = {
+  clock : Simclock.Clock.t;
+  table : (Xid.t, state) Hashtbl.t;
+  mutable next_xid : Xid.t;
+}
+
+(* Commit forces two tiny writes: the status (pg_log-style) page, and the
+   commit-time record that makes time travel exact.  Each pays a short
+   seek to the log area plus half a rotation on an RZ58-class disk. *)
+let commit_force_cost = 2. *. (0.0007 +. 0.002 +. (60. /. 5400. /. 2.))
+
+let create ~clock = { clock; table = Hashtbl.create 256; next_xid = 1 }
+
+let begin_txn t =
+  let xid = t.next_xid in
+  t.next_xid <- xid + 1;
+  Hashtbl.replace t.table xid In_progress;
+  xid
+
+let state t xid =
+  match Hashtbl.find_opt t.table xid with
+  | Some s -> s
+  | None -> raise Not_found
+
+let commit ?(force = true) t xid =
+  match state t xid with
+  | In_progress ->
+    let ts = Simclock.Clock.timestamp t.clock in
+    Hashtbl.replace t.table xid (Committed ts);
+    if force then Simclock.Clock.advance t.clock ~account:"xlog.commit" commit_force_cost;
+    Simclock.Clock.tick t.clock "txn.commit";
+    ts
+  | Committed _ | Aborted ->
+    invalid_arg (Printf.sprintf "Status_log.commit: xid %d not in progress" xid)
+
+let abort t xid =
+  match state t xid with
+  | In_progress | Aborted ->
+    Hashtbl.replace t.table xid Aborted;
+    Simclock.Clock.tick t.clock "txn.abort"
+  | Committed _ ->
+    invalid_arg (Printf.sprintf "Status_log.abort: xid %d already committed" xid)
+
+let is_committed t xid =
+  match Hashtbl.find_opt t.table xid with Some (Committed _) -> true | _ -> false
+
+let commit_time t xid =
+  match Hashtbl.find_opt t.table xid with Some (Committed ts) -> Some ts | _ -> None
+
+let committed_before t xid horizon =
+  match Hashtbl.find_opt t.table xid with
+  | Some (Committed ts) -> ts <= horizon
+  | _ -> false
+
+let active t =
+  Hashtbl.fold (fun xid s acc -> if s = In_progress then xid :: acc else acc) t.table []
+  |> List.sort Xid.compare
+
+let crash_recover t =
+  List.iter (fun xid -> Hashtbl.replace t.table xid Aborted) (active t)
+
+let last_xid t = t.next_xid - 1

@@ -1,0 +1,51 @@
+(** The transaction status file.
+
+    POSTGRES's no-overwrite storage manager needs no write-ahead log: the
+    only durable per-transaction state is "a special status file which
+    indicates whether or not a transaction has committed" plus its commit
+    time (paper, "The No-Overwrite Storage Manager").  Crash recovery is
+    therefore instantaneous — readers just consult this log and ignore
+    records whose inserting transaction never committed.
+
+    The log survives {!crash}: commits force their status entry to stable
+    storage (we charge one small I/O per commit).  Transactions that were
+    in progress at the crash are marked aborted by recovery. *)
+
+type state = In_progress | Committed of int64  (** commit time, µs *) | Aborted
+
+type t
+
+val create : clock:Simclock.Clock.t -> t
+
+val begin_txn : t -> Xid.t
+(** Assign the next xid and record it as in progress. *)
+
+val commit : ?force:bool -> t -> Xid.t -> int64
+(** Mark committed at the current simulated time; returns the commit
+    timestamp.  Charges the forced status-file write unless [force:false]
+    (read-only transactions, which have nothing to make durable).  Raises
+    [Invalid_argument] if the xid is not in progress. *)
+
+val abort : t -> Xid.t -> unit
+(** Mark aborted.  Idempotent on already-aborted transactions; raises
+    [Invalid_argument] on a committed one. *)
+
+val state : t -> Xid.t -> state
+(** Raises [Not_found] for an unknown xid. *)
+
+val is_committed : t -> Xid.t -> bool
+val commit_time : t -> Xid.t -> int64 option
+
+val committed_before : t -> Xid.t -> int64 -> bool
+(** [committed_before log xid t] — did [xid] commit at or before simulated
+    time [t] (µs)?  This is the heart of time-travel visibility. *)
+
+val active : t -> Xid.t list
+(** Transactions currently in progress, ascending. *)
+
+val crash_recover : t -> unit
+(** Simulate crash + instant recovery: every in-progress transaction is
+    marked aborted.  Committed and aborted entries survive untouched. *)
+
+val last_xid : t -> Xid.t
+(** Highest xid ever assigned (0 if none). *)

@@ -1,0 +1,22 @@
+type t = { blkno : int; slot : int }
+
+let make ~blkno ~slot =
+  if blkno < 0 || slot < 0 then invalid_arg "Tid.make: negative component";
+  { blkno; slot }
+
+let compare a b =
+  match Int.compare a.blkno b.blkno with 0 -> Int.compare a.slot b.slot | c -> c
+
+let equal a b = compare a b = 0
+let to_string t = Printf.sprintf "(%d,%d)" t.blkno t.slot
+
+let encode t =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.blkno) 32)
+    (Int64.of_int (t.slot land 0xffff))
+
+let decode v =
+  {
+    blkno = Int64.to_int (Int64.shift_right_logical v 32);
+    slot = Int64.to_int (Int64.logand v 0xffffL);
+  }

@@ -1,0 +1,17 @@
+(** Tuple identifiers: the physical address of a record version.
+
+    A TID names a (block, slot) pair within one relation's segment, like a
+    POSTGRES ctid.  Indexes store TIDs as their values. *)
+
+type t = { blkno : int; slot : int }
+
+val make : blkno:int -> slot:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val encode : t -> int64
+(** Pack into 64 bits (blkno in the high 32, slot in the low 16) for
+    storage inside index entries. *)
+
+val decode : int64 -> t

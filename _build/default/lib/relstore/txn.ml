@@ -1,0 +1,79 @@
+type manager = {
+  clock : Simclock.Clock.t;
+  log : Status_log.t;
+  locks : Lock_mgr.t;
+  cache : Pagestore.Bufcache.t;
+}
+
+type state = Active | Committed | Aborted
+
+type t = {
+  mgr : manager;
+  txn_xid : Xid.t;
+  started : int64;
+  mutable txn_state : state;
+}
+
+let create_manager ~clock ~log ~locks ~cache = { clock; log; locks; cache }
+
+let clock m = m.clock
+let log m = m.log
+let locks m = m.locks
+let cache m = m.cache
+
+let begin_txn mgr =
+  let txn_xid = Status_log.begin_txn mgr.log in
+  { mgr; txn_xid; started = Simclock.Clock.timestamp mgr.clock; txn_state = Active }
+
+let xid t = t.txn_xid
+let state t = t.txn_state
+let start_time t = t.started
+let manager t = t.mgr
+let snapshot t = Snapshot.Current t.txn_xid
+
+let require_active t op =
+  if t.txn_state <> Active then
+    invalid_arg (Printf.sprintf "Txn.%s: xid %d is not active" op t.txn_xid)
+
+let lock t ~resource mode =
+  require_active t "lock";
+  Lock_mgr.acquire t.mgr.locks t.txn_xid ~resource mode
+
+let commit t =
+  require_active t "commit";
+  (* A transaction that held no exclusive lock wrote nothing: its commit
+     needs neither a data flush nor a forced status write. *)
+  let wrote =
+    List.exists
+      (fun (_, mode) -> mode = Lock_mgr.Exclusive)
+      (Lock_mgr.held_by t.mgr.locks t.txn_xid)
+  in
+  (* Data before status: a half-done flush without the status entry is a
+     transaction that never happened. *)
+  if wrote then begin
+    Cpu_model.charge_txn_overhead t.mgr.clock;
+    Pagestore.Bufcache.flush t.mgr.cache
+  end;
+  let ts = Status_log.commit ~force:wrote t.mgr.log t.txn_xid in
+  Lock_mgr.release_all t.mgr.locks t.txn_xid;
+  t.txn_state <- Committed;
+  ts
+
+let abort t =
+  match t.txn_state with
+  | Aborted -> ()
+  | Committed -> invalid_arg "Txn.abort: already committed"
+  | Active ->
+    Status_log.abort t.mgr.log t.txn_xid;
+    Lock_mgr.release_all t.mgr.locks t.txn_xid;
+    t.txn_state <- Aborted
+
+let with_txn mgr f =
+  let t = begin_txn mgr in
+  match f t with
+  | v ->
+    if t.txn_state = Active then ignore (commit t : int64);
+    v
+  | exception e ->
+    if t.txn_state = Active then abort t;
+    raise e

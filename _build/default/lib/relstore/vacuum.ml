@@ -1,0 +1,58 @@
+type stats = {
+  scanned : int;
+  archived : int;
+  discarded : int;
+  pages_compacted : int;
+}
+
+type verdict = Keep | Archive | Discard
+
+let judge log ~horizon (r : Heap.record) =
+  match Status_log.state log r.xmin with
+  | exception Not_found -> Keep (* unknown inserter: be conservative *)
+  | Status_log.Aborted -> Discard (* never existed *)
+  | Status_log.In_progress -> Keep
+  | Status_log.Committed _ ->
+    if Xid.is_valid r.xmax && Status_log.committed_before log r.xmax horizon then Archive
+    else Keep
+
+let run heap ~log ~horizon ~mode ?(on_remove = fun _ -> ()) () =
+  let archive_heap =
+    match (mode, Heap.archive heap) with
+    | `Archive, Some a -> Some a
+    | `Archive, None -> invalid_arg "Vacuum.run: `Archive mode but no archive heap attached"
+    | `Discard, _ -> None
+  in
+  let scanned = ref 0 and archived = ref 0 and discarded = ref 0 in
+  let doomed = ref [] in
+  let classify (r : Heap.record) =
+    incr scanned;
+    match judge log ~horizon r with
+    | Keep -> ()
+    | Discard ->
+      incr discarded;
+      doomed := r :: !doomed
+    | Archive ->
+      (match archive_heap with
+      | Some arch ->
+        ignore (Heap.append_raw arch ~oid:r.oid ~xmin:r.xmin ~xmax:r.xmax r.payload : Tid.t);
+        incr archived
+      | None -> incr discarded);
+      doomed := r :: !doomed
+  in
+  Heap.scan_raw heap classify;
+  (* Kill doomed slots, then compact each touched page once. *)
+  let touched = Hashtbl.create 16 in
+  let kill (r : Heap.record) =
+    on_remove r;
+    Heap.kill_tid heap r.tid;
+    Hashtbl.replace touched r.tid.Tid.blkno ()
+  in
+  List.iter kill (List.rev !doomed);
+  Hashtbl.iter (fun blkno () -> Heap.compact_block heap blkno) touched;
+  {
+    scanned = !scanned;
+    archived = !archived;
+    discarded = !discarded;
+    pages_compacted = Hashtbl.length touched;
+  }

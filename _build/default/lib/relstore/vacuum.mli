@@ -1,0 +1,35 @@
+(** The vacuum cleaner: garbage collection and record archiving.
+
+    "Periodically, obsolete records must be garbage-collected from the
+    database, and either moved elsewhere or physically deleted.  If time
+    travel is desired, the records must be saved forever somewhere."
+    (paper, "The No-Overwrite Storage Manager").
+
+    A record version is {e obsolete} at horizon [h] when its deleter
+    committed at or before [h]; a version whose inserter aborted is pure
+    garbage.  In [`Archive] mode obsolete versions move (stamps intact) to
+    the heap attached with {!Heap.set_archive} — typically on the WORM
+    jukebox — so [As_of] scans still see them; in [`Discard] mode history
+    before the horizon is lost, which is what POSTGRES does for relations
+    whose users "have no interest in maintaining history". *)
+
+type stats = {
+  scanned : int;  (** record versions examined *)
+  archived : int;  (** moved to the archive heap *)
+  discarded : int;  (** physically removed without archiving *)
+  pages_compacted : int;
+}
+
+val run :
+  Heap.t ->
+  log:Status_log.t ->
+  horizon:int64 ->
+  mode:[ `Archive | `Discard ] ->
+  ?on_remove:(Heap.record -> unit) ->
+  unit ->
+  stats
+(** Sweep the heap.  [on_remove] fires for every version leaving the main
+    heap (archived or discarded) so callers can fix index entries pointing
+    at its TID.  [`Archive] requires an attached archive heap.  The vacuum
+    must run without concurrent transactions touching the relation; this
+    single-threaded engine simply assumes it. *)

@@ -1,0 +1,6 @@
+type t = int
+
+let invalid = 0
+let is_valid x = x <> invalid
+let compare = Int.compare
+let to_string = string_of_int

@@ -1,0 +1,14 @@
+(** Transaction identifiers.
+
+    Monotonically increasing, assigned by the {!Status_log} at transaction
+    begin.  Xid 0 is the "invalid" xid used for a record's [xmax] while the
+    record has not been deleted. *)
+
+type t = int
+
+val invalid : t
+(** 0: no transaction. *)
+
+val is_valid : t -> bool
+val compare : t -> t -> int
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/simclock/clock.ml: Hashtbl Int64 List Option String

@@ -1,0 +1,1 @@
+lib/simclock/rng.ml: Array Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/simclock/stats.mli:

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomized workloads in the benchmark harness draw from a seeded
+    [Rng.t] so that every run of the benchmark visits the same offsets,
+    making paper-shape comparisons repeatable. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val bytes : t -> int -> bytes
+(** [bytes rng n] is [n] uniformly random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** A statistically independent generator derived from this one.  Use to
+    give sub-workloads their own streams without coupling draw order. *)

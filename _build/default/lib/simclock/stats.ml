@@ -1,0 +1,51 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if q <= 0. then sorted.(0)
+  else if q >= 1. then sorted.(n - 1)
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  if xs = [] then invalid_arg "Stats.summarize: empty sample";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  {
+    n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = a.(0);
+    max = a.(n - 1);
+    p50 = percentile a 0.5;
+    p95 = percentile a 0.95;
+    p99 = percentile a 0.99;
+  }

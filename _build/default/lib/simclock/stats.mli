@@ -1,0 +1,25 @@
+(** Summary statistics over float samples, used by the benchmark reports. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a non-empty sample list.  Raises [Invalid_argument] on []. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]] over a sorted array, with
+    linear interpolation between ranks. *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0. for fewer than two
+    samples. *)

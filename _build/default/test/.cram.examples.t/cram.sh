@@ -1,0 +1,4 @@
+  $ inv-quickstart | grep -E 'p_creat|after p_abort|an hour ago|undeleted|audit|/scratch'
+  $ inv-satellite-images | grep -E '^  tm|sprite|tm_sierra'
+  $ inv-source-control | grep -E 'checked in|revert|archive'
+  $ inv-migration | grep -E 'moved|platter exchanges|jukebox,'

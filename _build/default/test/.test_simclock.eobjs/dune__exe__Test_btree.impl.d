@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Hashtbl Index Int64 List Option Pagestore Printf QCheck QCheck_alcotest Simclock String

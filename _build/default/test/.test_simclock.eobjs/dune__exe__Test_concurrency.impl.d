@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Bytes Invfs Relstore Simclock

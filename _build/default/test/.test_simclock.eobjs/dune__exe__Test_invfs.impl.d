@@ -1,0 +1,1 @@
+test/test_invfs.ml: Alcotest Bytes Char Gen Hashtbl Int64 Invfs List Pagestore Postquel Printf QCheck QCheck_alcotest Relstore Simclock String

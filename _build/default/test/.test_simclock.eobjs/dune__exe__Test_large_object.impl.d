@@ -1,0 +1,1 @@
+test/test_large_object.ml: Alcotest Bytes Invfs Printf Relstore Simclock

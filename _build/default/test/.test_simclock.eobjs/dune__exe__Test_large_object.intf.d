@@ -1,0 +1,1 @@
+test/test_large_object.mli:

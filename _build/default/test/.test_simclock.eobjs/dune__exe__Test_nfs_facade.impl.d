@@ -1,0 +1,1 @@
+test/test_nfs_facade.ml: Alcotest Buffer Bytes Gen Int64 Invfs List Printf QCheck QCheck_alcotest Relstore Simclock

@@ -1,0 +1,1 @@
+test/test_nfsbaseline.ml: Alcotest Bytes Char Int64 List Netsim Nfsbaseline Pagestore Printf Simclock String

@@ -1,0 +1,1 @@
+test/test_pagestore.ml: Alcotest Array Bytes List Pagestore Printf QCheck QCheck_alcotest Simclock

@@ -1,0 +1,1 @@
+test/test_postquel.ml: Alcotest Int64 List Postquel Printf QCheck QCheck_alcotest String

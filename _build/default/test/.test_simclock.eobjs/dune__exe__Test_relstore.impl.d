@@ -1,0 +1,1 @@
+test/test_relstore.ml: Alcotest Bytes Char Gen Hashtbl Int64 List Option Pagestore Printf QCheck QCheck_alcotest Relstore Simclock String

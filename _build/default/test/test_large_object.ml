@@ -1,0 +1,145 @@
+(* Database large objects sharing storage with file-system clients. *)
+
+module Fs = Invfs.Fs
+module Lo = Invfs.Large_object
+module E = Invfs.Errors
+
+let fresh () =
+  let clock = Simclock.Clock.create () in
+  let db = Relstore.Db.create ~clock () in
+  let fs = Fs.make db () in
+  (clock, fs, Lo.manager fs)
+
+let bytes_of = Bytes.of_string
+let str = Bytes.to_string
+
+let test_creat_write_read () =
+  let _, _, lo = fresh () in
+  let oid = Lo.lo_creat lo () in
+  let fd = Lo.lo_open lo oid in
+  Alcotest.(check int) "write" 11 (Lo.lo_write lo fd (bytes_of "blob bytes!") 11);
+  ignore (Lo.lo_seek lo fd 0L Fs.Seek_set : int64);
+  let buf = Bytes.create 32 in
+  let n = Lo.lo_read lo fd buf 32 in
+  Alcotest.(check string) "read" "blob bytes!" (Bytes.sub_string buf 0 n);
+  Lo.lo_close lo fd;
+  Alcotest.(check int64) "size" 11L (Lo.lo_size lo oid)
+
+let test_shared_with_fs_clients () =
+  (* "The same Inversion file can be used by a database application and
+     by a file system client simultaneously." *)
+  let _, fs, lo = fresh () in
+  let s = Fs.new_session fs in
+  (* fs client writes a file; database opens it as an object *)
+  Fs.write_file s "/report.dat" (bytes_of "written by the fs client");
+  let oid = Lo.lo_of_path lo "/report.dat" in
+  let fd = Lo.lo_open lo oid in
+  let buf = Bytes.create 64 in
+  let n = Lo.lo_read lo fd buf 64 in
+  Alcotest.(check string) "db sees fs data" "written by the fs client"
+    (Bytes.sub_string buf 0 n);
+  (* database updates it; fs client sees the change *)
+  ignore (Lo.lo_seek lo fd 0L Fs.Seek_set : int64);
+  ignore (Lo.lo_write lo fd (bytes_of "updated by the database!") 24 : int);
+  Lo.lo_close lo fd;
+  Alcotest.(check string) "fs sees db update" "updated by the database!"
+    (str (Fs.read_whole_file s "/report.dat"))
+
+let test_objects_visible_in_namespace () =
+  let _, fs, lo = fresh () in
+  let s = Fs.new_session fs in
+  let oid = Lo.lo_creat lo () in
+  let names = Fs.readdir s "/.largeobjects" in
+  Alcotest.(check (list string)) "object named by oid"
+    [ Printf.sprintf "lo_%Ld" oid ]
+    names
+
+let test_time_travel_on_objects () =
+  let clock, fs, lo = fresh () in
+  let oid = Lo.lo_creat lo () in
+  let fd = Lo.lo_open lo oid in
+  ignore (Lo.lo_write lo fd (bytes_of "version 1") 9 : int);
+  Lo.lo_close lo fd;
+  Simclock.Clock.advance clock 5.;
+  let t1 = Relstore.Db.now (Fs.db fs) in
+  Simclock.Clock.advance clock 5.;
+  let fd = Lo.lo_open lo oid in
+  ignore (Lo.lo_write lo fd (bytes_of "version 2") 9 : int);
+  Lo.lo_close lo fd;
+  let old_fd = Lo.lo_open lo ~timestamp:t1 oid in
+  let buf = Bytes.create 16 in
+  let n = Lo.lo_read lo old_fd buf 16 in
+  Alcotest.(check string) "historical object" "version 1" (Bytes.sub_string buf 0 n);
+  Alcotest.(check bool) "historical read-only" true
+    (try
+       ignore (Lo.lo_write lo old_fd buf 1);
+       false
+     with E.Fs_error (E.EROFS, _) -> true);
+  Lo.lo_close lo old_fd;
+  Alcotest.(check int64) "historical size" 9L (Lo.lo_size lo ~timestamp:t1 oid)
+
+let test_export_import () =
+  let _, fs, lo = fresh () in
+  let s = Fs.new_session fs in
+  let oid = Lo.lo_creat lo () in
+  let fd = Lo.lo_open lo oid in
+  ignore (Lo.lo_write lo fd (bytes_of "exported") 8 : int);
+  Lo.lo_close lo fd;
+  Lo.lo_export lo oid "/copy.dat";
+  Alcotest.(check string) "export copies" "exported" (str (Fs.read_whole_file s "/copy.dat"));
+  (* import is identity: the file IS the object *)
+  let oid2 = Lo.lo_import lo "/copy.dat" in
+  Alcotest.(check bool) "distinct objects" true (oid <> oid2);
+  let fd2 = Lo.lo_open lo oid2 in
+  let buf = Bytes.create 8 in
+  ignore (Lo.lo_read lo fd2 buf 8);
+  Alcotest.(check string) "import reads in place" "exported" (Bytes.to_string buf);
+  Lo.lo_close lo fd2
+
+let test_unlink_and_undelete () =
+  let clock, fs, lo = fresh () in
+  let oid = Lo.lo_creat lo () in
+  let fd = Lo.lo_open lo oid in
+  ignore (Lo.lo_write lo fd (bytes_of "precious") 8 : int);
+  Lo.lo_close lo fd;
+  Simclock.Clock.advance clock 1.;
+  let before = Relstore.Db.now (Fs.db fs) in
+  Simclock.Clock.advance clock 1.;
+  Lo.lo_unlink lo oid;
+  Alcotest.(check bool) "gone" true
+    (try
+       ignore (Lo.lo_open lo oid : Lo.descriptor);
+       false
+     with E.Fs_error (E.ENOENT, _) -> true);
+  (* but history remains *)
+  let old_fd = Lo.lo_open lo ~timestamp:before oid in
+  let buf = Bytes.create 8 in
+  ignore (Lo.lo_read lo old_fd buf 8);
+  Alcotest.(check string) "undeletable" "precious" (Bytes.to_string buf);
+  Lo.lo_close lo old_fd
+
+let test_transactional_objects () =
+  let _, _, lo = fresh () in
+  let s = Lo.session lo in
+  let oid = Lo.lo_creat lo () in
+  Fs.p_begin s;
+  let fd = Lo.lo_open lo oid in
+  ignore (Lo.lo_write lo fd (bytes_of "doomed") 6 : int);
+  Lo.lo_close lo fd;
+  Fs.p_abort s;
+  Alcotest.(check int64) "rolled back" 0L (Lo.lo_size lo oid)
+
+let () =
+  Alcotest.run "large_object"
+    [
+      ( "blobs",
+        [
+          Alcotest.test_case "creat/write/read" `Quick test_creat_write_read;
+          Alcotest.test_case "shared with fs clients" `Quick test_shared_with_fs_clients;
+          Alcotest.test_case "visible in the namespace" `Quick test_objects_visible_in_namespace;
+          Alcotest.test_case "time travel" `Quick test_time_travel_on_objects;
+          Alcotest.test_case "export/import" `Quick test_export_import;
+          Alcotest.test_case "unlink + undelete" `Quick test_unlink_and_undelete;
+          Alcotest.test_case "transactions" `Quick test_transactional_objects;
+        ] );
+    ]

@@ -1,0 +1,76 @@
+(* Network cost models. *)
+
+let fresh params =
+  let clock = Simclock.Clock.create () in
+  (clock, Netsim.create ~clock params)
+
+let test_send_charges_time () =
+  let clock, net = fresh Netsim.tcp_1993 in
+  Netsim.send net ~bytes:8192;
+  Alcotest.(check bool) "time advanced" true (Simclock.Clock.now clock > 0.);
+  Alcotest.(check int) "message counted" 1 (Netsim.messages net);
+  Alcotest.(check int) "bytes counted" 8192 (Netsim.bytes_sent net)
+
+let test_cost_matches_send () =
+  let clock, net = fresh Netsim.tcp_1993 in
+  let predicted = Netsim.cost_of_send net ~bytes:100_000 in
+  Netsim.send net ~bytes:100_000;
+  Alcotest.(check (float 1e-5)) "cost_of_send = send" predicted (Simclock.Clock.now clock)
+
+let test_cost_monotone_in_size () =
+  let _, net = fresh Netsim.tcp_1993 in
+  let c1 = Netsim.cost_of_send net ~bytes:100 in
+  let c2 = Netsim.cost_of_send net ~bytes:10_000 in
+  let c3 = Netsim.cost_of_send net ~bytes:1_000_000 in
+  Alcotest.(check bool) "monotone" true (c1 < c2 && c2 < c3)
+
+let test_wire_time_dominates_large () =
+  (* 1 MB at 10 Mbit/s is at least 0.8 s of pure wire time *)
+  let _, net = fresh Netsim.udp_rpc_1993 in
+  Alcotest.(check bool) "1MB >= 0.8s" true (Netsim.cost_of_send net ~bytes:(1 lsl 20) >= 0.8)
+
+let test_tcp_heavier_than_udp () =
+  let _, tcp = fresh Netsim.tcp_1993 in
+  let _, udp = fresh Netsim.udp_rpc_1993 in
+  Alcotest.(check bool) "tcp costs more per 8KB" true
+    (Netsim.cost_of_send tcp ~bytes:8192 > Netsim.cost_of_send udp ~bytes:8192)
+
+let test_call_is_two_sends () =
+  let clock, net = fresh Netsim.udp_rpc_1993 in
+  Netsim.call net ~request:100 ~reply:8192;
+  Alcotest.(check int) "two messages" 2 (Netsim.messages net);
+  let expect =
+    Netsim.cost_of_send net ~bytes:100 +. Netsim.cost_of_send net ~bytes:8192
+  in
+  Alcotest.(check (float 1e-5)) "sum of sends" expect (Simclock.Clock.now clock)
+
+let test_zero_and_negative () =
+  let _, net = fresh Netsim.tcp_1993 in
+  Alcotest.(check bool) "empty message still costs" true
+    (Netsim.cost_of_send net ~bytes:0 > 0.);
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Netsim: negative size")
+    (fun () -> ignore (Netsim.cost_of_send net ~bytes:(-1)))
+
+let test_segmentation_steps () =
+  let _, net = fresh Netsim.tcp_1993 in
+  let p = Netsim.params net in
+  let one_seg = Netsim.cost_of_send net ~bytes:p.Netsim.mss in
+  let two_seg = Netsim.cost_of_send net ~bytes:(p.Netsim.mss + 1) in
+  Alcotest.(check bool) "segment boundary adds cpu" true
+    (two_seg -. one_seg >= p.Netsim.per_segment_cpu_s)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "cost model",
+        [
+          Alcotest.test_case "send charges" `Quick test_send_charges_time;
+          Alcotest.test_case "cost_of_send consistent" `Quick test_cost_matches_send;
+          Alcotest.test_case "monotone in size" `Quick test_cost_monotone_in_size;
+          Alcotest.test_case "wire-limited large transfers" `Quick test_wire_time_dominates_large;
+          Alcotest.test_case "tcp heavier than udp" `Quick test_tcp_heavier_than_udp;
+          Alcotest.test_case "call = request + reply" `Quick test_call_is_two_sends;
+          Alcotest.test_case "edge sizes" `Quick test_zero_and_negative;
+          Alcotest.test_case "segmentation steps" `Quick test_segmentation_steps;
+        ] );
+    ]

@@ -1,0 +1,229 @@
+(* NFS access to Inversion: stateless handles, per-op atomicity, and the
+   name@timestamp time-travel namespace extension. *)
+
+module Fs = Invfs.Fs
+module N = Invfs.Nfs_facade
+module E = Invfs.Errors
+
+let fresh () =
+  let clock = Simclock.Clock.create () in
+  let db = Relstore.Db.create ~clock () in
+  let fs = Fs.make db () in
+  (clock, fs, N.serve fs)
+
+let bytes_of = Bytes.of_string
+let str = Bytes.to_string
+
+let expect_error code f =
+  match f () with
+  | _ -> Alcotest.failf "expected %s" (E.code_to_string code)
+  | exception E.Fs_error (c, _) ->
+    Alcotest.(check string) "error code" (E.code_to_string code) (E.code_to_string c)
+
+let test_create_write_read () =
+  let _, _, n = fresh () in
+  let root = N.root n in
+  let fh = N.create n ~dir:root "hello.txt" in
+  N.write n fh ~off:0L (bytes_of "over the wire");
+  Alcotest.(check string) "read back" "over the wire" (str (N.read n fh ~off:0L ~len:64));
+  Alcotest.(check string) "offset read" "wire" (str (N.read n fh ~off:9L ~len:64))
+
+let test_lookup_and_readdir () =
+  let _, _, n = fresh () in
+  let root = N.root n in
+  let d = N.mkdir n ~dir:root "sub" in
+  let f = N.create n ~dir:d "f" in
+  Alcotest.(check (list string)) "root listing" [ "sub" ] (N.readdir n root);
+  Alcotest.(check (list string)) "sub listing" [ "f" ] (N.readdir n d);
+  (match N.lookup n ~dir:root "sub" with
+  | Some fh -> Alcotest.(check bool) "same dir" true (N.fh_equal fh d)
+  | None -> Alcotest.fail "lookup sub");
+  (match N.lookup n ~dir:d "f" with
+  | Some fh -> Alcotest.(check bool) "same file" true (N.fh_equal fh f)
+  | None -> Alcotest.fail "lookup f");
+  Alcotest.(check bool) "missing" true (N.lookup n ~dir:root "nope" = None);
+  expect_error E.ENOTDIR (fun () -> N.readdir n f)
+
+let test_getattr () =
+  let _, _, n = fresh () in
+  let root = N.root n in
+  let fh = N.create n ~dir:root "f" in
+  N.write n fh ~off:0L (bytes_of "12345");
+  (match N.getattr n fh with
+  | Some att -> Alcotest.(check int64) "size" 5L att.Invfs.Fileatt.size
+  | None -> Alcotest.fail "getattr");
+  N.remove n ~dir:root "f";
+  Alcotest.(check bool) "stale after remove" true (N.getattr n fh = None)
+
+let test_handles_survive_crash () =
+  let _, fs, n = fresh () in
+  let root = N.root n in
+  let fh = N.create n ~dir:root "f" in
+  N.write n fh ~off:0L (bytes_of "durable");
+  Fs.crash fs;
+  (* stateless: a brand new server instance accepts the old handle *)
+  let n2 = N.serve fs in
+  Alcotest.(check string) "old handle works" "durable" (str (N.read n2 fh ~off:0L ~len:16))
+
+let test_per_op_atomicity () =
+  (* each RPC commits by itself: a crash between two writes keeps the
+     first and loses nothing else — NFS semantics, not transactions *)
+  let _, fs, n = fresh () in
+  let root = N.root n in
+  let fh = N.create n ~dir:root "f" in
+  N.write n fh ~off:0L (bytes_of "first");
+  Fs.crash fs;
+  let n2 = N.serve fs in
+  Alcotest.(check string) "first write survived alone" "first"
+    (str (N.read n2 fh ~off:0L ~len:16))
+
+let test_time_travel_namespace () =
+  let clock, fs, n = fresh () in
+  let root = N.root n in
+  let fh = N.create n ~dir:root "report" in
+  N.write n fh ~off:0L (bytes_of "draft one");
+  Simclock.Clock.advance clock 10.;
+  let t1 = Relstore.Db.now (Fs.db fs) in
+  Simclock.Clock.advance clock 10.;
+  N.write n fh ~off:0L (bytes_of "final ver");
+  (* ls(1) and cat(1) against "report@T1", exactly as 3DFS extends the
+     namespace *)
+  let name = Printf.sprintf "report@%Ld" t1 in
+  (match N.lookup n ~dir:root name with
+  | Some old_fh ->
+    Alcotest.(check bool) "historical handle" true (N.fh_timestamp old_fh = Some t1);
+    Alcotest.(check string) "old contents" "draft one" (str (N.read n old_fh ~off:0L ~len:16));
+    (match N.getattr n old_fh with
+    | Some att -> Alcotest.(check int64) "old size" 9L att.Invfs.Fileatt.size
+    | None -> Alcotest.fail "old getattr");
+    expect_error E.EROFS (fun () -> N.write n old_fh ~off:0L (bytes_of "x"))
+  | None -> Alcotest.fail "time-travel lookup failed");
+  Alcotest.(check string) "present unaffected" "final ver" (str (N.read n fh ~off:0L ~len:16))
+
+let test_time_travel_directory () =
+  let clock, fs, n = fresh () in
+  let root = N.root n in
+  ignore (N.create n ~dir:root "old_file" : N.fh);
+  Simclock.Clock.advance clock 5.;
+  let t1 = Relstore.Db.now (Fs.db fs) in
+  Simclock.Clock.advance clock 5.;
+  N.remove n ~dir:root "old_file";
+  ignore (N.create n ~dir:root "new_file" : N.fh);
+  (* a historical directory handle lists — and resolves — the past *)
+  let dirname = Printf.sprintf "sub@%Ld" t1 in
+  ignore dirname;
+  match N.lookup n ~dir:root (Printf.sprintf "old_file@%Ld" t1) with
+  | Some old_fh ->
+    Alcotest.(check bool) "found in the past" true (N.fh_timestamp old_fh = Some t1);
+    Alcotest.(check (list string)) "current listing" [ "new_file" ] (N.readdir n root)
+  | None -> Alcotest.fail "historical lookup"
+
+let test_at_sign_literal_names () =
+  (* a name whose @-suffix is not a number is a plain name *)
+  let _, _, n = fresh () in
+  let root = N.root n in
+  let fh = N.create n ~dir:root "user@host" in
+  N.write n fh ~off:0L (bytes_of "mail");
+  match N.lookup n ~dir:root "user@host" with
+  | Some fh2 -> Alcotest.(check bool) "same file" true (N.fh_equal fh fh2)
+  | None -> Alcotest.fail "literal @ name"
+
+let test_rename_and_remove () =
+  let _, _, n = fresh () in
+  let root = N.root n in
+  let a = N.mkdir n ~dir:root "a" in
+  let b = N.mkdir n ~dir:root "b" in
+  let fh = N.create n ~dir:a "f" in
+  N.write n fh ~off:0L (bytes_of "content");
+  N.rename n ~src_dir:a ~src:"f" ~dst_dir:b ~dst:"g";
+  Alcotest.(check (list string)) "a empty" [] (N.readdir n a);
+  Alcotest.(check (list string)) "b has g" [ "g" ] (N.readdir n b);
+  (* the handle itself survives the rename: handles are oids *)
+  Alcotest.(check string) "handle tracks file" "content" (str (N.read n fh ~off:0L ~len:16));
+  N.remove n ~dir:b "g";
+  N.remove n ~dir:root "b";
+  Alcotest.(check (list string)) "b gone" [ "a" ] (N.readdir n root)
+
+let test_transfer_limit () =
+  let _, _, n = fresh () in
+  let root = N.root n in
+  let fh = N.create n ~dir:root "f" in
+  expect_error E.EINVAL (fun () -> N.write n fh ~off:0L (Bytes.create (N.max_transfer + 1)));
+  expect_error E.EINVAL (fun () -> N.read n fh ~off:0L ~len:(N.max_transfer + 1))
+
+(* property: byte-for-byte equivalence between the NFS view and the
+   native library view of the same files *)
+let prop_views_agree =
+  QCheck.Test.make ~name:"NFS view equals library view" ~count:25
+    QCheck.(
+      list_of_size Gen.(int_range 1 10)
+        (pair (int_bound 3) (string_of_size Gen.(int_range 0 400))))
+    (fun writes ->
+      let _, fs, n = fresh () in
+      let s = Fs.new_session fs in
+      let root = N.root n in
+      (* interleave: even steps write through NFS, odd through the library *)
+      List.iteri
+        (fun i (slot, content) ->
+          let name = Printf.sprintf "f%d" slot in
+          if i mod 2 = 0 then begin
+            let fh =
+              match N.lookup n ~dir:root name with
+              | Some fh -> fh
+              | None -> N.create n ~dir:root name
+            in
+            let data = Bytes.of_string content in
+            let sent = ref 0 in
+            while !sent < Bytes.length data do
+              let now = min N.max_transfer (Bytes.length data - !sent) in
+              N.write n fh ~off:(Int64.of_int !sent) (Bytes.sub data !sent now);
+              sent := !sent + now
+            done
+          end
+          else Fs.write_file s ("/" ^ name) (Bytes.of_string content))
+        writes;
+      (* both doors now see identical bytes for every file *)
+      List.for_all
+        (fun name ->
+          let via_lib = Fs.read_whole_file s ("/" ^ name) in
+          match N.lookup n ~dir:root name with
+          | Some fh ->
+            let via_nfs =
+              let size = Bytes.length via_lib in
+              let buf = Buffer.create size in
+              let off = ref 0 in
+              let continue = ref true in
+              while !continue && !off < size do
+                let want = min N.max_transfer (size - !off) in
+                let got = N.read n fh ~off:(Int64.of_int !off) ~len:want in
+                Buffer.add_bytes buf got;
+                off := !off + Bytes.length got;
+                if Bytes.length got < want then continue := false
+              done;
+              Buffer.to_bytes buf
+            in
+            Bytes.equal via_lib via_nfs
+          | None -> false)
+        (Fs.readdir s "/"))
+
+let () =
+  Alcotest.run "nfs_facade"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+          Alcotest.test_case "lookup/readdir" `Quick test_lookup_and_readdir;
+          Alcotest.test_case "getattr + stale handles" `Quick test_getattr;
+          Alcotest.test_case "handles survive crash" `Quick test_handles_survive_crash;
+          Alcotest.test_case "per-op atomicity" `Quick test_per_op_atomicity;
+          Alcotest.test_case "rename/remove" `Quick test_rename_and_remove;
+          Alcotest.test_case "8KB transfer limit" `Quick test_transfer_limit;
+        ] );
+      ( "properties", List.map QCheck_alcotest.to_alcotest [ prop_views_agree ] );
+      ( "time travel namespace",
+        [
+          Alcotest.test_case "name@timestamp" `Quick test_time_travel_namespace;
+          Alcotest.test_case "historical directories" `Quick test_time_travel_directory;
+          Alcotest.test_case "literal @ in names" `Quick test_at_sign_literal_names;
+        ] );
+    ]

@@ -1,0 +1,368 @@
+(* Pages, devices, the device switch, and the buffer cache. *)
+
+module P = Pagestore.Page
+module D = Pagestore.Device
+module S = Pagestore.Switch
+module B = Pagestore.Bufcache
+
+let fresh_disk ?geometry () =
+  let clock = Simclock.Clock.create () in
+  (clock, D.create ~clock ~name:"disk" ~kind:D.Magnetic_disk ?geometry ())
+
+(* ---- Page ---- *)
+
+let test_page_accessors () =
+  let p = P.create () in
+  P.set_u8 p 0 0xAB;
+  Alcotest.(check int) "u8" 0xAB (P.get_u8 p 0);
+  P.set_u16 p 2 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (P.get_u16 p 2);
+  P.set_u32 p 4 0xDEADBEEF;
+  Alcotest.(check int) "u32" 0xDEADBEEF (P.get_u32 p 4);
+  P.set_i64 p 8 (-42L);
+  Alcotest.(check int64) "i64" (-42L) (P.get_i64 p 8);
+  P.set_string p 100 "hello";
+  Alcotest.(check string) "string" "hello" (P.get_string p 100 5)
+
+let test_page_bounds () =
+  let p = P.create () in
+  Alcotest.check_raises "oob write" (Invalid_argument "Page: offset out of bounds")
+    (fun () -> P.set_u32 p (P.size - 2) 1);
+  Alcotest.check_raises "oob read" (Invalid_argument "Page: offset out of bounds")
+    (fun () -> ignore (P.get_i64 p (P.size - 4)))
+
+let test_page_checksum_changes () =
+  let p = P.create () in
+  let c0 = P.checksum p in
+  P.set_u8 p 1000 1;
+  Alcotest.(check bool) "checksum differs" true (c0 <> P.checksum p)
+
+let test_page_of_bytes_pads () =
+  let p = P.of_bytes (Bytes.of_string "xyz") in
+  Alcotest.(check string) "prefix" "xyz" (P.get_string p 0 3);
+  Alcotest.(check int) "padded" 0 (P.get_u8 p 3)
+
+(* ---- Device ---- *)
+
+let test_device_alloc_rw () =
+  let _, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  Alcotest.(check int) "empty" 0 (D.nblocks dev seg);
+  let b0 = D.allocate_block dev seg in
+  let b1 = D.allocate_block dev seg in
+  Alcotest.(check (pair int int)) "block numbers" (0, 1) (b0, b1);
+  let page = P.create () in
+  P.set_string page 0 "data!";
+  D.write_block dev ~segid:seg ~blkno:0 page;
+  let back = D.read_block dev ~segid:seg ~blkno:0 in
+  Alcotest.(check string) "roundtrip" "data!" (P.get_string back 0 5);
+  Alcotest.(check int) "reads" 1 (D.reads dev);
+  Alcotest.(check int) "writes" 1 (D.writes dev)
+
+let test_device_missing_block () =
+  let _, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  Alcotest.(check bool) "read missing raises" true
+    (try
+       ignore (D.read_block dev ~segid:seg ~blkno:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_device_charges_time () =
+  let clock, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  let b = D.allocate_block dev seg in
+  ignore (D.read_block dev ~segid:seg ~blkno:b);
+  Alcotest.(check bool) "time advanced" true (Simclock.Clock.now clock > 0.)
+
+let test_device_sequential_cheaper_than_random () =
+  let clock, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  for _ = 1 to 64 do
+    ignore (D.allocate_block dev seg)
+  done;
+  Simclock.Clock.reset clock;
+  for i = 0 to 63 do
+    ignore (D.read_block dev ~segid:seg ~blkno:i)
+  done;
+  let seq = Simclock.Clock.now clock in
+  Simclock.Clock.reset clock;
+  let rng = Simclock.Rng.create 5L in
+  for _ = 0 to 63 do
+    ignore (D.read_block dev ~segid:seg ~blkno:(Simclock.Rng.int rng 64))
+  done;
+  let rnd = Simclock.Clock.now clock in
+  Alcotest.(check bool)
+    (Printf.sprintf "sequential %.4fs < random %.4fs" seq rnd)
+    true (seq < rnd)
+
+let test_nvram_faster_than_disk () =
+  let clock = Simclock.Clock.create () in
+  let disk = D.create ~clock ~name:"disk" ~kind:D.Magnetic_disk () in
+  let nvram = D.create ~clock ~name:"nv" ~kind:D.Nvram () in
+  let sd = D.create_segment disk and sn = D.create_segment nvram in
+  ignore (D.allocate_block disk sd);
+  ignore (D.allocate_block nvram sn);
+  Simclock.Clock.reset clock;
+  ignore (D.read_block disk ~segid:sd ~blkno:0);
+  let t_disk = Simclock.Clock.now clock in
+  Simclock.Clock.reset clock;
+  ignore (D.read_block nvram ~segid:sn ~blkno:0);
+  let t_nvram = Simclock.Clock.now clock in
+  Alcotest.(check bool) "nvram much faster" true (t_nvram *. 10. < t_disk)
+
+let test_jukebox_platter_load_and_cache () =
+  let clock = Simclock.Clock.create () in
+  let dev = D.create ~clock ~name:"jb" ~kind:D.Worm_jukebox () in
+  let seg = D.create_segment dev in
+  let b = D.allocate_block dev seg in
+  let page = P.create () in
+  D.write_block dev ~segid:seg ~blkno:b page;
+  Alcotest.(check bool) "platter load charged" true
+    (Simclock.Clock.charged clock "jukebox.load" >= 8.0);
+  (* First read after write hits the disk cache: cheap. *)
+  Simclock.Clock.reset clock;
+  ignore (D.read_block dev ~segid:seg ~blkno:b);
+  Alcotest.(check int) "cache hit" 1 (Simclock.Clock.ticks clock "jukebox.cache_hit");
+  Alcotest.(check bool) "hit is cheap" true (Simclock.Clock.now clock < 0.05)
+
+let test_jukebox_worm_rewrite_allocates () =
+  let clock = Simclock.Clock.create () in
+  let dev = D.create ~clock ~name:"jb" ~kind:D.Worm_jukebox () in
+  let seg = D.create_segment dev in
+  let b = D.allocate_block dev seg in
+  let page = P.create () in
+  D.write_block dev ~segid:seg ~blkno:b page;
+  let consumed_after_first = D.worm_written_blocks dev in
+  P.set_u8 page 0 1;
+  D.write_block dev ~segid:seg ~blkno:b page;
+  Alcotest.(check int) "first write consumed one block" 1 consumed_after_first;
+  Alcotest.(check int) "rewrite consumed a fresh physical block" 2
+    (D.worm_written_blocks dev);
+  let back = D.read_block dev ~segid:seg ~blkno:b in
+  Alcotest.(check int) "latest contents" 1 (P.get_u8 back 0)
+
+let test_drop_segment () =
+  let _, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  ignore (D.allocate_block dev seg);
+  D.drop_segment dev seg;
+  Alcotest.(check bool) "gone" false (D.segment_exists dev seg)
+
+(* ---- Switch ---- *)
+
+let test_switch_registry () =
+  let clock = Simclock.Clock.create () in
+  let sw = S.create ~clock in
+  let d1 = S.add_device sw ~name:"disk0" ~kind:D.Magnetic_disk () in
+  let _d2 = S.add_device sw ~name:"jukebox" ~kind:D.Worm_jukebox () in
+  Alcotest.(check string) "find" "jukebox" (D.name (S.find sw "jukebox"));
+  Alcotest.(check bool) "default is first" true (S.default_device sw == d1);
+  Alcotest.(check int) "two devices" 2 (List.length (S.devices sw));
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       S.register sw d1;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (S.find sw "nope");
+       false
+     with Not_found -> true)
+
+(* ---- Buffer cache ---- *)
+
+let test_cache_hit_and_miss () =
+  let _, dev = fresh_disk () in
+  let cache = B.create ~capacity:8 () in
+  let seg = D.create_segment dev in
+  let b = B.new_block cache dev ~segid:seg in
+  ignore (B.get cache dev ~segid:seg ~blkno:b);
+  B.unpin cache dev ~segid:seg ~blkno:b;
+  ignore (B.get cache dev ~segid:seg ~blkno:b);
+  B.unpin cache dev ~segid:seg ~blkno:b;
+  Alcotest.(check int) "hits" 2 (B.hits cache);
+  Alcotest.(check int) "no device reads" 0 (D.reads dev)
+
+let test_cache_eviction_writes_back () =
+  let _, dev = fresh_disk () in
+  let cache = B.create ~capacity:4 () in
+  let seg = D.create_segment dev in
+  let blocks = List.init 8 (fun _ -> B.new_block cache dev ~segid:seg) in
+  let mark b =
+    B.with_page cache dev ~segid:seg ~blkno:b (fun p -> P.set_u32 p 0 (b + 1));
+    B.mark_dirty cache dev ~segid:seg ~blkno:b
+  in
+  List.iter mark blocks;
+  Alcotest.(check bool) "evictions happened" true (B.evictions cache > 0);
+  Alcotest.(check bool) "writebacks happened" true (B.writebacks cache > 0);
+  B.flush cache;
+  B.crash cache;
+  (* All data must be on the device now. *)
+  let check b =
+    let p = D.read_block dev ~segid:seg ~blkno:b in
+    Alcotest.(check int) (Printf.sprintf "block %d" b) (b + 1) (P.get_u32 p 0)
+  in
+  List.iter check blocks
+
+let test_cache_pinned_not_evicted () =
+  let _, dev = fresh_disk () in
+  let cache = B.create ~capacity:2 () in
+  let seg = D.create_segment dev in
+  let b0 = B.new_block cache dev ~segid:seg in
+  let b1 = B.new_block cache dev ~segid:seg in
+  let b2 = B.new_block cache dev ~segid:seg in
+  let p0 = B.get cache dev ~segid:seg ~blkno:b0 in
+  (* b0 pinned; filling the cache must evict others, not b0 *)
+  ignore (B.get cache dev ~segid:seg ~blkno:b1);
+  B.unpin cache dev ~segid:seg ~blkno:b1;
+  ignore (B.get cache dev ~segid:seg ~blkno:b2);
+  B.unpin cache dev ~segid:seg ~blkno:b2;
+  P.set_u32 p0 0 7;
+  B.mark_dirty cache dev ~segid:seg ~blkno:b0;
+  B.unpin cache dev ~segid:seg ~blkno:b0;
+  B.flush cache;
+  let back = D.read_block dev ~segid:seg ~blkno:b0 in
+  Alcotest.(check int) "pinned page intact" 7 (P.get_u32 back 0)
+
+let test_cache_crash_loses_dirty () =
+  let _, dev = fresh_disk () in
+  let cache = B.create ~capacity:8 () in
+  let seg = D.create_segment dev in
+  let b = B.new_block cache dev ~segid:seg in
+  B.with_page cache dev ~segid:seg ~blkno:b (fun p -> P.set_u32 p 0 99);
+  B.mark_dirty cache dev ~segid:seg ~blkno:b;
+  B.crash cache;
+  let p = D.read_block dev ~segid:seg ~blkno:b in
+  Alcotest.(check int) "dirty page lost" 0 (P.get_u32 p 0)
+
+let test_cache_lru_order () =
+  let _, dev = fresh_disk () in
+  let cache = B.create ~capacity:3 () in
+  let seg = D.create_segment dev in
+  let b0 = B.new_block cache dev ~segid:seg in
+  let b1 = B.new_block cache dev ~segid:seg in
+  let b2 = B.new_block cache dev ~segid:seg in
+  (* touch b0 so b1 is the LRU victim when b3 arrives *)
+  B.with_page cache dev ~segid:seg ~blkno:b0 (fun _ -> ());
+  ignore b1;
+  ignore b2;
+  let b3 = B.new_block cache dev ~segid:seg in
+  ignore b3;
+  Simclock.Clock.reset (D.clock dev);
+  (* b0 should still be resident: no device read *)
+  B.with_page cache dev ~segid:seg ~blkno:b0 (fun _ -> ());
+  Alcotest.(check int) "b0 resident" 0 (D.reads dev)
+
+let test_os_cache_absorbs_disk_rereads () =
+  (* the UNIX FS buffer cache under the DBMS cache: a page evicted from
+     the small DBMS pool re-reads at copy cost, not seek cost *)
+  let clock, dev = fresh_disk () in
+  let cache = B.create ~capacity:2 ~os_cache_blocks:64 () in
+  let seg = D.create_segment dev in
+  let blocks = List.init 8 (fun _ -> B.new_block cache dev ~segid:seg) in
+  (* touch everything once: contents now in the OS cache *)
+  List.iter
+    (fun b ->
+      B.with_page cache dev ~segid:seg ~blkno:b (fun p -> P.set_u8 p 0 (b + 1));
+      B.mark_dirty cache dev ~segid:seg ~blkno:b)
+    blocks;
+  B.flush cache;
+  Simclock.Clock.reset clock;
+  let os_hits0 = B.os_hits cache and dev_reads0 = D.reads dev in
+  (* cycle through again: DBMS pool (2 pages) cannot hold them, the OS
+     cache serves them all *)
+  List.iter (fun b -> B.with_page cache dev ~segid:seg ~blkno:b (fun _ -> ())) blocks;
+  Alcotest.(check int) "all served by the OS cache" 8 (B.os_hits cache - os_hits0);
+  Alcotest.(check int) "no platter reads" 0 (D.reads dev - dev_reads0);
+  Alcotest.(check bool) "only copy cost" true (Simclock.Clock.now clock < 0.01)
+
+let test_os_cache_lost_on_crash () =
+  let clock, dev = fresh_disk () in
+  let cache = B.create ~capacity:2 ~os_cache_blocks:64 () in
+  let seg = D.create_segment dev in
+  let b = B.new_block cache dev ~segid:seg in
+  B.with_page cache dev ~segid:seg ~blkno:b (fun p -> P.set_u8 p 0 9);
+  B.mark_dirty cache dev ~segid:seg ~blkno:b;
+  B.flush cache;
+  B.crash cache;
+  Simclock.Clock.reset clock;
+  B.with_page cache dev ~segid:seg ~blkno:b (fun _ -> ());
+  Alcotest.(check int) "cold platter read after crash" 1 (D.reads dev)
+
+let test_nvram_device_bypasses_os_cache () =
+  (* raw devices (NVRAM, jukebox) are not behind the UNIX FS: their
+     write-backs hit the device *)
+  let clock = Simclock.Clock.create () in
+  let dev = D.create ~clock ~name:"nv" ~kind:D.Nvram () in
+  let cache = B.create ~capacity:4 () in
+  let seg = D.create_segment dev in
+  let b = B.new_block cache dev ~segid:seg in
+  B.with_page cache dev ~segid:seg ~blkno:b (fun p -> P.set_u8 p 0 1);
+  B.mark_dirty cache dev ~segid:seg ~blkno:b;
+  B.flush cache;
+  Alcotest.(check int) "device write happened" 1 (D.writes dev)
+
+let prop_cache_transparent =
+  QCheck.Test.make ~name:"cache reads equal device contents" ~count:30
+    QCheck.(list (pair (int_bound 15) (int_bound 255)))
+    (fun writes ->
+      let _, dev = fresh_disk () in
+      let cache = B.create ~capacity:4 () in
+      let seg = D.create_segment dev in
+      for _ = 0 to 15 do
+        ignore (B.new_block cache dev ~segid:seg)
+      done;
+      let model = Array.make 16 0 in
+      List.iter
+        (fun (b, v) ->
+          B.with_page cache dev ~segid:seg ~blkno:b (fun p -> P.set_u8 p 0 v);
+          B.mark_dirty cache dev ~segid:seg ~blkno:b;
+          model.(b) <- v)
+        writes;
+      let ok = ref true in
+      for b = 0 to 15 do
+        B.with_page cache dev ~segid:seg ~blkno:b (fun p ->
+            if P.get_u8 p 0 <> model.(b) then ok := false)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pagestore"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "accessors roundtrip" `Quick test_page_accessors;
+          Alcotest.test_case "bounds checked" `Quick test_page_bounds;
+          Alcotest.test_case "checksum sensitive" `Quick test_page_checksum_changes;
+          Alcotest.test_case "of_bytes pads" `Quick test_page_of_bytes_pads;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "allocate/read/write" `Quick test_device_alloc_rw;
+          Alcotest.test_case "missing block rejected" `Quick test_device_missing_block;
+          Alcotest.test_case "I/O charges time" `Quick test_device_charges_time;
+          Alcotest.test_case "sequential beats random" `Quick
+            test_device_sequential_cheaper_than_random;
+          Alcotest.test_case "nvram beats disk" `Quick test_nvram_faster_than_disk;
+          Alcotest.test_case "jukebox load + cache" `Quick test_jukebox_platter_load_and_cache;
+          Alcotest.test_case "WORM rewrite allocates" `Quick test_jukebox_worm_rewrite_allocates;
+          Alcotest.test_case "drop segment" `Quick test_drop_segment;
+        ] );
+      ("switch", [ Alcotest.test_case "registry" `Quick test_switch_registry ]);
+      ( "bufcache",
+        [
+          Alcotest.test_case "hits avoid device" `Quick test_cache_hit_and_miss;
+          Alcotest.test_case "eviction writes back" `Quick test_cache_eviction_writes_back;
+          Alcotest.test_case "pinned pages survive" `Quick test_cache_pinned_not_evicted;
+          Alcotest.test_case "crash loses dirty pages" `Quick test_cache_crash_loses_dirty;
+          Alcotest.test_case "LRU keeps hot pages" `Quick test_cache_lru_order;
+          Alcotest.test_case "OS cache absorbs re-reads" `Quick
+            test_os_cache_absorbs_disk_rereads;
+          Alcotest.test_case "OS cache volatile" `Quick test_os_cache_lost_on_crash;
+          Alcotest.test_case "raw devices bypass OS cache" `Quick
+            test_nvram_device_bypasses_os_cache;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_cache_transparent ] );
+    ]

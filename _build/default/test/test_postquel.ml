@@ -1,0 +1,357 @@
+(* Query language: values, lexer, parser, registry, evaluator. *)
+
+module V = Postquel.Value
+module A = Postquel.Ast
+module L = Postquel.Lexer
+module P = Postquel.Parser
+module R = Postquel.Registry
+module E = Postquel.Eval
+
+(* ---- values ---- *)
+
+let test_value_equality () =
+  Alcotest.(check bool) "int eq" true (V.equal (V.Int 3L) (V.Int 3L));
+  Alcotest.(check bool) "int/float coerce" true (V.equal (V.Int 3L) (V.Float 3.0));
+  Alcotest.(check bool) "null never equal" false (V.equal V.Null V.Null);
+  Alcotest.(check bool) "list eq" true
+    (V.equal (V.List [ V.Int 1L; V.Str "a" ]) (V.List [ V.Int 1L; V.Str "a" ]))
+
+let test_value_compare () =
+  Alcotest.(check bool) "3 < 4" true (V.compare_values (V.Int 3L) (V.Int 4L) = Some (-1));
+  Alcotest.(check bool) "str order" true
+    (V.compare_values (V.Str "abc") (V.Str "abd") = Some (-1));
+  Alcotest.(check bool) "null incomparable" true
+    (V.compare_values V.Null (V.Int 1L) = None);
+  Alcotest.(check bool) "mixed incomparable" true
+    (V.compare_values (V.Str "a") (V.Int 1L) = None)
+
+let test_value_member () =
+  Alcotest.(check bool) "list member" true
+    (V.member (V.Str "RISC") (V.List [ V.Str "CISC"; V.Str "RISC" ]));
+  Alcotest.(check bool) "substring" true (V.member (V.Str "RIS") (V.Str "RISC chips"));
+  Alcotest.(check bool) "not substring" false (V.member (V.Str "MIPS") (V.Str "RISC"));
+  Alcotest.(check bool) "empty needle" true (V.member (V.Str "") (V.Str "x"))
+
+let test_value_arith () =
+  Alcotest.(check bool) "int add" true (V.equal (V.add (V.Int 2L) (V.Int 3L)) (V.Int 5L));
+  Alcotest.(check bool) "mixed mul" true
+    (V.equal (V.mul (V.Int 2L) (V.Float 1.5)) (V.Float 3.0));
+  Alcotest.(check bool) "div promotes" true
+    (V.equal (V.div (V.Int 1L) (V.Int 2L)) (V.Float 0.5));
+  Alcotest.(check bool) "int div exact" true
+    (V.equal (V.div (V.Int 6L) (V.Int 3L)) (V.Int 2L));
+  Alcotest.(check bool) "div by zero is null" true (V.div (V.Int 1L) (V.Int 0L) = V.Null);
+  Alcotest.(check bool) "null propagates" true (V.add V.Null (V.Int 1L) = V.Null)
+
+(* ---- lexer ---- *)
+
+let test_lexer_basics () =
+  let toks = L.tokenize {|retrieve (filename) where size(file) >= 10.5|} in
+  Alcotest.(check (list string))
+    "token stream"
+    [
+      "retrieve"; "("; "IDENT(filename)"; ")"; "where"; "IDENT(size)"; "(";
+      "IDENT(file)"; ")"; ">="; "FLOAT(10.5)"; "<eof>";
+    ]
+    (List.map L.token_to_string toks)
+
+let test_lexer_strings () =
+  (match L.tokenize {|"hello \"world\""|} with
+  | [ L.STRING s; L.EOF ] -> Alcotest.(check string) "escapes" {|hello "world"|} s
+  | _ -> Alcotest.fail "bad tokens");
+  Alcotest.(check bool) "unterminated raises" true
+    (try
+       ignore (L.tokenize {|"oops|});
+       false
+     with L.Lex_error _ -> true)
+
+let test_lexer_case_insensitive_keywords () =
+  match L.tokenize "RETRIEVE Where AND" with
+  | [ L.KW_RETRIEVE; L.KW_WHERE; L.KW_AND; L.EOF ] -> ()
+  | _ -> Alcotest.fail "keywords should be case-insensitive"
+
+(* ---- parser ---- *)
+
+let roundtrip s = A.statement_to_string (P.parse_statement s)
+
+let test_parse_paper_queries () =
+  (* the three queries that appear in the paper *)
+  let q1 = {|retrieve (filename) where "RISC" in keywords(file)|} in
+  Alcotest.(check string) "q1"
+    {|retrieve (filename) where ("RISC" in keywords(file))|} (roundtrip q1);
+  let q2 =
+    {|retrieve (snow(file), filename) where filetype(file) = "tm" and snow(file)/size(file) > 0.5 and month_of(file) = "April"|}
+  in
+  Alcotest.(check bool) "q2 parses" true (String.length (roundtrip q2) > 0);
+  let q3 =
+    {|retrieve (filename) where owner(file) = "mao" and (filetype(file) = "movie" or filetype(file) = "sound") and dir(file) = "/users/mao"|}
+  in
+  Alcotest.(check bool) "q3 parses" true (String.length (roundtrip q3) > 0)
+
+let test_parse_precedence () =
+  (* and binds tighter than or; arithmetic tighter than comparison *)
+  let e = P.parse_expr "a = 1 or b = 2 and c = 3" in
+  (match e with
+  | A.Binop (A.Or, _, A.Binop (A.And, _, _)) -> ()
+  | _ -> Alcotest.failf "wrong shape: %s" (A.expr_to_string e));
+  let e2 = P.parse_expr "x + 2 * y < 10" in
+  match e2 with
+  | A.Binop (A.Lt, A.Binop (A.Add, _, A.Binop (A.Mul, _, _)), _) -> ()
+  | _ -> Alcotest.failf "wrong arith shape: %s" (A.expr_to_string e2)
+
+let test_parse_define_type () =
+  match P.parse_statement "define type tm" with
+  | A.Define_type "tm" -> ()
+  | _ -> Alcotest.fail "define type"
+
+let test_parse_errors () =
+  let bad s =
+    try
+      ignore (P.parse_statement s);
+      false
+    with P.Parse_error _ | L.Lex_error _ -> true
+  in
+  Alcotest.(check bool) "empty retrieve" true (bad "retrieve ()");
+  Alcotest.(check bool) "trailing junk" true (bad "retrieve (x) garbage");
+  Alcotest.(check bool) "not a statement" true (bad "select * from t");
+  Alcotest.(check bool) "unbalanced" true (bad "retrieve (f(x)")
+
+let test_parse_unary_minus () =
+  let e = P.parse_expr "-5 + 3" in
+  match e with
+  | A.Binop (A.Add, A.Binop (A.Sub, A.Const (V.Int 0L), A.Const (V.Int 5L)), _) -> ()
+  | _ -> Alcotest.failf "unary minus shape: %s" (A.expr_to_string e)
+
+(* ---- registry ---- *)
+
+let test_registry_types () =
+  let r = R.create () in
+  R.define_type r "tm";
+  R.define_type r "tm";
+  Alcotest.(check (list string)) "types" [ "tm" ] (R.types r);
+  Alcotest.(check bool) "exists" true (R.type_exists r "tm");
+  Alcotest.(check bool) "unknown type rejected" true
+    (try
+       R.register r ~name:"f" ~file_type:"nope" (fun _ -> V.Null);
+       false
+     with Invalid_argument _ -> true)
+
+let test_registry_typed_dispatch () =
+  let r = R.create () in
+  R.define_type r "tm";
+  R.register r ~name:"snow" ~file_type:"tm" (fun _ -> V.Int 42L);
+  R.register r ~name:"size" (fun _ -> V.Int 7L);
+  Alcotest.(check bool) "matches type" true
+    (R.find_for_type r ~name:"snow" ~file_type:(Some "tm") <> None);
+  Alcotest.(check bool) "wrong type" true
+    (R.find_for_type r ~name:"snow" ~file_type:(Some "ascii") = None);
+  Alcotest.(check bool) "no type" true
+    (R.find_for_type r ~name:"snow" ~file_type:None = None);
+  Alcotest.(check bool) "untyped applies anywhere" true
+    (R.find_for_type r ~name:"size" ~file_type:(Some "whatever") <> None);
+  Alcotest.(check (list string)) "functions for tm" [ "size"; "snow" ]
+    (R.functions_for_type r "tm")
+
+(* ---- evaluator ---- *)
+
+let eval_env vars =
+  {
+    E.lookup = (fun name -> List.assoc_opt name vars);
+    E.type_of = (fun _ -> Some "tm");
+  }
+
+let test_eval_basic () =
+  let r = R.create () in
+  let env = eval_env [ ("x", V.Int 10L); ("s", V.Str "hello") ] in
+  let ev src = E.eval r env (P.parse_expr src) in
+  Alcotest.(check bool) "arith" true (V.equal (ev "x * 2 + 1") (V.Int 21L));
+  Alcotest.(check bool) "compare" true (V.truthy (ev "x > 5 and x < 20"));
+  Alcotest.(check bool) "or short" true (V.truthy (ev {|x = 10 or s = "nope"|}));
+  Alcotest.(check bool) "not" true (V.truthy (ev "not (x = 11)"));
+  Alcotest.(check bool) "in substring" true (V.truthy (ev {|"ell" in s|}))
+
+let test_eval_null_semantics () =
+  let r = R.create () in
+  let env = eval_env [] in
+  let ev src = E.eval r env (P.parse_expr src) in
+  Alcotest.(check bool) "unbound var is null" true (ev "missing" = V.Null);
+  Alcotest.(check bool) "null = never true" false (V.truthy (ev "missing = missing"));
+  Alcotest.(check bool) "null != never true" false (V.truthy (ev "missing != 1"));
+  Alcotest.(check bool) "null < never true" false (V.truthy (ev "missing < 1"))
+
+let test_eval_functions () =
+  let r = R.create () in
+  R.define_type r "tm";
+  R.register r ~name:"snow" ~file_type:"tm" ~arity:1 (fun _ -> V.Int 900L);
+  R.register r ~name:"double" ~arity:1 (fun args ->
+      match args with [ V.Int x ] -> V.Int (Int64.mul 2L x) | _ -> V.Null);
+  let env = eval_env [ ("file", V.Int 1L) ] in
+  let ev src = E.eval r env (P.parse_expr src) in
+  Alcotest.(check bool) "typed fn applies" true (V.equal (ev "snow(file)") (V.Int 900L));
+  Alcotest.(check bool) "fn composition" true (V.equal (ev "double(snow(file))") (V.Int 1800L));
+  Alcotest.(check bool) "unknown fn raises" true
+    (try
+       ignore (ev "bogus(file)");
+       false
+     with E.Unknown_function "bogus" -> true);
+  Alcotest.(check bool) "arity checked" true
+    (try
+       ignore (ev "double(1, 2)");
+       false
+     with E.Arity_mismatch ("double", 1, 2) -> true)
+
+let test_eval_typed_mismatch_is_null () =
+  let r = R.create () in
+  R.define_type r "tm";
+  R.register r ~name:"snow" ~file_type:"tm" (fun _ -> V.Int 1L);
+  let env =
+    { E.lookup = (fun _ -> Some (V.Int 9L)); E.type_of = (fun _ -> Some "ascii") }
+  in
+  Alcotest.(check bool) "wrong type yields null" true
+    (E.eval r env (P.parse_expr "snow(file)") = V.Null);
+  Alcotest.(check bool) "predicate false, no error" false
+    (V.truthy (E.eval r env (P.parse_expr "snow(file) > 0")))
+
+let test_eval_list_membership_from_function () =
+  let r = R.create () in
+  R.register r ~name:"keywords" (fun _ -> V.List [ V.Str "RISC"; V.Str "UNIX" ]);
+  let env = eval_env [ ("file", V.Int 1L) ] in
+  let ev src = E.eval r env (P.parse_expr src) in
+  Alcotest.(check bool) "member" true (V.truthy (ev {|"RISC" in keywords(file)|}));
+  Alcotest.(check bool) "non-member" false (V.truthy (ev {|"VAX" in keywords(file)|}))
+
+let test_eval_mixed_types_false_not_crash () =
+  let r = R.create () in
+  let env = eval_env [ ("s", V.Str "abc"); ("n", V.Int 3L) ] in
+  let ev src = E.eval r env (P.parse_expr src) in
+  Alcotest.(check bool) "string < int is false" false (V.truthy (ev "s < n"));
+  Alcotest.(check bool) "string + int is null" true (ev "s + n" = V.Null);
+  Alcotest.(check bool) "null arith predicate false" false (V.truthy (ev "s + n > 0"))
+
+let test_not_precedence () =
+  let r = R.create () in
+  let env = eval_env [ ("x", V.Int 1L) ] in
+  let ev src = E.eval r env (P.parse_expr src) in
+  (* not binds tighter than and: (not false) and true *)
+  Alcotest.(check bool) "not and" true (V.truthy (ev "not x = 2 and x = 1"));
+  Alcotest.(check bool) "double negation" true (V.truthy (ev "not not x = 1"))
+
+let test_statement_print_reparse () =
+  let srcs =
+    [
+      {|retrieve (filename) where "RISC" in keywords(file)|};
+      {|retrieve (a, b, c)|};
+      {|retrieve (snow(file) / size(file)) where x > 0.5 and (y = 1 or z = 2)|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let ast = P.parse_statement src in
+      let printed = A.statement_to_string ast in
+      Alcotest.(check bool) src true (P.parse_statement printed = ast))
+    srcs
+
+(* ---- properties ---- *)
+
+let expr_gen =
+  (* random small arithmetic over two int vars: model vs evaluator *)
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> `Int i) (int_range 0 50); return `X; return `Y ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            map3
+              (fun op a b -> `Bin (op, a, b))
+              (oneofl [ `Add; `Sub; `Mul ])
+              (go (depth - 1)) (go (depth - 1)) );
+        ]
+  in
+  go 3
+
+let rec to_src = function
+  | `Int i -> string_of_int i
+  | `X -> "x"
+  | `Y -> "y"
+  | `Bin (op, a, b) ->
+    let o = match op with `Add -> "+" | `Sub -> "-" | `Mul -> "*" in
+    Printf.sprintf "(%s %s %s)" (to_src a) o (to_src b)
+
+let rec model x y = function
+  | `Int i -> Int64.of_int i
+  | `X -> x
+  | `Y -> y
+  | `Bin (op, a, b) ->
+    let va = model x y a and vb = model x y b in
+    (match op with
+    | `Add -> Int64.add va vb
+    | `Sub -> Int64.sub va vb
+    | `Mul -> Int64.mul va vb)
+
+let prop_eval_matches_model =
+  QCheck.Test.make ~name:"evaluator matches arithmetic model" ~count:200
+    (QCheck.make expr_gen ~print:to_src)
+    (fun e ->
+      let r = R.create () in
+      let env = eval_env [ ("x", V.Int 7L); ("y", V.Int (-3L)) ] in
+      V.equal (E.eval r env (P.parse_expr (to_src e))) (V.Int (model 7L (-3L) e)))
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"printed expr reparses to same tree" ~count:200
+    (QCheck.make expr_gen ~print:to_src)
+    (fun e ->
+      let src = to_src e in
+      let ast = P.parse_expr src in
+      let printed = A.expr_to_string ast in
+      P.parse_expr printed = ast)
+
+let () =
+  Alcotest.run "postquel"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "equality" `Quick test_value_equality;
+          Alcotest.test_case "comparison" `Quick test_value_compare;
+          Alcotest.test_case "membership" `Quick test_value_member;
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+        ] );
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "strings" `Quick test_lexer_strings;
+          Alcotest.test_case "keyword case" `Quick test_lexer_case_insensitive_keywords;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "paper queries" `Quick test_parse_paper_queries;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "define type" `Quick test_parse_define_type;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "unary minus" `Quick test_parse_unary_minus;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "types" `Quick test_registry_types;
+          Alcotest.test_case "typed dispatch" `Quick test_registry_typed_dispatch;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "basics" `Quick test_eval_basic;
+          Alcotest.test_case "null semantics" `Quick test_eval_null_semantics;
+          Alcotest.test_case "functions" `Quick test_eval_functions;
+          Alcotest.test_case "typed mismatch" `Quick test_eval_typed_mismatch_is_null;
+          Alcotest.test_case "list membership" `Quick test_eval_list_membership_from_function;
+          Alcotest.test_case "mixed types degrade" `Quick test_eval_mixed_types_false_not_crash;
+          Alcotest.test_case "not precedence" `Quick test_not_precedence;
+          Alcotest.test_case "statement print/reparse" `Quick test_statement_print_reparse;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_eval_matches_model; prop_parser_roundtrip ] );
+    ]
