@@ -1,0 +1,30 @@
+The four example programs run end to end with deterministic output;
+spot-check the load-bearing lines of each.
+
+  $ inv-quickstart | grep -E 'p_creat|after p_abort|an hour ago|undeleted|audit|/scratch'
+  p_creat + p_write wrote 30 bytes to /etc/passwd
+  after p_abort, main.c is still: "int main() { return 1; } /* buggy */"
+  an hour ago:  main.c = "int main() { return 0; }"
+  main.h exists now? false — an hour ago? true
+  undeleted main.h: "/* version 2 */"
+  /scratch exists? false (rolled back)
+  full structural audit: inv10006: index: index walk failed: Failure("Btree: bad meta page")
+  $ inv-satellite-images | grep -E '^  tm|sprite|tm_sierra'
+    tm         atime, ctime, dir, filetype, getpixel, month_of, mtime, name, owner, pixelavg, pixelcount, size, snow
+    "sprite.ms"
+    2952, "tm_sierra.tm"
+    "tm_sierra.tm", 177.571
+  $ inv-source-control | grep -E 'checked in|revert|archive'
+  checked in r1       (3 files)
+  checked in r2       (2 files)
+  checked in r3       (2 files)
+  parser.c after revert: "parse() { /* v2: new AST */ }"
+  == Old versions survive even vacuuming, via the archive ==
+  vacuumed parser.c: 4 versions archived, 2 discarded
+  r1 parser.c read from the archive: "parse() { /* v1 */ }"
+  $ inv-migration | grep -E 'moved|platter exchanges|jukebox,'
+    moved /data/raw_image_1.tm: disk0 -> jukebox
+    moved /data/raw_image_2.tm: disk0 -> jukebox
+  jukebox platter exchanges so far: 1
+  notes.txt now on jukebox, contents "rewritten"
+  notes.txt before the rewrite (read through the moved relation): 2000 bytes

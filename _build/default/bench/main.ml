@@ -329,8 +329,32 @@ let () =
   | "sequoia" ->
     print_string (Benchlib.Sequoia.report_to_string (Benchlib.Sequoia.run ()))
   | "micro" -> micro ()
+  | "crash" ->
+    (* Reproduce a crash-harness run: bench crash --seed N [--ops N] [--sessions N].
+       Prints the outcome line and any mismatches, exits 1 on mismatch. *)
+    let find_arg name default =
+      let rec go = function
+        | a :: v :: _ when a = name -> int_of_string v
+        | _ :: rest -> go rest
+        | [] -> default
+      in
+      go args
+    in
+    let seed = Int64.of_int (find_arg "--seed" 1) in
+    let cfg =
+      {
+        Benchlib.Crashtest.default_config with
+        ops = find_arg "--ops" Benchlib.Crashtest.default_config.ops;
+        sessions = find_arg "--sessions" Benchlib.Crashtest.default_config.sessions;
+        trace = List.mem "--trace" args;
+      }
+    in
+    let o = Benchlib.Crashtest.run ~config:cfg ~seed () in
+    print_endline (Benchlib.Crashtest.outcome_to_string o);
+    List.iter (fun m -> Printf.printf "  MISMATCH: %s\n" m) o.Benchlib.Crashtest.mismatches;
+    if o.Benchlib.Crashtest.mismatches <> [] then exit 1
   | other ->
     Printf.eprintf
-      "unknown command %s (expected all|tab3|fig3|fig4|fig5|fig6|ablate|sequoia|micro)\n"
+      "unknown command %s (expected all|tab3|fig3|fig4|fig5|fig6|ablate|sequoia|micro|crash)\n"
       other;
     exit 2

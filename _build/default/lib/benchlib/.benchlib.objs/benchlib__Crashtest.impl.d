@@ -1,0 +1,1 @@
+lib/benchlib/crashtest.ml: Array Bytes Faultsim Int64 Invfs List Map Option Pagestore Printf Relstore Simclock String

@@ -1,1 +1,1 @@
-lib/core/fileatt.ml: Buffer Bytes Index Int32 Int64 List Option Relstore String
+lib/core/fileatt.ml: Buffer Bytes Index Int32 Int64 List Option Printexc Printf Relstore String

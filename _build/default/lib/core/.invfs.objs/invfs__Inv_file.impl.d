@@ -1,1 +1,1 @@
-lib/core/inv_file.ml: Bytes Chunk Compress Index List Option Pagestore Printf Relstore
+lib/core/inv_file.ml: Bytes Chunk Compress Index Int64 List Option Pagestore Printexc Printf Relstore String

@@ -1,1 +1,1 @@
-lib/core/naming.ml: Bytes Index List Relstore String
+lib/core/naming.ml: Bytes Index List Printexc Printf Relstore String

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Fs Fsck List Printf Relstore String

@@ -46,3 +46,13 @@ val iter_all : t -> Relstore.Snapshot.t -> (att -> unit) -> unit
 
 val heap : t -> Relstore.Heap.t
 val index_maintenance_on_vacuum : t -> Relstore.Heap.record -> unit
+
+val crash_reset : t -> unit
+(** Forget volatile index state after a simulated machine crash. *)
+
+val index_check : t -> (unit, string) result
+(** Crash-recovery audit of the oid index: structure plus completeness
+    (every committed attribute record reachable under its oid). *)
+
+val rebuild_indexes : t -> unit
+(** Reconstruct the oid index from the [fileatt] heap. *)

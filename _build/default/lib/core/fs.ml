@@ -848,7 +848,59 @@ let with_query_snapshot t snap f =
 
 (* ---------- maintenance ---------- *)
 
-let crash t = Db.crash t.db
+let iter_file_handles t f =
+  Hashtbl.fold (fun oid inv acc -> (oid, inv) :: acc) t.files []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  |> List.iter (fun (oid, inv) -> f oid inv)
+
+let naming_catalog t = t.naming
+let fileatt_catalog t = t.fileatt
+
+let crash t =
+  Db.crash t.db;
+  (* Volatile per-index state (cached entry counts) died with the machine. *)
+  Naming.crash_reset t.naming;
+  Fileatt.crash_reset t.fileatt;
+  iter_file_handles t (fun _ inv -> Inv_file.crash_reset inv)
+
+type recovery = {
+  rolled_back : Relstore.Xid.t list;
+  page_problems : (string * string) list;
+  catalogs_rebuilt : string list;
+  file_indexes_rebuilt : int64 list;
+}
+
+let crash_and_recover t =
+  let rolled_back = Relstore.Status_log.active (Db.status_log t.db) in
+  crash t;
+  let page_problems = Db.verify_relations t.db in
+  (* The heaps are no-overwrite and self-identifying, so they come back
+     intact (verified above).  The B-tree indexes are update-in-place and
+     can be torn mid-flush by a crash; detect and rebuild from the heaps. *)
+  let catalogs_rebuilt = ref [] in
+  (match Naming.index_check t.naming with
+  | Ok () -> ()
+  | Error _ ->
+    Naming.rebuild_indexes t.naming;
+    catalogs_rebuilt := "naming" :: !catalogs_rebuilt);
+  (match Fileatt.index_check t.fileatt with
+  | Ok () -> ()
+  | Error _ ->
+    Fileatt.rebuild_indexes t.fileatt;
+    catalogs_rebuilt := "fileatt" :: !catalogs_rebuilt);
+  let files_rebuilt = ref [] in
+  iter_file_handles t (fun oid inv ->
+      match Inv_file.index_check inv with
+      | Ok () -> ()
+      | Error _ ->
+        Inv_file.rebuild_index inv;
+        files_rebuilt := oid :: !files_rebuilt);
+  {
+    rolled_back;
+    page_problems;
+    catalogs_rebuilt = List.rev !catalogs_rebuilt;
+    file_indexes_rebuilt = List.rev !files_rebuilt;
+  }
 
 let vacuum_file t ~oid ?horizon ~mode () =
   match file_handle t ~oid with

@@ -206,9 +206,37 @@ val with_query_snapshot : t -> Relstore.Snapshot.t -> (unit -> 'a) -> 'a
 (* {2 Maintenance} *)
 
 val crash : t -> unit
-(** Crash the machine: buffer cache gone, open transactions rolled back.
-    Sessions created before the crash must be discarded.  Recovery is
-    instantaneous — the next operation just runs. *)
+(** Crash the machine: buffer cache gone, open transactions rolled back,
+    volatile index state forgotten.  Sessions created before the crash
+    must be discarded.  Recovery is instantaneous — the next operation
+    just runs. *)
+
+type recovery = {
+  rolled_back : Relstore.Xid.t list;
+      (** transactions in progress at the crash, now aborted *)
+  page_problems : (string * string) list;
+      (** (relation, problem) pairs from page verification; [[]] unless
+          media faults tore a page *)
+  catalogs_rebuilt : string list;
+      (** of ["naming"], ["fileatt"]: catalogs whose B-tree indexes were
+          damaged by the crash and rebuilt from their heaps *)
+  file_indexes_rebuilt : int64 list;
+      (** oids whose chunk indexes were rebuilt likewise *)
+}
+
+val crash_and_recover : t -> recovery
+(** Whole-system crash and recovery in one call: {!crash}, then verify
+    every relation's pages, then audit (and if needed rebuild from the
+    heaps) the update-in-place B-tree indexes.  The no-overwrite heaps
+    need no repair — that is the paper's recovery claim, and the returned
+    report is its evidence. *)
+
+val iter_file_handles : t -> (int64 -> Inv_file.t -> unit) -> unit
+(** Every open storage handle, in ascending oid order (recovery, fsck). *)
+
+val naming_catalog : t -> Naming.t
+val fileatt_catalog : t -> Fileatt.t
+(** The catalogs (fsck and recovery audits). *)
 
 val vacuum_file :
   t -> oid:int64 -> ?horizon:int64 -> mode:[ `Archive | `Discard ] -> unit -> Relstore.Vacuum.stats

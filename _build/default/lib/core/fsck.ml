@@ -54,18 +54,31 @@ let audit fs =
             Inv_file.iter_chunks inv snap (fun chunkno data ->
                 if Int64.compare chunkno !max_seen > 0 then max_seen := chunkno;
                 total := Int64.add !total (Int64.of_int (Bytes.length data)));
+            (* Files can be sparse (ftruncate growth stores no chunks), so
+               there is no ceiling on size vs stored chunks; but no stored
+               chunk may start at or beyond the file size. *)
             let cap = Int64.of_int Chunk.capacity in
             let min_size =
-              if Int64.compare !max_seen 0L < 0 then 0L else Int64.mul !max_seen cap
+              if Int64.compare !max_seen 0L < 0 then 0L
+              else Int64.add (Int64.mul !max_seen cap) 1L
             in
-            let max_size = Int64.mul (Int64.add !max_seen 1L) cap in
             if Int64.compare att.Fileatt.size min_size < 0 then
               push relname
-                (Printf.sprintf "size %Ld below chunk floor %Ld" att.Fileatt.size min_size);
-            if Int64.compare att.Fileatt.size max_size > 0 then
-              push relname
-                (Printf.sprintf "size %Ld above chunk ceiling %Ld" att.Fileatt.size max_size)
+                (Printf.sprintf "size %Ld below chunk floor %Ld" att.Fileatt.size min_size)
       end);
+  (* 3. index consistency: the B-trees are update-in-place, the one layer
+     a crash can actually damage, so audit structure and completeness
+     against the (self-identifying, no-overwrite) heaps *)
+  (match Naming.index_check (Fs.naming_catalog fs) with
+  | Ok () -> ()
+  | Error msg -> push "naming" ("index: " ^ msg));
+  (match Fileatt.index_check (Fs.fileatt_catalog fs) with
+  | Ok () -> ()
+  | Error msg -> push "fileatt" ("index: " ^ msg));
+  Fs.iter_file_handles fs (fun oid inv ->
+      match Inv_file.index_check inv with
+      | Ok () -> ()
+      | Error msg -> push (Inv_file.relname oid) ("index: " ^ msg));
   {
     relations_checked = List.length rels;
     files_checked = !files_checked;

@@ -11,7 +11,10 @@
     Checks: page self-identification (relid/blkno/CRC) on every relation;
     every namespace entry joins to an attribute record; parents are
     directories; no orphaned attribute records for named files; file sizes
-    are consistent with their stored chunks. *)
+    are consistent with their stored chunks; and B-tree index structure
+    plus completeness against the heaps (catalogs and per-file chunk
+    indexes — the update-in-place layer a crash {e can} damage; recovery
+    rebuilds them from the heaps, see {!Fs.crash_and_recover}). *)
 
 type problem = { relation : string; detail : string }
 

@@ -66,10 +66,13 @@ let find_visible t snap ~chunkno =
        List.iter
          (fun v ->
            match H.fetch t.heap snap (Relstore.Tid.decode v) with
-           | Some r ->
+           (* Cross-check the record against the key it was found under: a
+              stale or rebuilt-from-elsewhere index entry must never make
+              us return the wrong chunk. *)
+           | Some r when (Chunk.decode r.H.payload).Chunk.chunkno = chunkno ->
              hit := Some r.H.payload;
              raise Exit
-           | None -> ())
+           | Some _ | None -> ())
          (versions_newest_first t ~chunkno)
      with Exit -> ());
     !hit
@@ -103,16 +106,19 @@ let write_chunk t txn ~chunkno data =
   if Bytes.length data > Chunk.capacity then
     invalid_arg "Inv_file.write_chunk: data exceeds chunk capacity";
   let snap = Relstore.Txn.snapshot txn in
-  (* stamp the currently visible version dead, if any *)
+  (* Stamp the currently visible version dead, if any.  The record must
+     re-identify as this chunk before we kill it: after a crash the index
+     can hold stale entries whose heap slot was reused by a different
+     chunk, and stamping through one would destroy an unrelated write. *)
   (try
      List.iter
        (fun v ->
          let tid = Relstore.Tid.decode v in
          match H.fetch t.heap snap tid with
-         | Some _ ->
+         | Some r when (Chunk.decode r.H.payload).Chunk.chunkno = chunkno ->
            H.delete t.heap txn tid;
            raise Exit
-         | None -> ())
+         | Some _ | None -> ())
        (versions_newest_first t ~chunkno)
    with Exit -> ());
   let payload = Chunk.encode (encode_for_storage t ~chunkno data) in
@@ -133,10 +139,16 @@ let delete_chunks_from t txn ~chunkno =
     ~hi:(Index.Key.max_key ~width:8)
     (fun _ v ->
       let tid = Relstore.Tid.decode v in
+      (* doom by the record's own chunk number, not the index key it was
+         found under: stale post-crash entries must not widen the kill *)
       match H.fetch t.heap snap tid with
-      | Some _ -> doomed := tid :: !doomed
-      | None -> ());
-  List.iter (fun tid -> H.delete t.heap txn tid) !doomed
+      | Some r when Int64.compare (Chunk.decode r.H.payload).Chunk.chunkno chunkno >= 0
+        ->
+        doomed := tid :: !doomed
+      | Some _ | None -> ());
+  List.iter
+    (fun tid -> H.delete t.heap txn tid)
+    (List.sort_uniq compare !doomed)
 
 let iter_chunks t snap f =
   H.scan t.heap snap (fun r ->
@@ -156,6 +168,78 @@ let index_maintenance_on_vacuum t (r : H.record) =
     (Index.Btree.delete t.index ~key:(Index.Key.of_int64 c.Chunk.chunkno)
        ~value:(Relstore.Tid.encode r.H.tid)
       : bool)
+
+let crash_reset t = Index.Btree.crash t.index
+
+(* The chunk index is update-in-place (unlike the heap), so a crash while
+   its pages were half-flushed can leave it structurally damaged or
+   missing entries for committed records.  [index_check] detects both;
+   [rebuild_index] reconstructs the index from the heap, the sole source
+   of truth. *)
+let index_check t =
+  let log = H.status_log t.heap in
+  let committed = ref [] in
+  match
+    H.scan_raw t.heap (fun r ->
+        if Relstore.Status_log.is_committed log r.H.xmin then
+          committed := ((Chunk.decode r.H.payload).Chunk.chunkno, r.H.tid) :: !committed)
+  with
+  | exception e -> Error ("heap scan failed: " ^ Printexc.to_string e)
+  | () ->
+  if !committed = [] then Ok ()
+    (* Nothing committed is reachable through this index, so its state is
+       irrelevant.  In particular a file created by a transaction that
+       never committed before a crash has an all-zero index segment
+       (debris, eventually vacuumed) — that is not an inconsistency. *)
+  else
+    match Index.Btree.check_invariants t.index with
+    | exception e -> Error ("index walk failed: " ^ Printexc.to_string e)
+    | Error msg -> Error msg
+    | Ok () ->
+      let problem = ref None in
+      (try
+         List.iter
+           (fun (chunkno, tid) ->
+             if !problem = None then begin
+               let indexed =
+                 Index.Btree.lookup t.index ~key:(Index.Key.of_int64 chunkno)
+               in
+               if not (List.mem (Relstore.Tid.encode tid) indexed) then
+                 problem :=
+                   Some
+                     (Printf.sprintf "chunk %Ld: committed version not indexed" chunkno)
+             end)
+           !committed;
+         (* Reverse direction: every entry must point at a record that
+            re-identifies as that chunk.  A crash between the flush of an
+            index page and its heap page leaves dangling entries; once the
+            lost heap slot is reused, such an entry silently aliases an
+            unrelated chunk, so recovery must catch it here and rebuild. *)
+         Index.Btree.iter t.index (fun key v ->
+             if !problem = None then
+               match H.fetch_any t.heap (Relstore.Tid.decode v) with
+               | None ->
+                 problem :=
+                   Some
+                     (Printf.sprintf "chunk %Ld: dangling index entry"
+                        (Index.Key.to_int64 key))
+               | Some r ->
+                 if not (String.equal key (Index.Key.of_int64 (Chunk.decode r.H.payload).Chunk.chunkno))
+                 then
+                   problem :=
+                     Some
+                       (Printf.sprintf "chunk %Ld: index entry aliases chunk %Ld"
+                          (Index.Key.to_int64 key)
+                          (Chunk.decode r.H.payload).Chunk.chunkno))
+       with e -> problem := Some ("index probe failed: " ^ Printexc.to_string e));
+      (match !problem with None -> Ok () | Some msg -> Error msg)
+
+let rebuild_index t =
+  Index.Btree.reinit t.index;
+  H.scan_raw t.heap (fun r ->
+      let c = Chunk.decode r.H.payload in
+      Index.Btree.insert t.index ~key:(Index.Key.of_int64 c.Chunk.chunkno)
+        ~value:(Relstore.Tid.encode r.H.tid))
 
 let drop t =
   let cache = Relstore.Db.cache t.db in

@@ -76,6 +76,21 @@ val write_through : t -> bool
 val index_maintenance_on_vacuum : t -> Relstore.Heap.record -> unit
 (** Drop the index entry of a vacuumed chunk version. *)
 
+val crash_reset : t -> unit
+(** Forget volatile per-file state after a simulated machine crash
+    (currently the B-tree's cached entry count). *)
+
+val index_check : t -> (unit, string) result
+(** Crash-recovery audit of the chunk index: structural invariants plus
+    completeness — every committed heap record must be reachable under
+    its chunk number.  (The index is update-in-place, so unlike the
+    no-overwrite heap it {e can} be damaged by an ill-timed crash.) *)
+
+val rebuild_index : t -> unit
+(** Reconstruct the chunk index from the heap (all versions re-inserted).
+    The index keeps its segment id, so stored [index_segid] references
+    stay valid. *)
+
 val drop : t -> unit
 (** Release the table and index storage. *)
 

@@ -51,3 +51,14 @@ val heap : t -> Relstore.Heap.t
 
 val index_maintenance_on_vacuum : t -> Relstore.Heap.record -> unit
 (** [on_remove] hook: drop index entries for a vacuumed record. *)
+
+val crash_reset : t -> unit
+(** Forget volatile index state after a simulated machine crash. *)
+
+val index_check : t -> (unit, string) result
+(** Crash-recovery audit of both namespace indexes: structure plus
+    completeness (every committed catalog record reachable by (parent,
+    name) and by oid). *)
+
+val rebuild_indexes : t -> unit
+(** Reconstruct both indexes from the [naming] heap. *)

@@ -1,0 +1,39 @@
+type report = {
+  rolled_back : Relstore.Xid.t list;
+  page_problems : (string * string) list;
+  catalogs_rebuilt : string list;
+  file_indexes_rebuilt : int64 list;
+  audit : Fsck.report;
+}
+
+let crash_and_recover fs =
+  let r = Fs.crash_and_recover fs in
+  let audit = Fsck.audit fs in
+  {
+    rolled_back = r.Fs.rolled_back;
+    page_problems = r.Fs.page_problems;
+    catalogs_rebuilt = r.Fs.catalogs_rebuilt;
+    file_indexes_rebuilt = r.Fs.file_indexes_rebuilt;
+    audit;
+  }
+
+let is_clean r = r.page_problems = [] && Fsck.is_clean r.audit
+
+let indexes_rebuilt r =
+  List.length r.catalogs_rebuilt + List.length r.file_indexes_rebuilt
+
+let report_to_string r =
+  Printf.sprintf
+    "rolled back %d txn(s) [%s]; %d page problem(s)%s; rebuilt indexes: %s; audit: %s"
+    (List.length r.rolled_back)
+    (String.concat "," (List.map string_of_int r.rolled_back))
+    (List.length r.page_problems)
+    (match r.page_problems with
+    | [] -> ""
+    | l -> " (" ^ String.concat "; " (List.map (fun (rel, m) -> rel ^ ": " ^ m) l) ^ ")")
+    (match
+       r.catalogs_rebuilt @ List.map (fun oid -> Printf.sprintf "inv%Ld" oid) r.file_indexes_rebuilt
+     with
+    | [] -> "none"
+    | l -> String.concat "," l)
+    (Fsck.report_to_string r.audit)

@@ -1,0 +1,152 @@
+module Device = Pagestore.Device
+module Bufcache = Pagestore.Bufcache
+module Switch = Pagestore.Switch
+
+type io = Read | Write | Writeback
+
+let io_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Writeback -> "writeback"
+
+type action = Torn of int | Io_error | Crash
+
+let action_to_string = function
+  | Torn n -> Printf.sprintf "torn:%d" n
+  | Io_error -> "io_error"
+  | Crash -> "crash"
+
+type event = {
+  seq : int;
+  io : io;
+  device : string;
+  segid : int;
+  blkno : int;
+  action : action;
+}
+
+let event_to_string e =
+  Printf.sprintf "#%d %s %s/%d/%d -> %s" e.seq (io_to_string e.io) e.device
+    e.segid e.blkno (action_to_string e.action)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable writebacks : int;
+  (* (absolute transfer count, action) sorted ascending; an entry fires
+     when its io counter reaches that count *)
+  mutable sched_read : (int * action) list;
+  mutable sched_write : (int * action) list;
+  mutable sched_writeback : (int * action) list;
+  mutable log : event list; (* newest first *)
+  mutable devices : Device.t list;
+  mutable caches : Bufcache.t list;
+}
+
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    writebacks = 0;
+    sched_read = [];
+    sched_write = [];
+    sched_writeback = [];
+    log = [];
+    devices = [];
+    caches = [];
+  }
+
+let seen t = function
+  | Read -> t.reads
+  | Write -> t.writes
+  | Writeback -> t.writebacks
+
+let reads_seen t = t.reads
+let writes_seen t = t.writes
+let writebacks_seen t = t.writebacks
+
+let sched t = function
+  | Read -> t.sched_read
+  | Write -> t.sched_write
+  | Writeback -> t.sched_writeback
+
+let set_sched t io s =
+  match io with
+  | Read -> t.sched_read <- s
+  | Write -> t.sched_write <- s
+  | Writeback -> t.sched_writeback <- s
+
+let schedule t ~io ~after action =
+  if after < 1 then invalid_arg "Faultsim.schedule: after must be >= 1";
+  (match (io, action) with
+  | Writeback, Torn _ ->
+    invalid_arg "Faultsim.schedule: torn faults act on device transfers, not write-backs"
+  | _ -> ());
+  let at = seen t io + after in
+  set_sched t io (List.sort compare ((at, action) :: sched t io))
+
+let schedule_random_crash t rng ~within =
+  if within < 1 then invalid_arg "Faultsim.schedule_random_crash: within must be >= 1";
+  schedule t ~io:Write ~after:(1 + Simclock.Rng.int rng within) Crash
+
+let pending t =
+  List.length t.sched_read + List.length t.sched_write + List.length t.sched_writeback
+
+let clear_schedule t =
+  t.sched_read <- [];
+  t.sched_write <- [];
+  t.sched_writeback <- []
+
+let events t = List.rev t.log
+
+(* Count one transfer on [io]'s stream and pop the scheduled action due at
+   this count, if any.  Multiple actions scheduled for the same count fire
+   one per transfer, earliest-scheduled first (they stay queued and their
+   trigger count is already in the past, so the next transfer fires the
+   next one). *)
+let fire t io ~device ~segid ~blkno =
+  let n = seen t io + 1 in
+  (match io with
+  | Read -> t.reads <- n
+  | Write -> t.writes <- n
+  | Writeback -> t.writebacks <- n);
+  match sched t io with
+  | (at, action) :: rest when at <= n ->
+    set_sched t io rest;
+    t.log <- { seq = n; io; device; segid; blkno; action } :: t.log;
+    Some action
+  | _ -> None
+
+let device_hook t dev kind ~segid ~blkno =
+  let io = match kind with Device.Io_read -> Read | Device.Io_write -> Write in
+  match fire t io ~device:(Device.name dev) ~segid ~blkno with
+  | None -> None
+  | Some (Torn n) -> Some (Device.Fault_torn n)
+  | Some Io_error -> Some Device.Fault_io_error
+  | Some Crash -> Some Device.Fault_crash
+
+let arm_device t dev =
+  if not (List.memq dev t.devices) then begin
+    Device.set_fault_hook dev (Some (device_hook t dev));
+    t.devices <- dev :: t.devices
+  end
+
+let arm_cache t cache =
+  if not (List.memq cache t.caches) then begin
+    Bufcache.set_writeback_hook cache
+      (Some
+         (fun ~device ~segid ~blkno ->
+           match fire t Writeback ~device ~segid ~blkno with
+           | None | Some (Torn _) -> ()
+           | Some Io_error -> raise (Device.Io_fault { device; segid; blkno })
+           | Some Crash -> raise (Device.Crash_injected { device; segid; blkno })));
+    t.caches <- cache :: t.caches
+  end
+
+let arm_switch t sw = List.iter (arm_device t) (Switch.devices sw)
+
+let disarm t =
+  List.iter (fun dev -> Device.set_fault_hook dev None) t.devices;
+  List.iter (fun cache -> Bufcache.set_writeback_hook cache None) t.caches;
+  t.devices <- [];
+  t.caches <- []

@@ -1,0 +1,84 @@
+(** Seeded fault injection over the simulated storage stack.
+
+    A fault {e plan} counts block transfers per I/O stream — device reads,
+    device writes, and buffer-cache write-backs — and fires scheduled
+    faults when a stream's counter reaches a scheduled point.  Faults are
+    expressed in transfer counts rather than wall-clock time so that a
+    plan driven by a {!Simclock.Rng} seed replays bit-identically.
+
+    The fault taxonomy (see DESIGN.md, "Crash recovery & fault
+    injection"):
+
+    - {!Torn}[ n] — a torn page: the first [n] bytes of the transfer land,
+      the rest do not.  On writes the durable tail keeps the old image; on
+      reads the tail comes back zeroed (the medium is untouched).
+    - {!Io_error} — the transfer fails with {!Pagestore.Device.Io_fault};
+      transient, a retry succeeds.
+    - {!Crash} — the machine dies before the transfer lands:
+      {!Pagestore.Device.Crash_injected} propagates to the harness, which
+      then runs whole-system recovery.
+
+    Plans are armed by installing hooks into {!Pagestore.Device} and
+    {!Pagestore.Bufcache}; {!disarm} removes them.  One plan may cover
+    many devices (use {!arm_switch}); the per-stream counters are global
+    to the plan, not per-device. *)
+
+type io = Read | Write | Writeback
+
+type action = Torn of int | Io_error | Crash
+
+type event = {
+  seq : int;  (** value of the stream counter when the fault fired *)
+  io : io;
+  device : string;
+  segid : int;
+  blkno : int;
+  action : action;
+}
+
+type t
+
+val create : unit -> t
+
+val arm_device : t -> Pagestore.Device.t -> unit
+(** Install this plan's fault hook on a device (idempotent). *)
+
+val arm_switch : t -> Pagestore.Switch.t -> unit
+(** {!arm_device} for every device behind the switch. *)
+
+val arm_cache : t -> Pagestore.Bufcache.t -> unit
+(** Install the plan's write-back hook so faults can fire at
+    dirty-page-flush granularity ([io = Writeback]). *)
+
+val disarm : t -> unit
+(** Remove all hooks installed by this plan.  Scheduled-but-unfired
+    faults stay scheduled (use {!clear_schedule} to drop them). *)
+
+val schedule : t -> io:io -> after:int -> action -> unit
+(** [schedule t ~io ~after action] fires [action] on the [after]-th next
+    transfer of stream [io] (so [after:1] hits the very next one).
+    Raises [Invalid_argument] if [after < 1], or for [Torn] on the
+    [Writeback] stream (tearing is a device-transfer notion). *)
+
+val schedule_random_crash : t -> Simclock.Rng.t -> within:int -> unit
+(** Schedule a {!Crash} on a uniformly random device write among the next
+    [within] writes. *)
+
+val clear_schedule : t -> unit
+(** Drop every scheduled-but-unfired fault (counters and the event log
+    are kept).  Recovery code paths run under a cleared schedule. *)
+
+val pending : t -> int
+(** Scheduled faults that have not fired yet. *)
+
+val events : t -> event list
+(** Every fault that fired, oldest first. *)
+
+val event_to_string : event -> string
+val io_to_string : io -> string
+val action_to_string : action -> string
+
+val reads_seen : t -> int
+val writes_seen : t -> int
+val writebacks_seen : t -> int
+(** Stream counters: transfers observed since the plan was created. *)

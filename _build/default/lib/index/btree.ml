@@ -158,6 +158,16 @@ let attach ~cache ~device ~segid =
   in
   { cache; device; segid; klen; isize = klen + 8; mem_count = -1 }
 
+let crash t = t.mem_count <- -1
+
+let reinit t =
+  (* Point the meta page at a fresh empty leaf.  The old nodes are left
+     behind in the segment (block reclamation would need a free list);
+     rebuilds are rare — crash recovery only — so the leak is accepted. *)
+  let root = alloc_node t ~level:0 in
+  t.mem_count <- 0;
+  write_meta t ~root ~height:1 ~count:0
+
 (* ---- descent ---- *)
 
 (* Child to follow for [item]: the child whose separator is the greatest
@@ -385,7 +395,10 @@ let max_entry t =
 
 let check_invariants t =
   let root, hgt, _ = read_meta t in
-  let cnt = count t in
+  (* Recount via the leaf chain rather than trusting the volatile cached
+     count — after a crash the cache is stale by design, and the audit's
+     job is to compare chain vs tree walk, two independent traversals. *)
+  let cnt = count_leaves t (leftmost_leaf t) 0 in
   let errors = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   (* Walk the tree checking levels and in-node order; count leaf items. *)
@@ -430,7 +443,9 @@ let check_invariants t =
         end)
   in
   walk root (hgt - 1) ~lo:None ~hi:None;
-  if !leaf_items <> cnt then fail "meta count %d but leaves hold %d items" cnt !leaf_items;
+  if !leaf_items <> cnt then
+    fail "leaf chain holds %d items but tree walk found %d" cnt !leaf_items
+  else if !errors = [] then t.mem_count <- cnt;
   (* Leaf chain must be globally sorted. *)
   let prev = ref None in
   iter t (fun k v ->

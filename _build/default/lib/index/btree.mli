@@ -24,6 +24,18 @@ val attach :
   cache:Pagestore.Bufcache.t -> device:Pagestore.Device.t -> segid:int -> t
 (** Re-open a tree that survived a crash (reads the meta page). *)
 
+val crash : t -> unit
+(** Forget volatile per-tree state (the cached entry count) after a
+    simulated machine crash.  The durable pages are untouched; the count
+    is recounted from the leaves on demand, as after {!attach}. *)
+
+val reinit : t -> unit
+(** Reset the tree to empty in place: the meta page is pointed at a fresh
+    empty leaf on the same segment, so the segment id stays valid for
+    anyone holding it.  Old nodes are abandoned in the segment (accepted
+    leak; used only by crash recovery to rebuild a damaged index before
+    re-inserting entries from the heap). *)
+
 val klen : t -> int
 val segid : t -> int
 val device : t -> Pagestore.Device.t

@@ -65,6 +65,7 @@ type t = {
   mutable writebacks : int;
   mutable evictions : int;
   mutable os_hits : int;
+  mutable writeback_hook : (device:string -> segid:int -> blkno:int -> unit) option;
 }
 
 let create ?(capacity = 300) ?(os_cache_blocks = 16384) () =
@@ -79,7 +80,10 @@ let create ?(capacity = 300) ?(os_cache_blocks = 16384) () =
     writebacks = 0;
     evictions = 0;
     os_hits = 0;
+    writeback_hook = None;
   }
+
+let set_writeback_hook t hook = t.writeback_hook <- hook
 
 let capacity t = t.cap
 let hits t = t.hits
@@ -96,6 +100,9 @@ let os_cached_device dev = Device.kind dev = Device.Magnetic_disk
 
 let write_back t e =
   if e.dirty then begin
+    (match t.writeback_hook with
+    | Some hook -> hook ~device:(Device.name e.dev) ~segid:e.segid ~blkno:e.blkno
+    | None -> ());
     if os_cached_device e.dev then begin
       (* hand the page to the FS buffer cache: contents are stored, the
          platter write happens asynchronously off the critical path *)

@@ -52,6 +52,14 @@ val flush_segment : t -> Device.t -> segid:int -> unit
 val invalidate_segment : t -> Device.t -> segid:int -> unit
 (** Discard resident pages of a dropped segment without write-back. *)
 
+val set_writeback_hook :
+  t -> (device:string -> segid:int -> blkno:int -> unit) option -> unit
+(** Install (or clear) a hook invoked just before each dirty page is
+    written back (on {!flush}, {!flush_segment}, or eviction).  Fault
+    plans use it to crash or fail mid-flush at write-back granularity —
+    the hook may raise, in which case the page stays dirty and the
+    write-back does not happen. *)
+
 val crash : t -> unit
 (** Drop all cached pages without write-back — volatile memory is gone.
     The OS buffer cache is volatile too and is cleared with it. *)

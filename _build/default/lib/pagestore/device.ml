@@ -100,11 +100,21 @@ module Lru_set = struct
     end
 end
 
+type io_kind = Io_read | Io_write
+
+type fault = Fault_torn of int | Fault_io_error | Fault_crash
+
+exception Io_fault of { device : string; segid : int; blkno : int }
+exception Crash_injected of { device : string; segid : int; blkno : int }
+
+type fault_hook = io_kind -> segid:int -> blkno:int -> fault option
+
 type t = {
   name : string;
   kind : kind;
   geometry : geometry;
   clock : Simclock.Clock.t;
+  mutable fault_hook : fault_hook option;
   blocks : (int * int, bytes) Hashtbl.t; (* (segid, blkno) -> contents *)
   phys : (int * int, int) Hashtbl.t; (* (segid, blkno) -> physical block *)
   seg_len : (int, int) Hashtbl.t; (* segid -> nblocks *)
@@ -126,6 +136,7 @@ let create ~clock ~name ~kind ?geometry () =
     kind;
     geometry;
     clock;
+    fault_hook = None;
     blocks = Hashtbl.create 1024;
     phys = Hashtbl.create 1024;
     seg_len = Hashtbl.create 32;
@@ -266,13 +277,47 @@ let charge_read t ~segid ~blkno =
   | Worm_jukebox -> charge_jukebox_read t phys);
   t.reads <- t.reads + 1
 
+let set_fault_hook t hook = t.fault_hook <- hook
+
+let consult_hook t io ~segid ~blkno =
+  match t.fault_hook with None -> None | Some hook -> hook io ~segid ~blkno
+
 let peek_block t ~segid ~blkno =
   check_block t segid blkno;
-  Page.of_bytes (Hashtbl.find t.blocks (segid, blkno))
+  let stored = Hashtbl.find t.blocks (segid, blkno) in
+  match consult_hook t Io_read ~segid ~blkno with
+  | None -> Page.of_bytes stored
+  | Some (Fault_torn n) ->
+    (* Transient short read: the first [n] bytes transfer, the rest come
+       back as zeros.  The durable copy is untouched. *)
+    let n = max 0 (min n (Bytes.length stored)) in
+    let torn = Bytes.make Page.size '\000' in
+    Bytes.blit stored 0 torn 0 n;
+    Page.of_bytes torn
+  | Some Fault_io_error -> raise (Io_fault { device = t.name; segid; blkno })
+  | Some Fault_crash -> raise (Crash_injected { device = t.name; segid; blkno })
 
 let poke_block t ~segid ~blkno page =
   check_block t segid blkno;
-  Hashtbl.replace t.blocks (segid, blkno) (Page.to_bytes page)
+  let stored =
+    match consult_hook t Io_write ~segid ~blkno with
+    | None -> Page.to_bytes page
+    | Some (Fault_torn n) ->
+      (* Torn write: only the first [n] bytes of the new image reach the
+         medium; the tail keeps whatever was there before. *)
+      let prev =
+        match Hashtbl.find_opt t.blocks (segid, blkno) with
+        | Some b -> Bytes.copy b
+        | None -> Bytes.make Page.size '\000'
+      in
+      let fresh = Page.to_bytes page in
+      let n = max 0 (min n (Bytes.length fresh)) in
+      Bytes.blit fresh 0 prev 0 n;
+      prev
+    | Some Fault_io_error -> raise (Io_fault { device = t.name; segid; blkno })
+    | Some Fault_crash -> raise (Crash_injected { device = t.name; segid; blkno })
+  in
+  Hashtbl.replace t.blocks (segid, blkno) stored
 
 let read_block t ~segid ~blkno =
   charge_read t ~segid ~blkno;

@@ -49,6 +49,31 @@ val sony_worm : geometry
 (** Sony WMJ-class optical jukebox: ~8 s platter exchange, ~0.6 MB/s
     reads, 16-page extents, 10 MB disk cache (paper defaults). *)
 
+(** {1 Fault injection}
+
+    A device can carry one fault hook, consulted on every block transfer
+    ({!peek_block}/{!read_block} as [Io_read], {!poke_block}/{!write_block}
+    as [Io_write]).  The hook decides, per transfer, whether the I/O
+    completes cleanly ([None]) or suffers a fault.  [lib/faultsim] builds
+    seeded fault plans on top of this; tests may install hooks directly. *)
+
+type io_kind = Io_read | Io_write
+
+type fault =
+  | Fault_torn of int
+      (** Only the first [n] bytes transfer.  On a write the tail of the
+          durable block keeps its previous contents (classic torn page); on
+          a read the tail comes back zeroed and the medium is untouched. *)
+  | Fault_io_error  (** The transfer fails with {!Io_fault}; retryable. *)
+  | Fault_crash
+      (** The machine dies before the transfer lands: {!Crash_injected} is
+          raised and the durable block is left unchanged. *)
+
+exception Io_fault of { device : string; segid : int; blkno : int }
+exception Crash_injected of { device : string; segid : int; blkno : int }
+
+type fault_hook = io_kind -> segid:int -> blkno:int -> fault option
+
 type t
 
 val create :
@@ -108,6 +133,10 @@ val charge_drain : t -> unit
 val sync : t -> unit
 (** Barrier: charge any deferred write-back cost.  (The models here write
     through, so this only ticks a counter.) *)
+
+val set_fault_hook : t -> fault_hook option -> unit
+(** Install (or clear, with [None]) the fault hook.  At most one hook is
+    active per device; installing replaces the previous one. *)
 
 val crash : t -> unit
 (** Simulate a machine crash: media contents survive; transient cost-model

@@ -1,1 +1,1 @@
-lib/relstore/db.mli: Heap Lock_mgr Pagestore Simclock Status_log Txn Vacuum
+lib/relstore/db.mli: Heap Lock_mgr Pagestore Simclock Status_log Txn Vacuum Xid

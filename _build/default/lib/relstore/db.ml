@@ -98,6 +98,19 @@ let crash t =
   Lock_mgr.reset t.locks;
   Pagestore.Switch.crash t.switch
 
+let verify_relations t =
+  List.filter_map
+    (fun name ->
+      match Heap.verify (find_relation t name) with
+      | Ok () -> None
+      | Error msg -> Some (name, msg))
+    (relations t)
+
+let crash_and_recover t =
+  let rolled_back = Status_log.active t.log in
+  crash t;
+  (rolled_back, verify_relations t)
+
 let find_jukebox t =
   List.find_opt
     (fun d -> Pagestore.Device.kind d = Pagestore.Device.Worm_jukebox)

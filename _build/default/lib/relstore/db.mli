@@ -69,6 +69,20 @@ val crash : t -> unit
     Committed data (forced at commit) is intact; no fsck, no log replay.
     The database is immediately usable. *)
 
+val verify_relations : t -> (string * string) list
+(** Run {!Heap.verify} over every relation and collect
+    [(relation, problem)] pairs; empty means every durable page passed its
+    self-identification check. *)
+
+val crash_and_recover : t -> Xid.t list * (string * string) list
+(** Whole-system crash + recovery as one call: {!crash} (which composes
+    the cache, status-log, lock and device resets), then
+    {!verify_relations}.  Returns the transactions rolled back by
+    recovery and any page-verification problems (normally [[]] — the
+    no-overwrite manager never scribbles over committed pages, so
+    recovery needs no fsck; the verification is the proof, not a repair
+    pass). *)
+
 val vacuum :
   t -> relation:string -> ?horizon:int64 -> mode:[ `Archive | `Discard ] ->
   ?on_remove:(Heap.record -> unit) -> unit -> Vacuum.stats

@@ -27,6 +27,7 @@ let relid t = t.relid
 let device t = t.device
 let segid t = t.segid
 let nblocks t = Pagestore.Device.nblocks t.device t.segid
+let status_log t = t.log
 let resource t = "rel:" ^ t.name
 let set_archive t a = t.archive <- Some a
 let archive t = t.archive

@@ -44,6 +44,10 @@ val relid : t -> int64
 val device : t -> Pagestore.Device.t
 val segid : t -> int
 val nblocks : t -> int
+
+val status_log : t -> Status_log.t
+(** The status log visibility decisions for this heap consult. *)
+
 val resource : t -> string
 (** The lock-manager resource name for this relation. *)
 

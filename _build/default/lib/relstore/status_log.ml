@@ -59,6 +59,12 @@ let active t =
   |> List.sort Xid.compare
 
 let crash_recover t =
-  List.iter (fun xid -> Hashtbl.replace t.table xid Aborted) (active t)
+  List.iter (fun xid -> Hashtbl.replace t.table xid Aborted) (active t);
+  (* [next_xid] is a volatile counter; rebuild it from the durable status
+     table so a post-recovery transaction can never reuse a logged xid.
+     Every begun transaction has a status entry, so the table's maximum is
+     the high-water mark. *)
+  let high = Hashtbl.fold (fun xid _ acc -> max acc xid) t.table 0 in
+  t.next_xid <- max t.next_xid (high + 1)
 
 let last_xid t = t.next_xid - 1

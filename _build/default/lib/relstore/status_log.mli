@@ -45,7 +45,9 @@ val active : t -> Xid.t list
 
 val crash_recover : t -> unit
 (** Simulate crash + instant recovery: every in-progress transaction is
-    marked aborted.  Committed and aborted entries survive untouched. *)
+    marked aborted.  Committed and aborted entries survive untouched, and
+    the (volatile) xid counter is revalidated against the highest logged
+    xid so post-recovery transactions never reuse one. *)
 
 val last_xid : t -> Xid.t
 (** Highest xid ever assigned (0 if none). *)

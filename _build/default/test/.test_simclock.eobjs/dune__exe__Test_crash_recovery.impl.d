@@ -1,0 +1,1 @@
+test/test_crash_recovery.ml: Alcotest Benchlib Bytes Faultsim Int64 Invfs List Pagestore Printf Relstore Simclock String Sys

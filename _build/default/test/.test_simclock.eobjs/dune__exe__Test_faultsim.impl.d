@@ -1,0 +1,1 @@
+test/test_faultsim.ml: Alcotest Bytes Char Faultsim Invfs List Option Pagestore Relstore Simclock String

@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bytes Invfs List Option Pagestore Relstore Simclock String

@@ -1,0 +1,238 @@
+(* Whole-system crash recovery: the status-log and Db recovery
+   primitives, directed crashes at the nastiest moments (mid-commit,
+   mid-multi-chunk-write, many open sessions), time travel across a
+   recovery, and the seeded differential harness. *)
+
+module D = Pagestore.Device
+module SL = Relstore.Status_log
+module Db = Relstore.Db
+module Fs = Invfs.Fs
+module Rec = Invfs.Recovery
+module F = Faultsim
+module CT = Benchlib.Crashtest
+
+let bytes_of = Bytes.of_string
+let str = Bytes.to_string
+
+let make_fs () =
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  ignore
+    (Pagestore.Switch.add_device switch ~name:"disk0" ~kind:D.Magnetic_disk ()
+      : D.t);
+  let db = Relstore.Db.create ~switch ~clock () in
+  Fs.make db ()
+
+let armed_fs () =
+  let fs = make_fs () in
+  let plan = F.create () in
+  F.arm_switch plan (Db.switch (Fs.db fs));
+  F.arm_cache plan (Db.cache (Fs.db fs));
+  (fs, plan)
+
+let recover_clean fs =
+  let r = Rec.crash_and_recover fs in
+  Alcotest.(check bool)
+    ("recovery clean: " ^ Rec.report_to_string r)
+    true (Rec.is_clean r);
+  r
+
+(* ---- Status_log ---- *)
+
+let test_status_log_recover_aborts_and_advances () =
+  let clock = Simclock.Clock.create () in
+  let log = SL.create ~clock in
+  let x1 = SL.begin_txn log in
+  let x2 = SL.begin_txn log in
+  let x3 = SL.begin_txn log in
+  ignore (SL.commit log x2 : int64);
+  SL.crash_recover log;
+  Alcotest.(check bool) "x1 aborted" true (SL.state log x1 = SL.Aborted);
+  Alcotest.(check bool) "x3 aborted" true (SL.state log x3 = SL.Aborted);
+  Alcotest.(check bool) "x2 still committed" true (SL.is_committed log x2);
+  Alcotest.(check (list int)) "nothing active" [] (SL.active log)
+
+let test_status_log_never_reuses_xids () =
+  let clock = Simclock.Clock.create () in
+  let log = SL.create ~clock in
+  let xids = List.init 5 (fun _ -> SL.begin_txn log) in
+  let high = List.fold_left max 0 xids in
+  SL.crash_recover log;
+  let fresh = SL.begin_txn log in
+  Alcotest.(check bool) "fresh xid above every pre-crash xid" true (fresh > high);
+  (* were an old xid reused, its Aborted verdict would leak onto the new
+     transaction's records — the classic recovery bug *)
+  Alcotest.(check bool) "fresh xid is live" true (SL.state log fresh = SL.In_progress)
+
+(* ---- Db ---- *)
+
+let test_db_crash_and_recover () =
+  let db = Db.create () in
+  let heap = Db.create_relation db ~name:"r" () in
+  Db.with_txn db (fun txn ->
+      ignore (Relstore.Heap.insert heap txn ~oid:1L (bytes_of "durable") : Relstore.Tid.t));
+  let txn = Db.begin_txn db in
+  ignore (Relstore.Heap.insert heap txn ~oid:2L (bytes_of "doomed") : Relstore.Tid.t);
+  let doomed_xid = Relstore.Txn.xid txn in
+  let rolled_back, page_problems = Db.crash_and_recover db in
+  Alcotest.(check (list int)) "in-flight txn rolled back" [ doomed_xid ] rolled_back;
+  Alcotest.(check int) "no page damage" 0 (List.length page_problems);
+  let seen = ref [] in
+  Relstore.Heap.scan (Db.find_relation db "r")
+    (Relstore.Snapshot.As_of (Db.now db))
+    (fun r -> seen := str r.Relstore.Heap.payload :: !seen);
+  Alcotest.(check (list string)) "only the committed record" [ "durable" ] !seen
+
+(* ---- directed crashes ---- *)
+
+let test_crash_during_commit_flush () =
+  let fs, plan = armed_fs () in
+  let s = Fs.new_session fs in
+  Fs.write_file s "/stable" (bytes_of "pre-existing");
+  Fs.p_begin s;
+  let fd = Fs.p_creat s "/big" in
+  (* three chunks' worth, so the commit flush spans several page writes *)
+  let payload = Bytes.make (Invfs.Chunk.capacity * 3) 'x' in
+  ignore (Fs.p_write s fd payload (Bytes.length payload) : int);
+  Fs.p_close s fd;
+  F.schedule plan ~io:F.Write ~after:2 F.Crash;
+  (match Fs.p_commit s with
+  | () -> Alcotest.fail "expected the commit flush to crash"
+  | exception D.Crash_injected _ -> ());
+  F.clear_schedule plan;
+  ignore (recover_clean fs : Rec.report);
+  let s = Fs.new_session fs in
+  Alcotest.(check bool) "uncommitted file gone" false (Fs.exists s "/big");
+  Alcotest.(check string) "committed file intact" "pre-existing"
+    (str (Fs.read_whole_file s "/stable"));
+  (* the system keeps working: the same name can be created and committed *)
+  Fs.write_file s "/big" (bytes_of "second try");
+  Alcotest.(check string) "post-recovery write works" "second try"
+    (str (Fs.read_whole_file s "/big"))
+
+let test_crash_mid_multichunk_autocommit () =
+  let fs, plan = armed_fs () in
+  let s = Fs.new_session fs in
+  Fs.write_file s "/f" (bytes_of "original contents");
+  F.schedule plan ~io:F.Write ~after:2 F.Crash;
+  let overwrite = Bytes.make (Invfs.Chunk.capacity * 3) 'y' in
+  (match Fs.write_file s "/f" overwrite with
+  | () -> Alcotest.fail "expected the auto-commit write to crash"
+  | exception D.Crash_injected _ -> ());
+  F.clear_schedule plan;
+  ignore (recover_clean fs : Rec.report);
+  let s = Fs.new_session fs in
+  Alcotest.(check string) "atomic: old contents survive whole" "original contents"
+    (str (Fs.read_whole_file s "/f"))
+
+let test_crash_with_multiple_open_sessions () =
+  let fs, _plan = armed_fs () in
+  let setup = Fs.new_session fs in
+  Fs.write_file setup "/a" (bytes_of "a v1");
+  let s1 = Fs.new_session fs
+  and s2 = Fs.new_session fs
+  and s3 = Fs.new_session fs in
+  Fs.p_begin s1;
+  Fs.write_file s1 "/a" (bytes_of "a v2, uncommitted");
+  Fs.write_file s2 "/b" (bytes_of "b committed");
+  Fs.p_begin s3;
+  let fd = Fs.p_creat s3 "/c" in
+  ignore (Fs.p_write s3 fd (bytes_of "c uncommitted") 13 : int);
+  Fs.p_close s3 fd;
+  let report = recover_clean fs in
+  Alcotest.(check int) "both open transactions rolled back" 2
+    (List.length report.Rec.rolled_back);
+  let s = Fs.new_session fs in
+  Alcotest.(check string) "s1's txn rolled back" "a v1" (str (Fs.read_whole_file s "/a"));
+  Alcotest.(check string) "s2's auto-commit survived" "b committed"
+    (str (Fs.read_whole_file s "/b"));
+  Alcotest.(check bool) "s3's create rolled back" false (Fs.exists s "/c")
+
+(* ---- time travel across a recovery ---- *)
+
+let test_time_travel_survives_recovery () =
+  let fs, _plan = armed_fs () in
+  let advance dt = Simclock.Clock.advance (Fs.clock fs) ~account:"test" dt in
+  let s = Fs.new_session fs in
+  Fs.write_file s "/doc" (bytes_of "version one");
+  advance 1.0;
+  let t1 = Db.now (Fs.db fs) in
+  advance 1.0;
+  Fs.write_file s "/doc" (bytes_of "version two");
+  advance 1.0;
+  let t2 = Db.now (Fs.db fs) in
+  advance 1.0;
+  Fs.p_begin s;
+  Fs.write_file s "/doc" (bytes_of "version three, doomed");
+  ignore (recover_clean fs : Rec.report);
+  let s = Fs.new_session fs in
+  Alcotest.(check string) "current = last committed" "version two"
+    (str (Fs.read_whole_file s "/doc"));
+  Alcotest.(check string) "as-of t1 unharmed" "version one"
+    (str (Fs.read_whole_file s ~timestamp:t1 "/doc"));
+  Alcotest.(check string) "as-of t2 unharmed" "version two"
+    (str (Fs.read_whole_file s ~timestamp:t2 "/doc"));
+  (* and history written after recovery stacks on top *)
+  advance 1.0;
+  Fs.write_file s "/doc" (bytes_of "version four");
+  Alcotest.(check string) "post-recovery history" "version two"
+    (str (Fs.read_whole_file s ~timestamp:t2 "/doc"));
+  Alcotest.(check string) "new current" "version four" (str (Fs.read_whole_file s "/doc"))
+
+(* ---- the differential harness ---- *)
+
+let fixed_seeds = [ 1L; 2L; 3L; 5L; 7L; 11L; 13L; 17L; 42L; 1993L ]
+
+let extra_seeds () =
+  match Sys.getenv_opt "CRASH_SEEDS" with
+  | None | Some "" -> []
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.filter_map (fun tok -> Int64.of_string_opt (String.trim tok))
+
+let test_harness_seed seed () =
+  let o = CT.run ~seed () in
+  Alcotest.(check (list string))
+    (Printf.sprintf "seed %Ld proves out (%s)" seed (CT.outcome_to_string o))
+    [] o.CT.mismatches;
+  Alcotest.(check bool) "workload crashed at least once" true (o.CT.crashes > 0);
+  Alcotest.(check bool) "workload applied real operations" true (o.CT.ops_applied > 50)
+
+let test_harness_deterministic () =
+  let a = CT.run ~seed:42L () and b = CT.run ~seed:42L () in
+  Alcotest.(check string) "identical outcomes for identical seeds"
+    (CT.outcome_to_string a) (CT.outcome_to_string b)
+
+let () =
+  let harness_cases =
+    List.map
+      (fun seed ->
+        Alcotest.test_case (Printf.sprintf "seed %Ld" seed) `Quick (test_harness_seed seed))
+      (fixed_seeds @ extra_seeds ())
+  in
+  Alcotest.run "crash_recovery"
+    [
+      ( "status log",
+        [
+          Alcotest.test_case "recover aborts in-flight" `Quick
+            test_status_log_recover_aborts_and_advances;
+          Alcotest.test_case "xids never reused" `Quick test_status_log_never_reuses_xids;
+        ] );
+      ("db", [ Alcotest.test_case "crash_and_recover" `Quick test_db_crash_and_recover ]);
+      ( "directed crashes",
+        [
+          Alcotest.test_case "mid-commit flush" `Quick test_crash_during_commit_flush;
+          Alcotest.test_case "mid multi-chunk auto write" `Quick
+            test_crash_mid_multichunk_autocommit;
+          Alcotest.test_case "multiple open sessions" `Quick
+            test_crash_with_multiple_open_sessions;
+        ] );
+      ( "time travel",
+        [
+          Alcotest.test_case "as-of reads survive recovery" `Quick
+            test_time_travel_survives_recovery;
+        ] );
+      ( "differential harness",
+        Alcotest.test_case "deterministic" `Quick test_harness_deterministic
+        :: harness_cases );
+    ]

@@ -1,0 +1,139 @@
+(* The structural audit: clean baselines, detection of deliberately
+   corrupted heap pages and B-tree indexes, and repair via recovery. *)
+
+module P = Pagestore.Page
+module D = Pagestore.Device
+module Db = Relstore.Db
+module Fs = Invfs.Fs
+module Fsck = Invfs.Fsck
+module Rec = Invfs.Recovery
+
+let bytes_of = Bytes.of_string
+let str = Bytes.to_string
+
+let make_fs () =
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  ignore
+    (Pagestore.Switch.add_device switch ~name:"disk0" ~kind:D.Magnetic_disk ()
+      : D.t);
+  let db = Relstore.Db.create ~switch ~clock () in
+  Fs.make db ()
+
+let populated () =
+  let fs = make_fs () in
+  let s = Fs.new_session fs in
+  Fs.mkdir s "/docs";
+  Fs.write_file s "/docs/report" (bytes_of "quarterly numbers");
+  Fs.write_file s "/notes" (Bytes.make (Invfs.Chunk.capacity * 2) 'n');
+  (fs, s)
+
+let file_heap fs path s =
+  let att = Fs.stat s path in
+  let inv = Option.get (Fs.file_handle fs ~oid:att.Invfs.Fileatt.file) in
+  (att, Invfs.Inv_file.heap inv)
+
+let test_clean_baseline () =
+  let fs, _ = populated () in
+  let r = Fsck.audit fs in
+  Alcotest.(check bool) ("clean: " ^ Fsck.report_to_string r) true (Fsck.is_clean r);
+  Alcotest.(check bool) "files were checked" true (r.Fsck.files_checked >= 3)
+
+let test_clean_after_plain_crash () =
+  let fs, s = populated () in
+  Fs.p_begin s;
+  Fs.write_file s "/doomed" (bytes_of "never committed");
+  Fs.crash fs;
+  let r = Fsck.audit fs in
+  Alcotest.(check bool)
+    ("post-crash audit clean: " ^ Fsck.report_to_string r)
+    true (Fsck.is_clean r)
+
+let test_corrupted_heap_page_detected () =
+  let fs, s = populated () in
+  let att, heap = file_heap fs "/docs/report" s in
+  let dev = Relstore.Heap.device heap in
+  let segid = Relstore.Heap.segid heap in
+  (* flip bytes in the durable image of the first non-empty heap block *)
+  let corrupted = ref false in
+  for blkno = 0 to Relstore.Heap.nblocks heap - 1 do
+    if not !corrupted then begin
+      let page = D.peek_block dev ~segid ~blkno in
+      if P.to_bytes page <> Bytes.make P.size '\000' then begin
+        P.set_u8 page 512 (P.get_u8 page 512 lxor 0xFF);
+        D.poke_block dev ~segid ~blkno page;
+        corrupted := true
+      end
+    end
+  done;
+  Alcotest.(check bool) "found a block to corrupt" true !corrupted;
+  (* drop the caches so the audit reads the damaged durable image *)
+  Fs.crash fs;
+  let r = Fsck.audit fs in
+  Alcotest.(check bool) "audit flags the damage" false (Fsck.is_clean r);
+  let relname = Invfs.Inv_file.relname att.Invfs.Fileatt.file in
+  Alcotest.(check bool) "problem names the relation" true
+    (List.exists (fun p -> String.equal p.Fsck.relation relname) r.Fsck.problems)
+
+let test_corrupted_index_detected_and_rebuilt () =
+  let fs, s = populated () in
+  let att, heap = file_heap fs "/notes" s in
+  let oid = att.Invfs.Fileatt.file in
+  let dev = Relstore.Heap.device heap in
+  (* zero the chunk index's meta page in the durable image *)
+  D.poke_block dev ~segid:att.Invfs.Fileatt.index_segid ~blkno:0 (P.create ());
+  (* a machine crash now: caches drop, reads hit the zeroed meta page *)
+  Fs.crash fs;
+  let inv = Option.get (Fs.file_handle fs ~oid) in
+  (match Invfs.Inv_file.index_check inv with
+  | Ok () -> Alcotest.fail "index_check missed the zeroed meta page"
+  | Error _ -> ());
+  let audit = Fsck.audit fs in
+  Alcotest.(check bool) "audit flags the index" false (Fsck.is_clean audit);
+  (* whole-system recovery detects the damage and rebuilds from the heap *)
+  let report = Rec.crash_and_recover fs in
+  Alcotest.(check bool) "index rebuilt for the file" true
+    (List.mem oid report.Rec.file_indexes_rebuilt);
+  Alcotest.(check bool)
+    ("recovery ends clean: " ^ Rec.report_to_string report)
+    true (Rec.is_clean report);
+  let s = Fs.new_session fs in
+  Alcotest.(check string) "contents readable through rebuilt index"
+    (String.make (Invfs.Chunk.capacity * 2) 'n')
+    (str (Fs.read_whole_file s "/notes"))
+
+let test_catalog_index_rebuild () =
+  let fs, s = populated () in
+  Fs.write_file s "/more" (bytes_of "more data");
+  (* damage the naming catalog's B-trees in memory the way a crash does,
+     then let recovery prove it can rebuild them from the heap *)
+  Invfs.Naming.crash_reset (Fs.naming_catalog fs);
+  (match Invfs.Naming.index_check (Fs.naming_catalog fs) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "naming index dirty before damage: %s" msg);
+  let report = Rec.crash_and_recover fs in
+  Alcotest.(check bool)
+    ("recovery clean: " ^ Rec.report_to_string report)
+    true (Rec.is_clean report);
+  let s = Fs.new_session fs in
+  Alcotest.(check string) "namespace intact" "more data"
+    (str (Fs.read_whole_file s "/more"))
+
+let () =
+  Alcotest.run "fsck"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "clean on a healthy tree" `Quick test_clean_baseline;
+          Alcotest.test_case "clean after a plain crash" `Quick
+            test_clean_after_plain_crash;
+        ] );
+      ( "damage",
+        [
+          Alcotest.test_case "corrupted heap page detected" `Quick
+            test_corrupted_heap_page_detected;
+          Alcotest.test_case "corrupted index detected and rebuilt" `Quick
+            test_corrupted_index_detected_and_rebuilt;
+          Alcotest.test_case "catalog indexes recover" `Quick test_catalog_index_rebuild;
+        ] );
+    ]
