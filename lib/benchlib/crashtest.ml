@@ -36,6 +36,11 @@ type config = {
   max_file_bytes : int;
   max_dirs : int;
   trace : bool;
+  mirrored : bool;
+  bitrot_interval : int;
+  stuck_interval : int;
+  kill_mirror_at : int;
+  scrub_interval : int;
 }
 
 let default_config =
@@ -48,6 +53,30 @@ let default_config =
     max_file_bytes = 48 * 1024;
     max_dirs = 10;
     trace = false;
+    mirrored = false;
+    bitrot_interval = 0;
+    stuck_interval = 0;
+    kill_mirror_at = 0;
+    scrub_interval = 0;
+  }
+
+(* Mirrored pair under continuous media decay: bitrot and stuck blocks
+   keep landing, the scrubber and the failover read path keep healing, and
+   the run must still converge byte-identically. *)
+let media_config =
+  { default_config with mirrored = true; bitrot_interval = 7; stuck_interval = 29; scrub_interval = 13 }
+
+(* Mirrored pair that loses its redundancy mid-run: a belt-and-braces full
+   scrub confirms both copies are whole, then the secondary dies outright
+   and the primary must carry the rest of the workload alone. *)
+let media_kill_config =
+  {
+    default_config with
+    mirrored = true;
+    bitrot_interval = 9;
+    stuck_interval = 31;
+    scrub_interval = 11;
+    kill_mirror_at = 100;
   }
 
 type outcome = {
@@ -63,16 +92,19 @@ type outcome = {
   indexes_rebuilt : int;
   time_travel_checks : int;
   full_verifies : int;
+  media_events : int;
+  scrub_repaired : int;
   mismatches : string list;
 }
 
 let outcome_to_string o =
   Printf.sprintf
     "seed=%Ld ops=%d/%d crashes=%d (%d injected) commits=%d aborts=%d \
-     lock_skips=%d io_faults=%d idx_rebuilt=%d tt_checks=%d verifies=%d mismatches=%d"
+     lock_skips=%d io_faults=%d idx_rebuilt=%d tt_checks=%d verifies=%d \
+     media_events=%d scrub_repaired=%d mismatches=%d"
     o.seed o.ops_applied o.ops_attempted o.crashes o.injected_crashes o.commits
     o.aborts o.lock_skips o.io_faults o.indexes_rebuilt o.time_travel_checks
-    o.full_verifies
+    o.full_verifies o.media_events o.scrub_repaired
     (List.length o.mismatches)
 
 (* ---------- oracle ---------- *)
@@ -170,6 +202,7 @@ type state = {
   db : Relstore.Db.t;
   fs : Fs.t;
   plan : Faultsim.t;
+  scrub : Pagestore.Scrub.t option;
   ora : oracle;
   sessions : sess array;
   mutable next_name : int;
@@ -184,6 +217,8 @@ type state = {
   mutable indexes_rebuilt : int;
   mutable time_travel_checks : int;
   mutable full_verifies : int;
+  mutable scrub_repaired : int;
+  mutable latent_rots : int;
   mutable mismatches : string list;
 }
 
@@ -521,6 +556,11 @@ let run_one_op st =
     trace st "s%d .. io fault" ss.id;
     st.io_faults <- st.io_faults + 1;
     safe_abort st ss
+  | exception Device.Media_failure { device; segid; blkno; reason } ->
+    (* With mirrored placement no op should ever see a permanent media
+       fault — retry/failover must absorb them — so this is a finding. *)
+    mismatch st "op hit media failure on %s/%d/%d: %s" device segid blkno reason;
+    safe_abort st ss
   | exception Errors.Fs_error ((Errors.EAGAIN | Errors.EDEADLK), _) ->
     trace st "s%d .. lock skip" ss.id;
     st.lock_skips <- st.lock_skips + 1;
@@ -533,9 +573,39 @@ let run_one_op st =
     mismatch st "unexpected fs error %s: %s" (Errors.code_to_string code) msg;
     safe_abort st ss
 
+(* A scrub pass is ordinary background I/O: a fault plan crash can fire
+   inside a repair write, and the harness recovers exactly as for a
+   foreground op. *)
+let scrub_step st ~pages =
+  match st.scrub with
+  | None -> ()
+  | Some sc -> (
+    match Pagestore.Scrub.step sc ~pages with
+    | s ->
+      st.scrub_repaired <- st.scrub_repaired + s.Pagestore.Scrub.repaired;
+      List.iter
+        (fun (dev, segid, blkno, reason) ->
+          mismatch st "scrub found unrepairable block %s/%d/%d: %s" dev segid blkno reason)
+        s.Pagestore.Scrub.unrepairable
+    | exception Device.Crash_injected _ -> do_crash st ~injected:true
+    | exception Device.Io_fault _ -> st.io_faults <- st.io_faults + 1)
+
 let run ?(config = default_config) ~seed () =
   let rng = Rng.create seed in
-  let db = Relstore.Db.create () in
+  (* Build the switch explicitly (same shape Db.create would make) so the
+     mirrored configuration can add and pair the secondary. *)
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  let (_ : Device.t) =
+    Pagestore.Switch.add_device switch ~name:"disk0" ~kind:Device.Magnetic_disk ()
+  in
+  if config.mirrored then begin
+    let (_ : Device.t) =
+      Pagestore.Switch.add_device switch ~name:"disk1" ~kind:Device.Magnetic_disk ()
+    in
+    Pagestore.Switch.mirror switch ~primary:"disk0" ~secondary:"disk1"
+  end;
+  let db = Relstore.Db.create ~switch ~clock () in
   let fs = Fs.make db () in
   let plan = Faultsim.create () in
   Faultsim.arm_switch plan (Relstore.Db.switch db);
@@ -548,6 +618,7 @@ let run ?(config = default_config) ~seed () =
       db;
       fs;
       plan;
+      scrub = (if config.scrub_interval > 0 then Some (Pagestore.Scrub.create switch) else None);
       ora;
       sessions = Array.init config.sessions (fun id -> {
         id;
@@ -569,8 +640,13 @@ let run ?(config = default_config) ~seed () =
       indexes_rebuilt = 0;
       time_travel_checks = 0;
       full_verifies = 0;
+      scrub_repaired = 0;
+      latent_rots = 0;
       mismatches = [];
     }
+  in
+  let mirror_alive () =
+    config.mirrored && not (Device.is_dead (Pagestore.Switch.find switch "disk1"))
   in
   Faultsim.schedule_random_crash plan rng ~within:60;
   for i = 0 to config.ops - 1 do
@@ -578,11 +654,66 @@ let run ?(config = default_config) ~seed () =
       let io = if Rng.bool rng then Faultsim.Write else Faultsim.Read in
       Faultsim.schedule plan ~io ~after:(1 + Rng.int rng 30) Faultsim.Io_error
     end;
+    (* Media decay lands only on the read stream, at most one fault in
+       flight, and only while both copies live.  A read-path fault is
+       detected and repaired within the very call that trips it (checksum
+       verify, mirror failover, in-place repair / sector reallocation), so
+       decay never goes latent — and two faults can never land on both
+       copies of one block, which would be genuine data loss rather than a
+       resilience bug. *)
+    (* The window is short: device reads are rare (most are cache hits)
+       and a crash clears the schedule, so a wide window leaves faults
+       forever pending instead of firing. *)
+    if config.bitrot_interval > 0 && i > 0 && i mod config.bitrot_interval = 0
+       && mirror_alive () && Faultsim.pending_media plan = 0
+    then begin
+      if Rng.bool rng then
+        Faultsim.schedule_random plan rng ~io:Faultsim.Read ~within:3 Faultsim.Bitrot
+      else begin
+        (* Latent decay for the scrubber: flip stored bytes on a random
+           primary block, off the I/O streams entirely.  The mirror keeps
+           the good copy, so the rot is always repairable — by the
+           scrubber if it walks past first, by read failover otherwise.
+           (Rotting the same block twice restores it: the XOR mask is
+           self-inverse.  Either way nothing is lost.) *)
+        let d0 = Pagestore.Switch.find switch "disk0" in
+        match Device.segments d0 with
+        | [] -> ()
+        | segs ->
+          let segid = List.nth segs (Rng.int rng (List.length segs)) in
+          let n = Device.nblocks d0 segid in
+          if n > 0 then begin
+            let blkno = Rng.int rng n in
+            trace st "== LATENT ROT disk0/%d/%d" segid blkno;
+            st.latent_rots <- st.latent_rots + 1;
+            Device.rot_block d0 ~segid ~blkno
+          end
+      end
+    end;
+    if config.stuck_interval > 0 && i > 0 && i mod config.stuck_interval = 0
+       && mirror_alive () && Faultsim.pending_media plan = 0
+    then Faultsim.schedule_random plan rng ~io:Faultsim.Read ~within:3 Faultsim.Stuck;
+    if config.kill_mirror_at > 0 && i = config.kill_mirror_at && mirror_alive () then begin
+      (* Lose the redundancy mid-run: drop pending faults, scrub every
+         latent rot out of the pair while the mirror still answers, then
+         the secondary dies and the primary carries the rest alone. *)
+      trace st "== KILLING MIRROR disk1 at op %d" i;
+      Faultsim.clear_schedule st.plan;
+      (match st.scrub with
+      | Some _ -> scrub_step st ~pages:max_int
+      | None -> (
+        try ignore (Pagestore.Scrub.run switch : Pagestore.Scrub.stats)
+        with Device.Crash_injected _ -> do_crash st ~injected:true));
+      Device.kill (Pagestore.Switch.find switch "disk1");
+      Faultsim.schedule_random_crash st.plan st.rng ~within:(30 + Rng.int st.rng 150)
+    end;
     if i > 0 && i mod config.crash_interval = 0 then
       (* boundary crash: deliberately while sessions may hold open
          transactions (crash-with-multiple-open-sessions coverage) *)
       do_crash st ~injected:false
     else run_one_op st;
+    if config.scrub_interval > 0 && i > 0 && i mod config.scrub_interval = 0 then
+      scrub_step st ~pages:64;
     if i > 0 && i mod config.snapshot_interval = 0 then take_snapshot st
   done;
   (* Always finish with a crash + full verification. *)
@@ -601,5 +732,98 @@ let run ?(config = default_config) ~seed () =
     indexes_rebuilt = st.indexes_rebuilt;
     time_travel_checks = st.time_travel_checks;
     full_verifies = st.full_verifies;
+    media_events =
+      st.latent_rots
+      + List.length
+          (List.filter
+             (fun e ->
+               match e.Faultsim.action with
+               | Faultsim.Bitrot | Faultsim.Stuck | Faultsim.Device_dead -> true
+               | Faultsim.Torn _ | Faultsim.Io_error | Faultsim.Crash -> false)
+             (Faultsim.events plan));
+    scrub_repaired = st.scrub_repaired;
     mismatches = List.rev st.mismatches;
   }
+
+(* ---------- directed degraded-mode run ---------- *)
+
+(* Unmirrored placement across two devices, then one device dies.  The
+   acceptance contract: files on the survivor stay byte-identical, files
+   on the dead device fail with EIO and nothing worse, and Fsck/Recovery
+   name the exact degraded relation set while auditing clean. *)
+let run_degraded ?(files = 12) ~seed () =
+  let rng = Rng.create seed in
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  let (_ : Device.t) =
+    Pagestore.Switch.add_device switch ~name:"disk0" ~kind:Device.Magnetic_disk ()
+  in
+  let (_ : Device.t) =
+    Pagestore.Switch.add_device switch ~name:"disk1" ~kind:Device.Magnetic_disk ()
+  in
+  let db = Relstore.Db.create ~switch ~clock () in
+  let fs = Fs.make db () in
+  let s = Fs.new_session fs in
+  let mismatches = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> mismatches := m :: !mismatches) fmt in
+  let placed =
+    List.init (max 2 files) (fun i ->
+        let device = if i mod 2 = 0 then "disk0" else "disk1" in
+        let path = Printf.sprintf "/f%d" i in
+        let fd = Fs.p_creat s ~device path in
+        let data = Rng.bytes rng (1 + Rng.int rng 20_000) in
+        ignore (Fs.p_write s fd data (Bytes.length data) : int);
+        let oid = Fs.fd_oid s fd in
+        Fs.p_close s fd;
+        (path, device, oid, data))
+  in
+  Device.kill (Pagestore.Switch.find switch "disk1");
+  (* the buffer and OS caches still hold the freshly written pages, which
+     would mask the dead device; power-cycle so reads hit the medium *)
+  Fs.crash fs;
+  let s = Fs.new_session fs in
+  let check_reads sess phase =
+    List.iter
+      (fun (path, device, _oid, data) ->
+        if device = "disk0" then
+          match Fs.read_whole_file sess path with
+          | real -> (
+            match bytes_diff data real with
+            | None -> ()
+            | Some d -> fail "%s: surviving file %s differs: %s" phase path d)
+          | exception e ->
+            fail "%s: surviving file %s unreadable: %s" phase path (Printexc.to_string e)
+        else
+          match Fs.read_whole_file sess path with
+          | _ -> fail "%s: %s on dead disk1 should have failed with EIO" phase path
+          | exception Errors.Fs_error (Errors.EIO, _) -> ()
+          | exception e ->
+            fail "%s: %s expected EIO, got %s" phase path (Printexc.to_string e))
+      placed
+  in
+  check_reads s "degraded";
+  let expect_degraded =
+    List.filter_map
+      (fun (_path, device, oid, _data) ->
+        if device = "disk1" then Some (Invfs.Inv_file.relname oid) else None)
+      placed
+    |> List.sort String.compare
+  in
+  let audit = Fsck.audit fs in
+  if audit.Fsck.degraded <> expect_degraded then
+    fail "fsck degraded set [%s], expected [%s]"
+      (String.concat "," audit.Fsck.degraded)
+      (String.concat "," expect_degraded);
+  if not (Fsck.is_clean audit) then
+    fail "degraded audit not clean: %s" (Fsck.report_to_string audit);
+  (* A machine crash on the degraded system: recovery still instantaneous,
+     still reporting the same degraded set, survivors still intact. *)
+  let rep = Recovery.crash_and_recover fs in
+  if rep.Recovery.degraded <> expect_degraded then
+    fail "recovery degraded set [%s], expected [%s]"
+      (String.concat "," rep.Recovery.degraded)
+      (String.concat "," expect_degraded);
+  if not (Recovery.is_clean rep) then
+    fail "degraded recovery not clean: %s" (Recovery.report_to_string rep);
+  check_reads (Fs.new_session fs) "post-recovery";
+  List.rev !mismatches

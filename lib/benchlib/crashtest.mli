@@ -27,10 +27,24 @@ type config = {
   max_file_bytes : int;  (** soft cap on any one file's size *)
   max_dirs : int;  (** cap on directory count *)
   trace : bool;  (** print every op to stderr (reproducing a failing seed) *)
+  mirrored : bool;  (** place the database on a mirrored device pair *)
+  bitrot_interval : int;  (** ops between scheduled bitrot faults (0 = none) *)
+  stuck_interval : int;  (** ops between scheduled stuck-block faults (0 = none) *)
+  kill_mirror_at : int;  (** op index at which the mirror dies (0 = never) *)
+  scrub_interval : int;  (** ops between background scrubber steps (0 = off) *)
 }
 
 val default_config : config
-(** 200 ops, 3 sessions, boundary crash every 25 ops. *)
+(** 200 ops, 3 sessions, boundary crash every 25 ops; no media decay. *)
+
+val media_config : config
+(** Mirrored pair under continuous bitrot and stuck blocks, with the
+    background scrubber running — failover reads and scrub repairs must
+    keep the run byte-identical to the oracle. *)
+
+val media_kill_config : config
+(** Mirrored pair whose secondary is killed mid-run after a full scrub:
+    the primary carries the rest of the workload alone. *)
 
 type outcome = {
   seed : int64;
@@ -45,6 +59,10 @@ type outcome = {
   indexes_rebuilt : int;  (** B-tree indexes recovery had to rebuild *)
   time_travel_checks : int;
   full_verifies : int;
+  media_events : int;
+      (** media faults injected: stream-fired bitrot/stuck/dead plus
+          latent rot planted directly for the scrubber *)
+  scrub_repaired : int;  (** blocks the background scrubber healed *)
   mismatches : string list;  (** empty = the run proved out *)
 }
 
@@ -53,3 +71,11 @@ val outcome_to_string : outcome -> string
 val run : ?config:config -> seed:int64 -> unit -> outcome
 (** One full differential run on a fresh file system.  Deterministic:
     equal seeds (and configs) give equal outcomes. *)
+
+val run_degraded : ?files:int -> seed:int64 -> unit -> string list
+(** Directed degraded-mode scenario: files placed alternately on two
+    {e unmirrored} devices, then one device dies.  Checks that files on
+    the survivor stay byte-identical, files on the dead device fail with
+    [EIO] (never silently misread), and that {!Invfs.Fsck} and
+    {!Invfs.Recovery} report exactly the dead device's relations as
+    degraded while auditing clean.  Returns mismatches (empty = passed). *)

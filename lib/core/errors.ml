@@ -10,6 +10,7 @@ type code =
   | ETXN
   | EDEADLK
   | EAGAIN
+  | EIO
 
 exception Fs_error of code * string
 
@@ -25,5 +26,6 @@ let code_to_string = function
   | ETXN -> "ETXN"
   | EDEADLK -> "EDEADLK"
   | EAGAIN -> "EAGAIN"
+  | EIO -> "EIO"
 
 let fail code fmt = Printf.ksprintf (fun msg -> raise (Fs_error (code, msg))) fmt

@@ -13,6 +13,9 @@ type code =
   | ETXN  (** transaction misuse, e.g. nested p_begin *)
   | EDEADLK  (** deadlock detected; transaction aborted *)
   | EAGAIN  (** lock conflict; retry after the holder commits *)
+  | EIO
+      (** permanent media failure: dead device, stuck block, or
+          unrepairable corruption with no mirror copy *)
 
 exception Fs_error of code * string
 

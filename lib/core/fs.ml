@@ -59,6 +59,11 @@ let translate_locks f =
   | Relstore.Lock_mgr.Would_block { resource; _ } ->
     Errors.fail Errors.EAGAIN "lock conflict on %s" resource
   | Relstore.Lock_mgr.Deadlock xid -> Errors.fail Errors.EDEADLK "deadlock, victim xid %d" xid
+  | Pagestore.Device.Media_failure { device; segid; blkno; reason } ->
+    (* Permanent media fault that retry and mirror failover could not
+       absorb: the operation fails with EIO, the file system stays up. *)
+    Errors.fail Errors.EIO "media failure on %s (segment %d, block %d): %s" device segid
+      blkno reason
 
 let flush_pending_atts s txn =
   Hashtbl.iter (fun _ att -> Fileatt.set s.owner_fs.fileatt txn att) s.pending_att;
@@ -615,6 +620,13 @@ let ftruncate s fd new_size =
   with_op s (fun txn ->
       flush_pending s txn of_;
       let inv = require_inv of_ in
+      (* Truncation mutates file data even when it only grows the size
+         attribute: the new tail reads as zeros, so concurrent chunk
+         writes must serialize against it.  Take the data heap's
+         exclusive lock unconditionally — the shrink path below would
+         acquire it anyway, but a pure extension otherwise stages only
+         the attribute and slips past writers. *)
+      Relstore.Heap.write_lock (Inv_file.heap inv) txn;
       let att =
         match session_att s txn ~oid:of_.oid with
         | Some a -> a
@@ -868,15 +880,20 @@ type recovery = {
   page_problems : (string * string) list;
   catalogs_rebuilt : string list;
   file_indexes_rebuilt : int64 list;
+  degraded : string list;
 }
 
 let crash_and_recover t =
   let rolled_back = Relstore.Status_log.active (Db.status_log t.db) in
   crash t;
+  let degraded = Db.degraded_relations t.db in
   let page_problems = Db.verify_relations t.db in
   (* The heaps are no-overwrite and self-identifying, so they come back
      intact (verified above).  The B-tree indexes are update-in-place and
-     can be torn mid-flush by a crash; detect and rebuild from the heaps. *)
+     can be torn mid-flush by a crash; detect and rebuild from the heaps.
+     Degraded relations cannot answer index reads (or rebuilds — the index
+     lives on the same device as its heap), so they are skipped here and
+     reported in [degraded] instead. *)
   let catalogs_rebuilt = ref [] in
   (match Naming.index_check t.naming with
   | Ok () -> ()
@@ -890,16 +907,19 @@ let crash_and_recover t =
     catalogs_rebuilt := "fileatt" :: !catalogs_rebuilt);
   let files_rebuilt = ref [] in
   iter_file_handles t (fun oid inv ->
-      match Inv_file.index_check inv with
-      | Ok () -> ()
-      | Error _ ->
-        Inv_file.rebuild_index inv;
-        files_rebuilt := oid :: !files_rebuilt);
+      if not (List.mem (Inv_file.relname oid) degraded) then
+        match Inv_file.index_check inv with
+        | Ok () -> ()
+        | Error _ ->
+          Inv_file.rebuild_index inv;
+          files_rebuilt := oid :: !files_rebuilt
+        | exception Pagestore.Device.Media_failure _ -> ());
   {
     rolled_back;
     page_problems;
     catalogs_rebuilt = List.rev !catalogs_rebuilt;
     file_indexes_rebuilt = List.rev !files_rebuilt;
+    degraded;
   }
 
 let vacuum_file t ~oid ?horizon ~mode () =

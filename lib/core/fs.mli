@@ -222,6 +222,11 @@ type recovery = {
           damaged by the crash and rebuilt from their heaps *)
   file_indexes_rebuilt : int64 list;
       (** oids whose chunk indexes were rebuilt likewise *)
+  degraded : string list;
+      (** relations that cannot answer any I/O — placed on a dead device
+          with no live mirror ({!Db.degraded_relations}).  The file system
+          keeps serving everything else; operations touching these fail
+          with [EIO]. *)
 }
 
 val crash_and_recover : t -> recovery

@@ -4,28 +4,44 @@ type report = {
   relations_checked : int;
   files_checked : int;
   problems : problem list;
+  degraded : string list;
 }
 
 let is_clean r = r.problems = []
 
 let report_to_string r =
+  let degraded_suffix =
+    match r.degraded with
+    | [] -> ""
+    | l -> Printf.sprintf "; degraded (dead device, no mirror): %s" (String.concat "," l)
+  in
   if is_clean r then
-    Printf.sprintf "clean: %d relations, %d files" r.relations_checked r.files_checked
+    Printf.sprintf "clean: %d relations, %d files%s" r.relations_checked r.files_checked
+      degraded_suffix
   else
     String.concat "\n"
       (List.map (fun p -> Printf.sprintf "%s: %s" p.relation p.detail) r.problems)
+    ^ degraded_suffix
 
 let audit fs =
   let db = Fs.db fs in
   let snap = Relstore.Snapshot.As_of (Relstore.Db.now db) in
   let problems = ref [] in
   let push relation detail = problems := { relation; detail } :: !problems in
+  (* 0. media-level availability: relations whose every copy is gone are
+     reported as degraded, not audited — the consistency verdict below
+     covers what is still answering. *)
+  let degraded = Relstore.Db.degraded_relations db in
+  let is_degraded name = List.mem name degraded in
   (* 1. media-level: every page self-identifies *)
   let rels = Relstore.Db.relations db in
   let check_pages name =
-    match Relstore.Heap.verify (Relstore.Db.find_relation db name) with
-    | Ok () -> ()
-    | Error msg -> push name msg
+    if not (is_degraded name) then
+      match Relstore.Heap.verify (Relstore.Db.find_relation db name) with
+      | Ok () -> ()
+      | Error msg -> push name msg
+      | exception Pagestore.Device.Media_failure m ->
+        push name (Printf.sprintf "media failure: %s (%s/%d/%d)" m.reason m.device m.segid m.blkno)
   in
   List.iter check_pages rels;
   (* 2. namespace structure *)
@@ -44,27 +60,32 @@ let audit fs =
       (* data relation exists and sizes are consistent *)
       if att.Fileatt.index_segid >= 0 then begin
         let relname = Inv_file.relname oid in
-        if not (Relstore.Db.relation_exists db relname) then
+        if is_degraded relname then () (* unreachable data, reported as degraded *)
+        else if not (Relstore.Db.relation_exists db relname) then
           push relname "data relation missing"
         else
-          match Fs.file_handle fs ~oid with
-          | None -> push relname "cannot attach storage handle"
-          | Some inv ->
-            let max_seen = ref (-1L) and total = ref 0L in
-            Inv_file.iter_chunks inv snap (fun chunkno data ->
-                if Int64.compare chunkno !max_seen > 0 then max_seen := chunkno;
-                total := Int64.add !total (Int64.of_int (Bytes.length data)));
-            (* Files can be sparse (ftruncate growth stores no chunks), so
-               there is no ceiling on size vs stored chunks; but no stored
-               chunk may start at or beyond the file size. *)
-            let cap = Int64.of_int Chunk.capacity in
-            let min_size =
-              if Int64.compare !max_seen 0L < 0 then 0L
-              else Int64.add (Int64.mul !max_seen cap) 1L
-            in
-            if Int64.compare att.Fileatt.size min_size < 0 then
-              push relname
-                (Printf.sprintf "size %Ld below chunk floor %Ld" att.Fileatt.size min_size)
+          try
+            match Fs.file_handle fs ~oid with
+            | None -> push relname "cannot attach storage handle"
+            | Some inv ->
+              let max_seen = ref (-1L) and total = ref 0L in
+              Inv_file.iter_chunks inv snap (fun chunkno data ->
+                  if Int64.compare chunkno !max_seen > 0 then max_seen := chunkno;
+                  total := Int64.add !total (Int64.of_int (Bytes.length data)));
+              (* Files can be sparse (ftruncate growth stores no chunks), so
+                 there is no ceiling on size vs stored chunks; but no stored
+                 chunk may start at or beyond the file size. *)
+              let cap = Int64.of_int Chunk.capacity in
+              let min_size =
+                if Int64.compare !max_seen 0L < 0 then 0L
+                else Int64.add (Int64.mul !max_seen cap) 1L
+              in
+              if Int64.compare att.Fileatt.size min_size < 0 then
+                push relname
+                  (Printf.sprintf "size %Ld below chunk floor %Ld" att.Fileatt.size min_size)
+          with Pagestore.Device.Media_failure m ->
+            push relname
+              (Printf.sprintf "media failure: %s (%s/%d/%d)" m.reason m.device m.segid m.blkno)
       end);
   (* 3. index consistency: the B-trees are update-in-place, the one layer
      a crash can actually damage, so audit structure and completeness
@@ -76,11 +97,14 @@ let audit fs =
   | Ok () -> ()
   | Error msg -> push "fileatt" ("index: " ^ msg));
   Fs.iter_file_handles fs (fun oid inv ->
-      match Inv_file.index_check inv with
-      | Ok () -> ()
-      | Error msg -> push (Inv_file.relname oid) ("index: " ^ msg));
+      if not (is_degraded (Inv_file.relname oid)) then
+        match Inv_file.index_check inv with
+        | Ok () -> ()
+        | Error msg -> push (Inv_file.relname oid) ("index: " ^ msg)
+        | exception Pagestore.Device.Media_failure _ -> ());
   {
     relations_checked = List.length rels;
     files_checked = !files_checked;
     problems = List.rev !problems;
+    degraded;
   }

@@ -22,6 +22,11 @@ type report = {
   relations_checked : int;
   files_checked : int;
   problems : problem list;
+  degraded : string list;
+      (** relations on a dead device with no live mirror: unreachable, so
+          skipped by the consistency checks and reported here instead.
+          Degradation is availability loss, not corruption — it does not
+          make the audit unclean. *)
 }
 
 val audit : Fs.t -> report

@@ -3,6 +3,7 @@ type report = {
   page_problems : (string * string) list;
   catalogs_rebuilt : string list;
   file_indexes_rebuilt : int64 list;
+  degraded : string list;
   audit : Fsck.report;
 }
 
@@ -14,6 +15,7 @@ let crash_and_recover fs =
     page_problems = r.Fs.page_problems;
     catalogs_rebuilt = r.Fs.catalogs_rebuilt;
     file_indexes_rebuilt = r.Fs.file_indexes_rebuilt;
+    degraded = r.Fs.degraded;
     audit;
   }
 
@@ -24,7 +26,7 @@ let indexes_rebuilt r =
 
 let report_to_string r =
   Printf.sprintf
-    "rolled back %d txn(s) [%s]; %d page problem(s)%s; rebuilt indexes: %s; audit: %s"
+    "rolled back %d txn(s) [%s]; %d page problem(s)%s; rebuilt indexes: %s; degraded: %s; audit: %s"
     (List.length r.rolled_back)
     (String.concat "," (List.map string_of_int r.rolled_back))
     (List.length r.page_problems)
@@ -36,4 +38,5 @@ let report_to_string r =
      with
     | [] -> "none"
     | l -> String.concat "," l)
+    (match r.degraded with [] -> "none" | l -> String.concat "," l)
     (Fsck.report_to_string r.audit)

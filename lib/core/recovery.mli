@@ -15,6 +15,9 @@ type report = {
   page_problems : (string * string) list;
   catalogs_rebuilt : string list;
   file_indexes_rebuilt : int64 list;
+  degraded : string list;
+      (** relations unreachable on every copy (dead device, no live
+          mirror): the file system keeps serving everything else *)
   audit : Fsck.report;
 }
 

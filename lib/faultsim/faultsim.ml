@@ -9,12 +9,15 @@ let io_to_string = function
   | Write -> "write"
   | Writeback -> "writeback"
 
-type action = Torn of int | Io_error | Crash
+type action = Torn of int | Io_error | Crash | Bitrot | Stuck | Device_dead
 
 let action_to_string = function
   | Torn n -> Printf.sprintf "torn:%d" n
   | Io_error -> "io_error"
   | Crash -> "crash"
+  | Bitrot -> "bitrot"
+  | Stuck -> "stuck"
+  | Device_dead -> "device_dead"
 
 type event = {
   seq : int;
@@ -77,20 +80,45 @@ let set_sched t io s =
   | Writeback -> t.sched_writeback <- s
 
 let schedule t ~io ~after action =
-  if after < 1 then invalid_arg "Faultsim.schedule: after must be >= 1";
+  if after < 1 then
+    invalid_arg
+      (Printf.sprintf "Faultsim.schedule: after must be >= 1 (got %d) for %s on the %s stream"
+         after (action_to_string action) (io_to_string io));
   (match (io, action) with
-  | Writeback, Torn _ ->
-    invalid_arg "Faultsim.schedule: torn faults act on device transfers, not write-backs"
+  | Writeback, (Torn _ | Bitrot | Stuck | Device_dead) ->
+    invalid_arg
+      (Printf.sprintf
+         "Faultsim.schedule: %s acts on the medium, so it belongs on a device transfer stream (read/write), not the writeback stream"
+         (action_to_string action))
   | _ -> ());
   let at = seen t io + after in
   set_sched t io (List.sort compare ((at, action) :: sched t io))
 
+let schedule_random t rng ~io ~within action =
+  if within < 1 then
+    invalid_arg
+      (Printf.sprintf "Faultsim.schedule_random: within must be >= 1 (got %d) for %s on the %s stream"
+         within (action_to_string action) (io_to_string io));
+  schedule t ~io ~after:(1 + Simclock.Rng.int rng within) action
+
 let schedule_random_crash t rng ~within =
-  if within < 1 then invalid_arg "Faultsim.schedule_random_crash: within must be >= 1";
-  schedule t ~io:Write ~after:(1 + Simclock.Rng.int rng within) Crash
+  if within < 1 then
+    invalid_arg
+      (Printf.sprintf "Faultsim.schedule_random_crash: within must be >= 1 (got %d)" within);
+  schedule_random t rng ~io:Write ~within Crash
 
 let pending t =
   List.length t.sched_read + List.length t.sched_write + List.length t.sched_writeback
+
+let pending_media t =
+  let media (_, a) =
+    match a with
+    | Torn _ | Bitrot | Stuck | Device_dead -> true
+    | Io_error | Crash -> false
+  in
+  List.length (List.filter media t.sched_read)
+  + List.length (List.filter media t.sched_write)
+  + List.length (List.filter media t.sched_writeback)
 
 let clear_schedule t =
   t.sched_read <- [];
@@ -124,6 +152,9 @@ let device_hook t dev kind ~segid ~blkno =
   | Some (Torn n) -> Some (Device.Fault_torn n)
   | Some Io_error -> Some Device.Fault_io_error
   | Some Crash -> Some Device.Fault_crash
+  | Some Bitrot -> Some Device.Fault_bitrot
+  | Some Stuck -> Some Device.Fault_stuck
+  | Some Device_dead -> Some Device.Fault_dead
 
 let arm_device t dev =
   if not (List.memq dev t.devices) then begin
@@ -137,7 +168,9 @@ let arm_cache t cache =
       (Some
          (fun ~device ~segid ~blkno ->
            match fire t Writeback ~device ~segid ~blkno with
-           | None | Some (Torn _) -> ()
+           (* media-level actions are rejected at schedule time for this
+              stream, so only the unreachable-defensive arm lists them *)
+           | None | Some (Torn _ | Bitrot | Stuck | Device_dead) -> ()
            | Some Io_error -> raise (Device.Io_fault { device; segid; blkno })
            | Some Crash -> raise (Device.Crash_injected { device; segid; blkno })));
     t.caches <- cache :: t.caches

@@ -18,6 +18,16 @@
       {!Pagestore.Device.Crash_injected} propagates to the harness, which
       then runs whole-system recovery.
 
+    and the permanent media faults (DESIGN.md, "Media failure & degraded
+    mode"):
+
+    - {!Bitrot} — silent decay: a few stored bytes flip without the
+      recorded checksum being updated.  The transfer succeeds; detection
+      is the checksum-verified read path's job.
+    - {!Stuck} — the targeted block goes permanently bad; this and every
+      later transfer on it raises {!Pagestore.Device.Media_failure}.
+    - {!Device_dead} — the whole device stops answering, permanently.
+
     Plans are armed by installing hooks into {!Pagestore.Device} and
     {!Pagestore.Bufcache}; {!disarm} removes them.  One plan may cover
     many devices (use {!arm_switch}); the per-stream counters are global
@@ -25,7 +35,7 @@
 
 type io = Read | Write | Writeback
 
-type action = Torn of int | Io_error | Crash
+type action = Torn of int | Io_error | Crash | Bitrot | Stuck | Device_dead
 
 type event = {
   seq : int;  (** value of the stream counter when the fault fired *)
@@ -57,8 +67,14 @@ val disarm : t -> unit
 val schedule : t -> io:io -> after:int -> action -> unit
 (** [schedule t ~io ~after action] fires [action] on the [after]-th next
     transfer of stream [io] (so [after:1] hits the very next one).
-    Raises [Invalid_argument] if [after < 1], or for [Torn] on the
-    [Writeback] stream (tearing is a device-transfer notion). *)
+    Raises [Invalid_argument] — naming the offending argument, action and
+    stream — if [after < 1], or for the media-level actions ([Torn],
+    [Bitrot], [Stuck], [Device_dead]) on the [Writeback] stream: those act
+    on the medium, so they belong on device-transfer streams. *)
+
+val schedule_random : t -> Simclock.Rng.t -> io:io -> within:int -> action -> unit
+(** Schedule [action] on a uniformly random transfer among the next
+    [within] on stream [io]. *)
 
 val schedule_random_crash : t -> Simclock.Rng.t -> within:int -> unit
 (** Schedule a {!Crash} on a uniformly random device write among the next
@@ -70,6 +86,12 @@ val clear_schedule : t -> unit
 
 val pending : t -> int
 (** Scheduled faults that have not fired yet. *)
+
+val pending_media : t -> int
+(** Scheduled-but-unfired faults that damage the medium ({!Torn},
+    {!Bitrot}, {!Stuck}, {!Device_dead}).  Harnesses that must never
+    damage both copies of a mirrored block keep at most one such fault
+    in flight. *)
 
 val events : t -> event list
 (** Every fault that fired, oldest first. *)

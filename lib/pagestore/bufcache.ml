@@ -98,19 +98,44 @@ let touch t e =
 
 let os_cached_device dev = Device.kind dev = Device.Magnetic_disk
 
+(* Store one copy on one device, with transient-fault retry.  For
+   magnetic disks the page lands in the FS buffer cache (contents stored,
+   platter write asynchronous); other kinds write through, charged. *)
+let store_copy t dev ~segid ~blkno page =
+  if os_cached_device dev then begin
+    Resilient.write_block ~charged:false dev ~segid ~blkno page;
+    Simclock.Clock.advance (Device.clock dev) ~account:"oscache.write" os_copy_cost;
+    Os_cache.add t.os_cache (Device.name dev, segid, blkno)
+  end
+  else Resilient.write_block ~charged:true dev ~segid ~blkno page
+
 let write_back t e =
   if e.dirty then begin
     (match t.writeback_hook with
     | Some hook -> hook ~device:(Device.name e.dev) ~segid:e.segid ~blkno:e.blkno
     | None -> ());
-    if os_cached_device e.dev then begin
-      (* hand the page to the FS buffer cache: contents are stored, the
-         platter write happens asynchronously off the critical path *)
-      Device.poke_block e.dev ~segid:e.segid ~blkno:e.blkno e.page;
-      Simclock.Clock.advance (Device.clock e.dev) ~account:"oscache.write" os_copy_cost;
-      Os_cache.add t.os_cache e.key
-    end
-    else Device.write_block e.dev ~segid:e.segid ~blkno:e.blkno e.page;
+    (* Dual writes: the mirror copy is stored even when the primary has
+       failed permanently, so a degraded pair keeps accepting writes.  The
+       write-back only fails when no copy lands.  Crash injection is not
+       caught — a machine crash mid-write-back propagates as before. *)
+    let primary_err =
+      try
+        store_copy t e.dev ~segid:e.segid ~blkno:e.blkno e.page;
+        None
+      with (Device.Media_failure _ | Device.Io_fault _) as exn -> Some exn
+    in
+    let mirror_landed =
+      match Device.segment_mirror e.dev ~segid:e.segid with
+      | None -> false
+      | Some (mdev, msegid) -> (
+        try
+          store_copy t mdev ~segid:msegid ~blkno:e.blkno e.page;
+          true
+        with Device.Media_failure _ | Device.Io_fault _ | Invalid_argument _ -> false)
+    in
+    (match primary_err with
+    | Some exn when not mirror_landed -> raise exn
+    | _ -> ());
     e.dirty <- false;
     t.writebacks <- t.writebacks + 1
   end
@@ -154,15 +179,18 @@ let get t dev ~segid ~blkno =
     e.page
   | None ->
     t.misses <- t.misses + 1;
+    (* Both miss paths read through the resilient layer: every page is
+       checksum-verified (bitrot detected, never returned), transient
+       faults retried, permanent ones failed over to the mirror. *)
     let page =
       if os_cached_device dev && Os_cache.mem t.os_cache key then begin
         t.os_hits <- t.os_hits + 1;
         Simclock.Clock.advance (Device.clock dev) ~account:"oscache.read" os_copy_cost;
         Os_cache.touch t.os_cache key;
-        Device.peek_block dev ~segid ~blkno
+        Resilient.read_block ~charged:false dev ~segid ~blkno
       end
       else begin
-        let page = Device.read_block dev ~segid ~blkno in
+        let page = Resilient.read_block ~charged:true dev ~segid ~blkno in
         if os_cached_device dev then Os_cache.add t.os_cache key;
         page
       end

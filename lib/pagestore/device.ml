@@ -102,10 +102,19 @@ end
 
 type io_kind = Io_read | Io_write
 
-type fault = Fault_torn of int | Fault_io_error | Fault_crash
+type fault =
+  | Fault_torn of int
+  | Fault_io_error
+  | Fault_crash
+  | Fault_bitrot
+  | Fault_stuck
+  | Fault_dead
 
 exception Io_fault of { device : string; segid : int; blkno : int }
 exception Crash_injected of { device : string; segid : int; blkno : int }
+
+exception
+  Media_failure of { device : string; segid : int; blkno : int; reason : string }
 
 type fault_hook = io_kind -> segid:int -> blkno:int -> fault option
 
@@ -117,8 +126,13 @@ type t = {
   mutable fault_hook : fault_hook option;
   blocks : (int * int, bytes) Hashtbl.t; (* (segid, blkno) -> contents *)
   phys : (int * int, int) Hashtbl.t; (* (segid, blkno) -> physical block *)
+  checksums : (int * int, int32) Hashtbl.t; (* (segid, blkno) -> CRC of stored image *)
+  stuck : (int * int, unit) Hashtbl.t; (* blocks that fail every transfer *)
   seg_len : (int, int) Hashtbl.t; (* segid -> nblocks *)
   seg_extent : (int, int * int) Hashtbl.t; (* segid -> (next phys, remaining) *)
+  mirror_seg : (int, int) Hashtbl.t; (* segid -> segid on the mirror device *)
+  mutable mirror : t option; (* paired secondary, lockstep allocation *)
+  mutable dead : bool;
   mutable next_segid : int;
   mutable next_phys : int;
   mutable head_phys : int; (* disk-arm position *)
@@ -139,8 +153,13 @@ let create ~clock ~name ~kind ?geometry () =
     fault_hook = None;
     blocks = Hashtbl.create 1024;
     phys = Hashtbl.create 1024;
+    checksums = Hashtbl.create 1024;
+    stuck = Hashtbl.create 8;
     seg_len = Hashtbl.create 32;
     seg_extent = Hashtbl.create 32;
+    mirror_seg = Hashtbl.create 32;
+    mirror = None;
+    dead = false;
     next_segid = 1;
     next_phys = 0;
     head_phys = 0;
@@ -159,22 +178,62 @@ let writes t = t.writes
 let used_blocks t = t.next_phys
 let worm_written_blocks t = Hashtbl.length t.worm_written
 
-let create_segment t =
+let media_failure t ~segid ~blkno reason =
+  raise (Media_failure { device = t.name; segid; blkno; reason })
+
+let check_alive t ~segid ~blkno =
+  if t.dead then media_failure t ~segid ~blkno "device dead"
+
+let check_stuck t ~segid ~blkno =
+  if Hashtbl.mem t.stuck (segid, blkno) then media_failure t ~segid ~blkno "stuck block"
+
+let kill t = t.dead <- true
+let is_dead t = t.dead
+let mark_stuck t ~segid ~blkno = Hashtbl.replace t.stuck (segid, blkno) ()
+let is_stuck t ~segid ~blkno = Hashtbl.mem t.stuck (segid, blkno)
+
+(* Silent medium decay: flip a few bytes of the stored image in place
+   without touching the recorded checksum, so only verification notices. *)
+let rot_bytes b =
+  let len = Bytes.length b in
+  let flip i =
+    if i >= 0 && i < len then Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xA5))
+  in
+  flip 0;
+  flip (len / 2);
+  flip (len - 1)
+
+let zero_checksum = lazy (Page.checksum_bytes (Bytes.make Page.size '\000'))
+
+let rec create_segment t =
+  if t.dead then media_failure t ~segid:(-1) ~blkno:(-1) "device dead";
   let segid = t.next_segid in
   t.next_segid <- segid + 1;
   Hashtbl.replace t.seg_len segid 0;
+  (match t.mirror with
+  | Some m when not m.dead ->
+    let msegid = create_segment m in
+    Hashtbl.replace t.mirror_seg segid msegid
+  | _ -> ());
   segid
 
 let segment_exists t segid = Hashtbl.mem t.seg_len segid
 
-let drop_segment t segid =
+let rec drop_segment t segid =
   let len = Option.value ~default:0 (Hashtbl.find_opt t.seg_len segid) in
   for blkno = 0 to len - 1 do
     Hashtbl.remove t.blocks (segid, blkno);
-    Hashtbl.remove t.phys (segid, blkno)
+    Hashtbl.remove t.phys (segid, blkno);
+    Hashtbl.remove t.checksums (segid, blkno);
+    Hashtbl.remove t.stuck (segid, blkno)
   done;
   Hashtbl.remove t.seg_len segid;
-  Hashtbl.remove t.seg_extent segid
+  Hashtbl.remove t.seg_extent segid;
+  match (t.mirror, Hashtbl.find_opt t.mirror_seg segid) with
+  | Some m, Some msegid ->
+    Hashtbl.remove t.mirror_seg segid;
+    drop_segment m msegid
+  | _ -> Hashtbl.remove t.mirror_seg segid
 
 let nblocks t segid =
   match Hashtbl.find_opt t.seg_len segid with
@@ -196,13 +255,59 @@ let fresh_phys t segid =
   Hashtbl.replace t.seg_extent segid (next + 1, remaining - 1);
   next
 
-let allocate_block t segid =
+let rec allocate_block t segid =
+  if t.dead then media_failure t ~segid ~blkno:(-1) "device dead";
   let len = nblocks t segid in
   let phys = fresh_phys t segid in
   Hashtbl.replace t.phys (segid, len) phys;
   Hashtbl.replace t.blocks (segid, len) (Bytes.make Page.size '\000');
+  Hashtbl.replace t.checksums (segid, len) (Lazy.force zero_checksum);
   Hashtbl.replace t.seg_len segid (len + 1);
+  (* Lockstep allocation keeps mirror block numbers identical, so failover
+     reads address the mirror with the same (segid-mapped, blkno) pair. *)
+  (match (t.mirror, Hashtbl.find_opt t.mirror_seg segid) with
+  | Some m, Some msegid when not m.dead -> (
+    try ignore (allocate_block m msegid) with Media_failure _ -> ())
+  | _ -> ());
   len
+
+let attach_mirror t m =
+  if t == m then invalid_arg "Device.attach_mirror: a device cannot mirror itself";
+  if t.mirror <> None then
+    invalid_arg (Printf.sprintf "Device.attach_mirror: %s is already mirrored" t.name);
+  if m.mirror <> None then
+    invalid_arg
+      (Printf.sprintf "Device.attach_mirror: mirror target %s is itself mirrored" m.name);
+  if t.dead || m.dead then invalid_arg "Device.attach_mirror: cannot mirror a dead device";
+  t.mirror <- Some m;
+  (* Resilver: every pre-existing segment gets a lockstep copy.  The stored
+     image and its recorded checksum are copied verbatim, so latent rot on
+     the primary stays detectable rather than being laundered clean. *)
+  let segids = Hashtbl.fold (fun segid _ acc -> segid :: acc) t.seg_len [] in
+  List.iter
+    (fun segid ->
+      let msegid = create_segment m in
+      Hashtbl.replace t.mirror_seg segid msegid;
+      for blkno = 0 to nblocks t segid - 1 do
+        ignore (allocate_block m msegid);
+        Hashtbl.replace m.blocks (msegid, blkno)
+          (Bytes.copy (Hashtbl.find t.blocks (segid, blkno)));
+        match Hashtbl.find_opt t.checksums (segid, blkno) with
+        | Some c -> Hashtbl.replace m.checksums (msegid, blkno) c
+        | None -> ()
+      done;
+      Simclock.Clock.tick t.clock "mirror.resilver_segment")
+    (List.sort compare segids)
+
+let mirror t = t.mirror
+
+let segment_mirror t ~segid =
+  match (t.mirror, Hashtbl.find_opt t.mirror_seg segid) with
+  | Some m, Some msegid -> Some (m, msegid)
+  | _ -> None
+
+let segments t =
+  List.sort compare (Hashtbl.fold (fun segid _ acc -> segid :: acc) t.seg_len [])
 
 let check_block t segid blkno =
   if not (Hashtbl.mem t.blocks (segid, blkno)) then
@@ -269,6 +374,8 @@ let charge_jukebox_read t phys =
   end
 
 let charge_read t ~segid ~blkno =
+  check_alive t ~segid ~blkno;
+  check_stuck t ~segid ~blkno;
   check_block t segid blkno;
   let phys = Hashtbl.find t.phys (segid, blkno) in
   (match t.kind with
@@ -283,6 +390,8 @@ let consult_hook t io ~segid ~blkno =
   match t.fault_hook with None -> None | Some hook -> hook io ~segid ~blkno
 
 let peek_block t ~segid ~blkno =
+  check_alive t ~segid ~blkno;
+  check_stuck t ~segid ~blkno;
   check_block t segid blkno;
   let stored = Hashtbl.find t.blocks (segid, blkno) in
   match consult_hook t Io_read ~segid ~blkno with
@@ -296,12 +405,42 @@ let peek_block t ~segid ~blkno =
     Page.of_bytes torn
   | Some Fault_io_error -> raise (Io_fault { device = t.name; segid; blkno })
   | Some Fault_crash -> raise (Crash_injected { device = t.name; segid; blkno })
+  | Some Fault_bitrot ->
+    (* Silent corruption: the medium decays under this read and the rotten
+       bytes are returned.  The recorded checksum is left stale, so the
+       verified read path is what catches this. *)
+    rot_bytes stored;
+    Page.of_bytes stored
+  | Some Fault_stuck ->
+    mark_stuck t ~segid ~blkno;
+    media_failure t ~segid ~blkno "stuck block"
+  | Some Fault_dead ->
+    kill t;
+    media_failure t ~segid ~blkno "device dead"
 
 let poke_block t ~segid ~blkno page =
+  check_alive t ~segid ~blkno;
   check_block t segid blkno;
+  (* Writing a pending (stuck) sector triggers reallocation, as real
+     drives do: the logical block is remapped onto a spare physical
+     block, the pending state clears, and the write proceeds. *)
+  if Hashtbl.mem t.stuck (segid, blkno) then begin
+    Hashtbl.remove t.stuck (segid, blkno);
+    Hashtbl.replace t.phys (segid, blkno) (fresh_phys t segid)
+  end;
+  let fault = consult_hook t Io_write ~segid ~blkno in
+  (match fault with
+  | Some Fault_io_error -> raise (Io_fault { device = t.name; segid; blkno })
+  | Some Fault_crash -> raise (Crash_injected { device = t.name; segid; blkno })
+  | Some Fault_stuck ->
+    mark_stuck t ~segid ~blkno;
+    media_failure t ~segid ~blkno "stuck block"
+  | Some Fault_dead ->
+    kill t;
+    media_failure t ~segid ~blkno "device dead"
+  | None | Some (Fault_torn _) | Some Fault_bitrot -> ());
   let stored =
-    match consult_hook t Io_write ~segid ~blkno with
-    | None -> Page.to_bytes page
+    match fault with
     | Some (Fault_torn n) ->
       (* Torn write: only the first [n] bytes of the new image reach the
          medium; the tail keeps whatever was there before. *)
@@ -314,16 +453,44 @@ let poke_block t ~segid ~blkno page =
       let n = max 0 (min n (Bytes.length fresh)) in
       Bytes.blit fresh 0 prev 0 n;
       prev
-    | Some Fault_io_error -> raise (Io_fault { device = t.name; segid; blkno })
-    | Some Fault_crash -> raise (Crash_injected { device = t.name; segid; blkno })
+    | _ -> Page.to_bytes page
   in
-  Hashtbl.replace t.blocks (segid, blkno) stored
+  Hashtbl.replace t.blocks (segid, blkno) stored;
+  (* The checksum records the bytes that actually reached the medium — a
+     torn write is checksum-consistent (self-identifying pages catch it);
+     only post-hoc decay leaves the checksum stale. *)
+  Hashtbl.replace t.checksums (segid, blkno) (Page.checksum_bytes stored);
+  match fault with Some Fault_bitrot -> rot_bytes stored | _ -> ()
 
 let read_block t ~segid ~blkno =
   charge_read t ~segid ~blkno;
   peek_block t ~segid ~blkno
 
+let verify_block t ~segid ~blkno =
+  check_block t segid blkno;
+  let stored = Hashtbl.find t.blocks (segid, blkno) in
+  let actual = Page.checksum_bytes stored in
+  match Hashtbl.find_opt t.checksums (segid, blkno) with
+  | Some want when actual <> want ->
+    Error
+      (Printf.sprintf "checksum mismatch on %s segment %d block %d: recorded %08lx, stored %08lx"
+         t.name segid blkno want actual)
+  | _ -> Ok ()
+
+let recorded_checksum t ~segid ~blkno =
+  check_block t segid blkno;
+  match Hashtbl.find_opt t.checksums (segid, blkno) with
+  | Some c -> c
+  | None -> Page.checksum_bytes (Hashtbl.find t.blocks (segid, blkno))
+
+let rot_block t ~segid ~blkno =
+  check_block t segid blkno;
+  rot_bytes (Hashtbl.find t.blocks (segid, blkno))
+
 let charge_write t ~segid ~blkno =
+  (* no stuck check: writes to a pending sector succeed by remapping
+     (see poke_block), so only a dead device refuses the transfer *)
+  check_alive t ~segid ~blkno;
   check_block t segid blkno;
   let phys = Hashtbl.find t.phys (segid, blkno) in
   (match t.kind with

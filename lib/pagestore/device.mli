@@ -68,9 +68,28 @@ type fault =
   | Fault_crash
       (** The machine dies before the transfer lands: {!Crash_injected} is
           raised and the durable block is left unchanged. *)
+  | Fault_bitrot
+      (** Silent medium decay: a few stored bytes flip {e without} updating
+          the recorded checksum.  The transfer itself succeeds (returning
+          rotten data on a read), so only checksum verification — the
+          {!Resilient} read path or {!Scrub} — notices. *)
+  | Fault_stuck
+      (** The block goes permanently bad: this transfer and every later one
+          on the same block raises {!Media_failure}. *)
+  | Fault_dead
+      (** The whole device stops answering: this transfer and every later
+          one on any block raises {!Media_failure}. *)
 
 exception Io_fault of { device : string; segid : int; blkno : int }
 exception Crash_injected of { device : string; segid : int; blkno : int }
+
+exception
+  Media_failure of { device : string; segid : int; blkno : int; reason : string }
+(** A permanent fault: a dead device ([segid]/[blkno] may be [-1] for
+    non-transfer operations such as segment creation), a stuck block, or —
+    raised by the {!Resilient} layer — a checksum mismatch with no healthy
+    mirror copy.  Unlike {!Io_fault} this must never be retried; callers
+    fail over to a mirror or surface the error ([EIO]). *)
 
 type fault_hook = io_kind -> segid:int -> blkno:int -> fault option
 
@@ -137,6 +156,69 @@ val sync : t -> unit
 val set_fault_hook : t -> fault_hook option -> unit
 (** Install (or clear, with [None]) the fault hook.  At most one hook is
     active per device; installing replaces the previous one. *)
+
+(** {1 Media integrity}
+
+    Every durable store records a CRC-32 of the bytes that actually reached
+    the medium ({!Page.checksum_bytes}), so silent decay — rot injected by
+    {!Fault_bitrot} or {!rot_block} — is detectable by comparing the stored
+    image against its recorded checksum.  A torn write is
+    checksum-{e consistent} (the checksum covers the torn image); torn pages
+    are caught one level up by self-identifying heap pages, exactly as in
+    the paper's "Fast Recovery" design. *)
+
+val verify_block : t -> segid:int -> blkno:int -> (unit, string) result
+(** Compare the stored image against its recorded checksum, without
+    charging time or consulting the fault hook.  [Error reason] on
+    mismatch. *)
+
+val recorded_checksum : t -> segid:int -> blkno:int -> int32
+(** The checksum recorded at the last durable store of this block. *)
+
+val rot_block : t -> segid:int -> blkno:int -> unit
+(** Directly decay a stored block (flip a few bytes) without updating its
+    checksum — the deterministic ingredient for directed scrub tests. *)
+
+val kill : t -> unit
+(** The device stops answering: every subsequent transfer, allocation, or
+    segment creation raises {!Media_failure}.  Permanent; survives
+    {!crash}. *)
+
+val is_dead : t -> bool
+
+val mark_stuck : t -> segid:int -> blkno:int -> unit
+(** Mark one block pending/unreadable (as {!Fault_stuck} does).  Reads of
+    a stuck block raise {!Media_failure}; the next write to it remaps the
+    logical block onto a spare physical block — sector reallocation, as
+    real drives do — clearing the pending state.  So the mirror failover
+    read path heals a stuck primary block with its in-place repair
+    write. *)
+
+val is_stuck : t -> segid:int -> blkno:int -> bool
+
+(** {1 Mirrored pairs}
+
+    A device may be paired with a same-shape secondary.  Segment creation
+    and block allocation then run in lockstep on both, so a primary block
+    [(segid, blkno)] always has a mirror copy at [(mirror segid, blkno)].
+    The {!Bufcache} writes both copies; the {!Resilient} read path fails
+    over to the mirror and repairs the primary in place. *)
+
+val attach_mirror : t -> t -> unit
+(** [attach_mirror primary secondary] pairs the devices and resilvers:
+    every existing primary segment gets a full copy (bytes and recorded
+    checksums verbatim, so latent rot stays detectable).  Raises
+    [Invalid_argument] on self-mirroring, chained mirrors, or dead
+    devices. *)
+
+val mirror : t -> t option
+(** The paired secondary, if any. *)
+
+val segment_mirror : t -> segid:int -> (t * int) option
+(** The mirror device and mirror segment id holding the copy of [segid]. *)
+
+val segments : t -> int list
+(** All live segment ids, sorted — the scrubber's walk order. *)
 
 val crash : t -> unit
 (** Simulate a machine crash: media contents survive; transient cost-model

@@ -90,3 +90,5 @@ let checksum p =
     crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
   done;
   Int32.logxor !crc 0xFFFFFFFFl
+
+let checksum_bytes b = if Bytes.length b = size then checksum b else checksum (of_bytes b)

@@ -53,3 +53,7 @@ val clear : t -> unit
 val checksum : t -> int32
 (** CRC-32 of the page contents.  Self-identifying blocks (paper, "Fast
     Recovery") store this to detect medium corruption. *)
+
+val checksum_bytes : bytes -> int32
+(** CRC-32 of a raw buffer (padded/truncated to [size] first).  The device
+    layer uses this to record per-block checksums of the durable image. *)

@@ -1,0 +1,107 @@
+type policy = {
+  max_attempts : int;
+  base_backoff_s : float;
+  backoff_multiplier : float;
+}
+
+let default_policy = { max_attempts = 3; base_backoff_s = 0.001; backoff_multiplier = 4.0 }
+
+let backoff policy clock attempt =
+  Simclock.Clock.tick clock "resilient.retry";
+  Simclock.Clock.advance clock ~account:"resilient.backoff"
+    (policy.base_backoff_s *. (policy.backoff_multiplier ** float_of_int (attempt - 1)))
+
+(* One device, no failover: transfer + checksum verification, retrying
+   transient faults and transient-looking corruption with exponential
+   backoff.  Retries that do not heal are promoted to Media_failure — by
+   then the fault is permanent as far as this copy is concerned. *)
+let read_with_retry policy ~charged dev ~segid ~blkno =
+  let clock = Device.clock dev in
+  let transfer () =
+    if charged then Device.read_block dev ~segid ~blkno
+    else Device.peek_block dev ~segid ~blkno
+  in
+  let rec go attempt =
+    match
+      let page = transfer () in
+      if Page.checksum page = Device.recorded_checksum dev ~segid ~blkno then Ok page
+      else
+        Error
+          (Printf.sprintf "checksum mismatch on %s segment %d block %d" (Device.name dev)
+             segid blkno)
+    with
+    | Ok page -> page
+    | Error reason ->
+      if attempt >= policy.max_attempts then
+        raise (Device.Media_failure { device = Device.name dev; segid; blkno; reason })
+      else begin
+        backoff policy clock attempt;
+        go (attempt + 1)
+      end
+    | exception Device.Io_fault _ when attempt < policy.max_attempts ->
+      backoff policy clock attempt;
+      go (attempt + 1)
+    | exception Device.Io_fault _ ->
+      raise
+        (Device.Media_failure
+           {
+             device = Device.name dev;
+             segid;
+             blkno;
+             reason = "i/o errors persisted through retries";
+           })
+  in
+  go 1
+
+let read_block ?(policy = default_policy) ?(charged = true) dev ~segid ~blkno =
+  try read_with_retry policy ~charged dev ~segid ~blkno
+  with Device.Media_failure _ as primary_failure -> (
+    match Device.segment_mirror dev ~segid with
+    | None -> raise primary_failure
+    | Some (mdev, msegid) -> (
+      Simclock.Clock.tick (Device.clock dev) "resilient.failover";
+      match read_with_retry policy ~charged:true mdev ~segid:msegid ~blkno with
+      | page ->
+        (* Repair the bad primary copy in place, best effort: a stuck block
+           or dead primary just stays degraded and the mirror keeps
+           serving. *)
+        (try
+           Device.poke_block dev ~segid ~blkno page;
+           Simclock.Clock.tick (Device.clock dev) "resilient.repair"
+         with Device.Media_failure _ | Device.Io_fault _ -> ());
+        page
+      (* Crash_injected is deliberately not caught: it propagates. *)
+      | exception (Device.Media_failure _ | Device.Io_fault _ | Invalid_argument _) ->
+        raise primary_failure))
+
+let write_with_retry policy ~charged dev ~segid ~blkno page =
+  let clock = Device.clock dev in
+  let transfer () =
+    if charged then Device.write_block dev ~segid ~blkno page
+    else Device.poke_block dev ~segid ~blkno page
+  in
+  let rec go attempt =
+    match transfer () with
+    | () -> ()
+    | exception Device.Io_fault _ when attempt < policy.max_attempts ->
+      backoff policy clock attempt;
+      go (attempt + 1)
+  in
+  go 1
+
+let write_block ?(policy = default_policy) ?(charged = true) dev ~segid ~blkno page =
+  write_with_retry policy ~charged dev ~segid ~blkno page
+
+let verify_or_repair ?(policy = default_policy) dev ~segid ~blkno =
+  match Device.verify_block dev ~segid ~blkno with
+  | Ok () -> `Clean
+  | Error reason -> (
+    (* The verified read path does the heavy lifting: retry, mirror
+       failover, in-place repair of the primary. *)
+    match read_block ~policy dev ~segid ~blkno with
+    | _page -> (
+      match Device.verify_block dev ~segid ~blkno with
+      | Ok () -> `Repaired
+      | Error reason -> `Unrepairable reason)
+    | exception Device.Media_failure m -> `Unrepairable m.reason
+    | exception Device.Io_fault _ -> `Unrepairable reason)

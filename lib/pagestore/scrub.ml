@@ -1,0 +1,107 @@
+type stats = {
+  scanned : int;
+  clean : int;
+  repaired : int;
+  unrepairable : (string * int * int * string) list;
+}
+
+let empty_stats = { scanned = 0; clean = 0; repaired = 0; unrepairable = [] }
+
+let merge_stats a b =
+  {
+    scanned = a.scanned + b.scanned;
+    clean = a.clean + b.clean;
+    repaired = a.repaired + b.repaired;
+    unrepairable = a.unrepairable @ b.unrepairable;
+  }
+
+let stats_to_string s =
+  Printf.sprintf "scanned %d, clean %d, repaired %d, unrepairable %d" s.scanned s.clean
+    s.repaired
+    (List.length s.unrepairable)
+
+type t = {
+  switch : Switch.t;
+  policy : Resilient.policy;
+  mutable pos : int; (* cursor into the flattened block walk *)
+  mutable total : stats;
+}
+
+let create ?(policy = Resilient.default_policy) switch =
+  { switch; policy; pos = 0; total = empty_stats }
+
+let totals t = t.total
+
+(* Scrub verification streams sequentially in the background, so it is
+   charged a flat per-page cost rather than the foreground seek model. *)
+let verify_cost_s = 0.0005
+
+(* Secondaries are walked with their primary (so a bad copy on either side
+   can be repaired from the other); dead devices cannot answer a scrub. *)
+let targets t =
+  let secondaries =
+    List.filter_map (fun (_, s) -> Option.map Device.name (Switch.find_opt t.switch s))
+      (Switch.mirror_pairs t.switch)
+  in
+  List.concat_map
+    (fun dev ->
+      if Device.is_dead dev || List.mem (Device.name dev) secondaries then []
+      else
+        List.concat_map
+          (fun segid ->
+            List.init (Device.nblocks dev segid) (fun blkno -> (dev, segid, blkno)))
+          (Device.segments dev))
+    (Switch.devices t.switch)
+
+let scrub_block t dev ~segid ~blkno =
+  let clock = Switch.clock t.switch in
+  Simclock.Clock.advance clock ~account:"scrub.verify" verify_cost_s;
+  match Resilient.verify_or_repair ~policy:t.policy dev ~segid ~blkno with
+  | `Unrepairable _ as u -> u
+  | (`Clean | `Repaired) as primary_verdict -> (
+    match Device.segment_mirror dev ~segid with
+    | Some (mdev, msegid) when not (Device.is_dead mdev) -> (
+      Simclock.Clock.advance clock ~account:"scrub.verify" verify_cost_s;
+      match Device.verify_block mdev ~segid:msegid ~blkno with
+      | Ok () -> primary_verdict
+      | Error reason -> (
+        (* The mirror copy rotted; refresh it from the (verified) primary. *)
+        try
+          let page = Resilient.read_block ~policy:t.policy dev ~segid ~blkno in
+          Device.poke_block mdev ~segid:msegid ~blkno page;
+          `Repaired
+        with Device.Media_failure _ | Device.Io_fault _ -> `Unrepairable reason))
+    | _ -> primary_verdict)
+
+let step t ~pages =
+  let work = Array.of_list (targets t) in
+  let total = Array.length work in
+  let step_stats = ref empty_stats in
+  if total > 0 then begin
+    if t.pos >= total then t.pos <- t.pos mod total;
+    for _ = 1 to min pages total do
+      let dev, segid, blkno = work.(t.pos) in
+      t.pos <- (t.pos + 1) mod total;
+      let verdict =
+        try scrub_block t dev ~segid ~blkno
+        with Invalid_argument _ -> `Clean (* segment dropped since the walk was planned *)
+      in
+      let s = !step_stats in
+      step_stats :=
+        (match verdict with
+        | `Clean -> { s with scanned = s.scanned + 1; clean = s.clean + 1 }
+        | `Repaired -> { s with scanned = s.scanned + 1; repaired = s.repaired + 1 }
+        | `Unrepairable reason ->
+          {
+            s with
+            scanned = s.scanned + 1;
+            unrepairable = s.unrepairable @ [ (Device.name dev, segid, blkno, reason) ];
+          })
+    done
+  end;
+  t.total <- merge_stats t.total !step_stats;
+  !step_stats
+
+let run ?policy switch =
+  let t = create ?policy switch in
+  step t ~pages:(List.length (targets t))

@@ -2,9 +2,10 @@ type t = {
   clock : Simclock.Clock.t;
   table : (string, Device.t) Hashtbl.t;
   mutable order : Device.t list; (* reverse registration order *)
+  mutable mirror_pairs : (string * string) list; (* (primary, secondary), oldest first *)
 }
 
-let create ~clock = { clock; table = Hashtbl.create 8; order = [] }
+let create ~clock = { clock; table = Hashtbl.create 8; order = []; mirror_pairs = [] }
 
 let clock t = t.clock
 
@@ -33,5 +34,23 @@ let default_device t =
   match List.rev t.order with
   | dev :: _ -> dev
   | [] -> failwith "Switch.default_device: no devices registered"
+
+let mirror t ~primary ~secondary =
+  if primary = secondary then
+    invalid_arg (Printf.sprintf "Switch.mirror: %s cannot mirror itself" primary);
+  let lookup role name =
+    match find_opt t name with
+    | Some dev -> dev
+    | None -> invalid_arg (Printf.sprintf "Switch.mirror: %s device %s is not registered" role name)
+  in
+  let p = lookup "primary" primary in
+  let s = lookup "secondary" secondary in
+  Device.attach_mirror p s;
+  t.mirror_pairs <- t.mirror_pairs @ [ (primary, secondary) ]
+
+let mirror_of t name =
+  match find_opt t name with Some dev -> Device.mirror dev | None -> None
+
+let mirror_pairs t = t.mirror_pairs
 
 let crash t = List.iter Device.crash (devices t)

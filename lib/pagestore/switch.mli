@@ -35,5 +35,18 @@ val default_device : t -> Device.t
 val devices : t -> Device.t list
 (** All devices, in registration order. *)
 
+val mirror : t -> primary:string -> secondary:string -> unit
+(** Pair two registered devices: relations placed on [primary] are
+    transparently mirrored onto [secondary] ({!Device.attach_mirror} —
+    lockstep allocation, dual writes, failover reads).  Raises
+    [Invalid_argument] if either name is unregistered, the names are
+    equal, or a device is already part of a pair. *)
+
+val mirror_of : t -> string -> Device.t option
+(** The secondary paired with a named device, if any. *)
+
+val mirror_pairs : t -> (string * string) list
+(** All (primary, secondary) pairs, in pairing order. *)
+
 val crash : t -> unit
 (** Propagate a simulated crash to every device. *)

@@ -98,12 +98,30 @@ let crash t =
   Lock_mgr.reset t.locks;
   Pagestore.Switch.crash t.switch
 
+(* A relation is degraded when no device holding a copy of it answers:
+   its placement device is dead and there is no live mirror.  Everything
+   else on the switch keeps serving. *)
+let relation_degraded heap =
+  let dev = Heap.device heap in
+  Pagestore.Device.is_dead dev
+  &&
+  match Pagestore.Device.segment_mirror dev ~segid:(Heap.segid heap) with
+  | Some (m, _) -> Pagestore.Device.is_dead m
+  | None -> true
+
+let degraded_relations t = List.filter (fun name -> relation_degraded (find_relation t name)) (relations t)
+
 let verify_relations t =
   List.filter_map
     (fun name ->
-      match Heap.verify (find_relation t name) with
-      | Ok () -> None
-      | Error msg -> Some (name, msg))
+      let heap = find_relation t name in
+      if relation_degraded heap then None (* unreachable, reported via degraded_relations *)
+      else
+        match Heap.verify heap with
+        | Ok () -> None
+        | Error msg -> Some (name, msg)
+        | exception Pagestore.Device.Media_failure m ->
+          Some (name, Printf.sprintf "media failure: %s (%s/%d/%d)" m.reason m.device m.segid m.blkno))
     (relations t)
 
 let crash_and_recover t =

@@ -69,10 +69,19 @@ val crash : t -> unit
     Committed data (forced at commit) is intact; no fsck, no log replay.
     The database is immediately usable. *)
 
+val degraded_relations : t -> string list
+(** Relations that currently cannot answer any I/O: the device they are
+    placed on is dead ({!Pagestore.Device.kill} / [Fault_dead]) and no
+    live mirror holds a copy.  Sorted.  The rest of the database keeps
+    serving — this is degraded-mode operation, not failure. *)
+
 val verify_relations : t -> (string * string) list
 (** Run {!Heap.verify} over every relation and collect
     [(relation, problem)] pairs; empty means every durable page passed its
-    self-identification check. *)
+    self-identification check.  Degraded relations (see
+    {!degraded_relations}) are skipped — they are reported as degraded,
+    not corrupt; an unexpected media failure elsewhere is reported as a
+    problem. *)
 
 val crash_and_recover : t -> Xid.t list * (string * string) list
 (** Whole-system crash + recovery as one call: {!crash} (which composes

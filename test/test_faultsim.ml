@@ -106,8 +106,62 @@ let test_writeback_stream_crash () =
 let test_torn_on_writeback_rejected () =
   let plan = F.create () in
   Alcotest.check_raises "torn writeback is meaningless"
-    (Invalid_argument "Faultsim.schedule: torn faults act on device transfers, not write-backs")
-    (fun () -> F.schedule plan ~io:F.Writeback ~after:1 (F.Torn 5))
+    (Invalid_argument
+       "Faultsim.schedule: torn:5 acts on the medium, so it belongs on a \
+        device transfer stream (read/write), not the writeback stream")
+    (fun () -> F.schedule plan ~io:F.Writeback ~after:1 (F.Torn 5));
+  Alcotest.check_raises "bitrot writeback is meaningless"
+    (Invalid_argument
+       "Faultsim.schedule: bitrot acts on the medium, so it belongs on a \
+        device transfer stream (read/write), not the writeback stream")
+    (fun () -> F.schedule plan ~io:F.Writeback ~after:1 F.Bitrot)
+
+let test_schedule_errors_name_offender () =
+  let plan = F.create () in
+  Alcotest.check_raises "after < 1 names the action and stream"
+    (Invalid_argument
+       "Faultsim.schedule: after must be >= 1 (got 0) for device_dead on the read stream")
+    (fun () -> F.schedule plan ~io:F.Read ~after:0 F.Device_dead);
+  let rng = Simclock.Rng.create 1L in
+  Alcotest.check_raises "within < 1 names the action and stream"
+    (Invalid_argument
+       "Faultsim.schedule_random: within must be >= 1 (got -3) for stuck on the write stream")
+    (fun () -> F.schedule_random plan rng ~io:F.Write ~within:(-3) F.Stuck);
+  Alcotest.check_raises "random crash names within"
+    (Invalid_argument "Faultsim.schedule_random_crash: within must be >= 1 (got 0)")
+    (fun () -> F.schedule_random_crash plan rng ~within:0)
+
+let test_event_strings_cover_media_kinds () =
+  let _, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  let blk = D.allocate_block dev seg in
+  let blk2 = D.allocate_block dev seg in
+  D.poke_block dev ~segid:seg ~blkno:blk (filled 0x10);
+  D.poke_block dev ~segid:seg ~blkno:blk2 (filled 0x20);
+  let plan = F.create () in
+  F.arm_device plan dev;
+  F.schedule plan ~io:F.Read ~after:1 F.Bitrot;
+  F.schedule plan ~io:F.Read ~after:2 F.Stuck;
+  F.schedule plan ~io:F.Read ~after:3 F.Device_dead;
+  ignore (D.peek_block dev ~segid:seg ~blkno:blk : P.t);
+  (* the stuck fault lands on blk2; the third read goes back to blk so it
+     reaches the hook instead of tripping over the now-stuck block *)
+  (match D.peek_block dev ~segid:seg ~blkno:blk2 with
+  | _ -> Alcotest.fail "expected Media_failure (stuck)"
+  | exception D.Media_failure _ -> ());
+  (match D.peek_block dev ~segid:seg ~blkno:blk with
+  | _ -> Alcotest.fail "expected Media_failure (dead)"
+  | exception D.Media_failure _ -> ());
+  F.disarm plan;
+  let strs = List.map F.event_to_string (F.events plan) in
+  Alcotest.(check (list string))
+    "log renders every media kind"
+    [
+      Printf.sprintf "#1 read disk/%d/%d -> bitrot" seg blk;
+      Printf.sprintf "#2 read disk/%d/%d -> stuck" seg blk2;
+      Printf.sprintf "#3 read disk/%d/%d -> device_dead" seg blk;
+    ]
+    strs
 
 (* ---- determinism ---- *)
 
@@ -197,6 +251,10 @@ let () =
           Alcotest.test_case "writeback-stream crash" `Quick test_writeback_stream_crash;
           Alcotest.test_case "torn writeback rejected" `Quick
             test_torn_on_writeback_rejected;
+          Alcotest.test_case "schedule errors name the offender" `Quick
+            test_schedule_errors_name_offender;
+          Alcotest.test_case "event strings cover media kinds" `Quick
+            test_event_strings_cover_media_kinds;
           Alcotest.test_case "seeded plans replay" `Quick
             test_seeded_plan_is_deterministic;
         ] );

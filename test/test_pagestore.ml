@@ -170,6 +170,130 @@ let test_switch_registry () =
        false
      with Not_found -> true)
 
+let test_switch_empty_default () =
+  let clock = Simclock.Clock.create () in
+  let sw = S.create ~clock in
+  Alcotest.(check bool) "empty switch has no default" true
+    (try
+       ignore (S.default_device sw : D.t);
+       false
+     with Failure _ -> true)
+
+let test_switch_find_opt_agrees () =
+  let clock = Simclock.Clock.create () in
+  let sw = S.create ~clock in
+  let d = S.add_device sw ~name:"disk0" ~kind:D.Magnetic_disk () in
+  (match S.find_opt sw "disk0" with
+  | Some d' -> Alcotest.(check bool) "find_opt returns the device" true (d == d')
+  | None -> Alcotest.fail "find_opt missed a registered device");
+  Alcotest.(check bool) "find agrees" true (S.find sw "disk0" == d);
+  Alcotest.(check bool) "find_opt None on missing" true (S.find_opt sw "nope" = None);
+  Alcotest.(check bool) "find raises on missing" true
+    (try
+       ignore (S.find sw "nope" : D.t);
+       false
+     with Not_found -> true)
+
+let test_switch_mirror_pairing () =
+  let clock = Simclock.Clock.create () in
+  let sw = S.create ~clock in
+  ignore (S.add_device sw ~name:"a" ~kind:D.Magnetic_disk () : D.t);
+  let b = S.add_device sw ~name:"b" ~kind:D.Magnetic_disk () in
+  ignore (S.add_device sw ~name:"c" ~kind:D.Magnetic_disk () : D.t);
+  let rejects what f =
+    Alcotest.(check bool) what true
+      (try
+         f ();
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "self-pair rejected" (fun () -> S.mirror sw ~primary:"a" ~secondary:"a");
+  rejects "unregistered primary" (fun () -> S.mirror sw ~primary:"zz" ~secondary:"b");
+  rejects "unregistered secondary" (fun () -> S.mirror sw ~primary:"a" ~secondary:"zz");
+  S.mirror sw ~primary:"a" ~secondary:"b";
+  Alcotest.(check (list (pair string string))) "pair recorded" [ ("a", "b") ]
+    (S.mirror_pairs sw);
+  (match S.mirror_of sw "a" with
+  | Some d -> Alcotest.(check bool) "mirror_of names the secondary" true (d == b)
+  | None -> Alcotest.fail "mirror_of lost the pairing");
+  rejects "re-pairing a mirrored device" (fun () ->
+      S.mirror sw ~primary:"a" ~secondary:"c")
+
+(* ---- checksums, rot, mirrors, death ---- *)
+
+let test_device_checksums_catch_rot () =
+  let _, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  let blk = D.allocate_block dev seg in
+  D.poke_block dev ~segid:seg ~blkno:blk (P.of_bytes (Bytes.make P.size 'x'));
+  (match D.verify_block dev ~segid:seg ~blkno:blk with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("fresh write should verify: " ^ e));
+  let recorded = D.recorded_checksum dev ~segid:seg ~blkno:blk in
+  D.rot_block dev ~segid:seg ~blkno:blk;
+  Alcotest.(check bool) "recorded checksum unchanged by rot" true
+    (Int32.equal recorded (D.recorded_checksum dev ~segid:seg ~blkno:blk));
+  (match D.verify_block dev ~segid:seg ~blkno:blk with
+  | Ok () -> Alcotest.fail "rot must fail verification"
+  | Error msg ->
+    Alcotest.(check bool) "message names the mismatch" true
+      (String.length msg > 0
+      && String.sub msg 0 (String.length "checksum mismatch") = "checksum mismatch"))
+
+let test_device_mirror_resilver_and_repair () =
+  let clock = Simclock.Clock.create () in
+  let prim = D.create ~clock ~name:"prim" ~kind:D.Magnetic_disk () in
+  let sec = D.create ~clock ~name:"sec" ~kind:D.Magnetic_disk () in
+  let seg = D.create_segment prim in
+  let blk = D.allocate_block prim seg in
+  D.poke_block prim ~segid:seg ~blkno:blk (P.of_bytes (Bytes.make P.size 'm'));
+  (* attach after the fact: the resilver copies existing bytes *)
+  D.attach_mirror prim sec;
+  (match D.segment_mirror prim ~segid:seg with
+  | None -> Alcotest.fail "mirrored segment missing"
+  | Some (m, mseg) ->
+    Alcotest.(check bool) "mirror device" true (m == sec);
+    Alcotest.(check char) "mirror holds the bytes" 'm'
+      (Bytes.get (P.to_bytes (D.peek_block sec ~segid:mseg ~blkno:blk)) 0));
+  (* new allocation is lockstep: same blkno on both sides *)
+  let blk2 = D.allocate_block prim seg in
+  let mseg = match D.segment_mirror prim ~segid:seg with Some (_, s) -> s | None -> -1 in
+  Alcotest.(check int) "lockstep block count" (D.nblocks prim seg) (D.nblocks sec mseg);
+  ignore blk2;
+  (* rot the primary copy; the resilient read fails over and repairs *)
+  D.rot_block prim ~segid:seg ~blkno:blk;
+  let page = Pagestore.Resilient.read_block prim ~segid:seg ~blkno:blk in
+  Alcotest.(check char) "failover returns good bytes" 'm'
+    (Bytes.get (P.to_bytes page) 0);
+  (match D.verify_block prim ~segid:seg ~blkno:blk with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("primary should be repaired in place: " ^ e))
+
+let test_device_kill_and_stuck () =
+  let _, dev = fresh_disk () in
+  let seg = D.create_segment dev in
+  let blk = D.allocate_block dev seg in
+  D.poke_block dev ~segid:seg ~blkno:blk (P.of_bytes (Bytes.make P.size 's'));
+  D.mark_stuck dev ~segid:seg ~blkno:blk;
+  Alcotest.(check bool) "stuck recorded" true (D.is_stuck dev ~segid:seg ~blkno:blk);
+  (match D.peek_block dev ~segid:seg ~blkno:blk with
+  | _ -> Alcotest.fail "stuck block must not answer"
+  | exception D.Media_failure { reason; _ } ->
+    Alcotest.(check string) "stuck reason" "stuck block" reason);
+  (* a write remaps the pending sector and clears it *)
+  D.poke_block dev ~segid:seg ~blkno:blk (P.of_bytes (Bytes.make P.size 't'));
+  Alcotest.(check bool) "write remapped the sector" false
+    (D.is_stuck dev ~segid:seg ~blkno:blk);
+  Alcotest.(check char) "remapped block answers" 't'
+    (Bytes.get (P.to_bytes (D.peek_block dev ~segid:seg ~blkno:blk)) 0);
+  Alcotest.(check bool) "not dead yet" false (D.is_dead dev);
+  D.kill dev;
+  Alcotest.(check bool) "dead" true (D.is_dead dev);
+  (match D.create_segment dev with
+  | _ -> Alcotest.fail "dead device must not allocate"
+  | exception D.Media_failure { reason; _ } ->
+    Alcotest.(check string) "dead reason" "device dead" reason)
+
 (* ---- Buffer cache ---- *)
 
 let test_cache_hit_and_miss () =
@@ -349,7 +473,22 @@ let () =
           Alcotest.test_case "WORM rewrite allocates" `Quick test_jukebox_worm_rewrite_allocates;
           Alcotest.test_case "drop segment" `Quick test_drop_segment;
         ] );
-      ("switch", [ Alcotest.test_case "registry" `Quick test_switch_registry ]);
+      ( "switch",
+        [
+          Alcotest.test_case "registry" `Quick test_switch_registry;
+          Alcotest.test_case "empty default rejected" `Quick test_switch_empty_default;
+          Alcotest.test_case "find/find_opt agree" `Quick test_switch_find_opt_agrees;
+          Alcotest.test_case "mirror pairing rules" `Quick test_switch_mirror_pairing;
+        ] );
+      ( "media",
+        [
+          Alcotest.test_case "checksums catch rot" `Quick
+            test_device_checksums_catch_rot;
+          Alcotest.test_case "mirror resilver + repair" `Quick
+            test_device_mirror_resilver_and_repair;
+          Alcotest.test_case "stuck and dead devices" `Quick
+            test_device_kill_and_stuck;
+        ] );
       ( "bufcache",
         [
           Alcotest.test_case "hits avoid device" `Quick test_cache_hit_and_miss;
