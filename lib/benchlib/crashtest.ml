@@ -94,6 +94,10 @@ type outcome = {
   full_verifies : int;
   media_events : int;
   scrub_repaired : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_readaheads : int;
+  cache_evictions : int;
   mismatches : string list;
 }
 
@@ -101,10 +105,11 @@ let outcome_to_string o =
   Printf.sprintf
     "seed=%Ld ops=%d/%d crashes=%d (%d injected) commits=%d aborts=%d \
      lock_skips=%d io_faults=%d idx_rebuilt=%d tt_checks=%d verifies=%d \
-     media_events=%d scrub_repaired=%d mismatches=%d"
+     media_events=%d scrub_repaired=%d cache=%d/%d ra=%d ev=%d mismatches=%d"
     o.seed o.ops_applied o.ops_attempted o.crashes o.injected_crashes o.commits
     o.aborts o.lock_skips o.io_faults o.indexes_rebuilt o.time_travel_checks
-    o.full_verifies o.media_events o.scrub_repaired
+    o.full_verifies o.media_events o.scrub_repaired o.cache_hits o.cache_misses
+    o.cache_readaheads o.cache_evictions
     (List.length o.mismatches)
 
 (* ---------- oracle ---------- *)
@@ -719,6 +724,10 @@ let run ?(config = default_config) ~seed () =
   (* Always finish with a crash + full verification. *)
   do_crash st ~injected:false;
   Faultsim.disarm plan;
+  (* Counters are cumulative across the run's crashes (crash empties the
+     pool but keeps the tallies), so this snapshot describes the whole
+     workload's cache behaviour under fault injection. *)
+  let cache_stats = Pagestore.Bufcache.stats (Relstore.Db.cache st.db) in
   {
     seed;
     ops_attempted = st.ops_attempted;
@@ -742,6 +751,10 @@ let run ?(config = default_config) ~seed () =
                | Faultsim.Torn _ | Faultsim.Io_error | Faultsim.Crash -> false)
              (Faultsim.events plan));
     scrub_repaired = st.scrub_repaired;
+    cache_hits = cache_stats.Pagestore.Bufcache.s_hits;
+    cache_misses = cache_stats.Pagestore.Bufcache.s_misses;
+    cache_readaheads = cache_stats.Pagestore.Bufcache.s_readaheads;
+    cache_evictions = cache_stats.Pagestore.Bufcache.s_evictions;
     mismatches = List.rev st.mismatches;
   }
 

@@ -63,6 +63,10 @@ type outcome = {
       (** media faults injected: stream-fired bitrot/stuck/dead plus
           latent rot planted directly for the scrubber *)
   scrub_repaired : int;  (** blocks the background scrubber healed *)
+  cache_hits : int;  (** buffer-cache hits over the whole run *)
+  cache_misses : int;
+  cache_readaheads : int;  (** blocks prefetched by read-ahead *)
+  cache_evictions : int;
   mismatches : string list;  (** empty = the run proved out *)
 }
 

@@ -22,6 +22,10 @@ let encode t =
   Bytes.blit t.data 0 b header_size len;
   b
 
+let peek_chunkno b =
+  if Bytes.length b < header_size then invalid_arg "Chunk.peek_chunkno: truncated header";
+  Bytes.get_int64_le b 0
+
 let decode b =
   if Bytes.length b < header_size then invalid_arg "Chunk.decode: truncated header";
   let chunkno = Bytes.get_int64_le b 0 in

@@ -41,5 +41,12 @@ val encode : t -> bytes
 val decode : bytes -> t
 (** Raises [Invalid_argument] on a malformed payload. *)
 
+val peek_chunkno : bytes -> int64
+(** Read just the chunk number from an encoded payload's header, without
+    decoding (or decompressing) the data.  The index cross-checks in
+    {!Inv_file} only need the chunk number, and a full [decode] copies —
+    and for compressed chunks inflates — up to 8 KB per record.  Raises
+    [Invalid_argument] on a truncated header. *)
+
 val make_plain : chunkno:int64 -> bytes -> t
 val make_compressed : chunkno:int64 -> uncompressed_len:int -> bytes -> t

@@ -455,6 +455,9 @@ let read_at t snap inv ~size ~pos buf len =
     let cap = Int64.of_int chunk_capacity in
     let first = Int64.div pos cap in
     let last = Int64.div (Int64.add pos (Int64.of_int (n - 1))) cap in
+    (* A multi-chunk read walks the file's heap segment in ascending
+       block order — tell the buffer cache so read-ahead arms now. *)
+    if Int64.compare last first > 0 then Inv_file.hint_sequential inv;
     let c = ref first in
     while Int64.compare !c last <= 0 do
       let chunk_start = Int64.mul !c cap in

@@ -5,6 +5,7 @@ type report = {
   files_checked : int;
   problems : problem list;
   degraded : string list;
+  cache : Pagestore.Bufcache.stats;
 }
 
 let is_clean r = r.problems = []
@@ -22,6 +23,11 @@ let report_to_string r =
     String.concat "\n"
       (List.map (fun p -> Printf.sprintf "%s: %s" p.relation p.detail) r.problems)
     ^ degraded_suffix
+
+(* Cache counters are reported separately from the consistency verdict:
+   the verdict string is golden-checked by the cram tests and must not
+   pick up a counter that changes with every cache-policy tweak. *)
+let cache_to_string r = Pagestore.Bufcache.stats_to_string r.cache
 
 let audit fs =
   let db = Fs.db fs in
@@ -107,4 +113,5 @@ let audit fs =
     files_checked = !files_checked;
     problems = List.rev !problems;
     degraded;
+    cache = Pagestore.Bufcache.stats (Relstore.Db.cache db);
   }

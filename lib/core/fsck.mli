@@ -27,10 +27,18 @@ type report = {
           skipped by the consistency checks and reported here instead.
           Degradation is availability loss, not corruption — it does not
           make the audit unclean. *)
+  cache : Pagestore.Bufcache.stats;
+      (** buffer-cache counter snapshot at audit time — hit/miss,
+          read-ahead, and eviction totals for the run being audited. *)
 }
 
 val audit : Fs.t -> report
 (** Full structural audit under a current snapshot. *)
 
 val is_clean : report -> bool
+
 val report_to_string : report -> string
+(** Consistency verdict only — stable across cache-policy changes. *)
+
+val cache_to_string : report -> string
+(** The cache counter snapshot as one [key=value] line. *)

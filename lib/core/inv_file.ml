@@ -1,5 +1,19 @@
 module H = Relstore.Heap
 
+(* Last-chunk memo: sequential readers and the read-modify-write in
+   [Fs.write_at] touch the same chunk repeatedly; remembering where its
+   visible version lives skips the B-tree probe and the payload
+   decode/decompress.  The memo is validated before use — a fetch of the
+   remembered TID must be visible under the caller's snapshot and carry
+   the remembered bytes — so vacuum slot reuse and snapshot changes can
+   never serve stale data. *)
+type memo = {
+  m_chunkno : int64;
+  m_tid : Relstore.Tid.t;
+  m_payload : bytes;
+  m_data : bytes; (* decoded (decompressed) chunk data *)
+}
+
 type t = {
   db : Relstore.Db.t;
   oid : int64;
@@ -7,6 +21,7 @@ type t = {
   index : Index.Btree.t;
   compressed : bool;
   mutable write_through : bool;
+  mutable memo : memo option;
 }
 
 let relname oid = Printf.sprintf "inv%Ld" oid
@@ -16,7 +31,7 @@ let create_named db ~oid ~relname ~device ~compressed =
   let index =
     Index.Btree.create ~cache:(Relstore.Db.cache db) ~device:(H.device heap) ~klen:8
   in
-  { db; oid; heap; index; compressed; write_through = false }
+  { db; oid; heap; index; compressed; write_through = false; memo = None }
 
 let create db ~oid ~device ~compressed =
   create_named db ~oid ~relname:(relname oid) ~device ~compressed
@@ -27,7 +42,7 @@ let attach db ~oid ~index_segid ~compressed =
     Index.Btree.attach ~cache:(Relstore.Db.cache db) ~device:(H.device heap)
       ~segid:index_segid
   in
-  { db; oid; heap; index; compressed; write_through = false }
+  { db; oid; heap; index; compressed; write_through = false; memo = None }
 
 let set_write_through t v = t.write_through <- v
 let write_through t = t.write_through
@@ -65,12 +80,14 @@ let find_visible t snap ~chunkno =
     (try
        List.iter
          (fun v ->
-           match H.fetch t.heap snap (Relstore.Tid.decode v) with
+           let tid = Relstore.Tid.decode v in
+           match H.fetch t.heap snap tid with
            (* Cross-check the record against the key it was found under: a
               stale or rebuilt-from-elsewhere index entry must never make
-              us return the wrong chunk. *)
-           | Some r when (Chunk.decode r.H.payload).Chunk.chunkno = chunkno ->
-             hit := Some r.H.payload;
+              us return the wrong chunk.  Only the header is needed for
+              that, so peek instead of decoding the whole payload. *)
+           | Some r when Int64.equal (Chunk.peek_chunkno r.H.payload) chunkno ->
+             hit := Some (tid, r.H.payload);
              raise Exit
            | Some _ | None -> ())
          (versions_newest_first t ~chunkno)
@@ -83,14 +100,34 @@ let find_visible t snap ~chunkno =
     if historical snap then begin
       let hit = ref None in
       H.scan t.heap snap (fun r ->
-          if (Chunk.decode r.H.payload).Chunk.chunkno = chunkno then
-            hit := Some r.H.payload);
+          if Int64.equal (Chunk.peek_chunkno r.H.payload) chunkno then
+            hit := Some (r.H.tid, r.H.payload));
       !hit
     end
     else None
 
+(* Memo fast path: still fetches the record (visibility check + normal
+   record-read charge), but skips the B-tree probe and — when the bytes
+   match — the decode/decompress. *)
 let read_chunk t snap ~chunkno =
-  Option.map decode_chunk (find_visible t snap ~chunkno)
+  let via_memo =
+    match t.memo with
+    | Some m when Int64.equal m.m_chunkno chunkno -> (
+      match H.fetch t.heap snap m.m_tid with
+      | Some r when Bytes.equal r.H.payload m.m_payload -> Some (Bytes.copy m.m_data)
+      | Some _ | None -> None)
+    | _ -> None
+  in
+  match via_memo with
+  | Some _ as hit -> hit
+  | None -> (
+    match find_visible t snap ~chunkno with
+    | None -> None
+    | Some (tid, payload) ->
+      let data = decode_chunk payload in
+      t.memo <-
+        Some { m_chunkno = chunkno; m_tid = tid; m_payload = payload; m_data = data };
+      Some (Bytes.copy data))
 
 let encode_for_storage t ~chunkno data =
   let plain = Chunk.make_plain ~chunkno data in
@@ -115,7 +152,7 @@ let write_chunk t txn ~chunkno data =
        (fun v ->
          let tid = Relstore.Tid.decode v in
          match H.fetch t.heap snap tid with
-         | Some r when (Chunk.decode r.H.payload).Chunk.chunkno = chunkno ->
+         | Some r when Int64.equal (Chunk.peek_chunkno r.H.payload) chunkno ->
            H.delete t.heap txn tid;
            raise Exit
          | Some _ | None -> ())
@@ -125,6 +162,8 @@ let write_chunk t txn ~chunkno data =
   let tid = H.insert t.heap txn ~oid:t.oid payload in
   Index.Btree.insert t.index ~key:(Index.Key.of_int64 chunkno)
     ~value:(Relstore.Tid.encode tid);
+  t.memo <-
+    Some { m_chunkno = chunkno; m_tid = tid; m_payload = payload; m_data = Bytes.copy data };
   (* POSTGRES interleaved B-tree page writes with data file writes --
      the head movement Figure 3 blames for Inversion's slower creates.
      Benchmarks can ablate this with [set_write_through]. *)
@@ -133,6 +172,7 @@ let write_chunk t txn ~chunkno data =
       ~segid:(Index.Btree.segid t.index)
 
 let delete_chunks_from t txn ~chunkno =
+  t.memo <- None;
   let snap = Relstore.Txn.snapshot txn in
   let doomed = ref [] in
   Index.Btree.scan_range t.index ~lo:(Index.Key.of_int64 chunkno)
@@ -142,8 +182,7 @@ let delete_chunks_from t txn ~chunkno =
       (* doom by the record's own chunk number, not the index key it was
          found under: stale post-crash entries must not widen the kill *)
       match H.fetch t.heap snap tid with
-      | Some r when Int64.compare (Chunk.decode r.H.payload).Chunk.chunkno chunkno >= 0
-        ->
+      | Some r when Int64.compare (Chunk.peek_chunkno r.H.payload) chunkno >= 0 ->
         doomed := tid :: !doomed
       | Some _ | None -> ());
   List.iter
@@ -157,19 +196,24 @@ let iter_chunks t snap f =
 
 let copy_all_versions_to src dst =
   H.scan_raw src.heap (fun r ->
-      let c = Chunk.decode r.H.payload in
+      let chunkno = Chunk.peek_chunkno r.H.payload in
       let tid = H.append_raw dst.heap ~oid:r.H.oid ~xmin:r.H.xmin ~xmax:r.H.xmax r.H.payload in
-      Index.Btree.insert dst.index ~key:(Index.Key.of_int64 c.Chunk.chunkno)
+      Index.Btree.insert dst.index ~key:(Index.Key.of_int64 chunkno)
         ~value:(Relstore.Tid.encode tid))
 
 let index_maintenance_on_vacuum t (r : H.record) =
-  let c = Chunk.decode r.H.payload in
+  t.memo <- None;
   ignore
-    (Index.Btree.delete t.index ~key:(Index.Key.of_int64 c.Chunk.chunkno)
+    (Index.Btree.delete t.index
+       ~key:(Index.Key.of_int64 (Chunk.peek_chunkno r.H.payload))
        ~value:(Relstore.Tid.encode r.H.tid)
       : bool)
 
-let crash_reset t = Index.Btree.crash t.index
+let crash_reset t =
+  t.memo <- None;
+  Index.Btree.crash t.index
+
+let hint_sequential t = H.hint_sequential t.heap
 
 (* The chunk index is update-in-place (unlike the heap), so a crash while
    its pages were half-flushed can leave it structurally damaged or
@@ -182,7 +226,7 @@ let index_check t =
   match
     H.scan_raw t.heap (fun r ->
         if Relstore.Status_log.is_committed log r.H.xmin then
-          committed := ((Chunk.decode r.H.payload).Chunk.chunkno, r.H.tid) :: !committed)
+          committed := (Chunk.peek_chunkno r.H.payload, r.H.tid) :: !committed)
   with
   | exception e -> Error ("heap scan failed: " ^ Printexc.to_string e)
   | () ->
@@ -224,21 +268,20 @@ let index_check t =
                      (Printf.sprintf "chunk %Ld: dangling index entry"
                         (Index.Key.to_int64 key))
                | Some r ->
-                 if not (String.equal key (Index.Key.of_int64 (Chunk.decode r.H.payload).Chunk.chunkno))
-                 then
+                 let actual = Chunk.peek_chunkno r.H.payload in
+                 if not (String.equal key (Index.Key.of_int64 actual)) then
                    problem :=
                      Some
                        (Printf.sprintf "chunk %Ld: index entry aliases chunk %Ld"
-                          (Index.Key.to_int64 key)
-                          (Chunk.decode r.H.payload).Chunk.chunkno))
+                          (Index.Key.to_int64 key) actual))
        with e -> problem := Some ("index probe failed: " ^ Printexc.to_string e));
       (match !problem with None -> Ok () | Some msg -> Error msg)
 
 let rebuild_index t =
   Index.Btree.reinit t.index;
   H.scan_raw t.heap (fun r ->
-      let c = Chunk.decode r.H.payload in
-      Index.Btree.insert t.index ~key:(Index.Key.of_int64 c.Chunk.chunkno)
+      Index.Btree.insert t.index
+        ~key:(Index.Key.of_int64 (Chunk.peek_chunkno r.H.payload))
         ~value:(Relstore.Tid.encode r.H.tid))
 
 let drop t =

@@ -43,7 +43,15 @@ val is_compressed : t -> bool
 val read_chunk : t -> Relstore.Snapshot.t -> chunkno:int64 -> bytes option
 (** The chunk's (decompressed) file bytes visible under the snapshot.
     Historical snapshots fall back to an archive scan when the index
-    misses (vacuumed versions). *)
+    misses (vacuumed versions).  Re-reading the chunk just read or
+    written hits a validated last-chunk memo — the B-tree probe and the
+    decode/decompress are skipped (the visibility fetch still runs and is
+    still charged). *)
+
+val hint_sequential : t -> unit
+(** Arm the buffer cache's read-ahead for this file's heap segment — the
+    caller is about to read an ascending range of chunks.  {!Fs.read_at}
+    calls this for multi-chunk reads. *)
 
 val write_chunk : t -> Relstore.Txn.t -> chunkno:int64 -> bytes -> unit
 (** Replace (or create) the chunk: old version stamped dead, new version

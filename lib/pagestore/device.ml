@@ -120,6 +120,7 @@ type fault_hook = io_kind -> segid:int -> blkno:int -> fault option
 
 type t = {
   name : string;
+  id : int; (* process-unique interned id: cheap cache keys, no string compares *)
   kind : kind;
   geometry : geometry;
   clock : Simclock.Clock.t;
@@ -143,10 +144,15 @@ type t = {
   mutable writes : int;
 }
 
+let next_id = ref 0
+
 let create ~clock ~name ~kind ?geometry () =
   let geometry = Option.value geometry ~default:(default_geometry kind) in
+  let id = !next_id in
+  incr next_id;
   {
     name;
+    id;
     kind;
     geometry;
     clock;
@@ -171,6 +177,7 @@ let create ~clock ~name ~kind ?geometry () =
   }
 
 let name t = t.name
+let id t = t.id
 let kind t = t.kind
 let clock t = t.clock
 let reads t = t.reads
@@ -384,6 +391,24 @@ let charge_read t ~segid ~blkno =
   | Worm_jukebox -> charge_jukebox_read t phys);
   t.reads <- t.reads + 1
 
+(* Continuation of a streaming burst already in flight: positioning is
+   still charged (and waived when the transfer really does continue at the
+   arm), but the per-request controller overhead is paid once for the
+   whole burst, by its first (ordinary) read.  NVRAM and the jukebox have
+   no such fixed request overhead worth batching away. *)
+let charge_read_cont t ~segid ~blkno =
+  check_alive t ~segid ~blkno;
+  check_stuck t ~segid ~blkno;
+  check_block t segid blkno;
+  let phys = Hashtbl.find t.phys (segid, blkno) in
+  (match t.kind with
+  | Magnetic_disk ->
+    charge_positioning t "disk" phys;
+    Simclock.Clock.advance t.clock ~account:"disk.xfer" (xfer_time t.geometry)
+  | Nvram -> charge_nvram_io t "nvram"
+  | Worm_jukebox -> charge_jukebox_read t phys);
+  t.reads <- t.reads + 1
+
 let set_fault_hook t hook = t.fault_hook <- hook
 
 let consult_hook t io ~segid ~blkno =
@@ -464,6 +489,10 @@ let poke_block t ~segid ~blkno page =
 
 let read_block t ~segid ~blkno =
   charge_read t ~segid ~blkno;
+  peek_block t ~segid ~blkno
+
+let read_block_cont t ~segid ~blkno =
+  charge_read_cont t ~segid ~blkno;
   peek_block t ~segid ~blkno
 
 let verify_block t ~segid ~blkno =

@@ -101,6 +101,12 @@ val create :
     [kind]. *)
 
 val name : t -> string
+
+val id : t -> int
+(** Process-unique interned id, assigned at {!create}.  The buffer cache
+    packs it into integer page keys so the hot lookup path never hashes or
+    compares device-name strings. *)
+
 val kind : t -> kind
 val clock : t -> Simclock.Clock.t
 
@@ -129,6 +135,15 @@ val read_block : t -> segid:int -> blkno:int -> Page.t
 val write_block : t -> segid:int -> blkno:int -> Page.t -> unit
 (** Write one block, charging simulated time.  The block must have been
     allocated. *)
+
+val read_block_cont : t -> segid:int -> blkno:int -> Page.t
+(** Like {!read_block}, but charged as the {e continuation} of a streaming
+    burst whose first block was read with {!read_block}: positioning is
+    still charged (waived when the transfer continues at the arm), the
+    transfer is charged, but the fixed per-request controller overhead is
+    not — one batched request covers the whole burst.  Magnetic disks
+    only; NVRAM and jukebox devices charge exactly as {!read_block}.  The
+    buffer cache's read-ahead path uses this. *)
 
 val peek_block : t -> segid:int -> blkno:int -> Page.t
 (** Read contents without charging time or counters.  For layered models

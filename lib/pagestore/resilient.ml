@@ -15,11 +15,12 @@ let backoff policy clock attempt =
    transient faults and transient-looking corruption with exponential
    backoff.  Retries that do not heal are promoted to Media_failure — by
    then the fault is permanent as far as this copy is concerned. *)
-let read_with_retry policy ~charged dev ~segid ~blkno =
+let read_with_retry policy ~charged ~cont dev ~segid ~blkno =
   let clock = Device.clock dev in
   let transfer () =
-    if charged then Device.read_block dev ~segid ~blkno
-    else Device.peek_block dev ~segid ~blkno
+    if not charged then Device.peek_block dev ~segid ~blkno
+    else if cont then Device.read_block_cont dev ~segid ~blkno
+    else Device.read_block dev ~segid ~blkno
   in
   let rec go attempt =
     match
@@ -53,14 +54,17 @@ let read_with_retry policy ~charged dev ~segid ~blkno =
   in
   go 1
 
-let read_block ?(policy = default_policy) ?(charged = true) dev ~segid ~blkno =
-  try read_with_retry policy ~charged dev ~segid ~blkno
+let read_block ?(policy = default_policy) ?(charged = true) ?(cont = false) dev ~segid
+    ~blkno =
+  try read_with_retry policy ~charged ~cont dev ~segid ~blkno
   with Device.Media_failure _ as primary_failure -> (
     match Device.segment_mirror dev ~segid with
     | None -> raise primary_failure
     | Some (mdev, msegid) -> (
       Simclock.Clock.tick (Device.clock dev) "resilient.failover";
-      match read_with_retry policy ~charged:true mdev ~segid:msegid ~blkno with
+      (* A failover read is never a continuation: the mirror's arm is
+         positioned independently of the burst on the primary. *)
+      match read_with_retry policy ~charged:true ~cont:false mdev ~segid:msegid ~blkno with
       | page ->
         (* Repair the bad primary copy in place, best effort: a stuck block
            or dead primary just stays degraded and the mirror keeps

@@ -29,12 +29,17 @@ val default_policy : policy
 (** 3 attempts, 1 ms first backoff, 4x growth (1 ms, 4 ms). *)
 
 val read_block :
-  ?policy:policy -> ?charged:bool -> Device.t -> segid:int -> blkno:int -> Page.t
+  ?policy:policy -> ?charged:bool -> ?cont:bool -> Device.t -> segid:int -> blkno:int ->
+  Page.t
 (** Verified read with retry, failover, and in-place repair.  [charged]
     (default true) selects {!Device.read_block} over {!Device.peek_block}
     for the primary; failover reads on the mirror are always charged.
-    Raises {!Device.Media_failure} when no copy can produce
-    checksum-correct bytes, and lets {!Device.Crash_injected} propagate. *)
+    [cont] (default false) charges the primary transfer as the
+    continuation of a streaming burst ({!Device.read_block_cont}) — the
+    buffer cache's read-ahead batches a window of blocks into one charged
+    request this way.  Raises {!Device.Media_failure} when no copy can
+    produce checksum-correct bytes, and lets {!Device.Crash_injected}
+    propagate. *)
 
 val write_block :
   ?policy:policy -> ?charged:bool -> Device.t -> segid:int -> blkno:int -> Page.t -> unit

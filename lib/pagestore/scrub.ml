@@ -37,21 +37,29 @@ let totals t = t.total
 let verify_cost_s = 0.0005
 
 (* Secondaries are walked with their primary (so a bad copy on either side
-   can be repaired from the other); dead devices cannot answer a scrub. *)
-let targets t =
+   can be repaired from the other); dead devices cannot answer a scrub.
+   The plan is per-segment summaries — (device, segid, length) — not a
+   materialized list of every block: planning a step is O(#segments), and
+   the cursor is mapped to a block by walking segment lengths. *)
+let plan t =
   let secondaries =
     List.filter_map (fun (_, s) -> Option.map Device.name (Switch.find_opt t.switch s))
       (Switch.mirror_pairs t.switch)
   in
-  List.concat_map
-    (fun dev ->
-      if Device.is_dead dev || List.mem (Device.name dev) secondaries then []
-      else
-        List.concat_map
-          (fun segid ->
-            List.init (Device.nblocks dev segid) (fun blkno -> (dev, segid, blkno)))
-          (Device.segments dev))
-    (Switch.devices t.switch)
+  let segs =
+    List.concat_map
+      (fun dev ->
+        if Device.is_dead dev || List.mem (Device.name dev) secondaries then []
+        else
+          List.map (fun segid -> (dev, segid, Device.nblocks dev segid))
+            (Device.segments dev))
+      (Switch.devices t.switch)
+  in
+  let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 segs in
+  (segs, total)
+
+(* The flattened walk order is segments in plan order, blocks 0..n-1
+   within each — identical to the old explicit per-block list. *)
 
 let scrub_block t dev ~segid ~blkno =
   let clock = Switch.clock t.switch in
@@ -74,16 +82,50 @@ let scrub_block t dev ~segid ~blkno =
     | _ -> primary_verdict)
 
 let step t ~pages =
-  let work = Array.of_list (targets t) in
-  let total = Array.length work in
+  let segs, total = plan t in
   let step_stats = ref empty_stats in
   if total > 0 then begin
     if t.pos >= total then t.pos <- t.pos mod total;
+    (* Locate the cursor once, then stream: each page advances within the
+       current segment or steps to the next, wrapping to the plan head.
+       Skipping to the next non-empty segment first keeps the invariant
+       that the cursor head always has a block left. *)
+    let cursor = ref segs and blkno = ref 0 in
+    let rec normalize () =
+      match !cursor with
+      | [] ->
+        cursor := segs;
+        blkno := 0;
+        normalize ()
+      | (_, _, n) :: tail ->
+        if !blkno >= n then begin
+          cursor := tail;
+          blkno := 0;
+          normalize ()
+        end
+    in
+    let rec seek_start segs pos =
+      match segs with
+      | [] -> assert false
+      | (_, _, n) :: tail as all ->
+        if pos < n then begin
+          cursor := all;
+          blkno := pos
+        end
+        else seek_start tail (pos - n)
+    in
+    seek_start segs t.pos;
     for _ = 1 to min pages total do
-      let dev, segid, blkno = work.(t.pos) in
+      normalize ();
+      let dev, segid, blk =
+        match !cursor with
+        | (dev, segid, _) :: _ -> (dev, segid, !blkno)
+        | [] -> assert false
+      in
+      blkno := !blkno + 1;
       t.pos <- (t.pos + 1) mod total;
       let verdict =
-        try scrub_block t dev ~segid ~blkno
+        try scrub_block t dev ~segid ~blkno:blk
         with Invalid_argument _ -> `Clean (* segment dropped since the walk was planned *)
       in
       let s = !step_stats in
@@ -95,7 +137,7 @@ let step t ~pages =
           {
             s with
             scanned = s.scanned + 1;
-            unrepairable = s.unrepairable @ [ (Device.name dev, segid, blkno, reason) ];
+            unrepairable = s.unrepairable @ [ (Device.name dev, segid, blk, reason) ];
           })
     done
   end;
@@ -104,4 +146,5 @@ let step t ~pages =
 
 let run ?policy switch =
   let t = create ?policy switch in
-  step t ~pages:(List.length (targets t))
+  let _, total = plan t in
+  step t ~pages:total

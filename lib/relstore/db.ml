@@ -10,7 +10,7 @@ type t = {
   mutable next_oid : int64;
 }
 
-let create ?(cache_capacity = 300) ?os_cache_blocks ?switch ?clock () =
+let create ?(cache_capacity = 300) ?os_cache_blocks ?readahead_window ?switch ?clock () =
   let clock = match clock with Some c -> c | None -> Simclock.Clock.create () in
   let switch =
     match switch with
@@ -22,7 +22,10 @@ let create ?(cache_capacity = 300) ?os_cache_blocks ?switch ?clock () =
       in
       s
   in
-  let cache = Pagestore.Bufcache.create ~capacity:cache_capacity ?os_cache_blocks () in
+  let cache =
+    Pagestore.Bufcache.create ~capacity:cache_capacity ?os_cache_blocks
+      ?readahead_window ()
+  in
   let log = Status_log.create ~clock in
   let locks = Lock_mgr.create () in
   let mgr = Txn.create_manager ~clock ~log ~locks ~cache in

@@ -16,13 +16,16 @@ type t
 val create :
   ?cache_capacity:int ->
   ?os_cache_blocks:int ->
+  ?readahead_window:int ->
   ?switch:Pagestore.Switch.t ->
   ?clock:Simclock.Clock.t ->
   unit ->
   t
 (** Build a database.  Without [switch], a fresh switch with a single
     magnetic disk named ["disk0"] is created.  [cache_capacity] defaults
-    to 300 pages (the Berkeley configuration). *)
+    to 300 pages (the Berkeley configuration).  [readahead_window] is
+    passed to {!Pagestore.Bufcache.create} (0 disables read-ahead — the
+    benchmark ablation uses this). *)
 
 val clock : t -> Simclock.Clock.t
 val switch : t -> Pagestore.Switch.t

@@ -114,27 +114,39 @@ let fetch t snap tid =
     Some r
   | Some _ | None -> None
 
+(* Stamp an already-fetched record dead.  Locking and write charging are
+   the caller's business — [delete] re-fetches for nobody this way, and
+   [update] stamps the record it already holds instead of fetching it a
+   second time through [delete]. *)
+let delete_stamped t txn (tid : Tid.t) r =
+  if Xid.is_valid r.xmax && (r.xmax = Txn.xid txn || Status_log.is_committed t.log r.xmax)
+  then invalid_arg "Heap.delete: record already deleted";
+  with_page t tid.blkno (fun page ->
+      Heap_page.set_xmax page ~slot:tid.slot (Txn.xid txn);
+      Heap_page.seal page);
+  dirty t tid.blkno
+
 let delete t txn (tid : Tid.t) =
   write_lock t txn;
   Cpu_model.charge_record_write (clock t) ~bytes:0;
   match fetch_any t tid with
   | None -> raise Not_found
-  | Some r ->
-    if Xid.is_valid r.xmax && (r.xmax = Txn.xid txn || Status_log.is_committed t.log r.xmax)
-    then invalid_arg "Heap.delete: record already deleted";
-    with_page t tid.blkno (fun page ->
-        Heap_page.set_xmax page ~slot:tid.slot (Txn.xid txn);
-        Heap_page.seal page);
-    dirty t tid.blkno
+  | Some r -> delete_stamped t txn tid r
 
 let update t txn tid payload =
+  write_lock t txn;
   match fetch_any t tid with
   | None -> raise Not_found
   | Some old ->
-    delete t txn tid;
+    Cpu_model.charge_record_write (clock t) ~bytes:0;
+    delete_stamped t txn tid old;
     insert t txn ~oid:old.oid payload
 
+let hint_sequential t =
+  Pagestore.Bufcache.hint_sequential t.cache t.device ~segid:t.segid
+
 let scan_raw t f =
+  hint_sequential t;
   for blkno = 0 to nblocks t - 1 do
     (* Collect under the pin, apply after releasing it, so [f] may itself
        touch the cache (e.g. follow the record into another relation). *)

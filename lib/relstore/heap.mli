@@ -66,8 +66,10 @@ val delete : t -> Txn.t -> Tid.t -> unit
     committed or same transaction. *)
 
 val update : t -> Txn.t -> Tid.t -> bytes -> Tid.t
-(** [delete] the old version and [insert] the replacement with the same
-    oid; returns the new version's TID. *)
+(** Stamp the old version dead and [insert] the replacement with the same
+    oid; returns the new version's TID.  The old version is fetched once
+    (not re-fetched through [delete]); charges and locks are exactly one
+    delete plus one insert. *)
 
 val fetch : t -> Snapshot.t -> Tid.t -> record option
 (** The version at [tid] if it exists and is visible.  Charges a shared
@@ -93,7 +95,13 @@ val scan : t -> Snapshot.t -> (record -> unit) -> unit
     reachable. *)
 
 val scan_raw : t -> (record -> unit) -> unit
-(** Every record version regardless of visibility, main heap only. *)
+(** Every record version regardless of visibility, main heap only.
+    Declares the scan to the buffer cache ({!hint_sequential}) so
+    read-ahead arms from the first block. *)
+
+val hint_sequential : t -> unit
+(** Arm buffer-cache read-ahead for this relation's segment: the caller
+    is about to walk its blocks in ascending order. *)
 
 val kill_tid : t -> Tid.t -> unit
 (** Vacuum only: mark the slot dead (see {!Heap_page.kill_slot}). *)

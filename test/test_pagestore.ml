@@ -427,6 +427,159 @@ let test_nvram_device_bypasses_os_cache () =
   B.flush cache;
   Alcotest.(check int) "device write happened" 1 (D.writes dev)
 
+let test_cache_eviction_order_under_pins () =
+  (* pinned pages are not eviction candidates at all: with the pool full
+     and one page pinned, the next miss evicts an unpinned page and the
+     pinned one stays resident *)
+  let clock = Simclock.Clock.create () in
+  let dev = D.create ~clock ~name:"nv" ~kind:D.Nvram () in
+  let cache = B.create ~capacity:3 () in
+  let seg = D.create_segment dev in
+  for _ = 0 to 3 do
+    ignore (B.new_block cache dev ~segid:seg : int)
+  done;
+  ignore (B.get cache dev ~segid:seg ~blkno:0 : P.t);
+  (* pool full: 0 (pinned) + two of 1..3 *)
+  let ev0 = B.evictions cache in
+  B.with_page cache dev ~segid:seg ~blkno:3 (fun _ -> ());
+  B.with_page cache dev ~segid:seg ~blkno:2 (fun _ -> ());
+  B.with_page cache dev ~segid:seg ~blkno:1 (fun _ -> ());
+  Alcotest.(check bool) "evictions happened" true (B.evictions cache > ev0);
+  (* the pinned page never left: touching it is a hit, not a miss *)
+  let m0 = B.misses cache in
+  ignore (B.get cache dev ~segid:seg ~blkno:0 : P.t);
+  Alcotest.(check int) "pinned page still resident" m0 (B.misses cache);
+  B.unpin cache dev ~segid:seg ~blkno:0;
+  B.unpin cache dev ~segid:seg ~blkno:0;
+  Alcotest.check_raises "third unpin rejected"
+    (Invalid_argument "Bufcache.unpin: page not pinned") (fun () ->
+      B.unpin cache dev ~segid:seg ~blkno:0)
+
+let test_cache_scan_resistant_insertion () =
+  (* a one-pass scan larger than the pool must not flush the re-touched
+     (promoted) working set, unlike strict LRU insertion at the head *)
+  let clock = Simclock.Clock.create () in
+  let dev = D.create ~clock ~name:"nv" ~kind:D.Nvram () in
+  (* promote_age_s 0: any re-touch promotes (NVRAM barely advances the
+     simulated clock, so the age gate would otherwise never open) *)
+  let cache = B.create ~capacity:8 ~promote_age_s:0.0 () in
+  let seg = D.create_segment dev in
+  for _ = 0 to 25 do
+    ignore (B.new_block cache dev ~segid:seg : int)
+  done;
+  B.crash cache;
+  (* hot set: blocks 0 and 1, touched twice -> promoted to the hot tier *)
+  for _ = 1 to 2 do
+    B.with_page cache dev ~segid:seg ~blkno:0 (fun _ -> ());
+    B.with_page cache dev ~segid:seg ~blkno:1 (fun _ -> ())
+  done;
+  (* scan: 20 single-touch blocks, 2.5x the pool *)
+  for blkno = 2 to 21 do
+    B.with_page cache dev ~segid:seg ~blkno (fun _ -> ())
+  done;
+  let m0 = B.misses cache in
+  B.with_page cache dev ~segid:seg ~blkno:0 (fun _ -> ());
+  B.with_page cache dev ~segid:seg ~blkno:1 (fun _ -> ());
+  Alcotest.(check int) "hot set survived the scan" m0 (B.misses cache)
+
+let test_cache_readahead_trigger_and_cancel () =
+  let clock, dev = fresh_disk () in
+  ignore clock;
+  let cache = B.create ~capacity:64 () in
+  let seg = D.create_segment dev in
+  for _ = 0 to 31 do
+    ignore (B.new_block cache dev ~segid:seg : int)
+  done;
+  B.flush cache;
+  B.crash cache;
+  (* two ascending misses arm read-ahead; the burst fetches the window *)
+  B.with_page cache dev ~segid:seg ~blkno:0 (fun _ -> ());
+  Alcotest.(check int) "single miss does not prefetch" 0 (B.readaheads cache);
+  B.with_page cache dev ~segid:seg ~blkno:1 (fun _ -> ());
+  Alcotest.(check int) "run of 2 prefetches the window" 8 (B.readaheads cache);
+  let m0 = B.misses cache in
+  B.with_page cache dev ~segid:seg ~blkno:2 (fun _ -> ());
+  Alcotest.(check int) "prefetched block is a hit" m0 (B.misses cache);
+  Alcotest.(check int) "readahead hit counted" 1 (B.readahead_hits cache);
+  (* a non-sequential access cancels the run: isolated misses fetch one
+     block each, no speculation *)
+  let ra0 = B.readaheads cache in
+  B.with_page cache dev ~segid:seg ~blkno:20 (fun _ -> ());
+  B.with_page cache dev ~segid:seg ~blkno:27 (fun _ -> ());
+  Alcotest.(check int) "random misses do not prefetch" ra0 (B.readaheads cache);
+  (* an explicit hint arms it from the very first miss *)
+  B.hint_sequential cache dev ~segid:seg;
+  B.with_page cache dev ~segid:seg ~blkno:12 (fun _ -> ());
+  Alcotest.(check bool) "hinted miss prefetches immediately" true
+    (B.readaheads cache > ra0)
+
+let test_cache_segment_index_after_invalidate () =
+  let clock = Simclock.Clock.create () in
+  let dev = D.create ~clock ~name:"nv" ~kind:D.Nvram () in
+  let cache = B.create ~capacity:16 () in
+  let seg_a = D.create_segment dev in
+  let seg_b = D.create_segment dev in
+  for _ = 0 to 2 do
+    ignore (B.new_block cache dev ~segid:seg_a : int);
+    ignore (B.new_block cache dev ~segid:seg_b : int)
+  done;
+  (* dirty a page in each segment *)
+  B.with_page cache dev ~segid:seg_a ~blkno:0 (fun p -> P.set_u8 p 0 0xAA);
+  B.mark_dirty cache dev ~segid:seg_a ~blkno:0;
+  B.with_page cache dev ~segid:seg_b ~blkno:0 (fun p -> P.set_u8 p 0 0xBB);
+  B.mark_dirty cache dev ~segid:seg_b ~blkno:0;
+  B.invalidate_segment cache dev ~segid:seg_a;
+  Alcotest.(check int) "only B's pages stay resident" 3 (B.resident cache);
+  let w0 = B.writebacks cache in
+  B.flush cache;
+  Alcotest.(check int) "A's dirty page was discarded, B's flushed" (w0 + 1)
+    (B.writebacks cache);
+  (* the segment index forgot A: segment ops are no-ops, and re-reading an
+     A block is a clean miss that re-fetches stale device contents *)
+  B.flush_segment cache dev ~segid:seg_a;
+  B.hint_sequential cache dev ~segid:seg_a;
+  B.with_page cache dev ~segid:seg_a ~blkno:0 (fun p ->
+      Alcotest.(check int) "invalidated write never reached the device" 0 (P.get_u8 p 0));
+  (* and eviction of every resident page still works (index links intact) *)
+  B.crash cache;
+  Alcotest.(check int) "crash empties the pool" 0 (B.resident cache)
+
+let test_cache_stats_snapshot () =
+  let clock, dev = fresh_disk () in
+  ignore clock;
+  let cache = B.create ~capacity:2 () in
+  let seg = D.create_segment dev in
+  for _ = 0 to 5 do
+    ignore (B.new_block cache dev ~segid:seg : int)
+  done;
+  B.with_page cache dev ~segid:seg ~blkno:0 (fun p -> P.set_u8 p 0 1);
+  B.mark_dirty cache dev ~segid:seg ~blkno:0;
+  B.with_page cache dev ~segid:seg ~blkno:5 (fun _ -> ());
+  B.flush cache;
+  let s = B.stats cache in
+  Alcotest.(check int) "hits" (B.hits cache) s.B.s_hits;
+  Alcotest.(check int) "misses" (B.misses cache) s.B.s_misses;
+  Alcotest.(check int) "os_hits" (B.os_hits cache) s.B.s_os_hits;
+  Alcotest.(check int) "writebacks" (B.writebacks cache) s.B.s_writebacks;
+  Alcotest.(check int) "evictions" (B.evictions cache) s.B.s_evictions;
+  Alcotest.(check int) "readaheads" (B.readaheads cache) s.B.s_readaheads;
+  Alcotest.(check int) "readahead_hits" (B.readahead_hits cache) s.B.s_readahead_hits;
+  Alcotest.(check bool) "misses counted" true (s.B.s_misses > 0);
+  Alcotest.(check bool) "writeback counted" true (s.B.s_writebacks > 0);
+  let line = B.stats_to_string s in
+  let contains sub =
+    let n = String.length line and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " in stats line") true (contains (k ^ "=")))
+    [
+      "cache_hits"; "cache_misses"; "os_hits"; "writebacks"; "evictions"; "readaheads";
+      "readahead_hits";
+    ]
+
 let prop_cache_transparent =
   QCheck.Test.make ~name:"cache reads equal device contents" ~count:30
     QCheck.(list (pair (int_bound 15) (int_bound 255)))
@@ -501,6 +654,16 @@ let () =
           Alcotest.test_case "OS cache volatile" `Quick test_os_cache_lost_on_crash;
           Alcotest.test_case "raw devices bypass OS cache" `Quick
             test_nvram_device_bypasses_os_cache;
+          Alcotest.test_case "pins excluded from eviction order" `Quick
+            test_cache_eviction_order_under_pins;
+          Alcotest.test_case "scan-resistant insertion" `Quick
+            test_cache_scan_resistant_insertion;
+          Alcotest.test_case "read-ahead trigger and cancel" `Quick
+            test_cache_readahead_trigger_and_cancel;
+          Alcotest.test_case "segment index after invalidate" `Quick
+            test_cache_segment_index_after_invalidate;
+          Alcotest.test_case "stats snapshot coherent" `Quick
+            test_cache_stats_snapshot;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_cache_transparent ] );
