@@ -4,7 +4,7 @@
    paper artifact against the real (wall-clock) implementation.
 
    Usage:
-     bench/main.exe [all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|degraded] [--mb N]
+     bench/main.exe [all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|net|degraded] [--mb N]
 
    [--mb N] sizes the benchmark file (default 25, the paper's size; the
    create time is scaled for smaller files so reports stay comparable). *)
@@ -21,24 +21,32 @@ let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
 
 let run_three ~mb =
   progress "running Inversion client/server (%d MB)..." mb;
-  let inv_cs = W.run ~file_mb:mb (S.inversion_client_server ()) in
+  let s_cs = S.inversion_client_server () in
+  let inv_cs = W.run ~file_mb:mb s_cs in
   progress "running ULTRIX NFS + PRESTOserve (%d MB)..." mb;
-  let nfs = W.run ~file_mb:mb (S.ultrix_nfs ()) in
+  let s_nfs = S.ultrix_nfs () in
+  let nfs = W.run ~file_mb:mb s_nfs in
   progress "running Inversion single-process (%d MB)..." mb;
-  let inv_sp = W.run ~file_mb:mb (S.inversion_single_process ()) in
-  (inv_cs, nfs, inv_sp)
+  let s_sp = S.inversion_single_process () in
+  let inv_sp = W.run ~file_mb:mb s_sp in
+  let netstats =
+    List.map (fun (s : S.t) -> (s.S.sys_name, s.S.net_stats ())) [ s_cs; s_nfs; s_sp ]
+  in
+  ((inv_cs, nfs, inv_sp), netstats)
 
-let print_figures (inv_cs, nfs, inv_sp) which =
+let print_figures ((inv_cs, nfs, inv_sp), _netstats) which =
   let fig f =
     print_string (R.figure f ~inv_cs ~nfs ~inv_sp ());
     print_newline ()
   in
   List.iter fig which
 
-let print_tab3 (inv_cs, nfs, inv_sp) =
+let print_tab3 ((inv_cs, nfs, inv_sp), netstats) =
   print_string (R.table3 ~inv_cs ~nfs ~inv_sp);
   print_newline ();
   print_string (R.shape_check ~inv_cs ~nfs ~inv_sp);
+  print_newline ();
+  print_string (R.net_summary netstats);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -488,9 +496,19 @@ let bench_json ~mb ~out ~smoke =
     match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" date
   in
   progress "bench json: Table 3 workload (%d MB)..." mb;
-  let inv_cs, nfs, inv_sp = run_three ~mb in
+  let (inv_cs, nfs, inv_sp), netstats = run_three ~mb in
   let sys_obj results =
     J_obj (List.map (fun op -> (op_key op, J_num (W.find results op))) W.all_ops)
+  in
+  let net_obj =
+    J_obj
+      (List.filter_map
+         (fun (name, stats) ->
+           match stats with
+           | [] -> None
+           | stats ->
+             Some (name, J_obj (List.map (fun (k, v) -> (k, J_int v)) stats)))
+         netstats)
   in
   progress "bench json: read-ahead ablation...";
   let ra_obj, cold_ra, cold_off, _warm_rate, hot_rate = readahead_ablation ~mb in
@@ -508,7 +526,9 @@ let bench_json ~mb ~out ~smoke =
              scan-resistance probe (pool hit rate of a promoted hot set re-read \
              after a full big-file scan); eviction_microbench: real wall-clock \
              microseconds per miss+eviction on a full pool (O(1) replacement \
-             must keep the 4096/300 ratio near 1)" );
+             must keep the 4096/300 ratio near 1); network: real messages and \
+             bytes on each system's simulated wire plus client \
+             retry/timeout/reconnect counters" );
         ("generated", J_str date);
         ("file_mb", J_int mb);
         ( "table3_seconds",
@@ -518,6 +538,7 @@ let bench_json ~mb ~out ~smoke =
               ("ultrix_nfs_presto", sys_obj nfs);
               ("inversion_single_process", sys_obj inv_sp);
             ] );
+        ("network", net_obj);
         ("readahead_ablation", ra_obj);
         ("eviction_microbench", ev_obj);
       ]
@@ -633,6 +654,40 @@ let () =
     print_endline (Benchlib.Crashtest.outcome_to_string o);
     List.iter (fun m -> Printf.printf "  MISMATCH: %s\n" m) o.Benchlib.Crashtest.mismatches;
     if o.Benchlib.Crashtest.mismatches <> [] then exit 1
+  | "net" ->
+    (* Reproduce a network-fault harness run:
+         bench net --seed N [--ops N] [--clients N] [--trace]
+                   [--fault-every N] [--crash-every N] [--no-device-crash]
+       Prints the outcome line and any mismatches, exits 1 on mismatch.
+       The same seed and config replay the same op stream, fault
+       schedule and message interleaving — use --trace for the per-op
+       repro log. *)
+    let find_arg name default =
+      let rec go = function
+        | a :: v :: _ when a = name -> int_of_string v
+        | _ :: rest -> go rest
+        | [] -> default
+      in
+      go args
+    in
+    let base = Benchlib.Nettest.default_config in
+    let seed = Int64.of_int (find_arg "--seed" 1) in
+    let cfg =
+      {
+        base with
+        Benchlib.Nettest.ops = find_arg "--ops" base.Benchlib.Nettest.ops;
+        clients = find_arg "--clients" base.Benchlib.Nettest.clients;
+        fault_interval = find_arg "--fault-every" base.Benchlib.Nettest.fault_interval;
+        crash_interval = find_arg "--crash-every" base.Benchlib.Nettest.crash_interval;
+        device_crash =
+          base.Benchlib.Nettest.device_crash && not (List.mem "--no-device-crash" args);
+        trace = List.mem "--trace" args;
+      }
+    in
+    let o = Benchlib.Nettest.run ~config:cfg ~seed () in
+    print_endline (Benchlib.Nettest.outcome_to_string o);
+    List.iter (fun m -> Printf.printf "  MISMATCH: %s\n" m) o.Benchlib.Nettest.mismatches;
+    if o.Benchlib.Nettest.mismatches <> [] then exit 1
   | "degraded" ->
     (* Directed degraded-mode scenario: bench degraded [--seed N] [--files N].
        Exits 1 on mismatch. *)
@@ -655,6 +710,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown command %s (expected \
-       all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|degraded)\n"
+       all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|net|degraded)\n"
       other;
     exit 2

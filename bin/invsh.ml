@@ -19,10 +19,13 @@ type shell = {
   db : Relstore.Db.t;
   fs : Fs.t;
   mutable session : Fs.session;
+  remote : Remote.Client.t option;
+      (* with --remote: file commands cross the wire protocol; admin
+         commands (deffn, migrate, vacuum, fsck) still run server-side *)
   mutable marks : (string * int64) list; (* named timestamps *)
 }
 
-let make_shell ~cache_pages =
+let make_shell ~cache_pages ~remote =
   let clock = Simclock.Clock.create () in
   let switch = Pagestore.Switch.create ~clock in
   let add name kind =
@@ -33,7 +36,16 @@ let make_shell ~cache_pages =
   add "jukebox" Pagestore.Device.Worm_jukebox;
   let db = Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages () in
   let fs = Fs.make db () in
-  { clock; db; fs; session = Fs.new_session fs; marks = [] }
+  let remote =
+    if not remote then None
+    else begin
+      let server = Remote.Server.create ~fs () in
+      let net = Netsim.create ~clock Netsim.tcp_1993 in
+      let link = Netsim.Link.create net in
+      Some (Remote.Client.connect ~server ~link ~rng:(Simclock.Rng.create 42L) ())
+    end
+  in
+  { clock; db; fs; session = Fs.new_session fs; remote; marks = [] }
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -82,6 +94,34 @@ let print_stat (a : Invfs.Fileatt.att) =
 
 let run_command shell line =
   let s = shell.session in
+  let r = shell.remote in
+  (* each command goes through the wire protocol when --remote, straight
+     to the library otherwise *)
+  let readdir ?timestamp p =
+    match r with
+    | Some c -> Remote.Client.c_readdir c ?timestamp p
+    | None -> Fs.readdir s ?timestamp p
+  in
+  let write_file p data =
+    match r with
+    | Some c -> Remote.Client.write_file c p data
+    | None -> Fs.write_file s p data
+  in
+  let read_file ?timestamp p =
+    match r with
+    | Some c -> Remote.Client.read_whole_file c ?timestamp p
+    | None -> Fs.read_whole_file s ?timestamp p
+  in
+  let stat ?timestamp p =
+    match r with
+    | Some c -> Remote.Client.c_stat c ?timestamp p
+    | None -> Fs.stat s ?timestamp p
+  in
+  let query q =
+    match r with
+    | Some c -> Remote.Client.c_query c q
+    | None -> List.map (List.map Postquel.Value.to_string) (Fs.query s q)
+  in
   let words =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
   in
@@ -89,20 +129,35 @@ let run_command shell line =
   | [] -> ()
   | [ "help" ] -> help ()
   | [ "ls" ] | [ "ls"; "/" ] ->
-    List.iter (fun n -> say "  %s" n) (Fs.readdir s "/")
-  | [ "ls"; path ] -> List.iter (fun n -> say "  %s" n) (Fs.readdir s path)
-  | [ "mkdir"; path ] -> Fs.mkdir s path
+    List.iter (fun n -> say "  %s" n) (readdir "/")
+  | [ "ls"; path ] -> List.iter (fun n -> say "  %s" n) (readdir path)
+  | [ "mkdir"; path ] -> (
+    match r with Some c -> Remote.Client.c_mkdir c path | None -> Fs.mkdir s path)
   | "put" :: path :: rest ->
-    Fs.write_file s path (Bytes.of_string (String.concat " " rest));
+    write_file path (Bytes.of_string (String.concat " " rest));
     say "wrote %s" path
-  | [ "cat"; path ] -> say "%s" (Bytes.to_string (Fs.read_whole_file s path))
-  | [ "rm"; path ] -> Fs.unlink s path
-  | [ "rmdir"; path ] -> Fs.rmdir s path
-  | [ "mv"; src; dst ] -> Fs.rename s src dst
-  | [ "stat"; path ] -> print_stat (Fs.stat s path)
-  | [ "chown"; path; owner ] -> Fs.set_owner s path owner
-  | [ "settype"; path; ftype ] -> Fs.set_type s path ftype
-  | [ "deftype"; name ] -> Fs.define_type shell.fs name
+  | [ "cat"; path ] -> say "%s" (Bytes.to_string (read_file path))
+  | [ "rm"; path ] -> (
+    match r with Some c -> Remote.Client.c_unlink c path | None -> Fs.unlink s path)
+  | [ "rmdir"; path ] -> (
+    match r with Some c -> Remote.Client.c_rmdir c path | None -> Fs.rmdir s path)
+  | [ "mv"; src; dst ] -> (
+    match r with
+    | Some c -> Remote.Client.c_rename c src dst
+    | None -> Fs.rename s src dst)
+  | [ "stat"; path ] -> print_stat (stat path)
+  | [ "chown"; path; owner ] -> (
+    match r with
+    | Some c -> Remote.Client.c_set_owner c path owner
+    | None -> Fs.set_owner s path owner)
+  | [ "settype"; path; ftype ] -> (
+    match r with
+    | Some c -> Remote.Client.c_set_type c path ftype
+    | None -> Fs.set_type s path ftype)
+  | [ "deftype"; name ] -> (
+    match r with
+    | Some c -> Remote.Client.c_define_type c name
+    | None -> Fs.define_type shell.fs name)
   | "deffn" :: name :: body ->
     Invfs.Stored_fn.define shell.fs s ~name ~body:(String.concat " " body) ();
     say "defined %s (stored at %s/%s)" name Invfs.Stored_fn.functions_dir name
@@ -110,19 +165,17 @@ let run_command shell line =
   | [ "asof"; mark; "fnsrc"; name ] ->
     say "%s" (Invfs.Stored_fn.source s ~timestamp:(find_mark shell mark) name)
   | "query" :: rest ->
-    let rows = Fs.query s (String.concat " " rest) in
-    List.iter
-      (fun row -> say "  %s" (String.concat ", " (List.map Postquel.Value.to_string row)))
-      rows;
+    let rows = query (String.concat " " rest) in
+    List.iter (fun row -> say "  %s" (String.concat ", " row)) rows;
     say "(%d rows)" (List.length rows)
   | [ "begin" ] ->
-    Fs.p_begin s;
+    (match r with Some c -> Remote.Client.c_begin c | None -> Fs.p_begin s);
     say "transaction open"
   | [ "commit" ] ->
-    Fs.p_commit s;
+    (match r with Some c -> Remote.Client.c_commit c | None -> Fs.p_commit s);
     say "committed"
   | [ "abort" ] ->
-    Fs.p_abort s;
+    (match r with Some c -> Remote.Client.c_abort c | None -> Fs.p_abort s);
     say "aborted"
   | [ "mark"; name ] ->
     shell.marks <- (name, Relstore.Db.now shell.db) :: shell.marks;
@@ -131,16 +184,16 @@ let run_command shell line =
     List.iter (fun (n, ts) -> say "  %-12s %s" n (fmt_time ts)) (List.rev shell.marks)
   | [ "asof"; mark; "ls"; path ] ->
     let ts = find_mark shell mark in
-    List.iter (fun n -> say "  %s" n) (Fs.readdir s ~timestamp:ts path)
+    List.iter (fun n -> say "  %s" n) (readdir ~timestamp:ts path)
   | [ "asof"; mark; "cat"; path ] ->
     let ts = find_mark shell mark in
-    say "%s" (Bytes.to_string (Fs.read_whole_file s ~timestamp:ts path))
+    say "%s" (Bytes.to_string (read_file ~timestamp:ts path))
   | [ "asof"; mark; "stat"; path ] ->
     let ts = find_mark shell mark in
-    print_stat (Fs.stat s ~timestamp:ts path)
+    print_stat (stat ~timestamp:ts path)
   | [ "undelete"; mark; path ] ->
     let ts = find_mark shell mark in
-    Fs.write_file s path (Fs.read_whole_file s ~timestamp:ts path);
+    write_file path (read_file ~timestamp:ts path);
     say "restored %s as of mark %s" path mark
   | [ "migrate"; path; device ] ->
     Fs.migrate_file shell.fs ~oid:(Fs.lookup_oid s path) ~device;
@@ -156,7 +209,9 @@ let run_command shell line =
     say "scanned %d, archived %d, discarded %d" stats.Relstore.Vacuum.scanned
       stats.Relstore.Vacuum.archived stats.Relstore.Vacuum.discarded
   | [ "crash" ] ->
-    Fs.crash shell.fs;
+    (match r with
+    | Some c -> Remote.Client.c_crash_server c
+    | None -> Fs.crash shell.fs);
     shell.session <- Fs.new_session shell.fs;
     say "crashed and recovered (open transactions rolled back, no fsck needed)"
   | [ "fsck" ] -> say "%s" (Invfs.Fsck.report_to_string (Invfs.Fsck.audit shell.fs))
@@ -172,7 +227,17 @@ let run_command shell line =
     List.iter
       (fun (k, v) -> say "  %-22s %8.3fs" k v)
       (Simclock.Clock.accounts shell.clock);
-    List.iter (fun (k, v) -> say "  %-22s %8d" k v) (Simclock.Clock.counters shell.clock)
+    List.iter (fun (k, v) -> say "  %-22s %8d" k v) (Simclock.Clock.counters shell.clock);
+    (match r with
+    | None -> ()
+    | Some c ->
+      let link = Remote.Client.link c in
+      let net = Netsim.Link.net link in
+      say "  %-22s %8d" "net.messages" (Netsim.messages net);
+      say "  %-22s %8d" "net.bytes_sent" (Netsim.bytes_sent net);
+      say "  %-22s %8d" "client.retries" (Remote.Client.retries c);
+      say "  %-22s %8d" "client.timeouts" (Remote.Client.timeouts c);
+      say "  %-22s %8d" "client.reconnects" (Remote.Client.reconnects c))
   | [ "quit" ] | [ "exit" ] -> raise Exit
   | cmd :: _ -> say "unknown command %s (try 'help')" cmd
 
@@ -200,11 +265,12 @@ let repl shell ~input ~interactive =
 
 (* ---- cmdliner wiring ---- *)
 
-let main script cache_pages =
-  let shell = make_shell ~cache_pages in
+let main script cache_pages remote =
+  let shell = make_shell ~cache_pages ~remote in
   match script with
   | None ->
-    say "Inversion file system shell — 'help' lists commands.";
+    say "Inversion file system shell — 'help' lists commands.%s"
+      (if remote then " (remote: commands cross the wire protocol)" else "");
     repl shell ~input:stdin ~interactive:(Unix.isatty Unix.stdin)
   | Some path ->
     let ic = open_in path in
@@ -225,9 +291,20 @@ let () =
       value & opt int 300
       & info [ "cache-pages" ] ~docv:"N" ~doc:"DBMS buffer cache size in 8 KB pages.")
   in
+  let remote =
+    Arg.(
+      value & flag
+      & info [ "remote" ]
+          ~doc:
+            "Drive the shell through the client/server protocol: every file \
+             command becomes Remote.Client RPCs over a simulated 10 Mbit \
+             TCP/IP link to the data manager (admin commands — deffn, \
+             migrate, vacuum, fsck — still run server-side).  'stats' then \
+             also shows wire and retry counters.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "invsh" ~doc:"Interactive shell over the Inversion file system")
-      Term.(const main $ script $ cache_pages)
+      Term.(const main $ script $ cache_pages $ remote)
   in
   exit (Cmd.eval cmd)

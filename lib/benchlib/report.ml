@@ -104,3 +104,21 @@ let shape_check ~inv_cs ~nfs ~inv_sp =
     (Printf.sprintf "(read %.3fs write %.3fs)" (t inv_cs Workload.Read_byte)
        (t inv_cs Workload.Write_byte));
   Buffer.contents buf
+
+let net_summary systems =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Network traffic (real messages on the simulated wire):\n";
+  List.iter
+    (fun (name, stats) ->
+      match stats with
+      | [] -> Printf.bprintf buf "  %-28s (no network)\n" name
+      | stats ->
+        let cell (k, v) =
+          if k = "bytes_sent" then Printf.sprintf "%.1f MB sent" (float_of_int v /. 1048576.)
+          else Printf.sprintf "%d %s" v k
+        in
+        Printf.bprintf buf "  %-28s %s\n" name
+          (String.concat ", " (List.map cell stats)))
+    systems;
+  Buffer.contents buf

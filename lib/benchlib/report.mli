@@ -27,6 +27,11 @@ val shape_check :
     Inversion beats both on reads; PRESTOserve makes NFS random writes
     immune to seek costs; remote access adds seconds per 1 MB op. *)
 
+val net_summary : (string * (string * int) list) list -> string
+(** One line per system from {!Systems.t.net_stats}: real message and
+    byte counts on the simulated wire plus client retry/timeout/reconnect
+    counters (all zero on the fault-free benchmark connection). *)
+
 val throughput_pct : Workload.results -> Workload.results -> Workload.op -> float
 (** [throughput_pct a b op]: a's throughput as a percentage of b's (time
     ratio inverted). *)

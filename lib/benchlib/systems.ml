@@ -9,6 +9,7 @@ type t = {
   sys_name : string;
   clock : Simclock.Clock.t;
   io_unit : int;
+  net_stats : unit -> (string * int) list;
   create : string -> file;
   open_file : string -> file;
   read : file -> off:int64 -> len:int -> int;
@@ -20,9 +21,7 @@ type t = {
 
 (* ---------------- Inversion ---------------- *)
 
-(* [remote]: charge the paper's heavy TCP/IP path around every p_* call. *)
-let inversion ~remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
-    ~compressed name =
+let inversion_machine ~cache_pages ~os_cache_pages =
   let clock = Simclock.Clock.create () in
   let switch = Pagestore.Switch.create ~clock in
   let (_ : Pagestore.Device.t) =
@@ -33,47 +32,99 @@ let inversion ~remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_sca
       ~os_cache_blocks:os_cache_pages ()
   in
   let fs = Fs.make db () in
-  let session = Fs.new_session fs in
+  (clock, db, fs)
+
+let flush_db_caches db () =
+  let cache = Relstore.Db.cache db in
+  Pagestore.Bufcache.flush cache;
+  Pagestore.Bufcache.crash cache
+
+(* The client/server configuration drives every p_* call through the real
+   wire protocol: Remote.Client framing requests over a Netsim.Link to a
+   Remote.Server wrapping the data manager.  Each message is charged by
+   the 10 Mbit TCP/IP cost model as it is actually sent — reads stream
+   back one fragment per chunk, bulk writes overlap the wire with the
+   server's work through the client's pipelined path. *)
+let inversion_remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
+    ~compressed name =
+  let clock, db, fs = inversion_machine ~cache_pages ~os_cache_pages in
+  (* the benchmark connection is fault-free and some simulated ops are
+     long (synchronous 1 MB writes take ~30 s), so lease reaping is off *)
+  let server = Remote.Server.create ~fs ~lease_s:0. () in
   let net = Netsim.create ~clock Netsim.tcp_1993 in
-  let rpc_header = 96 in
-  let charge_call ~request ~reply =
-    if remote then Netsim.call net ~request:(rpc_header + request) ~reply:(rpc_header + reply)
+  let link = Netsim.Link.create net in
+  let client =
+    Remote.Client.connect ~server ~link ~rng:(Simclock.Rng.create 1993L) ()
   in
-  (* reads bigger than a chunk stream back as multiple messages *)
-  let charge_bulk_reply bytes =
-    if remote then begin
-      Netsim.send net ~bytes:rpc_header;
-      let rec go remaining =
-        if remaining > 0 then begin
-          let now = min (Invfs.Chunk.capacity + 64) remaining in
-          Netsim.send net ~bytes:(rpc_header + now);
-          go (remaining - now)
-        end
-      in
-      go bytes
-    end
+  let apply_cpu_scale () = Relstore.Cpu_model.scale := cpu_scale in
+  (* index write-through is a per-file server-side admin knob, set out of
+     band (it models a server configuration, not a protocol feature) *)
+  let set_write_through path =
+    let att = Remote.Client.c_stat client path in
+    match Fs.file_handle fs ~oid:att.Invfs.Fileatt.file with
+    | Some inv -> Invfs.Inv_file.set_write_through inv index_write_through
+    | None -> ()
   in
-  (* Writes stream through a windowed connection: wire and protocol time
-     overlap the server's work, so elapsed time is bounded by the slower
-     of the two plus an overlap-inefficiency tax.  (The paper's own
-     numbers need this: creation pays ~9 ms of network per chunk while
-     synchronous 1 MB requests pay ~30 ms.) *)
-  let charge_pipelined_request bytes ~server_dt =
-    if remote then begin
-      let net_dt = ref 0. in
-      let rec go remaining =
-        if remaining > 0 then begin
-          let now = min (Invfs.Chunk.capacity + 64) remaining in
-          net_dt := !net_dt +. Netsim.cost_of_send net ~bytes:(rpc_header + now);
-          go (remaining - now)
-        end
-      in
-      go bytes;
-      net_dt := !net_dt +. Netsim.cost_of_send net ~bytes:rpc_header;
-      let stall = max 0. (!net_dt -. server_dt) +. (0.3 *. min !net_dt server_dt) in
-      Simclock.Clock.advance clock ~account:"net.pipeline" stall
-    end
+  let mk_file fd =
+    {
+      fread =
+        (fun ~off ~len ->
+          apply_cpu_scale ();
+          ignore (Remote.Client.c_lseek client fd off Fs.Seek_set : int64);
+          let buf = Bytes.create len in
+          Remote.Client.c_read client fd buf len);
+      fwrite =
+        (fun ~off data ->
+          apply_cpu_scale ();
+          ignore (Remote.Client.c_lseek client fd off Fs.Seek_set : int64);
+          ignore (Remote.Client.c_write client fd data (Bytes.length data) : int));
+    }
   in
+  let create path =
+    apply_cpu_scale ();
+    let fd = Remote.Client.c_creat client ~compressed path in
+    set_write_through path;
+    mk_file fd
+  in
+  let open_file path =
+    apply_cpu_scale ();
+    let fd = Remote.Client.c_open client path Fs.Rdwr in
+    set_write_through path;
+    mk_file fd
+  in
+  {
+    sys_name = name;
+    clock;
+    io_unit = Invfs.Chunk.capacity;
+    net_stats =
+      (fun () ->
+        [
+          ("messages", Netsim.messages net);
+          ("bytes_sent", Netsim.bytes_sent net);
+          ("retries", Remote.Client.retries client);
+          ("timeouts", Remote.Client.timeouts client);
+          ("reconnects", Remote.Client.reconnects client);
+        ]);
+    create;
+    open_file;
+    read = (fun f ~off ~len -> f.fread ~off ~len);
+    write = (fun f ~off data -> f.fwrite ~off data);
+    begin_batch =
+      (fun () ->
+        apply_cpu_scale ();
+        Remote.Client.c_begin client);
+    end_batch =
+      (fun () ->
+        apply_cpu_scale ();
+        Remote.Client.c_commit client);
+    flush_caches = flush_db_caches db;
+  }
+
+(* Single process: the benchmark runs inside the data manager, no network. *)
+let inversion_local ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
+    ~compressed name =
+  let clock, db, fs = inversion_machine ~cache_pages ~os_cache_pages in
+  let session = Fs.new_session fs in
   let apply_cpu_scale () = Relstore.Cpu_model.scale := cpu_scale in
   let mk_file fd =
     {
@@ -82,41 +133,36 @@ let inversion ~remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_sca
           apply_cpu_scale ();
           ignore (Fs.p_lseek session fd off Fs.Seek_set : int64);
           let buf = Bytes.create len in
-          let n = Fs.p_read session fd buf len in
-          charge_bulk_reply n;
-          n);
+          Fs.p_read session fd buf len);
       fwrite =
         (fun ~off data ->
           apply_cpu_scale ();
-          let t0 = Simclock.Clock.now clock in
           ignore (Fs.p_lseek session fd off Fs.Seek_set : int64);
-          ignore (Fs.p_write session fd data (Bytes.length data) : int);
-          let server_dt = Simclock.Clock.now clock -. t0 in
-          charge_pipelined_request (Bytes.length data) ~server_dt);
+          ignore (Fs.p_write session fd data (Bytes.length data) : int));
     }
+  in
+  let with_handle fd =
+    match Fs.file_handle fs ~oid:(Fs.fd_oid session fd) with
+    | Some inv -> Invfs.Inv_file.set_write_through inv index_write_through
+    | None -> ()
   in
   let create path =
     apply_cpu_scale ();
-    charge_call ~request:(String.length path) ~reply:8;
     let fd = Fs.p_creat session ~compressed path in
-    (match Fs.file_handle fs ~oid:(Fs.fd_oid session fd) with
-    | Some inv -> Invfs.Inv_file.set_write_through inv index_write_through
-    | None -> ());
+    with_handle fd;
     mk_file fd
   in
   let open_file path =
     apply_cpu_scale ();
-    charge_call ~request:(String.length path) ~reply:8;
     let fd = Fs.p_open session path Fs.Rdwr in
-    (match Fs.file_handle fs ~oid:(Fs.fd_oid session fd) with
-    | Some inv -> Invfs.Inv_file.set_write_through inv index_write_through
-    | None -> ());
+    with_handle fd;
     mk_file fd
   in
   {
     sys_name = name;
     clock;
     io_unit = Invfs.Chunk.capacity;
+    net_stats = (fun () -> []);
     create;
     open_file;
     read = (fun f ~off ~len -> f.fread ~off ~len);
@@ -124,28 +170,22 @@ let inversion ~remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_sca
     begin_batch =
       (fun () ->
         apply_cpu_scale ();
-        charge_call ~request:8 ~reply:8;
         Fs.p_begin session);
     end_batch =
       (fun () ->
         apply_cpu_scale ();
-        charge_call ~request:8 ~reply:8;
         Fs.p_commit session);
-    flush_caches =
-      (fun () ->
-        let cache = Relstore.Db.cache db in
-        Pagestore.Bufcache.flush cache;
-        Pagestore.Bufcache.crash cache);
+    flush_caches = flush_db_caches db;
   }
 
 let inversion_client_server ?(cache_pages = 300) ?(os_cache_pages = 16384)
     ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false) () =
-  inversion ~remote:true ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
+  inversion_remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
     ~compressed "Inversion client/server"
 
 let inversion_single_process ?(cache_pages = 300) ?(os_cache_pages = 16384)
     ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false) () =
-  inversion ~remote:false ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
+  inversion_local ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
     ~compressed "Inversion single process"
 
 (* ---------------- ULTRIX NFS ---------------- *)
@@ -178,6 +218,13 @@ let ultrix_nfs ?(presto = true) ?(cache_pages = 2048) () =
     sys_name = name;
     clock;
     io_unit = Nfsbaseline.Nfs.max_transfer;
+    net_stats =
+      (fun () ->
+        [
+          ("messages", Netsim.messages net);
+          ("bytes_sent", Netsim.bytes_sent net);
+          ("rpcs", Nfsbaseline.Nfs.rpc_count client);
+        ]);
     create = (fun path -> mk_file (Nfsbaseline.Nfs.create client path));
     open_file =
       (fun path ->

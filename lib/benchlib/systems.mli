@@ -22,6 +22,11 @@ type t = {
   io_unit : int;
       (** "page size ... chosen to be efficient for the file system under
           test": Inversion's chunk capacity or NFS's 8 KB transfer *)
+  net_stats : unit -> (string * int) list;
+      (** live counters from the network the system's calls cross —
+          real messages/bytes on the simulated wire, plus the client's
+          retry/timeout/reconnect counts where there is a retrying
+          client.  Empty for the single-process configuration. *)
   create : string -> file;
   open_file : string -> file;
   read : file -> off:int64 -> len:int -> int;

@@ -11,6 +11,8 @@ type code =
   | EDEADLK
   | EAGAIN
   | EIO
+  | ETIMEDOUT
+  | ECONNRESET
 
 exception Fs_error of code * string
 
@@ -27,5 +29,7 @@ let code_to_string = function
   | EDEADLK -> "EDEADLK"
   | EAGAIN -> "EAGAIN"
   | EIO -> "EIO"
+  | ETIMEDOUT -> "ETIMEDOUT"
+  | ECONNRESET -> "ECONNRESET"
 
 let fail code fmt = Printf.ksprintf (fun msg -> raise (Fs_error (code, msg))) fmt

@@ -16,6 +16,12 @@ type code =
   | EIO
       (** permanent media failure: dead device, stuck block, or
           unrepairable corruption with no mirror copy *)
+  | ETIMEDOUT
+      (** lock-wait timeout: bounded retry-with-backoff exhausted while
+          the named holders kept the lock *)
+  | ECONNRESET
+      (** (remote client) the session to the server was lost and could
+          not be recovered; an in-flight transaction is cleanly aborted *)
 
 exception Fs_error of code * string
 

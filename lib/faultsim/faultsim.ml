@@ -32,6 +32,35 @@ let event_to_string e =
   Printf.sprintf "#%d %s %s/%d/%d -> %s" e.seq (io_to_string e.io) e.device
     e.segid e.blkno (action_to_string e.action)
 
+type net_action =
+  | Net_drop
+  | Net_duplicate
+  | Net_reorder
+  | Net_corrupt
+  | Net_partition of int
+  | Net_server_crash
+
+let net_action_to_string = function
+  | Net_drop -> "net_drop"
+  | Net_duplicate -> "net_duplicate"
+  | Net_reorder -> "net_reorder"
+  | Net_corrupt -> "net_corrupt"
+  | Net_partition n -> Printf.sprintf "net_partition:%d" n
+  | Net_server_crash -> "net_server_crash"
+
+type net_event = {
+  nseq : int;
+  ndir : Netsim.Link.dir;
+  nbytes : int;
+  naction : net_action;
+}
+
+let net_event_to_string e =
+  Printf.sprintf "net#%d %s %dB -> %s" e.nseq
+    (Netsim.Link.dir_to_string e.ndir)
+    e.nbytes
+    (net_action_to_string e.naction)
+
 type t = {
   mutable reads : int;
   mutable writes : int;
@@ -44,6 +73,12 @@ type t = {
   mutable log : event list; (* newest first *)
   mutable devices : Device.t list;
   mutable caches : Bufcache.t list;
+  (* the network message stream: one counter across every armed link,
+     so a plan's schedule is a single global order, like the io streams *)
+  mutable net_msgs : int;
+  mutable sched_net : (int * net_action) list;
+  mutable net_log : net_event list; (* newest first *)
+  mutable links : Netsim.Link.t list;
 }
 
 let create () =
@@ -57,6 +92,10 @@ let create () =
     log = [];
     devices = [];
     caches = [];
+    net_msgs = 0;
+    sched_net = [];
+    net_log = [];
+    links = [];
   }
 
 let seen t = function
@@ -107,8 +146,33 @@ let schedule_random_crash t rng ~within =
       (Printf.sprintf "Faultsim.schedule_random_crash: within must be >= 1 (got %d)" within);
   schedule_random t rng ~io:Write ~within Crash
 
+let schedule_net t ~after action =
+  if after < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Faultsim.schedule_net: after must be >= 1 (got %d) for %s" after
+         (net_action_to_string action));
+  (match action with
+  | Net_partition n when n < 1 ->
+    invalid_arg
+      (Printf.sprintf "Faultsim.schedule_net: partition length must be >= 1 (got %d)" n)
+  | _ -> ());
+  let at = t.net_msgs + after in
+  t.sched_net <- List.sort compare ((at, action) :: t.sched_net)
+
+let schedule_net_random t rng ~within action =
+  if within < 1 then
+    invalid_arg
+      (Printf.sprintf "Faultsim.schedule_net_random: within must be >= 1 (got %d) for %s"
+         within (net_action_to_string action));
+  schedule_net t ~after:(1 + Simclock.Rng.int rng within) action
+
 let pending t =
   List.length t.sched_read + List.length t.sched_write + List.length t.sched_writeback
+
+let net_pending t = List.length t.sched_net
+let net_msgs_seen t = t.net_msgs
+let net_events t = List.rev t.net_log
 
 let pending_media t =
   let media (_, a) =
@@ -123,7 +187,8 @@ let pending_media t =
 let clear_schedule t =
   t.sched_read <- [];
   t.sched_write <- [];
-  t.sched_writeback <- []
+  t.sched_writeback <- [];
+  t.sched_net <- []
 
 let events t = List.rev t.log
 
@@ -178,8 +243,35 @@ let arm_cache t cache =
 
 let arm_switch t sw = List.iter (arm_device t) (Switch.devices sw)
 
+(* Count one message on the (global) net stream and pop the scheduled
+   action due at this count, mirroring [fire] for the io streams. *)
+let link_hook t dir ~bytes =
+  let n = t.net_msgs + 1 in
+  t.net_msgs <- n;
+  match t.sched_net with
+  | (at, a) :: rest when at <= n ->
+    t.sched_net <- rest;
+    t.net_log <- { nseq = n; ndir = dir; nbytes = bytes; naction = a } :: t.net_log;
+    Some
+      (match a with
+      | Net_drop -> Netsim.Link.Drop
+      | Net_duplicate -> Netsim.Link.Duplicate
+      | Net_reorder -> Netsim.Link.Reorder
+      | Net_corrupt -> Netsim.Link.Corrupt
+      | Net_partition n -> Netsim.Link.Partition n
+      | Net_server_crash -> Netsim.Link.Server_crash)
+  | _ -> None
+
+let arm_link t link =
+  if not (List.memq link t.links) then begin
+    Netsim.Link.set_fault_hook link (Some (link_hook t));
+    t.links <- link :: t.links
+  end
+
 let disarm t =
   List.iter (fun dev -> Device.set_fault_hook dev None) t.devices;
   List.iter (fun cache -> Bufcache.set_writeback_hook cache None) t.caches;
+  List.iter (fun link -> Netsim.Link.set_fault_hook link None) t.links;
   t.devices <- [];
-  t.caches <- []
+  t.caches <- [];
+  t.links <- []

@@ -46,6 +46,37 @@ type event = {
   action : action;
 }
 
+(** Network faults, fired on a fourth stream that counts every message
+    sent over the plan's armed {!Netsim.Link}s (one global counter across
+    links, like the io streams are global across devices).  Semantics are
+    {!Netsim.Link.fault}'s:
+
+    - {!Net_drop} — the message vanishes; the sender times out.
+    - {!Net_duplicate} — a second copy arrives late, behind newer
+      traffic: the server's dedup window must recognise it.
+    - {!Net_reorder} — held back and delivered behind the next message
+      in the same direction.
+    - {!Net_corrupt} — bytes flip in flight; the per-frame CRC rejects
+      it at the receiver.
+    - {!Net_partition}[ n] — one-way partition swallowing [n] consecutive
+      messages in one direction, then healing.
+    - {!Net_server_crash} — the server machine crashes at the instant the
+      message reaches it (mid-request, before executing or replying). *)
+type net_action =
+  | Net_drop
+  | Net_duplicate
+  | Net_reorder
+  | Net_corrupt
+  | Net_partition of int
+  | Net_server_crash
+
+type net_event = {
+  nseq : int;  (** net-stream counter value when the fault fired *)
+  ndir : Netsim.Link.dir;
+  nbytes : int;
+  naction : net_action;
+}
+
 type t
 
 val create : unit -> t
@@ -59,6 +90,11 @@ val arm_switch : t -> Pagestore.Switch.t -> unit
 val arm_cache : t -> Pagestore.Bufcache.t -> unit
 (** Install the plan's write-back hook so faults can fire at
     dirty-page-flush granularity ([io = Writeback]). *)
+
+val arm_link : t -> Netsim.Link.t -> unit
+(** Install the plan's network hook on a client/server connection
+    (idempotent).  Messages on every armed link share one net-stream
+    counter. *)
 
 val disarm : t -> unit
 (** Remove all hooks installed by this plan.  Scheduled-but-unfired
@@ -80,12 +116,26 @@ val schedule_random_crash : t -> Simclock.Rng.t -> within:int -> unit
 (** Schedule a {!Crash} on a uniformly random device write among the next
     [within] writes. *)
 
+val schedule_net : t -> after:int -> net_action -> unit
+(** [schedule_net t ~after action] fires [action] on the [after]-th next
+    message of the net stream ([after:1] hits the very next one).
+    [Invalid_argument] if [after < 1] or a partition length is [< 1]. *)
+
+val schedule_net_random : t -> Simclock.Rng.t -> within:int -> net_action -> unit
+(** Schedule [action] on a uniformly random message among the next
+    [within]. *)
+
 val clear_schedule : t -> unit
-(** Drop every scheduled-but-unfired fault (counters and the event log
-    are kept).  Recovery code paths run under a cleared schedule. *)
+(** Drop every scheduled-but-unfired fault, network ones included
+    (counters and the event logs are kept).  Recovery code paths run
+    under a cleared schedule. *)
 
 val pending : t -> int
-(** Scheduled faults that have not fired yet. *)
+(** Scheduled device/writeback faults that have not fired yet (the net
+    stream has its own {!net_pending}). *)
+
+val net_pending : t -> int
+(** Scheduled-but-unfired network faults. *)
 
 val pending_media : t -> int
 (** Scheduled-but-unfired faults that damage the medium ({!Torn},
@@ -96,11 +146,19 @@ val pending_media : t -> int
 val events : t -> event list
 (** Every fault that fired, oldest first. *)
 
+val net_events : t -> net_event list
+(** Every network fault that fired, oldest first. *)
+
 val event_to_string : event -> string
 val io_to_string : io -> string
 val action_to_string : action -> string
+val net_event_to_string : net_event -> string
+val net_action_to_string : net_action -> string
 
 val reads_seen : t -> int
 val writes_seen : t -> int
 val writebacks_seen : t -> int
 (** Stream counters: transfers observed since the plan was created. *)
+
+val net_msgs_seen : t -> int
+(** Messages observed on armed links since the plan was created. *)

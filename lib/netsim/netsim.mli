@@ -13,7 +13,13 @@
     - bytes move at the Ethernet's bandwidth,
     - each direction pays propagation+interrupt latency.
 
-    All time goes to the shared clock under ["net.*"] accounts. *)
+    All time goes to the shared clock under ["net.*"] accounts.
+
+    {!Link} adds an actual transport on top of the cost model: framed
+    messages queued per direction, with a fault hook that can drop,
+    duplicate, reorder, corrupt, partition, or poison (server-crash)
+    individual messages — the substrate of [lib/remote]'s real
+    client/server protocol. *)
 
 type params = {
   bandwidth_bps : float;  (** wire speed; 10 Mbit/s *)
@@ -30,6 +36,9 @@ val udp_rpc_1993 : params
 (** Sun RPC / UDP as used by NFS. *)
 
 type t
+
+type net = t
+(** Alias so {!Link}'s signature can name the enclosing type. *)
 
 val create : clock:Simclock.Clock.t -> params -> t
 val clock : t -> Simclock.Clock.t
@@ -51,3 +60,88 @@ val messages : t -> int
 (** Lifetime message count (both directions). *)
 
 val bytes_sent : t -> int
+
+val retries : t -> int
+(** RPC attempts re-sent after a timeout (clients call {!note_retry}). *)
+
+val timeouts : t -> int
+(** Per-call timeouts charged while waiting for a lost message. *)
+
+val note_retry : t -> unit
+val note_timeout : t -> unit
+
+(** One client's connection to a server: two message queues (one per
+    direction) carrying opaque frames, with an optional fault hook
+    consulted on every send.
+
+    Fault semantics (the taxonomy Faultsim schedules):
+    - [Drop] — the message vanishes.
+    - [Duplicate] — delivered now {e and} a second copy is held back,
+      released behind the next message sent in the same direction, so the
+      duplicate arrives late (after newer traffic) — the case that
+      exercises the server's dedup window.
+    - [Reorder] — held back and released behind the next message in the
+      same direction: delivered out of order, or effectively delayed past
+      the client's timeout if nothing follows soon.
+    - [Corrupt] — delivered with flipped bytes; the receiver's per-frame
+      CRC rejects it, which looks like a drop to the sender.
+    - [Partition n] — a one-way partition: this message and the next
+      [n-1] in the same direction are swallowed, then the path heals.
+    - [Server_crash] — the frame is poisoned: the server machine crashes
+      at the moment it receives it (mid-request), before executing or
+      replying. *)
+module Link : sig
+  type dir = To_server | To_client
+
+  type fault =
+    | Drop
+    | Duplicate
+    | Reorder
+    | Corrupt
+    | Partition of int
+    | Server_crash
+
+  type t
+
+  val create : net -> t
+  (** A fresh connection charging its traffic to the given cost model. *)
+
+  val net : t -> net
+
+  val set_fault_hook : t -> (dir -> bytes:int -> fault option) option -> unit
+  (** Consulted once per {!send}; returning a fault applies it to that
+      message.  Faultsim's [arm_link] installs its plan here. *)
+
+  val send : ?charge:bool -> t -> dir -> string -> unit
+  (** Enqueue a frame.  [charge] (default true) advances the shared clock
+      by {!cost_of_send}; pipelined senders pass [~charge:false] and
+      account for overlap themselves.  Always counts toward
+      {!messages}/{!bytes_sent}. *)
+
+  val recv : t -> dir -> (string * bool) option
+  (** Dequeue the oldest frame in a direction; the boolean marks a
+      poisoned frame ([Server_crash]): the receiver must treat it as the
+      machine dying mid-request. *)
+
+  val pending : t -> dir -> int
+
+  val clear : t -> unit
+  (** Drop everything in flight (both directions, including held-back
+      copies) — what a machine crash does to its connections. *)
+
+  (** Per-link fault counters, in injection order of the taxonomy. *)
+
+  val dropped : t -> int
+  val duplicated : t -> int
+  val reordered : t -> int
+  val corrupted : t -> int
+  val partitioned : t -> int
+  (** Messages swallowed by one-way partitions (includes the message the
+      partition fired on). *)
+
+  val crash_marks : t -> int
+  val faults_injected : t -> int
+
+  val dir_to_string : dir -> string
+  val fault_to_string : fault -> string
+end

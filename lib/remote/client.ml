@@ -1,0 +1,447 @@
+module Fs = Invfs.Fs
+module Errors = Invfs.Errors
+module Link = Netsim.Link
+module Clock = Simclock.Clock
+module Rng = Simclock.Rng
+
+type config = {
+  timeout_s : float;
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  reconnect_attempts : int;
+}
+
+let default_config =
+  {
+    timeout_s = 0.35;
+    max_retries = 6;
+    backoff_base_s = 0.05;
+    backoff_max_s = 1.0;
+    reconnect_attempts = 4;
+  }
+
+type t = {
+  server : Server.t;
+  link : Link.t;
+  net : Netsim.t;
+  clock : Clock.t;
+  rng : Rng.t;
+  cfg : config;
+  asm : Wire.Assembly.t;
+  fd_pos : (int, int64 ref) Hashtbl.t;
+  mutable sid : int64; (* 0 = no session *)
+  mutable next_rid : int64;
+  mutable in_txn : bool;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable reconnects : int;
+  mutable sessions_lost : int;
+}
+
+let sid t = t.sid
+let in_txn t = t.in_txn
+let link t = t.link
+let retries t = t.retries
+let timeouts t = t.timeouts
+let reconnects t = t.reconnects
+let sessions_lost t = t.sessions_lost
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- Int64.add rid 1L;
+  rid
+
+(* Which operations leave the world changed if they executed but their
+   reply was lost with the session?  [Commit] is the sharp one: losing
+   the session at the commit point means the transaction may or may not
+   have committed.  Losing it {e mid}-transaction (any other request
+   while a transaction is open) is always a clean abort — the client
+   never issued the commit, and nobody else will. *)
+let mutating = function
+  | Wire.Creat _ | Wire.Write _ | Wire.Ftruncate _ | Wire.Mkdir _ | Wire.Unlink _
+  | Wire.Rmdir _ | Wire.Rename _ | Wire.Set_owner _ | Wire.Set_type _
+  | Wire.Define_type _ ->
+    true
+  | _ -> false
+
+(* Session-free, side-effect-free requests the client silently re-issues
+   on a fresh session after a reset.  [Abort] is special-cased: a lost
+   session aborted the transaction already.  Requests holding an fd
+   cannot resume — the fd died with the session. *)
+let reissuable = function
+  | Wire.Readdir _ | Wire.Stat _ | Wire.Exists _ | Wire.Query _ | Wire.Open _
+  | Wire.Begin | Wire.Ping ->
+    true
+  | _ -> false
+
+let conn_reset msg = raise (Errors.Fs_error (Errors.ECONNRESET, msg))
+
+let backoff_and_note t attempt =
+  let d =
+    min t.cfg.backoff_max_s (t.cfg.backoff_base_s *. (2. ** float_of_int attempt))
+  in
+  let d = d *. (0.5 +. Rng.float t.rng 1.0) in
+  Clock.advance t.clock ~account:"net.backoff" d;
+  Netsim.note_retry t.net;
+  t.retries <- t.retries + 1
+
+let charge_timeout t =
+  Netsim.note_timeout t.net;
+  t.timeouts <- t.timeouts + 1;
+  Clock.advance t.clock ~account:"net.timeout" t.cfg.timeout_s
+
+(* Drain this connection's inbound queue looking for the reply to [rid].
+   Frames that fail their CRC and fragments of stale replies fall on the
+   floor; completed stale replies (a late duplicate of something already
+   accepted) are discarded — the client only ever accepts the reply to
+   the request id it is currently waiting on. *)
+let drain_replies t ~rid =
+  let found = ref None in
+  let rec go () =
+    match Link.recv t.link Link.To_client with
+    | None -> ()
+    | Some (frame, _poison) ->
+      (match Wire.decode_header frame with
+      | Some h when h.kind = 1 -> (
+        match Wire.Assembly.add t.asm h with
+        | `Pending -> ()
+        | `Complete payload ->
+          if h.rid = rid then
+            match Wire.decode_reply payload with
+            | Some reply -> found := Some reply
+            | None -> ())
+      | _ -> ());
+      go ()
+  in
+  go ();
+  !found
+
+(* Send the request's frames.  Bulk writes go through the windowed
+   pipeline: wire time overlaps the server's work, so only the
+   non-overlapped remainder (plus an overlap-inefficiency tax) is
+   charged — the model the paper's creation-vs-synchronous-write numbers
+   require.  Everything else is a synchronous send. *)
+let send_and_pump t ~pipelined frames =
+  if pipelined then begin
+    let t0 = Clock.now t.clock in
+    List.iter (fun f -> Link.send ~charge:false t.link Link.To_server f) frames;
+    Server.pump t.server;
+    let server_dt = Clock.now t.clock -. t0 in
+    let net_dt =
+      List.fold_left
+        (fun acc f -> acc +. Netsim.cost_of_send t.net ~bytes:(String.length f))
+        0. frames
+    in
+    let stall = max 0. (net_dt -. server_dt) +. (0.3 *. min net_dt server_dt) in
+    Clock.advance t.clock ~account:"net.pipeline" stall
+  end
+  else begin
+    List.iter (fun f -> Link.send t.link Link.To_server f) frames;
+    Server.pump t.server
+  end
+
+(* One request/reply exchange with bounded retries: at-least-once on the
+   wire, exactly-once observed thanks to the server's dedup window (every
+   retry reuses the same request id). *)
+let exchange t ~sid ~rid ~pipelined req =
+  let frames = Wire.encode_request ~sid ~rid req in
+  let rec attempt k =
+    send_and_pump t ~pipelined:(pipelined && k = 0) frames;
+    match drain_replies t ~rid with
+    | Some reply -> Some reply
+    | None ->
+      charge_timeout t;
+      if k < t.cfg.max_retries then begin
+        backoff_and_note t k;
+        attempt (k + 1)
+      end
+      else None
+  in
+  attempt 0
+
+(* Liveness probe used when retries run dry: is anybody there at all? *)
+let probe_alive t =
+  let rid = fresh_rid t in
+  let frames = Wire.encode_request ~sid:0L ~rid Wire.Ping in
+  let rec attempt k =
+    List.iter (fun f -> Link.send t.link Link.To_server f) frames;
+    Server.pump t.server;
+    match drain_replies t ~rid with
+    | Some _ -> true
+    | None ->
+      charge_timeout t;
+      if k < t.cfg.reconnect_attempts then begin
+        backoff_and_note t k;
+        attempt (k + 1)
+      end
+      else false
+  in
+  attempt 0
+
+let hello t =
+  (* the nonce identifies this (re)connection attempt; retries reuse it so
+     a duplicated Hello cannot mint two sessions *)
+  let nonce = Int64.logor 1L (Int64.shift_right_logical (Rng.next t.rng) 1) in
+  match exchange t ~sid:0L ~rid:nonce ~pipelined:false Wire.Hello with
+  | Some (Wire.Ok_reply { result = Wire.R_sid sid; _ }) ->
+    t.sid <- sid;
+    t.in_txn <- false;
+    true
+  | _ -> false
+
+let session_dead t =
+  t.sessions_lost <- t.sessions_lost + 1;
+  t.sid <- 0L;
+  t.in_txn <- false;
+  Hashtbl.reset t.fd_pos;
+  (* connection teardown: like a TCP reset, abandoning the session also
+     discards everything still in flight on the wire.  Without this a
+     stale request from the dead session (delayed by a reorder or
+     released from behind a partition) could arrive and execute after
+     the client has already concluded it never would. *)
+  Link.clear t.link
+
+let reconnect t =
+  t.reconnects <- t.reconnects + 1;
+  hello t
+
+(* Requests whose goal is already met once the session is gone: the dying
+   session aborted the transaction, and an fd dies with its session, so
+   an [Abort] — or a [Close] outside a transaction — reports success.
+   ([Close] inside a transaction still surfaces the reset: the caller
+   must learn its transaction died.) *)
+let vacuous_after_loss ~was_txn = function
+  | Wire.Abort -> true
+  | Wire.Close _ -> not was_txn
+  | _ -> false
+
+let give_up t ~was_txn req =
+  session_dead t;
+  if vacuous_after_loss ~was_txn req then Wire.R_unit
+  else if was_txn && req <> Wire.Commit then
+    conn_reset (Printf.sprintf "session lost during %s; transaction aborted" (Wire.req_name req))
+  else if mutating req || req = Wire.Commit then
+    conn_reset
+      (Printf.sprintf "session lost; %s outcome indeterminate" (Wire.req_name req))
+  else conn_reset (Printf.sprintf "session lost during %s" (Wire.req_name req))
+
+let rec rpc ?(pipelined = false) ?(reissued = false) t req =
+  if t.sid = 0L && not (reconnect t) then give_up t ~was_txn:false req
+  else begin
+    let was_txn = t.in_txn in
+    let rid = fresh_rid t in
+    match exchange t ~sid:t.sid ~rid ~pipelined req with
+    | None ->
+      (* every retry timed out: the path or the server is gone.  If a probe
+         gets through the server is up and our session state decides what
+         this meant; otherwise the session is unrecoverable. *)
+      if probe_alive t then
+        match exchange t ~sid:t.sid ~rid ~pipelined:false req with
+        | Some reply -> finish t ~was_txn ~reissued ~pipelined req reply
+        | None -> give_up t ~was_txn req
+      else give_up t ~was_txn req
+    | Some reply -> finish t ~was_txn ~reissued ~pipelined req reply
+  end
+
+and finish t ~was_txn ~reissued ~pipelined req reply =
+  match reply with
+  | Wire.Ok_reply { txn_open; result } ->
+    t.in_txn <- txn_open;
+    result
+  | Wire.Err_reply { txn_open; code; msg } ->
+    t.in_txn <- txn_open;
+    raise (Errors.Fs_error (code, msg))
+  | Wire.Io_fault_reply { txn_open } ->
+    t.in_txn <- txn_open;
+    (* surface the injected transient fault under its own exception, as
+       the local API does *)
+    raise (Pagestore.Device.Io_fault { device = "remote"; segid = -1; blkno = -1 })
+  | Wire.Unknown_session ->
+    (* the server lost our session: it crashed, or our lease expired.
+       Reconnect; then decide what the caller may be told. *)
+    session_dead t;
+    if vacuous_after_loss ~was_txn req then Wire.R_unit
+      (* the dying session took the transaction (and every fd) with it *)
+    else if not (reconnect t) then give_up t ~was_txn req
+    else if was_txn && req <> Wire.Commit then
+      conn_reset
+        (Printf.sprintf "session lost during %s; transaction aborted" (Wire.req_name req))
+    else if mutating req || req = Wire.Commit then
+      conn_reset
+        (Printf.sprintf "session lost; %s outcome indeterminate" (Wire.req_name req))
+    else if reissuable req && not reissued then rpc ~pipelined ~reissued:true t req
+    else conn_reset (Printf.sprintf "session lost during %s" (Wire.req_name req))
+
+(* ---------------- construction ---------------- *)
+
+let connect ?(config = default_config) ~server ~link ~rng () =
+  let net = Link.net link in
+  let t =
+    {
+      server;
+      link;
+      net;
+      clock = Netsim.clock net;
+      rng;
+      cfg = config;
+      asm = Wire.Assembly.create ();
+      fd_pos = Hashtbl.create 8;
+      sid = 0L;
+      next_rid = 1L;
+      in_txn = false;
+      retries = 0;
+      timeouts = 0;
+      reconnects = 0;
+      sessions_lost = 0;
+    }
+  in
+  Server.attach server link;
+  if not (hello t) then conn_reset "could not establish a session";
+  t
+
+(* ---------------- typed wrappers ---------------- *)
+
+let expect_unit = function
+  | Wire.R_unit -> ()
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let expect_fd = function
+  | Wire.R_fd fd -> fd
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let expect_int = function
+  | Wire.R_int v -> v
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let pos_of t fd =
+  match Hashtbl.find_opt t.fd_pos fd with
+  | Some p -> p
+  | None -> Errors.fail Errors.EBADF "stale fd %d (session was lost)" fd
+
+let c_begin t = expect_unit (rpc t Wire.Begin)
+let c_commit t = expect_unit (rpc t Wire.Commit)
+let c_abort t = expect_unit (rpc t Wire.Abort)
+
+let c_creat t ?device ?ftype ?(compressed = false) path =
+  let fd = expect_fd (rpc t (Wire.Creat { path; device; ftype; compressed })) in
+  Hashtbl.replace t.fd_pos fd (ref 0L);
+  fd
+
+let c_open t ?timestamp path mode =
+  let mode = match mode with Fs.Rdonly -> 0 | Fs.Rdwr -> 1 in
+  let fd = expect_fd (rpc t (Wire.Open { path; mode; timestamp })) in
+  Hashtbl.replace t.fd_pos fd (ref 0L);
+  fd
+
+let c_close t fd =
+  ignore (pos_of t fd);
+  expect_unit (rpc t (Wire.Close { fd }));
+  Hashtbl.remove t.fd_pos fd
+
+let c_read t fd buf len =
+  let pos = pos_of t fd in
+  match rpc t (Wire.Read { fd; off = !pos; len }) with
+  | Wire.R_data s ->
+    let n = String.length s in
+    Bytes.blit_string s 0 buf 0 n;
+    pos := Int64.add !pos (Int64.of_int n);
+    n
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let c_write t fd buf len =
+  let pos = pos_of t fd in
+  let data = Bytes.sub_string buf 0 len in
+  let n = expect_int (rpc ~pipelined:true t (Wire.Write { fd; off = !pos; data })) in
+  pos := Int64.add !pos (Int64.of_int len);
+  Int64.to_int n
+
+let c_lseek t fd off whence =
+  let pos = pos_of t fd in
+  let base =
+    match whence with
+    | Fs.Seek_set -> 0L
+    | Fs.Seek_cur -> !pos
+    | Fs.Seek_end -> expect_int (rpc t (Wire.Filesize { fd }))
+  in
+  let p = Int64.add base off in
+  if p < 0L then Errors.fail Errors.EINVAL "seek before start of file";
+  pos := p;
+  p
+
+let c_tell t fd = !(pos_of t fd)
+
+let c_ftruncate t fd size =
+  ignore (pos_of t fd);
+  expect_unit (rpc t (Wire.Ftruncate { fd; size }))
+
+let c_mkdir t path = expect_unit (rpc t (Wire.Mkdir { path }))
+
+let c_readdir t ?timestamp path =
+  match rpc t (Wire.Readdir { path; timestamp }) with
+  | Wire.R_names names -> names
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let c_unlink t path = expect_unit (rpc t (Wire.Unlink { path }))
+let c_rmdir t path = expect_unit (rpc t (Wire.Rmdir { path }))
+let c_rename t src dst = expect_unit (rpc t (Wire.Rename { src; dst }))
+
+let c_stat t ?timestamp path =
+  match rpc t (Wire.Stat { path; timestamp }) with
+  | Wire.R_att att -> att
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let c_exists t ?timestamp path =
+  match rpc t (Wire.Exists { path; timestamp }) with
+  | Wire.R_bool v -> v
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let c_query t ?timestamp text =
+  match rpc t (Wire.Query { text; timestamp }) with
+  | Wire.R_rows rows -> rows
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let c_set_owner t path owner = expect_unit (rpc t (Wire.Set_owner { path; owner }))
+let c_set_type t path ftype = expect_unit (rpc t (Wire.Set_type { path; ftype }))
+let c_define_type t name = expect_unit (rpc t (Wire.Define_type { name }))
+
+let c_crash_server t =
+  match rpc t Wire.Crash_server with
+  | Wire.R_unit ->
+    (* our session died with the machine; reconnect lazily on next use *)
+    session_dead t
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let write_file t path data =
+  (* like Fs.write_file: join the caller's open transaction if any,
+     otherwise wrap the whole replace in one of our own *)
+  let own_txn = not (in_txn t) in
+  if own_txn then c_begin t;
+  try
+    let fd = if c_exists t path then c_open t path Fs.Rdwr else c_creat t path in
+    c_ftruncate t fd 0L;
+    ignore (c_write t fd data (Bytes.length data) : int);
+    c_close t fd;
+    if own_txn then c_commit t
+  with e ->
+    (if own_txn && in_txn t then try c_abort t with _ -> ());
+    raise e
+
+let read_whole_file t ?timestamp path =
+  let size = (c_stat t ?timestamp path).Invfs.Fileatt.size in
+  let fd = c_open t ?timestamp path Fs.Rdonly in
+  let buf = Bytes.create (Int64.to_int size) in
+  let rec go filled =
+    if filled >= Bytes.length buf then filled
+    else
+      let chunk = Bytes.create (Bytes.length buf - filled) in
+      let n = c_read t fd chunk (Bytes.length chunk) in
+      if n = 0 then filled
+      else begin
+        Bytes.blit chunk 0 buf filled n;
+        go (filled + n)
+      end
+  in
+  let n = go 0 in
+  c_close t fd;
+  if n = Bytes.length buf then buf else Bytes.sub buf 0 n

@@ -1,0 +1,113 @@
+(** The remote Inversion client library: the paper's [p_*] interface,
+    spoken over the {!Wire} protocol to a {!Server}.
+
+    {2 Reliability model}
+
+    Every call is one request/reply exchange with:
+
+    - a {e per-call timeout}, charged to the simulated clock when a
+      message (or its reply) is lost;
+    - {e bounded retries} with exponential backoff plus jitter (also
+      clock-charged), every retry reusing the {e same request id} — the
+      idempotency key the server's dedup window turns into
+      exactly-once-observed semantics;
+    - a {e session} that transparently reconnects when the server stops
+      recognising it (crash, lease expiry).  If the session dies while a
+      transaction is open, the client observes a clean
+      [Fs_error (ECONNRESET, "... transaction aborted")] — the server
+      rolled the transaction back (crash) or its lease will abort it:
+      partial progress is never visible.
+
+    After a reset, side-effect-free session-free requests (stat, readdir,
+    exists, query, open, begin) are silently re-issued on the fresh
+    session.  A {e mutating auto-commit} request, or a [Commit] itself,
+    whose session died before the reply arrived is the one genuinely
+    ambiguous case in any RPC system; the client surfaces it honestly as
+    [Fs_error (ECONNRESET, "... outcome indeterminate")] and the caller
+    decides (the Nettest harness resolves it with a lock-free time-travel
+    probe of the committed state).
+
+    File positions are client-side state: seeks are free of round trips
+    (except [Seek_end], which asks the server for the size) and every
+    read/write carries its offset explicitly, keeping requests
+    idempotent. *)
+
+type config = {
+  timeout_s : float;  (** per-attempt reply timeout *)
+  max_retries : int;  (** retransmissions after the first attempt *)
+  backoff_base_s : float;  (** backoff before retry k is [base * 2^k] ... *)
+  backoff_max_s : float;  (** ... capped here, then jittered 0.5–1.5x *)
+  reconnect_attempts : int;  (** liveness probes before declaring the path dead *)
+}
+
+val default_config : config
+
+type t
+
+val connect :
+  ?config:config ->
+  server:Server.t ->
+  link:Netsim.Link.t ->
+  rng:Simclock.Rng.t ->
+  unit ->
+  t
+(** Attach the link to the server and establish a session ([Hello]).
+    [rng] drives backoff jitter and connection nonces.
+    [Fs_error (ECONNRESET, _)] if no session could be established. *)
+
+val sid : t -> int64
+val in_txn : t -> bool
+val link : t -> Netsim.Link.t
+
+(** {2 The client library} *)
+
+val c_begin : t -> unit
+val c_commit : t -> unit
+val c_abort : t -> unit
+val c_creat : t -> ?device:string -> ?ftype:string -> ?compressed:bool -> string -> int
+val c_open : t -> ?timestamp:int64 -> string -> Invfs.Fs.open_mode -> int
+val c_close : t -> int -> unit
+
+val c_read : t -> int -> bytes -> int -> int
+(** Read at the (client-tracked) file position into the buffer prefix. *)
+
+val c_write : t -> int -> bytes -> int -> int
+(** Write at the file position.  Bulk data streams through the windowed
+    pipeline (wire time overlaps server work), ending in an explicit
+    end-of-stream frame. *)
+
+val c_lseek : t -> int -> int64 -> Invfs.Fs.whence -> int64
+val c_tell : t -> int -> int64
+val c_ftruncate : t -> int -> int64 -> unit
+val c_mkdir : t -> string -> unit
+val c_readdir : t -> ?timestamp:int64 -> string -> string list
+val c_unlink : t -> string -> unit
+val c_rmdir : t -> string -> unit
+val c_rename : t -> string -> string -> unit
+val c_stat : t -> ?timestamp:int64 -> string -> Invfs.Fileatt.att
+val c_exists : t -> ?timestamp:int64 -> string -> bool
+
+val c_query : t -> ?timestamp:int64 -> string -> string list list
+(** POSTQUEL over the wire; rows come back as printed values. *)
+
+val c_set_owner : t -> string -> string -> unit
+val c_set_type : t -> string -> string -> unit
+val c_define_type : t -> string -> unit
+
+val c_crash_server : t -> unit
+(** Admin/test op: crash the server machine and wait for it to recover.
+    The client's own session dies with it and reconnects on next use. *)
+
+val write_file : t -> string -> bytes -> unit
+(** Create-or-truncate and write whole contents in one transaction. *)
+
+val read_whole_file : t -> ?timestamp:int64 -> string -> bytes
+
+(** {2 Reliability counters} *)
+
+val retries : t -> int
+val timeouts : t -> int
+val reconnects : t -> int
+
+val sessions_lost : t -> int
+(** Times the session could not be recovered (crash/lease/unreachable). *)

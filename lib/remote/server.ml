@@ -1,0 +1,328 @@
+module Fs = Invfs.Fs
+module Errors = Invfs.Errors
+module Link = Netsim.Link
+
+type sess = {
+  sid : int64;
+  fsess : Fs.session;
+  link : Link.t;
+  mutable last_active : float;
+  mutable max_rid : int64; (* highest request id executed *)
+  mutable window : (int64 * string list) list; (* rid -> recorded reply frames *)
+}
+
+type t = {
+  fs : Fs.t;
+  clock : Simclock.Clock.t;
+  lease_s : float;
+  dedup_window : int;
+  lock_attempts : int;
+  mutable on_crash : t -> unit;
+  mutable links : Link.t list;
+  sessions : (int64, sess) Hashtbl.t;
+  asm : Wire.Assembly.t;
+  mutable next_sid : int64;
+  mutable hello_window : (int64 * string list) list; (* nonce -> reply frames *)
+  mutable crashes : int;
+  mutable replays : int;
+  mutable leases_expired : int;
+  mutable fenced : int;
+  mutable requests : int;
+}
+
+let default_on_crash t = ignore (Fs.crash_and_recover t.fs : Fs.recovery)
+
+let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(lock_attempts = 3) ?on_crash
+    () =
+  let t =
+    {
+      fs;
+      clock = Fs.clock fs;
+      lease_s;
+      dedup_window;
+      lock_attempts;
+      on_crash = default_on_crash;
+      links = [];
+      sessions = Hashtbl.create 8;
+      asm = Wire.Assembly.create ();
+      next_sid = 1L;
+      hello_window = [];
+      crashes = 0;
+      replays = 0;
+      leases_expired = 0;
+      fenced = 0;
+      requests = 0;
+    }
+  in
+  (match on_crash with Some f -> t.on_crash <- f | None -> ());
+  t
+
+let fs t = t.fs
+let set_on_crash t f = t.on_crash <- f
+let crashes t = t.crashes
+let replays t = t.replays
+let leases_expired t = t.leases_expired
+let fenced t = t.fenced
+let requests t = t.requests
+let sessions_live t = Hashtbl.length t.sessions
+
+let attach t link = if not (List.memq link t.links) then t.links <- link :: t.links
+
+(* The machine dies: every connection, session, fd, dedup window and
+   half-assembled request is volatile state and goes with it.  Then the
+   crash handler (by default {!Fs.crash_and_recover}; harnesses install
+   one that first clears their fault schedule and then verifies) brings
+   the durable state back. *)
+let crash_now t =
+  t.crashes <- t.crashes + 1;
+  Hashtbl.reset t.sessions;
+  t.hello_window <- [];
+  Wire.Assembly.reset t.asm;
+  List.iter Link.clear t.links;
+  t.on_crash t
+
+(* Sessions whose client has gone silent past the lease are reaped, and a
+   transaction left open by a dead client is aborted — so its locks
+   cannot outlive the client that took them (the HopsFS-style lease
+   discipline). *)
+let expire_leases t =
+  if t.lease_s > 0. then begin
+    let now = Simclock.Clock.now t.clock in
+    let stale =
+      Hashtbl.fold
+        (fun sid s acc -> if now -. s.last_active > t.lease_s then (sid, s) :: acc else acc)
+        t.sessions []
+    in
+    List.iter
+      (fun (sid, s) ->
+        if Fs.in_transaction s.fsess then (try Fs.p_abort s.fsess with _ -> ());
+        Hashtbl.remove t.sessions sid;
+        t.leases_expired <- t.leases_expired + 1)
+      stale
+  end
+
+(* Read-only operations are safe to re-run, so lock waits on them go
+   through the bounded-backoff helper; each wait expires leases, which is
+   what can actually free a dead client's locks. *)
+let read_only = function
+  | Wire.Open _ | Wire.Read _ | Wire.Readdir _ | Wire.Stat _ | Wire.Exists _
+  | Wire.Query _ | Wire.Filesize _ ->
+    true
+  | _ -> false
+
+let exec t (s : sess) (req : Wire.req) : Wire.result =
+  let fsess = s.fsess in
+  let run () =
+    match req with
+    | Wire.Hello | Wire.Ping | Wire.Crash_server ->
+      (* handled before dispatch reaches here *)
+      Errors.fail Errors.EINVAL "unexpected control request in session dispatch"
+    | Wire.Bye ->
+      if Fs.in_transaction fsess then (try Fs.p_abort fsess with _ -> ());
+      Hashtbl.remove t.sessions s.sid;
+      Wire.R_unit
+    | Wire.Begin ->
+      Fs.p_begin fsess;
+      Wire.R_unit
+    | Wire.Commit ->
+      Fs.p_commit fsess;
+      Wire.R_unit
+    | Wire.Abort ->
+      (* idempotent: an abort of a transaction that is already gone
+         (rolled back by a crash, reaped by a lease) has happened *)
+      if Fs.in_transaction fsess then Fs.p_abort fsess;
+      Wire.R_unit
+    | Wire.Creat { path; device; ftype; compressed } ->
+      Wire.R_fd (Fs.p_creat fsess ?device ?ftype ~compressed path)
+    | Wire.Open { path; mode; timestamp } ->
+      let mode = if mode = 0 then Fs.Rdonly else Fs.Rdwr in
+      Wire.R_fd (Fs.p_open fsess ?timestamp path mode)
+    | Wire.Close { fd } ->
+      Fs.p_close fsess fd;
+      Wire.R_unit
+    | Wire.Read { fd; off; len } ->
+      ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
+      let buf = Bytes.create len in
+      let n = Fs.p_read fsess fd buf len in
+      Wire.R_data (Bytes.sub_string buf 0 n)
+    | Wire.Write { fd; off; data } ->
+      ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
+      let b = Bytes.of_string data in
+      Wire.R_int (Int64.of_int (Fs.p_write fsess fd b (Bytes.length b)))
+    | Wire.Ftruncate { fd; size } ->
+      Fs.ftruncate fsess fd size;
+      Wire.R_unit
+    | Wire.Filesize { fd } -> Wire.R_int (Fs.p_lseek fsess fd 0L Fs.Seek_end)
+    | Wire.Mkdir { path } ->
+      Fs.mkdir fsess path;
+      Wire.R_unit
+    | Wire.Readdir { path; timestamp } -> Wire.R_names (Fs.readdir fsess ?timestamp path)
+    | Wire.Unlink { path } ->
+      Fs.unlink fsess path;
+      Wire.R_unit
+    | Wire.Rmdir { path } ->
+      Fs.rmdir fsess path;
+      Wire.R_unit
+    | Wire.Rename { src; dst } ->
+      Fs.rename fsess src dst;
+      Wire.R_unit
+    | Wire.Stat { path; timestamp } -> Wire.R_att (Fs.stat fsess ?timestamp path)
+    | Wire.Exists { path; timestamp } -> Wire.R_bool (Fs.exists fsess ?timestamp path)
+    | Wire.Query { text; timestamp } ->
+      Wire.R_rows
+        (List.map
+           (List.map Postquel.Value.to_string)
+           (Fs.query fsess ?timestamp text))
+    | Wire.Set_owner { path; owner } ->
+      Fs.set_owner fsess path owner;
+      Wire.R_unit
+    | Wire.Set_type { path; ftype } ->
+      Fs.set_type fsess path ftype;
+      Wire.R_unit
+    | Wire.Define_type { name } ->
+      Fs.define_type t.fs name;
+      Wire.R_unit
+  in
+  if read_only req && t.lock_attempts > 1 then
+    Relstore.Lock_mgr.retry_backoff ~clock:t.clock ~attempts:t.lock_attempts
+      ~base_s:0.002 ~max_s:0.05
+      ~on_wait:(fun ~attempt:_ ~blocked_on:_ -> expire_leases t)
+      ~blocked:Fs.lock_blocked run
+  else run ()
+
+let handle t link ~sid ~rid req =
+  t.requests <- t.requests + 1;
+  let send frames = List.iter (fun f -> Link.send link Link.To_client f) frames in
+  let reply_now reply = send (Wire.encode_reply ~sid ~rid reply) in
+  match req with
+  | Wire.Ping -> reply_now (Wire.Ok_reply { txn_open = false; result = Wire.R_unit })
+  | Wire.Crash_server ->
+    (* crash the machine mid-flight, recover, and only then answer: the
+       reply is the evidence recovery came back up *)
+    crash_now t;
+    reply_now (Wire.Ok_reply { txn_open = false; result = Wire.R_unit })
+  | Wire.Hello -> (
+    (* the request id is the client's nonce: replaying a duplicate Hello
+       must return the same session, not mint a second one *)
+    match List.assoc_opt rid t.hello_window with
+    | Some frames ->
+      t.replays <- t.replays + 1;
+      send frames
+    | None ->
+      (* one connection carries one session: a fresh handshake on this
+         link supersedes whatever session was bound to it before, so a
+         reconnecting client's abandoned transaction (and its locks)
+         dies here rather than lingering until the lease expires *)
+      let stale =
+        Hashtbl.fold
+          (fun old_sid s acc -> if s.link == link then (old_sid, s) :: acc else acc)
+          t.sessions []
+      in
+      List.iter
+        (fun (old_sid, s) ->
+          if Fs.in_transaction s.fsess then (try Fs.p_abort s.fsess with _ -> ());
+          Hashtbl.remove t.sessions old_sid;
+          t.fenced <- t.fenced + 1)
+        stale;
+      let new_sid = t.next_sid in
+      t.next_sid <- Int64.add t.next_sid 1L;
+      let s =
+        {
+          sid = new_sid;
+          fsess = Fs.new_session t.fs;
+          link;
+          last_active = Simclock.Clock.now t.clock;
+          max_rid = 0L;
+          window = [];
+        }
+      in
+      Hashtbl.replace t.sessions new_sid s;
+      let frames =
+        Wire.encode_reply ~sid ~rid (Wire.Ok_reply { txn_open = false; result = Wire.R_sid new_sid })
+      in
+      t.hello_window <- (rid, frames) :: t.hello_window;
+      (if List.length t.hello_window > 32 then
+         t.hello_window <- List.filteri (fun i _ -> i < 32) t.hello_window);
+      send frames)
+  | _ -> (
+    match Hashtbl.find_opt t.sessions sid with
+    | None -> reply_now Wire.Unknown_session
+    | Some s -> (
+      s.last_active <- Simclock.Clock.now t.clock;
+      match List.assoc_opt rid s.window with
+      | Some frames ->
+        (* the dedup window: this request already executed; replay the
+           recorded reply instead of executing it twice *)
+        t.replays <- t.replays + 1;
+        send frames
+      | None when rid <= s.max_rid ->
+        (* a stale duplicate from before the window: the client has long
+           since moved on and will discard any answer; drop it *)
+        ()
+      | None ->
+        let reply =
+          match exec t s req with
+          | result -> Wire.Ok_reply { txn_open = Fs.in_transaction s.fsess; result }
+          | exception Errors.Fs_error (code, msg) ->
+            Wire.Err_reply { txn_open = Fs.in_transaction s.fsess; code; msg }
+          | exception Pagestore.Device.Io_fault _ ->
+            Wire.Io_fault_reply { txn_open = Fs.in_transaction s.fsess }
+          | exception Relstore.Lock_mgr.Lock_timeout { attempts; waited_s; blocked_on } ->
+            Wire.Err_reply
+              {
+                txn_open = Fs.in_transaction s.fsess;
+                code = Errors.ETIMEDOUT;
+                msg =
+                  Printf.sprintf "lock wait timed out after %d attempts (%.3fs): %s"
+                    attempts waited_s blocked_on;
+              }
+          | exception Not_found ->
+            Wire.Err_reply
+              {
+                txn_open = Fs.in_transaction s.fsess;
+                code = Errors.ENOENT;
+                msg = "raced with a concurrent unlink";
+              }
+        in
+        let frames = Wire.encode_reply ~sid ~rid reply in
+        s.max_rid <- max s.max_rid rid;
+        s.window <- (rid, frames) :: s.window;
+        (if List.length s.window > t.dedup_window then
+           s.window <- List.filteri (fun i _ -> i < t.dedup_window) s.window);
+        send frames))
+
+let process t link frame =
+  match Wire.decode_header frame with
+  | None -> () (* failed CRC or malformed: the wire ate it *)
+  | Some h when h.kind <> 0 -> ()
+  | Some h -> (
+    match Wire.Assembly.add t.asm h with
+    | `Pending -> ()
+    | `Complete payload -> (
+      match Wire.decode_request payload with
+      | None -> ()
+      | Some req -> handle t link ~sid:h.sid ~rid:h.rid req))
+
+let pump t =
+  expire_leases t;
+  let crashed = ref false in
+  List.iter
+    (fun link ->
+      let rec drain () =
+        if not !crashed then
+          match Link.recv link Link.To_server with
+          | None -> ()
+          | Some (_, true) ->
+            (* poisoned frame: the machine dies at the moment of receipt,
+               mid-request — nothing executes, nothing is replied *)
+            crash_now t;
+            crashed := true
+          | Some (frame, false) ->
+            (try process t link frame
+             with Pagestore.Device.Crash_injected _ ->
+               crash_now t;
+               crashed := true);
+            drain ()
+      in
+      drain ())
+    t.links

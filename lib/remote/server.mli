@@ -1,0 +1,86 @@
+(** The Inversion server: a dispatch loop exposing the {!Invfs.Fs} API
+    over {!Wire} frames on {!Netsim.Link} connections.
+
+    One server owns one file system and any number of client connections
+    ({!attach}).  {!pump} drains every connection's inbound queue,
+    reassembles fragmented requests, and dispatches them; corrupt frames
+    (CRC failure) are silently dropped, exactly as a damaged packet would
+    be.
+
+    {2 Exactly-once-observed semantics}
+
+    Request ids are idempotency keys.  Each session records its recent
+    replies in a {e dedup window}; a request id that already executed is
+    answered by replaying the recorded reply, never by executing twice —
+    so a retried-then-duplicated committed [p_write] is applied exactly
+    once.  Duplicates older than the window are dropped (their client
+    has provably moved on).
+
+    {2 Sessions, leases}
+
+    [Hello] mints a session (its request id is a client nonce, deduped
+    the same way).  A session idle past [lease_s] is reaped and its open
+    transaction aborted, so a dead client's locks cannot block the rest
+    of the system forever.  Requests on an unknown session — after a
+    server crash, or a lease reaping — get {!Wire.Unknown_session},
+    which tells the client to reconnect.
+
+    {2 Crashes}
+
+    A poisoned frame ({!Netsim.Link.fault.Server_crash}) or an injected
+    device crash during execution kills the machine mid-request: all
+    volatile state (sessions, dedup windows, fds, connection queues,
+    partial reassemblies) is discarded and the crash handler runs —
+    {!Invfs.Fs.crash_and_recover} by default; harnesses install one that
+    clears their fault schedule and verifies the recovered state.  The
+    commit path forces data pages before the status log, so a request
+    that never replied either committed durably or left no trace: no
+    observable partial progress. *)
+
+type t
+
+val create :
+  fs:Invfs.Fs.t ->
+  ?lease_s:float ->
+  ?dedup_window:int ->
+  ?lock_attempts:int ->
+  ?on_crash:(t -> unit) ->
+  unit ->
+  t
+(** [lease_s] (default 120 simulated seconds; 0 disables) bounds how long
+    a silent client's session survives.  [dedup_window] (default 16) is
+    replies remembered per session.  [lock_attempts] (default 3) bounds
+    the {!Relstore.Lock_mgr.retry_backoff} wait on read-only operations —
+    each wait expires leases, which is what can actually release a dead
+    client's locks. *)
+
+val attach : t -> Netsim.Link.t -> unit
+(** Accept a connection (idempotent).  Clients create a link and attach
+    it before their [Hello]. *)
+
+val fs : t -> Invfs.Fs.t
+val set_on_crash : t -> (t -> unit) -> unit
+
+val pump : t -> unit
+(** Drain and dispatch every attached connection.  Runs lease expiry
+    first.  A mid-pump crash stops the dispatch (the machine is gone);
+    by the time [pump] returns the crash handler has recovered it. *)
+
+val crash_now : t -> unit
+(** Crash the server machine immediately (the boundary-crash entry point
+    for harnesses and the [Crash_server] admin op). *)
+
+val crashes : t -> int
+val replays : t -> int
+(** Requests answered from a dedup window instead of re-executing. *)
+
+val leases_expired : t -> int
+
+val fenced : t -> int
+(** Sessions superseded by a fresh handshake on the same link: a
+    reconnecting client's abandoned session is fenced off (its open
+    transaction aborted) rather than left holding locks until the lease
+    expires. *)
+
+val requests : t -> int
+val sessions_live : t -> int

@@ -1,0 +1,139 @@
+(** Framed, versioned wire protocol for the Inversion client/server path.
+
+    The paper ran the client library over "TCP/IP over a 10Mbit/sec
+    Ethernet"; this module is the message format of our real (simulated)
+    protocol.  Every message is one or more {e frames}:
+
+    {v
+    offset  field
+    0       magic "INVW"
+    4       version (u16)
+    6       kind: 0 = request, 1 = reply
+    8       session id (i64)
+    16      request id (i64)
+    24      frame index (u16)   | large payloads fragment at
+    26      frame count (u16)   | [max_fragment] bytes per frame
+    28      fragment length (u32)
+    32      CRC-32 of the whole frame (crc field zeroed)
+    36..95  reserved
+    96      fragment payload
+    v}
+
+    The 96-byte header matches the RPC header size the cost model always
+    charged, so Table-3 numbers flow through unchanged — but now each
+    charge corresponds to a frame that can be dropped, duplicated,
+    reordered or corrupted in flight.  A corrupted frame fails its CRC at
+    the receiver and is discarded, which the sender experiences as a
+    drop.
+
+    Requests are paired to replies by [(session id, request id)]; request
+    ids are idempotency keys — a server replays its recorded reply for a
+    request id it has already executed (the dedup window), which is what
+    turns at-least-once retries into exactly-once-observed semantics.
+
+    Streamed writes ([Write]) end with an explicit zero-length
+    end-of-stream frame — the "that was all of it" marker of the windowed
+    upload path the pipelined cost model prices. *)
+
+val header_bytes : int
+(** 96. *)
+
+val max_fragment : int
+(** Payload bytes per frame: {!Invfs.Chunk.capacity}[ + 64], one chunk
+    plus record framing — the paper-era bulk-transfer unit. *)
+
+(** One operation of the {!Invfs.Fs} client library, on the wire.
+    [Hello] opens a session (its request id is a client nonce); [Bye]
+    closes one; [Ping] is the liveness probe and needs no session;
+    [Crash_server] is the test-only admin op that crashes the server
+    machine and recovers it. *)
+type req =
+  | Hello
+  | Bye
+  | Ping
+  | Begin
+  | Commit
+  | Abort
+  | Creat of { path : string; device : string option; ftype : string option; compressed : bool }
+  | Open of { path : string; mode : int; timestamp : int64 option }
+  | Close of { fd : int }
+  | Read of { fd : int; off : int64; len : int }
+  | Write of { fd : int; off : int64; data : string }
+  | Ftruncate of { fd : int; size : int64 }
+  | Filesize of { fd : int }
+  | Mkdir of { path : string }
+  | Readdir of { path : string; timestamp : int64 option }
+  | Unlink of { path : string }
+  | Rmdir of { path : string }
+  | Rename of { src : string; dst : string }
+  | Stat of { path : string; timestamp : int64 option }
+  | Exists of { path : string; timestamp : int64 option }
+  | Query of { text : string; timestamp : int64 option }
+  | Set_owner of { path : string; owner : string }
+  | Set_type of { path : string; ftype : string }
+  | Define_type of { name : string }
+  | Crash_server
+
+val req_name : req -> string
+
+type result =
+  | R_unit
+  | R_sid of int64
+  | R_fd of int
+  | R_int of int64
+  | R_bool of bool
+  | R_data of string
+  | R_names of string list
+  | R_rows of string list list
+  | R_att of Invfs.Fileatt.att
+
+type reply =
+  | Ok_reply of { txn_open : bool; result : result }
+      (** [txn_open] is the server's authoritative post-op transaction
+          state, so the client stays in sync across faults *)
+  | Err_reply of { txn_open : bool; code : Invfs.Errors.code; msg : string }
+  | Io_fault_reply of { txn_open : bool }
+      (** the op hit an injected transient I/O fault and did not complete *)
+  | Unknown_session
+      (** the server does not know this session: it crashed, or the
+          session's lease expired.  The client must reconnect. *)
+
+val encode_request : sid:int64 -> rid:int64 -> req -> string list
+(** The frames of one request, in send order. *)
+
+val encode_reply : sid:int64 -> rid:int64 -> reply -> string list
+
+type hdr = {
+  kind : int;
+  sid : int64;
+  rid : int64;
+  frame_ix : int;
+  nframes : int;
+  payload : string;
+}
+
+val decode_header : string -> hdr option
+(** Parse and CRC-check one frame; [None] means corrupt (drop it). *)
+
+val decode_request : string -> req option
+(** Decode an assembled request payload. *)
+
+val decode_reply : string -> reply option
+
+(** Fragment reassembly, keyed by [(kind, session id, request id)].
+    Duplicate fragments (a retry resending what already arrived) are
+    ignored; a retry's fragments complete a group a corrupted fragment
+    left partial. *)
+module Assembly : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+
+  val add : t -> hdr -> [ `Complete of string | `Pending ]
+  (** Returns the whole payload once every fragment of the frame's
+      message has arrived. *)
+end
+
+val crc32 : bytes -> off:int -> len:int -> int32
+(** The frame checksum (IEEE CRC-32), exposed for tests. *)

@@ -1,0 +1,186 @@
+(* The lock manager, tested directly: multi-party deadlock cycles,
+   Shared -> Exclusive upgrade contention, release_all clearing wait-for
+   edges, and the bounded retry-with-backoff helper. *)
+
+module L = Relstore.Lock_mgr
+
+let xid = Alcotest.int
+
+let test_three_party_deadlock_cycle () =
+  let lm = L.create () in
+  (* 1 -> a, 2 -> b, 3 -> c, then close the cycle 1->b->... *)
+  L.acquire lm 1 ~resource:"a" L.Exclusive;
+  L.acquire lm 2 ~resource:"b" L.Exclusive;
+  L.acquire lm 3 ~resource:"c" L.Exclusive;
+  (* 1 waits for b (held by 2), 2 waits for c (held by 3): edges only *)
+  (match L.acquire lm 1 ~resource:"b" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block { holders; _ } ->
+    Alcotest.(check (list xid)) "1 blocked on 2" [ 2 ] holders);
+  (match L.acquire lm 2 ~resource:"c" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block { holders; _ } ->
+    Alcotest.(check (list xid)) "2 blocked on 3" [ 3 ] holders);
+  Alcotest.(check (list xid)) "wait-for edge 1->2" [ 2 ] (L.waiting lm 1);
+  Alcotest.(check (list xid)) "wait-for edge 2->3" [ 3 ] (L.waiting lm 2);
+  (* 3 -> a closes the 3-cycle 1->2->3->1: deadlock, victim is 3 *)
+  (match L.acquire lm 3 ~resource:"a" L.Exclusive with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception L.Deadlock victim -> Alcotest.(check xid) "victim" 3 victim);
+  (* the victim aborts; the cycle is broken and 3's resource frees up *)
+  L.release_all lm 3;
+  L.acquire lm 2 ~resource:"c" L.Exclusive;
+  L.release_all lm 2;
+  L.acquire lm 1 ~resource:"b" L.Exclusive
+
+let test_four_party_deadlock_cycle () =
+  let lm = L.create () in
+  List.iter
+    (fun (x, r) -> L.acquire lm x ~resource:r L.Exclusive)
+    [ (1, "a"); (2, "b"); (3, "c"); (4, "d") ];
+  let block x r =
+    match L.acquire lm x ~resource:r L.Exclusive with
+    | () -> Alcotest.fail "expected Would_block"
+    | exception L.Would_block _ -> ()
+  in
+  block 1 "b";
+  block 2 "c";
+  block 3 "d";
+  (match L.acquire lm 4 ~resource:"a" L.Exclusive with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception L.Deadlock victim -> Alcotest.(check xid) "victim" 4 victim)
+
+let test_shared_to_exclusive_upgrade () =
+  let lm = L.create () in
+  (* sole shared holder upgrades in place *)
+  L.acquire lm 1 ~resource:"r" L.Shared;
+  L.acquire lm 1 ~resource:"r" L.Exclusive;
+  Alcotest.(check (list (pair xid (of_pp (fun fmt m -> Format.pp_print_string fmt (L.mode_to_string m))))))
+    "upgraded" [ (1, L.Exclusive) ]
+    (L.holders lm ~resource:"r");
+  L.release_all lm 1;
+  (* contended upgrade blocks on the other shared holder *)
+  L.acquire lm 1 ~resource:"r" L.Shared;
+  L.acquire lm 2 ~resource:"r" L.Shared;
+  (match L.acquire lm 1 ~resource:"r" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block { holders; _ } ->
+    Alcotest.(check (list xid)) "blocked on the other reader" [ 2 ] holders);
+  (* symmetric upgrade attempt from 2 closes a 2-cycle: upgrade deadlock *)
+  (match L.acquire lm 2 ~resource:"r" L.Exclusive with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception L.Deadlock victim -> Alcotest.(check xid) "victim" 2 victim);
+  L.release_all lm 2;
+  (* with 2 gone, 1 is sole holder again and the upgrade goes through *)
+  L.acquire lm 1 ~resource:"r" L.Exclusive
+
+let test_release_all_clears_wait_edges () =
+  let lm = L.create () in
+  L.acquire lm 1 ~resource:"r" L.Exclusive;
+  (match L.acquire lm 2 ~resource:"r" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block _ -> ());
+  Alcotest.(check (list xid)) "edge recorded" [ 1 ] (L.waiting lm 2);
+  (* 2 gives up: its wait-for edges must go with its (empty) lock set,
+     otherwise a stale edge would fabricate deadlocks later *)
+  L.release_all lm 2;
+  Alcotest.(check (list xid)) "edge cleared" [] (L.waiting lm 2);
+  (* 2's cleared edge must not poison later detection: build a real
+     2-cycle with a fresh xid and check it is still caught, and that
+     releasing the partner dissolves it *)
+  L.acquire lm 3 ~resource:"s" L.Exclusive;
+  (match L.acquire lm 1 ~resource:"s" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block _ -> ());
+  (* 1 waits for 3; 3 -> r (held by 1) closes the 2-cycle *)
+  (match L.acquire lm 3 ~resource:"r" L.Exclusive with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception L.Deadlock victim -> Alcotest.(check xid) "victim" 3 victim);
+  (* releasing 1 clears both its lock on r and the 1->3 edge *)
+  L.release_all lm 1;
+  Alcotest.(check (list xid)) "1's edge gone" [] (L.waiting lm 1);
+  L.acquire lm 3 ~resource:"r" L.Exclusive
+
+let test_retry_backoff_succeeds_after_release () =
+  let lm = L.create () in
+  let clock = Simclock.Clock.create () in
+  L.acquire lm 1 ~resource:"r" L.Exclusive;
+  let tries = ref 0 in
+  let t0 = Simclock.Clock.now clock in
+  let () =
+    L.retry_backoff ~clock ~attempts:5 ~base_s:0.01 ~max_s:0.1
+      ~on_wait:(fun ~attempt ~blocked_on ->
+        Alcotest.(check bool) "description names the holder" true
+          (String.length blocked_on > 0);
+        (* progress happens in on_wait: the holder commits on attempt 2 *)
+        if attempt = 2 then L.release_all lm 1)
+      ~blocked:L.blocked
+      (fun () ->
+        incr tries;
+        L.acquire lm 2 ~resource:"r" L.Exclusive)
+  in
+  Alcotest.(check int) "third try won" 3 !tries;
+  Alcotest.(check bool) "backoff charged the clock" true
+    (Simclock.Clock.now clock -. t0 > 0.);
+  Alcotest.(check (list xid)) "2 waits for nobody" [] (L.waiting lm 2)
+
+let test_retry_backoff_times_out () =
+  let lm = L.create () in
+  let clock = Simclock.Clock.create () in
+  L.acquire lm 1 ~resource:"r" L.Exclusive;
+  let tries = ref 0 in
+  (match
+     L.retry_backoff ~clock ~attempts:3 ~base_s:0.01 ~max_s:0.02 ~blocked:L.blocked
+       (fun () ->
+         incr tries;
+         L.acquire lm 2 ~resource:"r" L.Exclusive)
+   with
+  | () -> Alcotest.fail "expected Lock_timeout"
+  | exception L.Lock_timeout { attempts; waited_s; blocked_on } ->
+    Alcotest.(check int) "attempts" 3 attempts;
+    Alcotest.(check bool) "waited" true (waited_s > 0.);
+    Alcotest.(check bool) "names the holder" true
+      (String.length blocked_on > 0));
+  Alcotest.(check int) "tried exactly attempts times" 3 !tries
+
+let test_retry_backoff_leaves_deadlock_alone () =
+  let lm = L.create () in
+  L.acquire lm 1 ~resource:"a" L.Exclusive;
+  L.acquire lm 2 ~resource:"b" L.Exclusive;
+  (match L.acquire lm 1 ~resource:"b" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block _ -> ());
+  let tries = ref 0 in
+  (* a deadlock victim must abort, not wait: the classifier refuses it *)
+  match
+    L.retry_backoff ~attempts:5 ~blocked:L.blocked (fun () ->
+        incr tries;
+        L.acquire lm 2 ~resource:"a" L.Exclusive)
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception L.Deadlock _ -> Alcotest.(check int) "no retries" 1 !tries
+
+let () =
+  Alcotest.run "lock_mgr"
+    [
+      ( "deadlock",
+        [
+          Alcotest.test_case "three-party cycle" `Quick test_three_party_deadlock_cycle;
+          Alcotest.test_case "four-party cycle" `Quick test_four_party_deadlock_cycle;
+        ] );
+      ( "upgrade",
+        [ Alcotest.test_case "shared->exclusive" `Quick test_shared_to_exclusive_upgrade ] );
+      ( "release",
+        [
+          Alcotest.test_case "release_all clears wait edges" `Quick
+            test_release_all_clears_wait_edges;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "succeeds after release" `Quick
+            test_retry_backoff_succeeds_after_release;
+          Alcotest.test_case "times out" `Quick test_retry_backoff_times_out;
+          Alcotest.test_case "deadlock not retried" `Quick
+            test_retry_backoff_leaves_deadlock_alone;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+(* The client/server RPC layer: wire framing, exactly-once semantics
+   under duplication and lost replies, session loss and clean aborts,
+   lease expiry freeing a dead client's locks, server crash mid-request
+   composing with recovery. *)
+
+module Fs = Invfs.Fs
+module E = Invfs.Errors
+module Wire = Remote.Wire
+module Server = Remote.Server
+module Client = Remote.Client
+module Link = Netsim.Link
+module F = Faultsim
+
+let mk ?lease_s () =
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  ignore
+    (Pagestore.Switch.add_device switch ~name:"disk0"
+       ~kind:Pagestore.Device.Magnetic_disk ()
+      : Pagestore.Device.t);
+  let db = Relstore.Db.create ~switch ~clock () in
+  let fs = Fs.make db () in
+  let server = Server.create ~fs ?lease_s () in
+  let net = Netsim.create ~clock Netsim.tcp_1993 in
+  (clock, fs, server, net)
+
+let mk_client ?config server net seed =
+  let link = Link.create net in
+  Client.connect ?config ~server ~link ~rng:(Simclock.Rng.create seed) ()
+
+let expect_error code f =
+  match f () with
+  | _ -> Alcotest.fail ("expected " ^ E.code_to_string code)
+  | exception E.Fs_error (got, msg) ->
+    Alcotest.(check string) "error code" (E.code_to_string code) (E.code_to_string got);
+    msg
+
+(* ---- wire framing ---- *)
+
+let test_wire_roundtrip () =
+  let req =
+    Wire.Creat { path = "/a/b"; device = Some "disk0"; ftype = None; compressed = true }
+  in
+  let frames = Wire.encode_request ~sid:7L ~rid:9L req in
+  Alcotest.(check int) "one frame" 1 (List.length frames);
+  let asm = Wire.Assembly.create () in
+  let decoded =
+    List.fold_left
+      (fun acc frame ->
+        match Wire.decode_header frame with
+        | None -> Alcotest.fail "frame did not parse"
+        | Some h ->
+          Alcotest.(check int) "kind" 0 h.Wire.kind;
+          Alcotest.(check int64) "sid" 7L h.Wire.sid;
+          Alcotest.(check int64) "rid" 9L h.Wire.rid;
+          (match Wire.Assembly.add asm h with
+          | `Complete payload -> Wire.decode_request payload
+          | `Pending -> acc))
+      None frames
+  in
+  (match decoded with
+  | Some (Wire.Creat { path; device; ftype; compressed }) ->
+    Alcotest.(check string) "path" "/a/b" path;
+    Alcotest.(check (option string)) "device" (Some "disk0") device;
+    Alcotest.(check (option string)) "ftype" None ftype;
+    Alcotest.(check bool) "compressed" true compressed
+  | _ -> Alcotest.fail "decoded to the wrong request");
+  (* a large write fragments, and ends with the end-of-stream trailer *)
+  let big = String.make (3 * Wire.max_fragment) 'x' in
+  let frames = Wire.encode_request ~sid:1L ~rid:2L (Wire.Write { fd = 3; off = 0L; data = big }) in
+  Alcotest.(check bool) "fragmented" true (List.length frames >= 4);
+  let last = List.nth frames (List.length frames - 1) in
+  Alcotest.(check int) "trailer is bare header" Wire.header_bytes (String.length last)
+
+let test_wire_crc_rejects_corruption () =
+  let frames = Wire.encode_request ~sid:1L ~rid:1L (Wire.Mkdir { path = "/d" }) in
+  let frame = List.hd frames in
+  Alcotest.(check bool) "intact frame parses" true (Wire.decode_header frame <> None);
+  String.iteri
+    (fun i _ ->
+      let b = Bytes.of_string frame in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+      let mangled = Bytes.to_string b in
+      if mangled <> frame then
+        Alcotest.(check bool)
+          (Printf.sprintf "flip at byte %d rejected" i)
+          true
+          (Wire.decode_header mangled = None))
+    frame
+
+(* ---- a faultless session ---- *)
+
+let test_basic_session () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 1L in
+  Client.c_mkdir c "/dir";
+  let fd = Client.c_creat c "/dir/f" in
+  let data = Bytes.of_string "hello, remote world" in
+  ignore (Client.c_write c fd data (Bytes.length data) : int);
+  Client.c_close c fd;
+  let back = Client.read_whole_file c "/dir/f" in
+  Alcotest.(check string) "contents" (Bytes.to_string data) (Bytes.to_string back);
+  Alcotest.(check (list string)) "readdir" [ "f" ] (Client.c_readdir c "/dir");
+  let att = Client.c_stat c "/dir/f" in
+  Alcotest.(check int64) "size" (Int64.of_int (Bytes.length data)) att.Invfs.Fileatt.size;
+  Alcotest.(check bool) "exists" true (Client.c_exists c "/dir/f");
+  Alcotest.(check bool) "no ghost" false (Client.c_exists c "/dir/g");
+  let rows = Client.c_query c "retrieve (filename) where size(file) > 0" in
+  Alcotest.(check bool) "query saw the file" true
+    (List.exists (List.exists (fun s -> s = "f" || s = "\"f\"")) rows);
+  Alcotest.(check int) "no retries on a clean wire" 0 (Client.retries c)
+
+(* ---- exactly-once: duplicated committed write ---- *)
+
+let test_duplicate_write_applied_once () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 2L in
+  let fd = Client.c_creat c "/f" in
+  let first = Bytes.of_string "aaaa" in
+  ignore (Client.c_write c fd first (Bytes.length first) : int);
+  (* duplicate BOTH frames of the appending write below (its data frame
+     and its end-of-stream trailer), so a complete second copy of the
+     committed request reaches the server.  The copies are released from
+     limbo behind later traffic, i.e. after the original has executed
+     and committed. *)
+  let plan = F.create () in
+  F.arm_link plan (Client.link c);
+  F.schedule_net plan ~after:1 F.Net_duplicate;
+  F.schedule_net plan ~after:2 F.Net_duplicate;
+  let tail = Bytes.of_string "bbbb" in
+  ignore (Client.c_write c fd tail (Bytes.length tail) : int);
+  Client.c_close c fd;
+  let back = Client.read_whole_file c "/f" in
+  Alcotest.(check string) "applied exactly once" "aaaabbbb" (Bytes.to_string back);
+  Alcotest.(check bool) "server saw the duplicate" true (Server.replays server >= 1);
+  Alcotest.(check int) "both frames duplicated" 2 (Link.duplicated (Client.link c));
+  F.disarm plan
+
+(* ---- exactly-once: lost commit reply ---- *)
+
+let test_lost_commit_reply_retries_replay () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 3L in
+  let fd = Client.c_creat c "/f" in
+  ignore (Client.c_write c fd (Bytes.of_string "seed") 4 : int);
+  Client.c_begin c;
+  ignore (Client.c_write c fd (Bytes.of_string "tail") 4 : int);
+  let plan = F.create () in
+  F.arm_link plan (Client.link c);
+  (* message 1 = the commit request; message 2 = its reply: drop it *)
+  F.schedule_net plan ~after:2 F.Net_drop;
+  Client.c_commit c;
+  Alcotest.(check bool) "client retried" true (Client.retries c >= 1);
+  Alcotest.(check bool) "server replayed, not re-ran" true (Server.replays server >= 1);
+  let back = Client.read_whole_file c "/f" in
+  Alcotest.(check string) "committed exactly once" "seedtail" (Bytes.to_string back);
+  F.disarm plan
+
+(* ---- corrupt frames look like drops and retries recover ---- *)
+
+let test_corrupt_frame_retried () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 4L in
+  Client.c_mkdir c "/d";
+  let plan = F.create () in
+  F.arm_link plan (Client.link c);
+  F.schedule_net plan ~after:1 F.Net_corrupt;
+  Alcotest.(check bool) "exists despite corruption" true (Client.c_exists c "/d");
+  Alcotest.(check bool) "a timeout was charged" true (Netsim.timeouts net >= 1);
+  Alcotest.(check bool) "a retry went out" true (Netsim.retries net >= 1);
+  Alcotest.(check int) "one corruption" 1 (Link.corrupted (Client.link c));
+  F.disarm plan
+
+(* ---- one-way partition heals and the call survives ---- *)
+
+let test_partition_heals () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 5L in
+  Client.c_mkdir c "/d";
+  let plan = F.create () in
+  F.arm_link plan (Client.link c);
+  F.schedule_net plan ~after:1 (F.Net_partition 2);
+  Alcotest.(check (list string)) "answer after healing" [ "d" ] (Client.c_readdir c "/");
+  Alcotest.(check int) "two messages swallowed" 2 (Link.partitioned (Client.link c));
+  F.disarm plan
+
+(* ---- session death mid-transaction: clean abort, no partial writes ---- *)
+
+let test_session_death_mid_txn_clean_abort () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 6L in
+  Client.write_file c "/f" (Bytes.of_string "stable");
+  Client.c_begin c;
+  let fd = Client.c_open c "/f" Fs.Rdwr in
+  ignore (Client.c_write c fd (Bytes.of_string "garbage") 7 : int);
+  Server.crash_now server;
+  let msg =
+    expect_error E.ECONNRESET (fun () ->
+        Client.c_write c fd (Bytes.of_string "more") 4)
+  in
+  Alcotest.(check bool) "told it was aborted" true
+    (String.length msg > 0
+    && String.sub msg (String.length msg - String.length "transaction aborted")
+         (String.length "transaction aborted")
+       = "transaction aborted");
+  Alcotest.(check bool) "client left the transaction" false (Client.in_txn c);
+  (* the client reconnected; the committed state never saw the partial txn *)
+  let back = Client.read_whole_file c "/f" in
+  Alcotest.(check string) "no partial progress" "stable" (Bytes.to_string back);
+  Alcotest.(check int) "one session lost" 1 (Client.sessions_lost c);
+  Alcotest.(check bool) "server recovered once" true (Server.crashes server = 1)
+
+(* ---- poisoned frame: server crashes mid-request ---- *)
+
+let test_server_crash_mid_request () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 7L in
+  Client.write_file c "/f" (Bytes.of_string "stable");
+  let fd = Client.c_open c "/f" Fs.Rdwr in
+  (* poison the auto-commit write itself: the server machine dies at the
+     moment the request arrives, before anything executes *)
+  let plan = F.create () in
+  F.arm_link plan (Client.link c);
+  F.schedule_net plan ~after:1 F.Net_server_crash;
+  let msg =
+    expect_error E.ECONNRESET (fun () ->
+        ignore (Client.c_write c fd (Bytes.of_string "junk") 4 : int))
+  in
+  ignore msg;
+  Alcotest.(check bool) "server crashed and recovered" true (Server.crashes server = 1);
+  let back = Client.read_whole_file c "/f" in
+  Alcotest.(check string) "mid-request crash left no trace" "stable" (Bytes.to_string back);
+  F.disarm plan
+
+(* ---- leases: a dead client's locks do not outlive it ---- *)
+
+let test_lease_expiry_frees_locks () =
+  let clock, _, server, net = mk ~lease_s:30. () in
+  let a = mk_client server net 8L in
+  let b = mk_client server net 9L in
+  Client.write_file a "/f" (Bytes.of_string "v1");
+  (* A takes the write lock inside a transaction, then goes silent.
+     (Truncation locks immediately; a small p_write alone would only
+     coalesce into the session's pending buffer.) *)
+  Client.c_begin a;
+  let fd = Client.c_open a "/f" Fs.Rdwr in
+  Client.c_ftruncate a fd 0L;
+  ignore (Client.c_write a fd (Bytes.of_string "v2") 2 : int);
+  (* B cannot write while A holds the lock *)
+  ignore
+    (expect_error E.EAGAIN (fun () -> Client.write_file b "/f" (Bytes.of_string "v3"))
+      : string);
+  (if Client.in_txn b then Client.c_abort b);
+  (* A's lease runs out; the server reaps the session and aborts its txn *)
+  Simclock.Clock.advance clock 31.;
+  Client.write_file b "/f" (Bytes.of_string "v3");
+  Alcotest.(check string) "B's write landed" "v3"
+    (Bytes.to_string (Client.read_whole_file b "/f"));
+  Alcotest.(check bool) "a lease expired" true (Server.leases_expired server >= 1);
+  (* A's next use of the dead session is a clean abort *)
+  ignore
+    (expect_error E.ECONNRESET (fun () ->
+         Client.c_write a fd (Bytes.of_string "zz") 2)
+      : string);
+  Alcotest.(check bool) "A out of txn" false (Client.in_txn a)
+
+(* ---- reissuable reads survive a session reset transparently ---- *)
+
+let test_transparent_reissue_after_crash () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 10L in
+  Client.c_mkdir c "/d";
+  Server.crash_now server;
+  (* no transaction, read-only: the client reconnects and re-issues *)
+  Alcotest.(check (list string)) "readdir after silent reconnect" [ "d" ]
+    (Client.c_readdir c "/");
+  Alcotest.(check int) "session was replaced" 1 (Client.sessions_lost c);
+  Alcotest.(check bool) "reconnected" true (Client.reconnects c >= 1)
+
+(* ---- admin crash op: crash, recover, answer ---- *)
+
+let test_crash_server_op () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 11L in
+  Client.write_file c "/f" (Bytes.of_string "durable");
+  Client.c_crash_server c;
+  Alcotest.(check int) "crashed once" 1 (Server.crashes server);
+  Alcotest.(check string) "durable data survived" "durable"
+    (Bytes.to_string (Client.read_whole_file c "/f"))
+
+let () =
+  Alcotest.run "remote"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip + fragmentation" `Quick test_wire_roundtrip;
+          Alcotest.test_case "crc rejects corruption" `Quick test_wire_crc_rejects_corruption;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "basic session" `Quick test_basic_session;
+          Alcotest.test_case "duplicate write applied once" `Quick
+            test_duplicate_write_applied_once;
+          Alcotest.test_case "lost commit reply replayed" `Quick
+            test_lost_commit_reply_retries_replay;
+          Alcotest.test_case "corrupt frame retried" `Quick test_corrupt_frame_retried;
+          Alcotest.test_case "partition heals" `Quick test_partition_heals;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "mid-txn death is a clean abort" `Quick
+            test_session_death_mid_txn_clean_abort;
+          Alcotest.test_case "server crash mid-request" `Quick
+            test_server_crash_mid_request;
+          Alcotest.test_case "lease expiry frees locks" `Quick
+            test_lease_expiry_frees_locks;
+          Alcotest.test_case "transparent reissue of reads" `Quick
+            test_transparent_reissue_after_crash;
+          Alcotest.test_case "crash_server admin op" `Quick test_crash_server_op;
+        ] );
+    ]
