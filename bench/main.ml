@@ -355,6 +355,7 @@ let json_to_string j =
 let json_of_stats (s : Bc.stats) =
   J_obj
     [
+      ("gets", J_int s.Bc.s_gets);
       ("hits", J_int s.Bc.s_hits);
       ("misses", J_int s.Bc.s_misses);
       ("os_hits", J_int s.Bc.s_os_hits);
@@ -438,6 +439,24 @@ let readahead_ablation ~mb =
    off so each miss is exactly one install + one eviction.  The old
    full-scan LRU made this linear in pool size (~13x from 300 to 4096);
    the intrusive-list design must stay flat. *)
+(* The unified observability registry, as JSON.  Histogram quantiles are
+   reported in seconds (the registry's native unit for observations). *)
+let json_of_metrics () =
+  J_obj
+    (List.map
+       (fun (name, entry) ->
+         match entry with
+         | Obs.Metrics.Counter v -> (name, J_int v)
+         | Obs.Metrics.Probe v -> (name, J_int v)
+         | Obs.Metrics.Histogram { count; sum; p50; p95; p99 } ->
+           ( name,
+             J_obj
+               [
+                 ("count", J_int count); ("sum_s", J_num sum); ("p50_s", J_num p50);
+                 ("p95_s", J_num p95); ("p99_s", J_num p99);
+               ] ))
+       (Obs.Metrics.snapshot ()))
+
 let eviction_microbench () =
   (* One block universe for both pool sizes: per-miss memory traffic
      (device copy + checksum over the same 64 MB arena) is then identical,
@@ -475,8 +494,13 @@ let eviction_microbench () =
     let misses = Bc.misses cache - m0 in
     dt /. float_of_int (max 1 misses) *. 1e6
   in
+  (* Tracing off for the wall-clock region: the microbench measures the
+     replacement bookkeeping, not event emission. *)
+  let enabled = Obs.enabled_subsystems () in
+  Obs.disable_all ();
   let small = per_miss 300 in
   let large = per_miss 4096 in
+  List.iter Obs.enable enabled;
   let ratio = large /. small in
   ( J_obj
       [
@@ -496,6 +520,9 @@ let bench_json ~mb ~out ~smoke =
     match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" date
   in
   progress "bench json: Table 3 workload (%d MB)..." mb;
+  (* Full instrumentation for the run: every layer's counters and
+     histograms land in the "metrics" object below. *)
+  Obs.enable_all ();
   let (inv_cs, nfs, inv_sp), netstats = run_three ~mb in
   let sys_obj results =
     J_obj (List.map (fun op -> (op_key op, J_num (W.find results op))) W.all_ops)
@@ -541,6 +568,7 @@ let bench_json ~mb ~out ~smoke =
         ("network", net_obj);
         ("readahead_ablation", ra_obj);
         ("eviction_microbench", ev_obj);
+        ("metrics", json_of_metrics ());
       ]
   in
   let oc = open_out out in
@@ -557,6 +585,35 @@ let bench_json ~mb ~out ~smoke =
          cold_off);
     check "scan-resistance" (hot_rate > 0.5)
       (Printf.sprintf "hot-set pool hit rate after scan %.2f (must be > 0.5)" hot_rate);
+    (* Metrics-registry coherence: the "metrics" object must exist with
+       real traffic in it, latency histograms must move in lockstep with
+       their paired counters, and the cache probes must satisfy
+       gets = hits + misses. *)
+    let metric name =
+      match Obs.Metrics.read name with
+      | Some v -> v
+      | None ->
+        check "metrics-present" false (Printf.sprintf "no %S in the registry" name);
+        0
+    in
+    let lockstep cname hname =
+      let c = metric cname and h = Obs.Metrics.hist_count (Obs.Metrics.histogram hname) in
+      check "metrics-lockstep" (c = h)
+        (Printf.sprintf "%s=%d but %s count=%d" cname c hname h)
+    in
+    lockstep "device.read" "device.read.latency_us";
+    lockstep "device.read_cont" "device.read_cont.latency_us";
+    lockstep "device.write" "device.write.latency_us";
+    lockstep "txn.commit" "txn.commit.latency_us";
+    check "metrics-traffic" (metric "device.read" > 0 && metric "txn.commit" > 0)
+      "no device reads or no commits recorded in the registry";
+    check "cache-coherence"
+      (metric "cache.gets" = metric "cache.hits" + metric "cache.misses")
+      (Printf.sprintf "cache.gets=%d <> cache.hits=%d + cache.misses=%d"
+         (metric "cache.gets") (metric "cache.hits") (metric "cache.misses"));
+    check "readahead-subset" (metric "cache.readahead_hits" <= metric "cache.hits")
+      (Printf.sprintf "cache.readahead_hits=%d > cache.hits=%d"
+         (metric "cache.readahead_hits") (metric "cache.hits"));
     match !fail with
     | [] -> progress "bench json --smoke: all checks passed"
     | fails ->
@@ -578,10 +635,26 @@ let () =
   in
   let cmd =
     match args with
-    | _ :: c :: _ when c <> "--mb" -> c
+    | _ :: c :: _ when String.length c > 0 && c.[0] <> '-' -> c
     | _ -> "all"
   in
-  match cmd with
+  (* --trace-out PATH: run the command with every subsystem traced into a
+     large ring, then export Chrome trace_event JSON (load it in
+     chrome://tracing or ui.perfetto.dev). *)
+  let trace_out =
+    let rec go = function
+      | "--trace-out" :: p :: _ -> Some p
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  (match trace_out with
+  | Some _ ->
+    Obs.Trace.set_capacity 262_144;
+    Obs.enable_all ()
+  | None -> ());
+  (match cmd with
   | "all" ->
     let results = run_three ~mb in
     print_figures results [ `Fig3; `Fig4; `Fig5; `Fig6 ];
@@ -712,4 +785,13 @@ let () =
       "unknown command %s (expected \
        all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|net|degraded)\n"
       other;
-    exit 2
+    exit 2);
+  match trace_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Trace.to_chrome_json ());
+    close_out oc;
+    progress "trace: wrote %s (%d events, %d dropped by ring wrap)" path
+      (List.length (Obs.Trace.events ()))
+      (Obs.Trace.dropped ())

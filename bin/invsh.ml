@@ -75,6 +75,12 @@ let help () =
     \  crash                    crash the machine (instant recovery)\n\
     \  fsck                     run the audit that never finds anything\n\
     \  devices | clock | stats  inspect the simulated machine\n\
+    \  trace on [SUB...]        enable tracing (all, or: device cache heap\n\
+    \                           lock txn vacuum recovery net)\n\
+    \  trace off                disable all tracing\n\
+    \  trace show [N]           print the newest N trace events (default 40)\n\
+    \  trace clear              empty the trace ring\n\
+    \  trace export PATH        write Chrome trace_event JSON to PATH\n\
     \  help | quit"
 
 let fmt_time us = Printf.sprintf "%.3fs" (Int64.to_float us /. 1e6)
@@ -237,7 +243,62 @@ let run_command shell line =
       say "  %-22s %8d" "net.bytes_sent" (Netsim.bytes_sent net);
       say "  %-22s %8d" "client.retries" (Remote.Client.retries c);
       say "  %-22s %8d" "client.timeouts" (Remote.Client.timeouts c);
-      say "  %-22s %8d" "client.reconnects" (Remote.Client.reconnects c))
+      say "  %-22s %8d" "client.reconnects" (Remote.Client.reconnects c));
+    say "metrics registry:";
+    List.iter
+      (fun (name, entry) ->
+        match entry with
+        | Obs.Metrics.Counter v | Obs.Metrics.Probe v ->
+          if v <> 0 then say "  %-28s %10d" name v
+        | Obs.Metrics.Histogram { count; sum; p50; p95; p99 } ->
+          if count <> 0 then
+            say "  %-28s %10d obs  sum %.4fs  p50 %.6fs  p95 %.6fs  p99 %.6fs" name
+              count sum p50 p95 p99)
+      (Obs.Metrics.snapshot ())
+  | "trace" :: rest -> (
+    match rest with
+    | "on" :: subs ->
+      let subs =
+        match subs with
+        | [] -> Obs.all_subsystems
+        | names ->
+          List.map
+            (fun n ->
+              match Obs.subsys_of_name n with
+              | Some s -> s
+              | None ->
+                failwith
+                  (Printf.sprintf "unknown subsystem %s (expected one of: %s)" n
+                     (String.concat " " (List.map Obs.subsys_name Obs.all_subsystems))))
+            names
+      in
+      List.iter Obs.enable subs;
+      say "tracing: %s"
+        (String.concat " " (List.map Obs.subsys_name (Obs.enabled_subsystems ())))
+    | [ "off" ] ->
+      Obs.disable_all ();
+      say "tracing off"
+    | [ "clear" ] ->
+      Obs.Trace.clear ();
+      say "trace ring cleared"
+    | [ "show" ] | [ "show"; _ ] ->
+      let limit =
+        match rest with [ "show"; n ] -> int_of_string n | _ -> 40
+      in
+      let text = Obs.Trace.to_text ~limit () in
+      if text = "" then
+        say "(trace ring is empty — 'trace on' enables collection)"
+      else print_string text;
+      say "%d emitted, %d retained, %d dropped" (Obs.Trace.emitted ())
+        (List.length (Obs.Trace.events ()))
+        (Obs.Trace.dropped ())
+    | [ "export"; path ] ->
+      let oc = open_out path in
+      output_string oc (Obs.Trace.to_chrome_json ());
+      close_out oc;
+      say "wrote %s (%d events; chrome://tracing or ui.perfetto.dev)" path
+        (List.length (Obs.Trace.events ()))
+    | _ -> say "usage: trace on [SUB...] | off | show [N] | clear | export PATH")
   | [ "quit" ] | [ "exit" ] -> raise Exit
   | cmd :: _ -> say "unknown command %s (try 'help')" cmd
 

@@ -7,9 +7,23 @@ type report = {
   audit : Fsck.report;
 }
 
+let m_recoveries = Obs.Metrics.counter "recovery.runs"
+
 let crash_and_recover fs =
+  Obs.Metrics.incr m_recoveries;
+  Obs.span Obs.Recovery "recovery" @@ fun () ->
   let r = Fs.crash_and_recover fs in
   let audit = Fsck.audit fs in
+  if Obs.on Obs.Recovery then
+    Obs.event Obs.Recovery "recovery.report"
+      ~args:
+        [ ("rolled_back", Obs.I (List.length r.Fs.rolled_back));
+          ("page_problems", Obs.I (List.length r.Fs.page_problems));
+          ("catalogs_rebuilt", Obs.I (List.length r.Fs.catalogs_rebuilt));
+          ("file_indexes_rebuilt", Obs.I (List.length r.Fs.file_indexes_rebuilt));
+          ("degraded", Obs.I (List.length r.Fs.degraded));
+        ]
+      ();
   {
     rolled_back = r.Fs.rolled_back;
     page_problems = r.Fs.page_problems;

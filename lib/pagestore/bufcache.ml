@@ -167,6 +167,7 @@ type t = {
   hot : Lru.t;
   cold : Lru.t;
   os_cache : Os_cache.t;
+  mutable gets : int;
   mutable hits : int;
   mutable misses : int;
   mutable writebacks : int;
@@ -178,6 +179,7 @@ type t = {
 }
 
 type stats = {
+  s_gets : int;
   s_hits : int;
   s_misses : int;
   s_os_hits : int;
@@ -187,7 +189,7 @@ type stats = {
   s_readahead_hits : int;
 }
 
-let create ?(capacity = 300) ?(os_cache_blocks = 16384) ?(readahead_window = 8)
+let make ?(capacity = 300) ?(os_cache_blocks = 16384) ?(readahead_window = 8)
     ?(promote_age_s = 0.05) () =
   if capacity < 1 then invalid_arg "Bufcache.create: capacity must be >= 1";
   if readahead_window < 0 then invalid_arg "Bufcache.create: readahead_window < 0";
@@ -203,6 +205,7 @@ let create ?(capacity = 300) ?(os_cache_blocks = 16384) ?(readahead_window = 8)
     hot = Lru.create ();
     cold = Lru.create ();
     os_cache = Os_cache.create os_cache_blocks;
+    gets = 0;
     hits = 0;
     misses = 0;
     writebacks = 0;
@@ -213,9 +216,30 @@ let create ?(capacity = 300) ?(os_cache_blocks = 16384) ?(readahead_window = 8)
     writeback_hook = None;
   }
 
+(* The legacy per-instance counters stay authoritative; the unified
+   registry sees them through live probes (latest-created cache wins,
+   which is the one a single-system test or shell is driving). *)
+let register_probes t =
+  let p name f = Obs.Metrics.probe name f in
+  p "cache.gets" (fun () -> t.gets);
+  p "cache.hits" (fun () -> t.hits);
+  p "cache.misses" (fun () -> t.misses);
+  p "cache.os_hits" (fun () -> t.os_hits);
+  p "cache.writebacks" (fun () -> t.writebacks);
+  p "cache.evictions" (fun () -> t.evictions);
+  p "cache.readaheads" (fun () -> t.readaheads);
+  p "cache.readahead_hits" (fun () -> t.readahead_hits);
+  p "cache.resident" (fun () -> Hashtbl.length t.table)
+
+let create ?capacity ?os_cache_blocks ?readahead_window ?promote_age_s () =
+  let t = make ?capacity ?os_cache_blocks ?readahead_window ?promote_age_s () in
+  register_probes t;
+  t
+
 let set_writeback_hook t hook = t.writeback_hook <- hook
 
 let capacity t = t.cap
+let gets t = t.gets
 let hits t = t.hits
 let misses t = t.misses
 let writebacks t = t.writebacks
@@ -227,6 +251,7 @@ let resident t = Hashtbl.length t.table
 
 let stats t =
   {
+    s_gets = t.gets;
     s_hits = t.hits;
     s_misses = t.misses;
     s_os_hits = t.os_hits;
@@ -238,9 +263,9 @@ let stats t =
 
 let stats_to_string s =
   Printf.sprintf
-    "cache_hits=%d cache_misses=%d os_hits=%d writebacks=%d evictions=%d readaheads=%d \
-     readahead_hits=%d"
-    s.s_hits s.s_misses s.s_os_hits s.s_writebacks s.s_evictions s.s_readaheads
+    "cache_gets=%d cache_hits=%d cache_misses=%d os_hits=%d writebacks=%d evictions=%d \
+     readaheads=%d readahead_hits=%d"
+    s.s_gets s.s_hits s.s_misses s.s_os_hits s.s_writebacks s.s_evictions s.s_readaheads
     s.s_readahead_hits
 
 let seg_state t dev ~segid =
@@ -293,7 +318,15 @@ let write_back t e =
     | Some exn when not mirror_landed -> raise exn
     | _ -> ());
     e.dirty <- false;
-    t.writebacks <- t.writebacks + 1
+    t.writebacks <- t.writebacks + 1;
+    if Obs.on Obs.Cache then
+      Obs.event Obs.Cache "cache.writeback"
+        ~args:
+          [
+            ("dev", Obs.S (Device.name e.dev)); ("segid", Obs.I e.segid);
+            ("blkno", Obs.I e.blkno);
+          ]
+        ()
   end
 
 (* O(1) eviction: the cold tail is the victim; an all-hot pool falls back
@@ -311,6 +344,14 @@ let evict_one t =
     Hashtbl.remove t.table e.key;
     Hashtbl.remove (seg_state t e.dev ~segid:e.segid).blocks e.blkno;
     t.evictions <- t.evictions + 1;
+    if Obs.on Obs.Cache then
+      Obs.event Obs.Cache "cache.evict"
+        ~args:
+          [
+            ("dev", Obs.S (Device.name e.dev)); ("segid", Obs.I e.segid);
+            ("blkno", Obs.I e.blkno); ("dirty", Obs.I (if e.dirty then 1 else 0));
+          ]
+        ();
     write_back t e
 
 let ensure_room t = while Hashtbl.length t.table >= t.cap do evict_one t done
@@ -409,6 +450,7 @@ let prefetch t dev seg ~segid ~from =
   let devid = Device.id dev in
   let nblocks = Device.nblocks dev segid in
   let limit = min (from + t.readahead_window - 1) (nblocks - 1) in
+  let fetched = ref 0 in
   (try
      for blkno = from to limit do
        (* Speculative work must never hit the all-pinned failure mode a
@@ -423,21 +465,46 @@ let prefetch t dev seg ~segid ~from =
          let page = Resilient.read_block ~charged:true ~cont:true dev ~segid ~blkno in
          if os_cached_device dev then Os_cache.add t.os_cache key;
          let (_ : entry) = install t dev segid blkno page ~pins:0 ~prefetched:true in
-         t.readaheads <- t.readaheads + 1
+         t.readaheads <- t.readaheads + 1;
+         incr fetched
        end
      done
    with Exit | Device.Media_failure _ | Device.Io_fault _ -> ());
+  (* One burst event per run, carrying how many continuation reads the
+     batch actually issued — the trace-checked read-ahead invariant. *)
+  if !fetched > 0 && Obs.on Obs.Cache then
+    Obs.event Obs.Cache "cache.readahead"
+      ~args:
+        [
+          ("dev", Obs.S (Device.name dev)); ("segid", Obs.I segid);
+          ("from", Obs.I from); ("blocks", Obs.I !fetched);
+        ]
+      ();
   seg.ra_next <- max seg.ra_next (limit + 1)
 
 let get t dev ~segid ~blkno =
+  (* Counter coherence: gets = hits + misses, and readahead_hits counts a
+     {e subset} of hits (the demand access that first touches a
+     prefetched page) — it is a prediction-accuracy annotation, not a
+     third outcome, so it never double-counts against gets. *)
+  t.gets <- t.gets + 1;
   let key = pack ~devid:(Device.id dev) ~segid ~blkno in
   match Hashtbl.find_opt t.table key with
   | Some e ->
     t.hits <- t.hits + 1;
-    if e.prefetched then begin
+    let was_prefetched = e.prefetched in
+    if was_prefetched then begin
       t.readahead_hits <- t.readahead_hits + 1;
       e.prefetched <- false
     end;
+    if Obs.on Obs.Cache then
+      Obs.event Obs.Cache "cache.hit"
+        ~args:
+          [
+            ("dev", Obs.S (Device.name dev)); ("segid", Obs.I segid);
+            ("blkno", Obs.I blkno); ("ra", Obs.I (if was_prefetched then 1 else 0));
+          ]
+        ();
     if e.linked then Lru.remove (match e.tier with Hot -> t.hot | Cold -> t.cold) e;
     (* Scan resistance: promotion to the hot tier requires a re-touch
        after the page has aged past the install burst — the double-touch
@@ -450,6 +517,14 @@ let get t dev ~segid ~blkno =
     e.page
   | None ->
     t.misses <- t.misses + 1;
+    if Obs.on Obs.Cache then
+      Obs.event Obs.Cache "cache.miss"
+        ~args:
+          [
+            ("dev", Obs.S (Device.name dev)); ("segid", Obs.I segid);
+            ("blkno", Obs.I blkno);
+          ]
+        ();
     let seg = seg_state t dev ~segid in
     let page = fetch_page t dev ~segid ~blkno ~key ~cont:false in
     let e = install t dev segid blkno page ~pins:1 ~prefetched:false in

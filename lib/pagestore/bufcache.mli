@@ -109,7 +109,14 @@ val crash : t -> unit
 val os_hits : t -> int
 (** Reads absorbed by the secondary (file-system) cache. *)
 
+val gets : t -> int
+(** Total {!get} calls.  Counter coherence invariant:
+    [gets = hits + misses], always. *)
+
 val hits : t -> int
+(** Demand accesses served from the pool (includes hits on prefetched
+    pages — see {!readahead_hits}). *)
+
 val misses : t -> int
 val writebacks : t -> int
 val evictions : t -> int
@@ -118,8 +125,10 @@ val readaheads : t -> int
 (** Blocks fetched speculatively by read-ahead bursts. *)
 
 val readahead_hits : t -> int
-(** Demand accesses served by a page read-ahead brought in — the measure
-    of prediction accuracy. *)
+(** Demand accesses that were the {e first} touch of a page read-ahead
+    brought in — the measure of prediction accuracy.  A strict subset of
+    {!hits} (an annotation on a hit, not a third outcome):
+    [readahead_hits <= hits] and [readahead_hits <= readaheads]. *)
 
 val resident : t -> int
 (** Current number of resident pages. *)
@@ -127,13 +136,14 @@ val resident : t -> int
 (** {1 Counter snapshots} *)
 
 type stats = {
+  s_gets : int;  (** [s_gets = s_hits + s_misses] *)
   s_hits : int;
   s_misses : int;
   s_os_hits : int;
   s_writebacks : int;
   s_evictions : int;
   s_readaheads : int;
-  s_readahead_hits : int;
+  s_readahead_hits : int;  (** subset of [s_hits] *)
 }
 
 val stats : t -> stats

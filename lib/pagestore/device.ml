@@ -443,6 +443,11 @@ let peek_block t ~segid ~blkno =
     kill t;
     media_failure t ~segid ~blkno "device dead"
 
+(* Uncharged stores (write-backs into the FS buffer cache, mirror repair,
+   the NFS baseline's writes) are counted too — without the latency
+   histogram the charged transfers get, since they cost no simulated time. *)
+let m_poke = Obs.Metrics.counter "device.poke"
+
 let poke_block t ~segid ~blkno page =
   check_alive t ~segid ~blkno;
   check_block t segid blkno;
@@ -485,15 +490,51 @@ let poke_block t ~segid ~blkno page =
      torn write is checksum-consistent (self-identifying pages catch it);
      only post-hoc decay leaves the checksum stale. *)
   Hashtbl.replace t.checksums (segid, blkno) (Page.checksum_bytes stored);
+  Obs.Metrics.incr m_poke;
   match fault with Some Fault_bitrot -> rot_bytes stored | _ -> ()
 
+(* Unified observability: each charged transfer bumps a registry counter
+   and a latency histogram in lockstep and emits a trace event, all
+   behind the Device mask so the disabled cost is one bit test. *)
+let m_read = Obs.Metrics.counter "device.read"
+let h_read = Obs.Metrics.histogram "device.read.latency_us"
+let m_read_cont = Obs.Metrics.counter "device.read_cont"
+let h_read_cont = Obs.Metrics.histogram "device.read_cont.latency_us"
+let m_write = Obs.Metrics.counter "device.write"
+let h_write = Obs.Metrics.histogram "device.write.latency_us"
+
+let obs_io t name counter hist ~segid ~blkno ~t0 =
+  Obs.Metrics.incr counter;
+  Obs.Metrics.observe hist (Simclock.Clock.now t.clock -. t0);
+  Obs.event Obs.Device name
+    ~args:[ ("dev", Obs.S t.name); ("segid", Obs.I segid); ("blkno", Obs.I blkno) ]
+    ()
+
 let read_block t ~segid ~blkno =
-  charge_read t ~segid ~blkno;
-  peek_block t ~segid ~blkno
+  if not (Obs.on Obs.Device) then begin
+    charge_read t ~segid ~blkno;
+    peek_block t ~segid ~blkno
+  end
+  else begin
+    let t0 = Simclock.Clock.now t.clock in
+    charge_read t ~segid ~blkno;
+    let page = peek_block t ~segid ~blkno in
+    obs_io t "device.read" m_read h_read ~segid ~blkno ~t0;
+    page
+  end
 
 let read_block_cont t ~segid ~blkno =
-  charge_read_cont t ~segid ~blkno;
-  peek_block t ~segid ~blkno
+  if not (Obs.on Obs.Device) then begin
+    charge_read_cont t ~segid ~blkno;
+    peek_block t ~segid ~blkno
+  end
+  else begin
+    let t0 = Simclock.Clock.now t.clock in
+    charge_read_cont t ~segid ~blkno;
+    let page = peek_block t ~segid ~blkno in
+    obs_io t "device.read_cont" m_read_cont h_read_cont ~segid ~blkno ~t0;
+    page
+  end
 
 let verify_block t ~segid ~blkno =
   check_block t segid blkno;
@@ -543,8 +584,16 @@ let charge_write t ~segid ~blkno =
   t.writes <- t.writes + 1
 
 let write_block t ~segid ~blkno page =
-  charge_write t ~segid ~blkno;
-  poke_block t ~segid ~blkno page
+  if not (Obs.on Obs.Device) then begin
+    charge_write t ~segid ~blkno;
+    poke_block t ~segid ~blkno page
+  end
+  else begin
+    let t0 = Simclock.Clock.now t.clock in
+    charge_write t ~segid ~blkno;
+    poke_block t ~segid ~blkno page;
+    obs_io t "device.write" m_write h_write ~segid ~blkno ~t0
+  end
 
 let charge_drain t =
   let g = t.geometry in

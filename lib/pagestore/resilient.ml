@@ -6,8 +6,18 @@ type policy = {
 
 let default_policy = { max_attempts = 3; base_backoff_s = 0.001; backoff_multiplier = 4.0 }
 
+(* Registry twins of the clock-tick counters ("resilient.retry" etc.):
+   the unified registry sums across devices/clocks, the ticks stay the
+   per-clock legacy view.  Bare int increments — no allocation. *)
+let m_retries = Obs.Metrics.counter "resilient.retries"
+let m_failovers = Obs.Metrics.counter "resilient.failovers"
+let m_repairs = Obs.Metrics.counter "resilient.repairs"
+
 let backoff policy clock attempt =
   Simclock.Clock.tick clock "resilient.retry";
+  Obs.Metrics.incr m_retries;
+  if Obs.on Obs.Device then
+    Obs.event Obs.Device "resilient.retry" ~args:[ ("attempt", Obs.I attempt) ] ();
   Simclock.Clock.advance clock ~account:"resilient.backoff"
     (policy.base_backoff_s *. (policy.backoff_multiplier ** float_of_int (attempt - 1)))
 
@@ -62,6 +72,11 @@ let read_block ?(policy = default_policy) ?(charged = true) ?(cont = false) dev 
     | None -> raise primary_failure
     | Some (mdev, msegid) -> (
       Simclock.Clock.tick (Device.clock dev) "resilient.failover";
+      Obs.Metrics.incr m_failovers;
+      if Obs.on Obs.Device then
+        Obs.event Obs.Device "resilient.failover"
+          ~args:[ ("dev", Obs.S (Device.name dev)); ("segid", Obs.I segid); ("blkno", Obs.I blkno) ]
+          ();
       (* A failover read is never a continuation: the mirror's arm is
          positioned independently of the burst on the primary. *)
       match read_with_retry policy ~charged:true ~cont:false mdev ~segid:msegid ~blkno with
@@ -71,7 +86,16 @@ let read_block ?(policy = default_policy) ?(charged = true) ?(cont = false) dev 
            serving. *)
         (try
            Device.poke_block dev ~segid ~blkno page;
-           Simclock.Clock.tick (Device.clock dev) "resilient.repair"
+           Simclock.Clock.tick (Device.clock dev) "resilient.repair";
+           Obs.Metrics.incr m_repairs;
+           if Obs.on Obs.Device then
+             Obs.event Obs.Device "resilient.repair"
+               ~args:
+                 [
+                   ("dev", Obs.S (Device.name dev)); ("segid", Obs.I segid);
+                   ("blkno", Obs.I blkno);
+                 ]
+               ()
          with Device.Media_failure _ | Device.Io_fault _ -> ());
         page
       (* Crash_injected is deliberately not caught: it propagates. *)

@@ -73,7 +73,13 @@ let tokenize src =
         done;
         emit (FLOAT (float_of_string (String.sub src start (!i - start))))
       end
-      else emit (INT (Int64.of_string (String.sub src start (!i - start))))
+      else
+        (* Int64.of_string raises a bare Failure on overflow (found by
+           the parser fuzzer); keep the typed-error contract. *)
+        let digits = String.sub src start (!i - start) in
+        (match Int64.of_string_opt digits with
+        | Some v -> emit (INT v)
+        | None -> raise (Lex_error ("integer literal out of range", start)))
     end
     else if c = '"' then begin
       let buf = Buffer.create 16 in

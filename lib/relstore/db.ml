@@ -29,6 +29,8 @@ let create ?(cache_capacity = 300) ?os_cache_blocks ?readahead_window ?switch ?c
   let log = Status_log.create ~clock in
   let locks = Lock_mgr.create () in
   let mgr = Txn.create_manager ~clock ~log ~locks ~cache in
+  (* Any system built the normal way gets trace timestamps for free. *)
+  Obs.set_clock clock;
   {
     clock;
     switch;

@@ -84,9 +84,22 @@ let insert_payload t ~oid ~xmin payload =
 
 let clock t = Pagestore.Device.clock t.device
 
+let m_insert = Obs.Metrics.counter "heap.inserts"
+let m_update = Obs.Metrics.counter "heap.updates"
+let m_delete = Obs.Metrics.counter "heap.deletes"
+let m_scan = Obs.Metrics.counter "heap.scans"
+
 let insert t txn ~oid payload =
   write_lock t txn;
   Cpu_model.charge_record_write (clock t) ~bytes:(Bytes.length payload);
+  Obs.Metrics.incr m_insert;
+  if Obs.on Obs.Heap then
+    Obs.event Obs.Heap "heap.insert"
+      ~args:
+        [ ("rel", Obs.S t.name); ("oid", Obs.I (Int64.to_int oid));
+          ("bytes", Obs.I (Bytes.length payload));
+        ]
+      ();
   insert_payload t ~oid ~xmin:(Txn.xid txn) payload
 
 let append_raw t ~oid ~xmin ~xmax payload =
@@ -131,7 +144,13 @@ let delete t txn (tid : Tid.t) =
   Cpu_model.charge_record_write (clock t) ~bytes:0;
   match fetch_any t tid with
   | None -> raise Not_found
-  | Some r -> delete_stamped t txn tid r
+  | Some r ->
+    Obs.Metrics.incr m_delete;
+    if Obs.on Obs.Heap then
+      Obs.event Obs.Heap "heap.delete"
+        ~args:[ ("rel", Obs.S t.name); ("oid", Obs.I (Int64.to_int r.oid)) ]
+        ();
+    delete_stamped t txn tid r
 
 let update t txn tid payload =
   write_lock t txn;
@@ -139,6 +158,11 @@ let update t txn tid payload =
   | None -> raise Not_found
   | Some old ->
     Cpu_model.charge_record_write (clock t) ~bytes:0;
+    Obs.Metrics.incr m_update;
+    if Obs.on Obs.Heap then
+      Obs.event Obs.Heap "heap.update"
+        ~args:[ ("rel", Obs.S t.name); ("oid", Obs.I (Int64.to_int old.oid)) ]
+        ();
     delete_stamped t txn tid old;
     insert t txn ~oid:old.oid payload
 
@@ -146,15 +170,22 @@ let hint_sequential t =
   Pagestore.Bufcache.hint_sequential t.cache t.device ~segid:t.segid
 
 let scan_raw t f =
-  hint_sequential t;
-  for blkno = 0 to nblocks t - 1 do
-    (* Collect under the pin, apply after releasing it, so [f] may itself
-       touch the cache (e.g. follow the record into another relation). *)
-    let records = ref [] in
-    with_page t blkno (fun page ->
-        Heap_page.iter page (fun r -> records := record_of_page_record blkno r :: !records));
-    List.iter f (List.rev !records)
-  done
+  Obs.Metrics.incr m_scan;
+  (* The span wraps the whole pass so device reads issued for the scan's
+     pages nest inside it in the trace tree. *)
+  Obs.span Obs.Heap "heap.scan"
+    ~args:[ ("rel", Obs.S t.name); ("blocks", Obs.I (nblocks t)) ]
+    (fun () ->
+      hint_sequential t;
+      for blkno = 0 to nblocks t - 1 do
+        (* Collect under the pin, apply after releasing it, so [f] may itself
+           touch the cache (e.g. follow the record into another relation). *)
+        let records = ref [] in
+        with_page t blkno (fun page ->
+            Heap_page.iter page (fun r ->
+                records := record_of_page_record blkno r :: !records));
+        List.iter f (List.rev !records)
+      done)
 
 let scan t snap f =
   let emit r = if Snapshot.visible t.log snap ~xmin:r.xmin ~xmax:r.xmax then f r in

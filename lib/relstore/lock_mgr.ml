@@ -14,6 +14,14 @@ type t = {
 
 let create () = { locks = Hashtbl.create 64; wait_for = Hashtbl.create 16 }
 
+(* Registry counters are process-global: the lock manager is a per-Db
+   singleton in practice, and lock traffic is interesting in aggregate. *)
+let m_acquires = Obs.Metrics.counter "lock.acquires"
+let m_waits = Obs.Metrics.counter "lock.waits"
+let m_deadlocks = Obs.Metrics.counter "lock.deadlocks"
+let m_timeouts = Obs.Metrics.counter "lock.timeouts"
+let m_releases = Obs.Metrics.counter "lock.releases"
+
 let holders_table t resource =
   match Hashtbl.find_opt t.locks resource with
   | Some h -> h
@@ -77,14 +85,35 @@ let acquire t xid ~resource mode =
     match conflicting_holders h xid mode with
     | [] ->
       Hashtbl.replace h xid mode;
-      Hashtbl.remove t.wait_for xid
+      Hashtbl.remove t.wait_for xid;
+      Obs.Metrics.incr m_acquires;
+      if Obs.on Obs.Lock then
+        Obs.event Obs.Lock "lock.acquire"
+          ~args:
+            [ ("xid", Obs.I xid); ("resource", Obs.S resource);
+              ("mode", Obs.S (mode_to_string mode));
+            ]
+          ()
     | conflicts ->
       (* Would waiting on [conflicts] complete a cycle back to us? *)
       if List.exists (fun holder -> reaches t holder xid) conflicts then begin
         Hashtbl.remove t.wait_for xid;
+        Obs.Metrics.incr m_deadlocks;
+        if Obs.on Obs.Lock then
+          Obs.event Obs.Lock "lock.deadlock"
+            ~args:[ ("xid", Obs.I xid); ("resource", Obs.S resource) ]
+            ();
         raise (Deadlock xid)
       end;
       Hashtbl.replace t.wait_for xid conflicts;
+      Obs.Metrics.incr m_waits;
+      if Obs.on Obs.Lock then
+        Obs.event Obs.Lock "lock.wait"
+          ~args:
+            [ ("xid", Obs.I xid); ("resource", Obs.S resource);
+              ("holders", Obs.I (List.length conflicts));
+            ]
+          ();
       raise (Would_block { xid; resource; holders = conflicts })
   end
 
@@ -122,8 +151,10 @@ let retry_backoff ?clock ?rng ?(attempts = 4) ?(base_s = 0.01) ?(max_s = 0.5)
       (match classify e with
       | None -> raise e
       | Some blocked_on ->
-        if attempt >= attempts then
+        if attempt >= attempts then begin
+          Obs.Metrics.incr m_timeouts;
           raise (Lock_timeout { attempts; waited_s = !waited; blocked_on })
+        end
         else begin
           let d = min max_s (base_s *. (2. ** float_of_int (attempt - 1))) in
           let d =
@@ -141,7 +172,12 @@ let retry_backoff ?clock ?rng ?(attempts = 4) ?(base_s = 0.01) ?(max_s = 0.5)
   in
   go 1
 
+(* No trace event here, only the counter: commit emits its "txn.commit"
+   point *after* releasing, and the trace-checked invariant "a committed
+   transaction's span contains nothing after txn.commit" depends on the
+   release being silent. *)
 let release_all t xid =
+  Obs.Metrics.incr m_releases;
   Hashtbl.iter (fun _ h -> Hashtbl.remove h xid) t.locks;
   Hashtbl.remove t.wait_for xid;
   (* Anyone recorded as waiting for [xid] no longer is. *)

@@ -21,8 +21,17 @@ let log m = m.log
 let locks m = m.locks
 let cache m = m.cache
 
+let m_begin = Obs.Metrics.counter "txn.begin"
+let m_commit = Obs.Metrics.counter "txn.commit"
+let m_abort = Obs.Metrics.counter "txn.abort"
+let h_commit = Obs.Metrics.histogram "txn.commit.latency_us"
+
 let begin_txn mgr =
   let txn_xid = Status_log.begin_txn mgr.log in
+  Obs.Metrics.incr m_begin;
+  (* Unscoped span: the transaction outlives this call, so the matching
+     span_end lives in [commit] / [abort]. *)
+  if Obs.on Obs.Txn then Obs.span_begin Obs.Txn "txn" ~args:[ ("xid", Obs.I txn_xid) ] ();
   { mgr; txn_xid; started = Simclock.Clock.timestamp mgr.clock; txn_state = Active }
 
 let xid t = t.txn_xid
@@ -41,6 +50,7 @@ let lock t ~resource mode =
 
 let commit t =
   require_active t "commit";
+  let t0 = Simclock.Clock.now t.mgr.clock in
   (* A transaction that held no exclusive lock wrote nothing: its commit
      needs neither a data flush nor a forced status write. *)
   let wrote =
@@ -57,6 +67,19 @@ let commit t =
   let ts = Status_log.commit ~force:wrote t.mgr.log t.txn_xid in
   Lock_mgr.release_all t.mgr.locks t.txn_xid;
   t.txn_state <- Committed;
+  (* Counter and histogram move in lockstep unconditionally — the bench
+     smoke check asserts hist_count(txn.commit.latency_us) = txn.commit. *)
+  Obs.Metrics.incr m_commit;
+  Obs.Metrics.observe h_commit (Simclock.Clock.now t.mgr.clock -. t0);
+  (* The commit point is the last event inside the span: everything the
+     transaction did (including lock release, which is traceless) happens
+     before it, and the span closes right after. *)
+  if Obs.on Obs.Txn then begin
+    Obs.event Obs.Txn "txn.commit"
+      ~args:[ ("xid", Obs.I t.txn_xid); ("wrote", Obs.I (if wrote then 1 else 0)) ]
+      ();
+    Obs.span_end Obs.Txn "txn" ()
+  end;
   ts
 
 let abort t =
@@ -66,7 +89,12 @@ let abort t =
   | Active ->
     Status_log.abort t.mgr.log t.txn_xid;
     Lock_mgr.release_all t.mgr.locks t.txn_xid;
-    t.txn_state <- Aborted
+    t.txn_state <- Aborted;
+    Obs.Metrics.incr m_abort;
+    if Obs.on Obs.Txn then begin
+      Obs.event Obs.Txn "txn.abort" ~args:[ ("xid", Obs.I t.txn_xid) ] ();
+      Obs.span_end Obs.Txn "txn" ()
+    end
 
 let with_txn mgr f =
   let t = begin_txn mgr in

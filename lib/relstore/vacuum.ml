@@ -16,7 +16,13 @@ let judge log ~horizon (r : Heap.record) =
     if Xid.is_valid r.xmax && Status_log.committed_before log r.xmax horizon then Archive
     else Keep
 
+let m_runs = Obs.Metrics.counter "vacuum.runs"
+let m_archived = Obs.Metrics.counter "vacuum.archived"
+let m_discarded = Obs.Metrics.counter "vacuum.discarded"
+
 let run heap ~log ~horizon ~mode ?(on_remove = fun _ -> ()) () =
+  Obs.Metrics.incr m_runs;
+  Obs.span Obs.Vacuum "vacuum.run" ~args:[ ("rel", Obs.S (Heap.name heap)) ] @@ fun () ->
   let archive_heap =
     match (mode, Heap.archive heap) with
     | `Archive, Some a -> Some a
@@ -50,6 +56,16 @@ let run heap ~log ~horizon ~mode ?(on_remove = fun _ -> ()) () =
   in
   List.iter kill (List.rev !doomed);
   Hashtbl.iter (fun blkno () -> Heap.compact_block heap blkno) touched;
+  Obs.Metrics.incr ~by:!archived m_archived;
+  Obs.Metrics.incr ~by:!discarded m_discarded;
+  if Obs.on Obs.Vacuum then
+    Obs.event Obs.Vacuum "vacuum.stats"
+      ~args:
+        [ ("scanned", Obs.I !scanned); ("archived", Obs.I !archived);
+          ("discarded", Obs.I !discarded);
+          ("pages_compacted", Obs.I (Hashtbl.length touched));
+        ]
+      ();
   {
     scanned = !scanned;
     archived = !archived;

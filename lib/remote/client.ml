@@ -84,11 +84,14 @@ let backoff_and_note t attempt =
   let d = d *. (0.5 +. Rng.float t.rng 1.0) in
   Clock.advance t.clock ~account:"net.backoff" d;
   Netsim.note_retry t.net;
-  t.retries <- t.retries + 1
+  t.retries <- t.retries + 1;
+  if Obs.on Obs.Net then
+    Obs.event Obs.Net "net.retry" ~args:[ ("attempt", Obs.I attempt) ] ()
 
 let charge_timeout t =
   Netsim.note_timeout t.net;
   t.timeouts <- t.timeouts + 1;
+  if Obs.on Obs.Net then Obs.event Obs.Net "net.timeout" ();
   Clock.advance t.clock ~account:"net.timeout" t.cfg.timeout_s
 
 (* Drain this connection's inbound queue looking for the reply to [rid].
@@ -192,6 +195,8 @@ let hello t =
 
 let session_dead t =
   t.sessions_lost <- t.sessions_lost + 1;
+  if Obs.on Obs.Net then
+    Obs.event Obs.Net "net.session_lost" ~args:[ ("sid", Obs.I (Int64.to_int t.sid)) ] ();
   t.sid <- 0L;
   t.in_txn <- false;
   Hashtbl.reset t.fd_pos;
@@ -204,6 +209,7 @@ let session_dead t =
 
 let reconnect t =
   t.reconnects <- t.reconnects + 1;
+  if Obs.on Obs.Net then Obs.event Obs.Net "net.reconnect" ();
   hello t
 
 (* Requests whose goal is already met once the session is gone: the dying
@@ -297,6 +303,15 @@ let connect ?(config = default_config) ~server ~link ~rng () =
     }
   in
   Server.attach server link;
+  (* Wire counters join the unified registry as live probes: the client's
+     own tallies plus the Netsim aggregates underneath it.  Latest client
+     wins, matching the registry's replace-on-register rule. *)
+  Obs.Metrics.probe "net.client.retries" (fun () -> t.retries);
+  Obs.Metrics.probe "net.client.timeouts" (fun () -> t.timeouts);
+  Obs.Metrics.probe "net.client.reconnects" (fun () -> t.reconnects);
+  Obs.Metrics.probe "net.client.sessions_lost" (fun () -> t.sessions_lost);
+  Obs.Metrics.probe "net.messages" (fun () -> Netsim.messages net);
+  Obs.Metrics.probe "net.bytes_sent" (fun () -> Netsim.bytes_sent net);
   if not (hello t) then conn_reset "could not establish a session";
   t
 

@@ -190,8 +190,16 @@ let exec t (s : sess) (req : Wire.req) : Wire.result =
       ~blocked:Fs.lock_blocked run
   else run ()
 
+let m_requests = Obs.Metrics.counter "net.server.requests"
+let m_replays = Obs.Metrics.counter "net.server.replays"
+
 let handle t link ~sid ~rid req =
   t.requests <- t.requests + 1;
+  Obs.Metrics.incr m_requests;
+  if Obs.on Obs.Net then
+    Obs.event Obs.Net "net.dispatch"
+      ~args:[ ("req", Obs.S (Wire.req_name req)); ("rid", Obs.I (Int64.to_int rid)) ]
+      ();
   let send frames = List.iter (fun f -> Link.send link Link.To_client f) frames in
   let reply_now reply = send (Wire.encode_reply ~sid ~rid reply) in
   match req with
@@ -207,6 +215,7 @@ let handle t link ~sid ~rid req =
     match List.assoc_opt rid t.hello_window with
     | Some frames ->
       t.replays <- t.replays + 1;
+      Obs.Metrics.incr m_replays;
       send frames
     | None ->
       (* one connection carries one session: a fresh handshake on this
@@ -254,6 +263,7 @@ let handle t link ~sid ~rid req =
         (* the dedup window: this request already executed; replay the
            recorded reply instead of executing it twice *)
         t.replays <- t.replays + 1;
+        Obs.Metrics.incr m_replays;
         send frames
       | None when rid <= s.max_rid ->
         (* a stale duplicate from before the window: the client has long

@@ -311,6 +311,212 @@ let prop_parser_roundtrip =
       let printed = A.expr_to_string ast in
       P.parse_expr printed = ast)
 
+(* ---- fuzzing ---- *)
+
+(* Render a token back to concrete syntax the lexer accepts.  The debug
+   printer [token_to_string] emits IDENT(x) / STRING("x") forms that do
+   not re-lex, so the fuzzer needs its own renderer. *)
+let token_to_src = function
+  | L.IDENT s -> s
+  | L.STRING s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  | L.INT i -> Int64.to_string i
+  | L.FLOAT f -> Printf.sprintf "%.3f" f
+  | L.LPAREN -> "("
+  | L.RPAREN -> ")"
+  | L.COMMA -> ","
+  | L.EQ -> "="
+  | L.NE -> "!="
+  | L.LT -> "<"
+  | L.LE -> "<="
+  | L.GT -> ">"
+  | L.GE -> ">="
+  | L.PLUS -> "+"
+  | L.MINUS -> "-"
+  | L.STAR -> "*"
+  | L.SLASH -> "/"
+  | L.KW_RETRIEVE -> "retrieve"
+  | L.KW_WHERE -> "where"
+  | L.KW_DEFINE -> "define"
+  | L.KW_TYPE -> "type"
+  | L.KW_AND -> "and"
+  | L.KW_OR -> "or"
+  | L.KW_NOT -> "not"
+  | L.KW_IN -> "in"
+  | L.EOF -> ""
+
+let fuzz_corpus =
+  [
+    {|retrieve (filename) where "RISC" in keywords(file)|};
+    {|retrieve (snow(file), filename) where filetype(file) = "tm" and snow(file)/size(file) > 0.5 and month_of(file) = "April"|};
+    {|retrieve (filename) where owner(file) = "mao" and (filetype(file) = "movie" or filetype(file) = "sound") and dir(file) = "/users/mao"|};
+    "define type tm";
+    "retrieve (a, b, c)";
+    {|retrieve (x + 2 * y) where not x = -1 or "a\"b" in s|};
+    "retrieve (f(1, 2.5, g(x)))";
+  ]
+
+(* Anything other than the two typed errors escaping the front end is a
+   crash: the parser's contract (parser.mli) is Parse_error | Lex_error. *)
+let parses_or_fails_typed src =
+  match P.parse_statement src with
+  | (_ : A.statement) -> None
+  | exception (P.Parse_error _ | L.Lex_error _) -> None
+  | exception e -> Some (Printexc.to_string e)
+
+let test_fuzz_token_mutations () =
+  let rng = Random.State.make [| 0xB10C; 5 |] in
+  let pool = Array.of_list (List.concat_map L.tokenize fuzz_corpus) in
+  let pick_tok () = pool.(Random.State.int rng (Array.length pool)) in
+  let mutate toks =
+    let n = List.length toks in
+    if n = 0 then [ pick_tok () ]
+    else
+      let k = Random.State.int rng n in
+      match Random.State.int rng 4 with
+      | 0 -> List.filteri (fun i _ -> i <> k) toks (* drop *)
+      | 1 -> List.concat (List.mapi (fun i t -> if i = k then [ t; t ] else [ t ]) toks)
+      | 2 -> List.mapi (fun i t -> if i = k then pick_tok () else t) toks (* replace *)
+      | _ ->
+        List.concat
+          (List.mapi (fun i t -> if i = k then [ pick_tok (); t ] else [ t ]) toks)
+  in
+  let crashes = ref [] in
+  for _ = 1 to 1500 do
+    let base = List.nth fuzz_corpus (Random.State.int rng (List.length fuzz_corpus)) in
+    let toks = L.tokenize base in
+    let rounds = 1 + Random.State.int rng 3 in
+    let toks = List.fold_left (fun t _ -> mutate t) toks (List.init rounds Fun.id) in
+    let src =
+      String.concat " "
+        (List.filter_map
+           (fun t -> match token_to_src t with "" -> None | s -> Some s)
+           toks)
+    in
+    match parses_or_fails_typed src with
+    | None -> ()
+    | Some e -> crashes := (src, e) :: !crashes
+  done;
+  match !crashes with
+  | [] -> ()
+  | (src, e) :: _ ->
+    Alcotest.failf "parser crashed on %d mutated inputs, e.g. %s on %S"
+      (List.length !crashes) e src
+
+let test_fuzz_char_mutations () =
+  let rng = Random.State.make [| 0xF00D; 17 |] in
+  let alphabet = {|abz019"().,=<>!+-*/\ _|} in
+  let pick_char () = alphabet.[Random.State.int rng (String.length alphabet)] in
+  let mutate src =
+    let n = String.length src in
+    if n = 0 then String.make 1 (pick_char ())
+    else
+      let k = Random.State.int rng n in
+      match Random.State.int rng 3 with
+      | 0 -> String.sub src 0 k ^ String.sub src (k + 1) (n - k - 1) (* delete *)
+      | 1 ->
+        String.sub src 0 k
+        ^ String.make 1 (pick_char ())
+        ^ String.sub src (k + 1) (n - k - 1) (* replace *)
+      | _ -> String.sub src 0 k ^ String.make 1 (pick_char ()) ^ String.sub src k (n - k)
+  in
+  let crashes = ref [] in
+  for _ = 1 to 2500 do
+    let base = List.nth fuzz_corpus (Random.State.int rng (List.length fuzz_corpus)) in
+    let rounds = 1 + Random.State.int rng 5 in
+    let src = ref base in
+    for _ = 1 to rounds do
+      src := mutate !src
+    done;
+    match parses_or_fails_typed !src with
+    | None -> ()
+    | Some e -> crashes := (!src, e) :: !crashes
+  done;
+  match !crashes with
+  | [] -> ()
+  | (src, e) :: _ ->
+    Alcotest.failf "front end crashed on %d mutated inputs, e.g. %s on %S"
+      (List.length !crashes) e src
+
+(* Regression the token fuzzer found: a digit run too long for Int64
+   used to escape the lexer as a bare Failure. *)
+let test_lexer_int_overflow_is_typed () =
+  Alcotest.(check bool) "overflow raises Lex_error" true
+    (try
+       ignore (L.tokenize "99999999999999999999999");
+       false
+     with L.Lex_error _ -> true)
+
+(* ---- golden cases ---- *)
+
+(* 20 pinned input/output pairs: 12 parse-and-print, 8 parse-and-eval.
+   Unlike the roundtrip property these freeze the concrete shapes, so a
+   precedence or printer regression shows up as a readable string diff. *)
+
+let golden_parse_cases =
+  [
+    ( {|retrieve (filename) where "RISC" in keywords(file)|},
+      {|retrieve (filename) where ("RISC" in keywords(file))|} );
+    ("retrieve (a, b, c)", "retrieve (a, b, c)");
+    ("define type tm", "define type tm");
+    ("define   TYPE   Movie", "define type Movie");
+    ( "retrieve (x) where a = 1 or b = 2 and c = 3",
+      "retrieve (x) where ((a = 1) or ((b = 2) and (c = 3)))" );
+    ( "retrieve (x) where not a = 1 and b = 2",
+      "retrieve (x) where ((not (a = 1)) and (b = 2))" );
+    ( "retrieve (x + 2 * y) where x - 1 < 10",
+      "retrieve ((x + (2 * y))) where ((x - 1) < 10)" );
+    ( {|retrieve (snow(file)/size(file)) where month_of(file) = "April"|},
+      {|retrieve ((snow(file) / size(file))) where (month_of(file) = "April")|} );
+    ("retrieve (f(x, y, 1.5))", "retrieve (f(x, y, 1.5))");
+    ( "retrieve (x) where -5 + 3 < x",
+      "retrieve (x) where (((0 - 5) + 3) < x)" );
+    ( "retrieve (x) where a != 1 and a >= 2 and a <= 3",
+      "retrieve (x) where ((a != 1) and ((a >= 2) and (a <= 3)))" );
+    ( {|retrieve (x) where "a b" in s|},
+      {|retrieve (x) where ("a b" in s)|} );
+  ]
+
+let golden_eval_cases =
+  [
+    ("x * 2 + 1", "21");
+    ("x > 5 and x < 20", "true");
+    ("not (x = 11)", "true");
+    ({|"ell" in s|}, "true");
+    ("snow(file) + size(file)", "907");
+    ("x / 4", "2.5");
+    ("missing + 1", "null");
+    ("keywords(file)", {|{"RISC", "UNIX"}|});
+  ]
+
+let test_golden_parse () =
+  List.iter
+    (fun (src, want) ->
+      Alcotest.(check string) src want (A.statement_to_string (P.parse_statement src)))
+    golden_parse_cases
+
+let test_golden_eval () =
+  let r = R.create () in
+  R.define_type r "tm";
+  R.register r ~name:"snow" ~file_type:"tm" (fun _ -> V.Int 900L);
+  R.register r ~name:"size" (fun _ -> V.Int 7L);
+  R.register r ~name:"keywords" (fun _ -> V.List [ V.Str "RISC"; V.Str "UNIX" ]);
+  let env = eval_env [ ("x", V.Int 10L); ("s", V.Str "hello"); ("file", V.Int 1L) ] in
+  List.iter
+    (fun (src, want) ->
+      Alcotest.(check string) src want (V.to_string (E.eval r env (P.parse_expr src))))
+    golden_eval_cases
+
 let () =
   Alcotest.run "postquel"
     [
@@ -350,6 +556,17 @@ let () =
           Alcotest.test_case "mixed types degrade" `Quick test_eval_mixed_types_false_not_crash;
           Alcotest.test_case "not precedence" `Quick test_not_precedence;
           Alcotest.test_case "statement print/reparse" `Quick test_statement_print_reparse;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "token mutations" `Quick test_fuzz_token_mutations;
+          Alcotest.test_case "char mutations" `Quick test_fuzz_char_mutations;
+          Alcotest.test_case "int overflow typed" `Quick test_lexer_int_overflow_is_typed;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "parse" `Quick test_golden_parse;
+          Alcotest.test_case "eval" `Quick test_golden_eval;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
