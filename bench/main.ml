@@ -324,6 +324,7 @@ let op_key = function
    nesting), so a printer over a tiny syntax tree keeps us dependency-free. *)
 type json =
   | J_obj of (string * json) list
+  | J_arr of json list
   | J_str of string
   | J_num of float
   | J_int of int
@@ -335,6 +336,17 @@ let rec json_to_buf buf indent = function
     (* %.17g roundtrips but is noisy; six significant decimals is far
        below the cost model's meaningful precision. *)
     Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | J_arr [] -> Buffer.add_string buf "[]"
+  | J_arr items ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad ^ "  ");
+        json_to_buf buf (indent + 2) v)
+      items;
+    Buffer.add_string buf (Printf.sprintf "\n%s]" pad)
   | J_obj fields ->
     let pad = String.make indent ' ' in
     Buffer.add_string buf "{\n";
@@ -510,6 +522,47 @@ let eviction_microbench () =
       ],
     ratio )
 
+module Lt = Benchlib.Loadtest
+
+let json_of_load (o : Lt.outcome) =
+  let level (l : Lt.level) =
+    J_obj
+      [
+        ("factor", J_num l.Lt.l_factor);
+        ("offered_ops_s", J_num l.Lt.l_offered_ops_s);
+        ("offered_realized_ops_s", J_num l.Lt.l_offered_realized_ops_s);
+        ("achieved_ops_s", J_num l.Lt.l_achieved_ops_s);
+        ("ops", J_int l.Lt.l_ops);
+        ("applied", J_int l.Lt.l_applied);
+        ("lock_skips", J_int l.Lt.l_lock_skips);
+        ("p50_s", J_num l.Lt.l_p50_s);
+        ("p95_s", J_num l.Lt.l_p95_s);
+        ("p99_s", J_num l.Lt.l_p99_s);
+        ("mean_s", J_num l.Lt.l_mean_s);
+        ("max_wait_queue", J_int l.Lt.l_max_wait_queue);
+        ("peak_link_depth", J_int l.Lt.l_peak_link_depth);
+        ( "tenant_p99_s",
+          J_arr (Array.to_list (Array.map (fun p -> J_num p) l.Lt.l_tenant_p99_s)) );
+      ]
+  in
+  J_obj
+    [
+      ("seed", J_int (Int64.to_int o.Lt.seed));
+      ("capacity_ops_s", J_num o.Lt.capacity_ops_s);
+      ("slo_p99_s", J_num o.Lt.slo_p99_s);
+      ("knee_offered_ops_s", J_num o.Lt.knee_offered_ops_s);
+      ("knee_reason", J_str o.Lt.knee_reason);
+      ("levels", J_arr (List.map level o.Lt.levels));
+      ("ops_total", J_int o.Lt.ops_total);
+      ("applied_total", J_int o.Lt.applied_total);
+      ("lock_skips", J_int o.Lt.lock_skips);
+      ("commits", J_int o.Lt.commits);
+      ("aborts", J_int o.Lt.aborts);
+      ("time_travel_checks", J_int o.Lt.time_travel_checks);
+      ("full_verifies", J_int o.Lt.full_verifies);
+      ("mismatches", J_int (List.length o.Lt.mismatches))
+    ]
+
 let bench_json ~mb ~out ~smoke =
   let date =
     let tm = Unix.localtime (Unix.time ()) in
@@ -541,6 +594,11 @@ let bench_json ~mb ~out ~smoke =
   let ra_obj, cold_ra, cold_off, _warm_rate, hot_rate = readahead_ablation ~mb in
   progress "bench json: eviction microbench (wall-clock)...";
   let ev_obj, ev_ratio = eviction_microbench () in
+  progress "bench json: open-loop load sweep...";
+  (* A mid-size sweep: big enough that queueing is visible past the
+     knee, small enough to keep `bench json` per-PR-friendly. *)
+  let load_cfg = { Lt.default_config with Lt.clients = 64; ops_per_level = 300 } in
+  let load = Lt.run ~config:load_cfg ~seed:1L () in
   let doc =
     J_obj
       [
@@ -555,7 +613,12 @@ let bench_json ~mb ~out ~smoke =
              microseconds per miss+eviction on a full pool (O(1) replacement \
              must keep the 4096/300 ratio near 1); network: real messages and \
              bytes on each system's simulated wire plus client \
-             retry/timeout/reconnect counters" );
+             retry/timeout/reconnect counters; load: open-loop saturation \
+             curve: Poisson arrivals at factor x calibrated capacity, Zipf \
+             popularity, per-tenant sessions through the RPC layer; each \
+             level reports offered vs achieved ops/s and p50/p95/p99 latency \
+             (seconds, queueing included), with the detected throughput/SLO \
+             knee and a differential-oracle mismatch count (must be 0)" );
         ("generated", J_str date);
         ("file_mb", J_int mb);
         ( "table3_seconds",
@@ -568,6 +631,7 @@ let bench_json ~mb ~out ~smoke =
         ("network", net_obj);
         ("readahead_ablation", ra_obj);
         ("eviction_microbench", ev_obj);
+        ("load", json_of_load load);
         ("metrics", json_of_metrics ());
       ]
   in
@@ -614,6 +678,34 @@ let bench_json ~mb ~out ~smoke =
     check "readahead-subset" (metric "cache.readahead_hits" <= metric "cache.hits")
       (Printf.sprintf "cache.readahead_hits=%d > cache.hits=%d"
          (metric "cache.readahead_hits") (metric "cache.hits"));
+    (* The "load" object's invariants: enough points to draw a curve,
+       throughput bounded by what was offered, ordered percentiles, the
+       knee inside the swept range, and an oracle-equivalent run. *)
+    check "load-points" (List.length load.Lt.levels >= 4)
+      (Printf.sprintf "only %d load levels (need >= 4)" (List.length load.Lt.levels));
+    check "load-oracle" (load.Lt.mismatches = [])
+      (Printf.sprintf "%d differential mismatches under load"
+         (List.length load.Lt.mismatches));
+    List.iter
+      (fun (l : Lt.level) ->
+        check "load-throughput"
+          (l.Lt.l_achieved_ops_s >= 0.
+          && l.Lt.l_achieved_ops_s <= l.Lt.l_offered_realized_ops_s +. 1e-6)
+          (Printf.sprintf "x%.2f: achieved %.3f ops/s outside [0, offered %.3f]"
+             l.Lt.l_factor l.Lt.l_achieved_ops_s l.Lt.l_offered_realized_ops_s);
+        check "load-percentiles"
+          (l.Lt.l_p50_s <= l.Lt.l_p95_s && l.Lt.l_p95_s <= l.Lt.l_p99_s)
+          (Printf.sprintf "x%.2f: p50=%g p95=%g p99=%g not ordered" l.Lt.l_factor
+             l.Lt.l_p50_s l.Lt.l_p95_s l.Lt.l_p99_s))
+      load.Lt.levels;
+    (let offered = List.map (fun l -> l.Lt.l_offered_realized_ops_s) load.Lt.levels in
+     let lo = List.fold_left min infinity offered in
+     let hi = List.fold_left max 0. offered in
+     check "load-knee"
+       (load.Lt.knee_offered_ops_s >= lo -. 1e-6
+       && load.Lt.knee_offered_ops_s <= hi +. 1e-6)
+       (Printf.sprintf "knee %.3f ops/s outside swept range [%.3f, %.3f]"
+          load.Lt.knee_offered_ops_s lo hi));
     match !fail with
     | [] -> progress "bench json --smoke: all checks passed"
     | fails ->
@@ -761,6 +853,59 @@ let () =
     print_endline (Benchlib.Nettest.outcome_to_string o);
     List.iter (fun m -> Printf.printf "  MISMATCH: %s\n" m) o.Benchlib.Nettest.mismatches;
     if o.Benchlib.Nettest.mismatches <> [] then exit 1
+  | "load" ->
+    (* Open-loop load sweep:
+         bench load [--seed N] [--clients N] [--tenants N] [--ops N]
+                    [--factors F1,F2,...] [--theta F] [--slo-ms N]
+                    [--quick] [--trace]
+       Calibrates capacity closed-loop, then offers factor x capacity at
+       each level and prints the saturation curve (offered vs achieved
+       ops/s, p50/p95/p99) plus the detected knee.  The differential
+       oracle checks every mutation; exits 1 on mismatch.  --quick runs
+       the small configuration the test sweep uses. *)
+    let find_arg name default =
+      let rec go = function
+        | a :: v :: _ when a = name -> int_of_string v
+        | _ :: rest -> go rest
+        | [] -> default
+      in
+      go args
+    in
+    let find_float name default =
+      let rec go = function
+        | a :: v :: _ when a = name -> float_of_string v
+        | _ :: rest -> go rest
+        | [] -> default
+      in
+      go args
+    in
+    let base = if List.mem "--quick" args then Lt.quick_config else Lt.default_config in
+    let factors =
+      let rec go = function
+        | "--factors" :: v :: _ ->
+          String.split_on_char ',' v |> List.map (fun s -> float_of_string (String.trim s))
+        | _ :: rest -> go rest
+        | [] -> base.Lt.load_factors
+      in
+      go args
+    in
+    let seed = Int64.of_int (find_arg "--seed" 1) in
+    let cfg =
+      {
+        base with
+        Lt.clients = find_arg "--clients" base.Lt.clients;
+        tenants = find_arg "--tenants" base.Lt.tenants;
+        ops_per_level = find_arg "--ops" base.Lt.ops_per_level;
+        load_factors = factors;
+        zipf_theta = find_float "--theta" base.Lt.zipf_theta;
+        slo_p99_s = find_float "--slo-ms" (base.Lt.slo_p99_s *. 1e3) /. 1e3;
+        trace = List.mem "--trace" args;
+      }
+    in
+    let o = Lt.run ~config:cfg ~seed () in
+    print_endline (Lt.outcome_to_string o);
+    List.iter (fun m -> Printf.printf "  MISMATCH: %s\n" m) o.Lt.mismatches;
+    if o.Lt.mismatches <> [] then exit 1
   | "degraded" ->
     (* Directed degraded-mode scenario: bench degraded [--seed N] [--files N].
        Exits 1 on mismatch. *)
@@ -783,7 +928,7 @@ let () =
   | other ->
     Printf.eprintf
       "unknown command %s (expected \
-       all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|net|degraded)\n"
+       all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|net|load|degraded)\n"
       other;
     exit 2);
   match trace_out with

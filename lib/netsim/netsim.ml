@@ -110,6 +110,7 @@ module Link = struct
     mutable corrupted : int;
     mutable partitioned : int;
     mutable crash_marks : int;
+    mutable peak_depth : int; (* high-water mark of either direction's queue *)
   }
 
   let create net =
@@ -124,6 +125,7 @@ module Link = struct
       corrupted = 0;
       partitioned = 0;
       crash_marks = 0;
+      peak_depth = 0;
     }
 
   let net t = t.net
@@ -176,7 +178,8 @@ module Link = struct
       Queue.add { frame; poison = true } ep.q;
       t.crash_marks <- t.crash_marks + 1
     | None -> Queue.add { frame; poison = false } ep.q);
-    List.iter (fun e -> Queue.add e ep.q) release
+    List.iter (fun e -> Queue.add e ep.q) release;
+    t.peak_depth <- max t.peak_depth (Queue.length ep.q)
 
   let recv t dir =
     let ep = endpoint t dir in
@@ -196,6 +199,8 @@ module Link = struct
     wipe t.to_server;
     wipe t.to_client
 
+  let peak_depth t = t.peak_depth
+  let reset_peak_depth t = t.peak_depth <- 0
   let dropped t = t.dropped
   let duplicated t = t.duplicated
   let reordered t = t.reordered

@@ -125,6 +125,13 @@ module Link : sig
 
   val pending : t -> dir -> int
 
+  val peak_depth : t -> int
+  (** High-water mark of either direction's queue since creation (or the
+      last {!reset_peak_depth}): how deep requests stacked up behind a
+      busy server — the load harness's queueing signal. *)
+
+  val reset_peak_depth : t -> unit
+
   val clear : t -> unit
   (** Drop everything in flight (both directions, including held-back
       copies) — what a machine crash does to its connections. *)

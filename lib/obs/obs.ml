@@ -291,6 +291,14 @@ module Metrics = struct
   let hist_count h = h.count
   let hist_sum h = h.sum
 
+  (* Per-phase reset: a sweep that reuses one histogram across load
+     levels zeroes it between levels so each level's percentiles are
+     computed from that level's observations alone. *)
+  let hist_reset h =
+    Array.fill h.buckets 0 (Array.length h.buckets) 0;
+    h.count <- 0;
+    h.sum <- 0.
+
   (* Geometric midpoint of the bucket the q-quantile lands in. *)
   let percentile h q =
     if h.count = 0 then 0.

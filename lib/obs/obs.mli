@@ -152,6 +152,11 @@ module Metrics : sig
   val hist_count : histogram -> int
   val hist_sum : histogram -> float
 
+  val hist_reset : histogram -> unit
+  (** Zero the buckets, count, and sum, keeping the registration.  Load
+      sweeps call this between levels so each level's percentiles come
+      from that level's observations alone. *)
+
   val percentile : histogram -> float -> float
   (** [percentile h 0.99] — approximate (bucket-resolution) quantile,
       in seconds.  0. when empty. *)

@@ -10,9 +10,27 @@ exception Lock_timeout of { attempts : int; waited_s : float; blocked_on : strin
 type t = {
   locks : (string, (Xid.t, mode) Hashtbl.t) Hashtbl.t; (* resource -> holders *)
   wait_for : (Xid.t, Xid.t list) Hashtbl.t; (* waiter -> holders it waits on *)
+  waiters : (string, (Xid.t, mode) Hashtbl.t) Hashtbl.t;
+      (* resource -> blocked requests; a pending Exclusive entry bars
+         new Shared grants so a stream of readers cannot starve a
+         writer (no barging) *)
 }
 
-let create () = { locks = Hashtbl.create 64; wait_for = Hashtbl.create 16 }
+let wait_queue_length t = Hashtbl.length t.wait_for
+
+let create () =
+  let t =
+    {
+      locks = Hashtbl.create 64;
+      wait_for = Hashtbl.create 16;
+      waiters = Hashtbl.create 16;
+    }
+  in
+  (* Live view for dashboards and the load harness; replace-on-register
+     means the registry tracks the most recently built manager, which is
+     the per-Db singleton in practice. *)
+  Obs.Metrics.probe "lock.wait_queue" (fun () -> wait_queue_length t);
+  t
 
 (* Registry counters are process-global: the lock manager is a per-Db
    singleton in practice, and lock traffic is interesting in aggregate. *)
@@ -73,6 +91,38 @@ let conflicting_holders h xid mode =
     h []
   |> List.sort Xid.compare
 
+(* Pending Exclusive requests on [resource] from other transactions.
+   A new Shared request must queue behind them: without this, a steady
+   stream of readers keeps the resource share-locked forever and the
+   writer starves. *)
+let exclusive_waiters t xid resource =
+  match Hashtbl.find_opt t.waiters resource with
+  | None -> []
+  | Some w ->
+    Hashtbl.fold
+      (fun wxid wmode acc ->
+        if wxid <> xid && wmode = Exclusive then wxid :: acc else acc)
+      w []
+    |> List.sort Xid.compare
+
+let drop_waiter t xid resource =
+  match Hashtbl.find_opt t.waiters resource with
+  | None -> ()
+  | Some w ->
+    Hashtbl.remove w xid;
+    if Hashtbl.length w = 0 then Hashtbl.remove t.waiters resource
+
+let record_waiter t xid resource mode =
+  let w =
+    match Hashtbl.find_opt t.waiters resource with
+    | Some w -> w
+    | None ->
+      let w = Hashtbl.create 4 in
+      Hashtbl.replace t.waiters resource w;
+      w
+  in
+  Hashtbl.replace w xid mode
+
 let acquire t xid ~resource mode =
   let h = holders_table t resource in
   let already =
@@ -82,9 +132,18 @@ let acquire t xid ~resource mode =
     | None -> false
   in
   if not already then begin
-    match conflicting_holders h xid mode with
-    | [] ->
+    let barred =
+      (* Holders re-acquiring never queue behind waiters (that would
+         deadlock the holder on its own lock); only fresh Shared
+         requests defer to a pending writer. *)
+      if mode = Shared && not (Hashtbl.mem h xid) then
+        exclusive_waiters t xid resource
+      else []
+    in
+    match (conflicting_holders h xid mode, barred) with
+    | [], [] ->
       Hashtbl.replace h xid mode;
+      drop_waiter t xid resource;
       Hashtbl.remove t.wait_for xid;
       Obs.Metrics.incr m_acquires;
       if Obs.on Obs.Lock then
@@ -94,10 +153,12 @@ let acquire t xid ~resource mode =
               ("mode", Obs.S (mode_to_string mode));
             ]
           ()
-    | conflicts ->
-      (* Would waiting on [conflicts] complete a cycle back to us? *)
-      if List.exists (fun holder -> reaches t holder xid) conflicts then begin
+    | conflicts, barred ->
+      let blockers = List.sort_uniq Xid.compare (conflicts @ barred) in
+      (* Would waiting on [blockers] complete a cycle back to us? *)
+      if List.exists (fun holder -> reaches t holder xid) blockers then begin
         Hashtbl.remove t.wait_for xid;
+        drop_waiter t xid resource;
         Obs.Metrics.incr m_deadlocks;
         if Obs.on Obs.Lock then
           Obs.event Obs.Lock "lock.deadlock"
@@ -105,16 +166,17 @@ let acquire t xid ~resource mode =
             ();
         raise (Deadlock xid)
       end;
-      Hashtbl.replace t.wait_for xid conflicts;
+      record_waiter t xid resource mode;
+      Hashtbl.replace t.wait_for xid blockers;
       Obs.Metrics.incr m_waits;
       if Obs.on Obs.Lock then
         Obs.event Obs.Lock "lock.wait"
           ~args:
             [ ("xid", Obs.I xid); ("resource", Obs.S resource);
-              ("holders", Obs.I (List.length conflicts));
+              ("holders", Obs.I (List.length blockers));
             ]
           ();
-      raise (Would_block { xid; resource; holders = conflicts })
+      raise (Would_block { xid; resource; holders = blockers })
   end
 
 let try_acquire t xid ~resource mode =
@@ -124,7 +186,8 @@ let try_acquire t xid ~resource mode =
 
 let reset t =
   Hashtbl.reset t.locks;
-  Hashtbl.reset t.wait_for
+  Hashtbl.reset t.wait_for;
+  Hashtbl.reset t.waiters
 
 let blocked = function
   | Would_block { resource; holders; _ } ->
@@ -180,6 +243,14 @@ let release_all t xid =
   Obs.Metrics.incr m_releases;
   Hashtbl.iter (fun _ h -> Hashtbl.remove h xid) t.locks;
   Hashtbl.remove t.wait_for xid;
+  (* A transaction that ends while blocked abandons its queue spot, so
+     a dead writer cannot bar readers forever. *)
+  let abandoned =
+    Hashtbl.fold
+      (fun resource w acc -> if Hashtbl.mem w xid then resource :: acc else acc)
+      t.waiters []
+  in
+  List.iter (fun resource -> drop_waiter t xid resource) abandoned;
   (* Anyone recorded as waiting for [xid] no longer is. *)
   let updates =
     Hashtbl.fold

@@ -34,7 +34,15 @@ val create : unit -> t
 val acquire : t -> Xid.t -> resource:string -> mode -> unit
 (** Grant the lock or raise {!Would_block} / {!Deadlock}.  Re-acquiring a
     held lock is a no-op; a Shared → Exclusive upgrade succeeds when the
-    requester is the only holder. *)
+    requester is the only holder.
+
+    {b Writer fairness (no barging).}  A blocked request is remembered as
+    a waiter on its resource until it acquires, or its transaction ends.
+    While another transaction has a pending {e Exclusive} wait on a
+    resource, fresh Shared requests from non-holders block behind it
+    (the pending writers are reported as the [holders] of the
+    {!Would_block}) — so a steady stream of readers cannot starve a
+    writer.  Holders re-acquiring or upgrading are exempt. *)
 
 val try_acquire : t -> Xid.t -> resource:string -> mode -> bool
 (** Like {!acquire} but returns [false] instead of raising
@@ -52,6 +60,11 @@ val held_by : t -> Xid.t -> (string * mode) list
 
 val waiting : t -> Xid.t -> Xid.t list
 (** Transactions [xid] is currently recorded as waiting for. *)
+
+val wait_queue_length : t -> int
+(** Number of transactions currently recorded as blocked (the size of
+    the wait-for table).  Also exported as the Obs probe
+    ["lock.wait_queue"] by {!create} (last-created manager wins). *)
 
 val reset : t -> unit
 (** Drop every lock and wait-for edge.  Locks are volatile state: crash

@@ -193,6 +193,11 @@ let exec t (s : sess) (req : Wire.req) : Wire.result =
 let m_requests = Obs.Metrics.counter "net.server.requests"
 let m_replays = Obs.Metrics.counter "net.server.replays"
 
+(* Pure execution time per dispatched request (simulated clock around
+   [exec], excluding wire time and dedup replays).  The load harness
+   calibrates offered-load levels from its mean. *)
+let h_service = Obs.Metrics.histogram "net.server.service_us"
+
 let handle t link ~sid ~rid req =
   t.requests <- t.requests + 1;
   Obs.Metrics.incr m_requests;
@@ -270,6 +275,7 @@ let handle t link ~sid ~rid req =
            since moved on and will discard any answer; drop it *)
         ()
       | None ->
+        let t0 = Simclock.Clock.now t.clock in
         let reply =
           match exec t s req with
           | result -> Wire.Ok_reply { txn_open = Fs.in_transaction s.fsess; result }
@@ -294,6 +300,7 @@ let handle t link ~sid ~rid req =
                 msg = "raced with a concurrent unlink";
               }
         in
+        Obs.Metrics.observe h_service (Simclock.Clock.now t.clock -. t0);
         let frames = Wire.encode_reply ~sid ~rid reply in
         s.max_rid <- max s.max_rid rid;
         s.window <- (rid, frames) :: s.window;

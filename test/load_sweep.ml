@@ -1,0 +1,123 @@
+(* Seeded differential load sweep, run via `dune build @load`.
+
+   Each seed drives a full Loadtest run — open-loop Poisson arrivals,
+   Zipf popularity, multi-op transactions — and must be
+   oracle-equivalent (zero mismatches) while satisfying the saturation
+   invariants: achieved throughput never exceeds realized offered load,
+   percentiles are ordered, and the detected knee lies within the swept
+   range.  Covers 50 seeds by default; LOAD_SEEDS=5,6,7 appends extra
+   comma-separated seeds, LOAD_CLIENTS=N and LOAD_OPS=N resize each
+   run, and `--quick` (wired into the default `dune runtest`) trims to
+   a fast subset that also asserts same-seed determinism.  `--trace
+   SEED` replays one seed with the per-op log on stderr. *)
+
+module Loadtest = Benchlib.Loadtest
+
+let base_seeds = List.init 50 (fun i -> Int64.of_int (i + 1))
+let quick_seeds = [ 1L; 2L; 3L ]
+
+let env_seeds () =
+  match Sys.getenv_opt "LOAD_SEEDS" with
+  | None | Some "" -> []
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.filter_map (fun tok ->
+           match Int64.of_string_opt (String.trim tok) with
+           | Some n -> Some n
+           | None ->
+             Printf.eprintf "load_sweep: ignoring bad seed %S\n" tok;
+             None)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> int_of_string s
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "  FAIL: %s\n%!" msg)
+    fmt
+
+let check_invariants (o : Loadtest.outcome) =
+  List.iter (fun m -> fail "mismatch: %s" m) o.mismatches;
+  if o.capacity_ops_s <= 0. then fail "capacity %.3f not positive" o.capacity_ops_s;
+  List.iter
+    (fun (l : Loadtest.level) ->
+      if l.l_achieved_ops_s < 0. then
+        fail "x%.2f: achieved %.3f negative" l.l_factor l.l_achieved_ops_s;
+      if l.l_achieved_ops_s > l.l_offered_realized_ops_s +. 1e-6 then
+        fail "x%.2f: achieved %.3f exceeds offered %.3f" l.l_factor
+          l.l_achieved_ops_s l.l_offered_realized_ops_s;
+      if not (l.l_p50_s <= l.l_p95_s && l.l_p95_s <= l.l_p99_s) then
+        fail "x%.2f: percentiles unordered p50=%g p95=%g p99=%g" l.l_factor
+          l.l_p50_s l.l_p95_s l.l_p99_s;
+      if l.l_applied > l.l_ops then
+        fail "x%.2f: applied %d > ops %d" l.l_factor l.l_applied l.l_ops)
+    o.levels;
+  let offered = List.map (fun l -> l.Loadtest.l_offered_realized_ops_s) o.levels in
+  let lo = List.fold_left min infinity offered in
+  let hi = List.fold_left max 0. offered in
+  if o.knee_offered_ops_s < lo -. 1e-6 || o.knee_offered_ops_s > hi +. 1e-6 then
+    fail "knee %.3f outside swept range [%.3f, %.3f]" o.knee_offered_ops_s lo hi
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let trace_seed =
+    let rec find i =
+      if i >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--trace" && i + 1 < Array.length Sys.argv then
+        Int64.of_string_opt Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  (* The sweep's job is breadth (many seeds), not depth: both modes use
+     the small config and long mode buys coverage with 50 seeds.
+     LOAD_CLIENTS/LOAD_OPS scale a run up when depth is wanted. *)
+  let base = Loadtest.quick_config in
+  let config =
+    {
+      base with
+      Loadtest.clients = env_int "LOAD_CLIENTS" base.Loadtest.clients;
+      ops_per_level = env_int "LOAD_OPS" base.Loadtest.ops_per_level;
+      trace = trace_seed <> None;
+    }
+  in
+  let seeds =
+    match trace_seed with
+    | Some s -> [ s ]
+    | None -> (if quick then quick_seeds else base_seeds) @ env_seeds ()
+  in
+  List.iter
+    (fun seed ->
+      let o = Loadtest.run ~config ~seed () in
+      Printf.printf "%s\n%!" (Loadtest.outcome_to_string o);
+      check_invariants o)
+    seeds;
+  (* Determinism: the differential sweep is only trustworthy if a seed
+     replays to the identical schedule and outcome. *)
+  if trace_seed = None then begin
+    let seed = List.hd seeds in
+    let d1 =
+      Loadtest.schedule_digest ~config ~seed ~rate:100. ~ops:config.ops_per_level
+    in
+    let d2 =
+      Loadtest.schedule_digest ~config ~seed ~rate:100. ~ops:config.ops_per_level
+    in
+    if d1 <> d2 then fail "schedule digest not deterministic: %s vs %s" d1 d2;
+    let o1 = Loadtest.run ~config ~seed () in
+    let o2 = Loadtest.run ~config ~seed () in
+    if Loadtest.outcome_to_string o1 <> Loadtest.outcome_to_string o2 then
+      fail "outcome not deterministic for seed %Ld:\n%s\nvs\n%s" seed
+        (Loadtest.outcome_to_string o1)
+        (Loadtest.outcome_to_string o2)
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "load_sweep: %d failures (repro: load_sweep.exe --trace SEED)\n"
+      !failures;
+    exit 1
+  end

@@ -144,6 +144,41 @@ let test_sequoia_deterministic () =
         p.Benchlib.Sequoia.elapsed_s q.Benchlib.Sequoia.elapsed_s)
     a.Benchlib.Sequoia.phases b.Benchlib.Sequoia.phases
 
+module Lt = Benchlib.Loadtest
+
+(* Smaller than quick_config: these run on every `dune runtest` next to
+   the 3-seed sweep, so they only need to prove replay identity. *)
+let tiny_load =
+  {
+    Lt.quick_config with
+    Lt.clients = 6;
+    initial_files = 8;
+    ops_per_level = 30;
+    calibration_ops = 10;
+    load_factors = [ 0.5; 1.5 ];
+  }
+
+let test_load_schedule_deterministic () =
+  let digest seed = Lt.schedule_digest ~config:tiny_load ~seed ~rate:50. ~ops:30 in
+  Alcotest.(check string) "same seed, byte-identical schedule" (digest 7L)
+    (digest 7L);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (digest 7L <> digest 8L);
+  let render seed =
+    Lt.schedule_render (Lt.schedule ~config:tiny_load ~seed ~rate:50. ~ops:30)
+  in
+  Alcotest.(check string) "render replays byte-identically" (render 7L)
+    (render 7L)
+
+let test_load_outcome_deterministic () =
+  (* same seed must reproduce the whole outcome — throughput, quantiles,
+     knee, commit/abort counts — and stay oracle-clean *)
+  let o1 = Lt.run ~config:tiny_load ~seed:7L () in
+  let o2 = Lt.run ~config:tiny_load ~seed:7L () in
+  Alcotest.(check string) "identical outcome" (Lt.outcome_to_string o1)
+    (Lt.outcome_to_string o2);
+  Alcotest.(check (list string)) "no oracle mismatches" [] o1.Lt.mismatches
+
 let () =
   Alcotest.run "benchlib"
     [
@@ -172,5 +207,12 @@ let () =
         [
           Alcotest.test_case "runs clean" `Quick test_sequoia_workload;
           Alcotest.test_case "deterministic" `Quick test_sequoia_deterministic;
+        ] );
+      ( "load replay",
+        [
+          Alcotest.test_case "schedule deterministic" `Quick
+            test_load_schedule_deterministic;
+          Alcotest.test_case "outcome deterministic" `Quick
+            test_load_outcome_deterministic;
         ] );
     ]

@@ -101,6 +101,75 @@ let test_release_all_clears_wait_edges () =
   Alcotest.(check (list xid)) "1's edge gone" [] (L.waiting lm 1);
   L.acquire lm 3 ~resource:"r" L.Exclusive
 
+let test_writer_not_starved_by_readers () =
+  let lm = L.create () in
+  (* reader 1 holds Shared; a writer requests Exclusive and blocks *)
+  L.acquire lm 1 ~resource:"r" L.Shared;
+  (match L.acquire lm 100 ~resource:"r" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block { holders; _ } ->
+    Alcotest.(check (list xid)) "writer blocked on the reader" [ 1 ] holders);
+  (* a stream of fresh readers is mode-compatible with the Shared holder,
+     but every one must queue behind the pending writer — this is the
+     no-barging rule that keeps the writer from starving *)
+  for r = 2 to 9 do
+    match L.acquire lm r ~resource:"r" L.Shared with
+    | () -> Alcotest.fail "reader barged past a pending writer"
+    | exception L.Would_block { holders; _ } ->
+      Alcotest.(check (list xid)) "reader queued behind the writer" [ 100 ]
+        holders
+  done;
+  (* the existing holder is exempt: re-acquiring its own lock is a no-op *)
+  L.acquire lm 1 ~resource:"r" L.Shared;
+  (* the reader commits; the writer's retry now wins *)
+  L.release_all lm 1;
+  L.acquire lm 100 ~resource:"r" L.Exclusive;
+  Alcotest.(check (list xid)) "writer holds exclusively" [ 100 ]
+    (List.map fst (L.holders lm ~resource:"r"));
+  (* the writer commits; the queued readers all proceed *)
+  L.release_all lm 100;
+  for r = 2 to 9 do
+    L.acquire lm r ~resource:"r" L.Shared
+  done;
+  Alcotest.(check int) "all readers hold" 8
+    (List.length (L.holders lm ~resource:"r"))
+
+let test_dead_writer_cannot_bar_readers () =
+  let lm = L.create () in
+  L.acquire lm 1 ~resource:"r" L.Shared;
+  (match L.acquire lm 100 ~resource:"r" L.Exclusive with
+  | () -> Alcotest.fail "expected Would_block"
+  | exception L.Would_block _ -> ());
+  (* the blocked writer aborts: its pending wait must die with it, or
+     readers would be barred by a ghost forever *)
+  L.release_all lm 100;
+  L.acquire lm 2 ~resource:"r" L.Shared
+
+let test_wait_queue_probe () =
+  let lm = L.create () in
+  let read_probe () =
+    match Obs.Metrics.read "lock.wait_queue" with
+    | Some v -> v
+    | None -> Alcotest.fail "lock.wait_queue probe not registered"
+  in
+  Alcotest.(check int) "empty manager" 0 (L.wait_queue_length lm);
+  Alcotest.(check int) "probe empty" 0 (read_probe ());
+  L.acquire lm 1 ~resource:"a" L.Exclusive;
+  L.acquire lm 2 ~resource:"b" L.Exclusive;
+  let block x r =
+    match L.acquire lm x ~resource:r L.Exclusive with
+    | () -> Alcotest.fail "expected Would_block"
+    | exception L.Would_block _ -> ()
+  in
+  block 3 "a";
+  block 4 "b";
+  Alcotest.(check int) "two blocked" 2 (L.wait_queue_length lm);
+  Alcotest.(check int) "probe reads through" 2 (read_probe ());
+  L.release_all lm 3;
+  Alcotest.(check int) "aborted waiter leaves the queue" 1 (read_probe ());
+  L.reset lm;
+  Alcotest.(check int) "reset clears the queue" 0 (read_probe ())
+
 let test_retry_backoff_succeeds_after_release () =
   let lm = L.create () in
   let clock = Simclock.Clock.create () in
@@ -174,6 +243,14 @@ let () =
         [
           Alcotest.test_case "release_all clears wait edges" `Quick
             test_release_all_clears_wait_edges;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "writer not starved by readers" `Quick
+            test_writer_not_starved_by_readers;
+          Alcotest.test_case "dead writer cannot bar readers" `Quick
+            test_dead_writer_cannot_bar_readers;
+          Alcotest.test_case "wait-queue probe" `Quick test_wait_queue_probe;
         ] );
       ( "backoff",
         [

@@ -56,6 +56,34 @@ let test_registry_basics () =
   Alcotest.(check bool) "snapshot sorted" true (List.sort String.compare names = names);
   Obs.reset ()
 
+let test_hist_reset_and_percentiles () =
+  Obs.reset ();
+  let h = Obs.Metrics.histogram "t.reset" in
+  (* an empty histogram reports cleanly: zero count, zero percentiles *)
+  Alcotest.(check int) "empty count" 0 (Obs.Metrics.hist_count h);
+  Alcotest.(check (float 0.)) "empty p50" 0. (Obs.Metrics.percentile h 0.5);
+  Alcotest.(check (float 0.)) "empty p99" 0. (Obs.Metrics.percentile h 0.99);
+  (* a populated histogram keeps its quantiles ordered *)
+  List.iteri
+    (fun i v -> for _ = 1 to 100 - i do Obs.Metrics.observe h v done)
+    [ 0.001; 0.010; 0.100; 1.0 ];
+  let p50 = Obs.Metrics.percentile h 0.5 in
+  let p95 = Obs.Metrics.percentile h 0.95 in
+  let p99 = Obs.Metrics.percentile h 0.99 in
+  Alcotest.(check bool) "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "p99 above p50" true (p99 > p50);
+  (* phase reset: the same histogram object starts over with no stale
+     samples leaking into the next measurement window *)
+  Obs.Metrics.hist_reset h;
+  Alcotest.(check int) "reset count" 0 (Obs.Metrics.hist_count h);
+  Alcotest.(check (float 0.)) "reset p99" 0. (Obs.Metrics.percentile h 0.99);
+  Obs.Metrics.observe h 0.004;
+  Alcotest.(check int) "usable after reset" 1 (Obs.Metrics.hist_count h);
+  let p99 = Obs.Metrics.percentile h 0.99 in
+  Alcotest.(check bool) "post-reset p99 reflects only new data" true
+    (p99 > 0.002 && p99 < 0.008);
+  Obs.reset ()
+
 let test_mask_and_ring () =
   Obs.reset ();
   Obs.Trace.set_capacity 8;
@@ -341,6 +369,8 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "counters, histograms, probes" `Quick test_registry_basics;
+          Alcotest.test_case "hist_reset and percentile ordering" `Quick
+            test_hist_reset_and_percentiles;
           Alcotest.test_case "mask gating and ring wrap" `Quick test_mask_and_ring;
         ] );
       ( "trace-invariants",

@@ -88,6 +88,130 @@ let test_wire_crc_rejects_corruption () =
           (Wire.decode_header mangled = None))
     frame
 
+(* Reassemble a frame list the way the receiver does: parse + CRC-check
+   every frame, feed it to Assembly, return the completed payload. *)
+let assemble frames =
+  let asm = Wire.Assembly.create () in
+  let payload =
+    List.fold_left
+      (fun acc frame ->
+        match Wire.decode_header frame with
+        | None -> Alcotest.fail "frame failed parse/CRC"
+        | Some h -> (
+          match Wire.Assembly.add asm h with `Complete p -> Some p | `Pending -> acc))
+      None frames
+  in
+  match payload with
+  | Some p -> p
+  | None -> Alcotest.fail "frames did not complete a message"
+
+let roundtrip_write data =
+  let frames =
+    Wire.encode_request ~sid:5L ~rid:11L (Wire.Write { fd = 1; off = 0L; data })
+  in
+  (match Wire.decode_request (assemble frames) with
+  | Some (Wire.Write w) ->
+    Alcotest.(check int) "data length survives" (String.length data)
+      (String.length w.data);
+    Alcotest.(check bool) "data bytes survive" true (w.data = data)
+  | _ -> Alcotest.fail "decoded to the wrong request");
+  frames
+
+let test_wire_empty_payload () =
+  (* a zero-byte write still frames, assembles, and decodes to "" *)
+  let frames = roundtrip_write "" in
+  Alcotest.(check int) "one data frame + end-of-stream trailer" 2
+    (List.length frames);
+  (* Ping carries no fields at all: the minimal message on the wire *)
+  let frames = Wire.encode_request ~sid:1L ~rid:1L Wire.Ping in
+  Alcotest.(check int) "ping is one frame" 1 (List.length frames);
+  match Wire.decode_request (assemble frames) with
+  | Some Wire.Ping -> ()
+  | _ -> Alcotest.fail "ping did not roundtrip"
+
+let test_wire_boundary_payload () =
+  (* Measure the serialization overhead around the data, then pick data
+     lengths that land the encoded payload exactly on the fragment
+     boundary and one byte past it. *)
+  let payload_len data =
+    let frames =
+      Wire.encode_request ~sid:5L ~rid:11L (Wire.Write { fd = 1; off = 0L; data })
+    in
+    List.fold_left
+      (fun acc f ->
+        match Wire.decode_header f with
+        | Some h -> acc + String.length h.Wire.payload
+        | None -> Alcotest.fail "frame failed parse/CRC")
+      0 frames
+  in
+  let probe = String.make 100 'p' in
+  let overhead = payload_len probe - 100 in
+  let at_boundary = String.make (Wire.max_fragment - overhead) 'b' in
+  let frames = roundtrip_write at_boundary in
+  Alcotest.(check int) "exact fit: one full data frame + trailer" 2
+    (List.length frames);
+  (match Wire.decode_header (List.hd frames) with
+  | Some h ->
+    Alcotest.(check int) "data frame filled to max_fragment" Wire.max_fragment
+      (String.length h.Wire.payload)
+  | None -> Alcotest.fail "boundary frame failed parse/CRC");
+  let past_boundary = String.make (Wire.max_fragment - overhead + 1) 'c' in
+  let frames = roundtrip_write past_boundary in
+  Alcotest.(check int) "one byte over: two data frames + trailer" 3
+    (List.length frames)
+
+let test_wire_max_frame_roundtrip () =
+  (* maximum-size message: every frame filled, CRC-checked, reassembled
+     byte-for-byte; flipping any byte of a full frame must fail its CRC *)
+  let data = String.init (3 * Wire.max_fragment) (fun i -> Char.chr (i land 0xff)) in
+  let frames = roundtrip_write data in
+  Alcotest.(check bool) "fragmented" true (List.length frames >= 4);
+  let full = List.hd frames in
+  Alcotest.(check int) "full frame is header + max_fragment"
+    (Wire.header_bytes + Wire.max_fragment)
+    (String.length full);
+  let b = Bytes.of_string full in
+  Bytes.set b (Wire.header_bytes + (Wire.max_fragment / 2))
+    (Char.chr (Char.code (Bytes.get b (Wire.header_bytes + (Wire.max_fragment / 2))) lxor 1));
+  Alcotest.(check bool) "corrupt max-size frame rejected" true
+    (Wire.decode_header (Bytes.to_string b) = None)
+
+let test_wire_duplicate_fragments () =
+  (* a retry resending fragments that already arrived must not corrupt
+     reassembly: duplicates are ignored, the payload completes once *)
+  let data = String.init (2 * Wire.max_fragment) (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let frames =
+    Wire.encode_request ~sid:5L ~rid:11L (Wire.Write { fd = 1; off = 0L; data })
+  in
+  let hdrs =
+    List.map
+      (fun f ->
+        match Wire.decode_header f with
+        | Some h -> h
+        | None -> Alcotest.fail "frame failed parse/CRC")
+      frames
+  in
+  let asm = Wire.Assembly.create () in
+  let complete = ref None in
+  let feed h =
+    match Wire.Assembly.add asm h with
+    | `Complete p -> complete := Some p
+    | `Pending -> ()
+  in
+  (match hdrs with
+  | h0 :: rest ->
+    feed h0;
+    feed h0 (* duplicate before the group completes *);
+    List.iter feed rest
+  | [] -> Alcotest.fail "no frames");
+  match !complete with
+  | None -> Alcotest.fail "duplicated fragments never completed"
+  | Some p -> (
+    match Wire.decode_request p with
+    | Some (Wire.Write w) ->
+      Alcotest.(check bool) "payload intact after duplicates" true (w.data = data)
+    | _ -> Alcotest.fail "decoded to the wrong request")
+
 (* ---- a faultless session ---- *)
 
 let test_basic_session () =
@@ -295,6 +419,13 @@ let () =
         [
           Alcotest.test_case "roundtrip + fragmentation" `Quick test_wire_roundtrip;
           Alcotest.test_case "crc rejects corruption" `Quick test_wire_crc_rejects_corruption;
+          Alcotest.test_case "empty payload" `Quick test_wire_empty_payload;
+          Alcotest.test_case "payload at fragment boundary" `Quick
+            test_wire_boundary_payload;
+          Alcotest.test_case "maximum-size frame roundtrip" `Quick
+            test_wire_max_frame_roundtrip;
+          Alcotest.test_case "duplicate fragments ignored" `Quick
+            test_wire_duplicate_fragments;
         ] );
       ( "rpc",
         [
