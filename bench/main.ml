@@ -543,6 +543,11 @@ let json_of_load (o : Lt.outcome) =
         ("peak_link_depth", J_int l.Lt.l_peak_link_depth);
         ( "tenant_p99_s",
           J_arr (Array.to_list (Array.map (fun p -> J_num p) l.Lt.l_tenant_p99_s)) );
+        ("shed_deadline", J_int l.Lt.l_shed_deadline);
+        ("shed_overload", J_int l.Lt.l_shed_overload);
+        ("admitted", J_int l.Lt.l_admitted);
+        ("admitted_p99_s", J_num l.Lt.l_admitted_p99_s);
+        ("slo_goodput_ops_s", J_num l.Lt.l_slo_goodput_ops_s);
       ]
   in
   J_obj
@@ -560,7 +565,9 @@ let json_of_load (o : Lt.outcome) =
       ("aborts", J_int o.Lt.aborts);
       ("time_travel_checks", J_int o.Lt.time_travel_checks);
       ("full_verifies", J_int o.Lt.full_verifies);
-      ("mismatches", J_int (List.length o.Lt.mismatches))
+      ("mismatches", J_int (List.length o.Lt.mismatches));
+      ("shed_deadline", J_int o.Lt.shed_deadline);
+      ("shed_overload", J_int o.Lt.shed_overload);
     ]
 
 let bench_json ~mb ~out ~smoke =
@@ -599,6 +606,27 @@ let bench_json ~mb ~out ~smoke =
      knee, small enough to keep `bench json` per-PR-friendly. *)
   let load_cfg = { Lt.default_config with Lt.clients = 64; ops_per_level = 300 } in
   let load = Lt.run ~config:load_cfg ~seed:1L () in
+  progress "bench json: overload differential (deadlines on vs seed)...";
+  (* The overload story, as one curve pair: identical traffic at 1x, 2x
+     and 4x calibrated capacity, once with per-op deadlines propagated
+     (the protected server sheds work whose caller gave up) and once
+     deadline-free (the seed degrades by queueing alone).  Protection
+     must hold SLO-goodput near capacity and admitted p99 under the SLO
+     where the seed curve loses both. *)
+  let ov_deadline_s = 0.8 and ov_factors = [ 1.0; 2.0; 4.0 ] in
+  let ov_base =
+    {
+      Lt.default_config with
+      Lt.clients = 32;
+      ops_per_level = 200;
+      calibration_ops = 60;
+      load_factors = ov_factors;
+    }
+  in
+  let ov_protected =
+    Lt.run ~config:{ ov_base with Lt.deadline_s = Some ov_deadline_s } ~seed:2L ()
+  in
+  let ov_seed = Lt.run ~config:ov_base ~seed:2L () in
   let doc =
     J_obj
       [
@@ -618,7 +646,12 @@ let bench_json ~mb ~out ~smoke =
              popularity, per-tenant sessions through the RPC layer; each \
              level reports offered vs achieved ops/s and p50/p95/p99 latency \
              (seconds, queueing included), with the detected throughput/SLO \
-             knee and a differential-oracle mismatch count (must be 0)" );
+             knee and a differential-oracle mismatch count (must be 0); \
+             overload: the same sweep at 1x/2x/4x capacity run twice: \
+             'protected' propagates per-op deadlines (overloaded levels shed \
+             cleanly, holding slo_goodput_ops_s near capacity and \
+             admitted_p99_s under the SLO), 'unprotected' is the seed \
+             behaviour (unbounded queueing, both numbers collapse)" );
         ("generated", J_str date);
         ("file_mb", J_int mb);
         ( "table3_seconds",
@@ -632,6 +665,14 @@ let bench_json ~mb ~out ~smoke =
         ("readahead_ablation", ra_obj);
         ("eviction_microbench", ev_obj);
         ("load", json_of_load load);
+        ( "overload",
+          J_obj
+            [
+              ("deadline_s", J_num ov_deadline_s);
+              ("factors", J_arr (List.map (fun f -> J_num f) ov_factors));
+              ("protected", json_of_load ov_protected);
+              ("unprotected", json_of_load ov_seed);
+            ] );
         ("metrics", json_of_metrics ());
       ]
   in
@@ -706,6 +747,35 @@ let bench_json ~mb ~out ~smoke =
        && load.Lt.knee_offered_ops_s <= hi +. 1e-6)
        (Printf.sprintf "knee %.3f ops/s outside swept range [%.3f, %.3f]"
           load.Lt.knee_offered_ops_s lo hi));
+    (* The overload differential: at every saturated level (factor >= 2)
+       the protected run holds goodput and tail latency where the seed
+       run, on identical traffic, loses both. *)
+    check "overload-oracle"
+      (ov_protected.Lt.mismatches = [] && ov_seed.Lt.mismatches = [])
+      (Printf.sprintf "%d protected / %d unprotected mismatches"
+         (List.length ov_protected.Lt.mismatches)
+         (List.length ov_seed.Lt.mismatches));
+    List.iter2
+      (fun (p : Lt.level) (u : Lt.level) ->
+        if p.Lt.l_factor >= 2.0 then begin
+          let cap = ov_protected.Lt.capacity_ops_s in
+          check "overload-goodput"
+            (p.Lt.l_slo_goodput_ops_s >= 0.8 *. cap)
+            (Printf.sprintf "x%.2f: protected slo goodput %.1f/s < 0.8 x capacity %.1f/s"
+               p.Lt.l_factor p.Lt.l_slo_goodput_ops_s cap);
+          check "overload-tail"
+            (p.Lt.l_admitted_p99_s <= ov_protected.Lt.slo_p99_s)
+            (Printf.sprintf "x%.2f: protected admitted p99 %.3fs > SLO %.3fs"
+               p.Lt.l_factor p.Lt.l_admitted_p99_s ov_protected.Lt.slo_p99_s);
+          check "overload-differential"
+            (u.Lt.l_slo_goodput_ops_s < 0.8 *. ov_seed.Lt.capacity_ops_s
+            && u.Lt.l_admitted_p99_s > ov_seed.Lt.slo_p99_s)
+            (Printf.sprintf
+               "x%.2f: seed run met the SLO anyway (goodput %.1f/s, adm p99 %.3fs) — \
+                the differential shows nothing"
+               u.Lt.l_factor u.Lt.l_slo_goodput_ops_s u.Lt.l_admitted_p99_s)
+        end)
+      ov_protected.Lt.levels ov_seed.Lt.levels;
     match !fail with
     | [] -> progress "bench json --smoke: all checks passed"
     | fails ->
@@ -856,13 +926,23 @@ let () =
   | "load" ->
     (* Open-loop load sweep:
          bench load [--seed N] [--clients N] [--tenants N] [--ops N]
-                    [--factors F1,F2,...] [--theta F] [--slo-ms N]
+                    [--factors F1,F2,...] [--overload-factors F1,F2,...]
+                    [--theta F] [--slo-ms N] [--deadline-ms N]
+                    [--lock-wait-ms N] [--run-cap N] [--park-cap N]
                     [--quick] [--trace]
        Calibrates capacity closed-loop, then offers factor x capacity at
        each level and prints the saturation curve (offered vs achieved
        ops/s, p50/p95/p99) plus the detected knee.  The differential
        oracle checks every mutation; exits 1 on mismatch.  --quick runs
-       the small configuration the test sweep uses. *)
+       the small configuration the test sweep uses.
+
+       Overload-control knobs: --deadline-ms N propagates an N ms
+       deadline (from each op's arrival) with every request — the server
+       refuses work whose caller gave up, and degradation shifts from
+       unbounded queueing to clean sheds (0 = seed behaviour, no
+       deadlines).  --overload-factors is --factors spelled for the
+       saturated range (e.g. 1,2,4).  --lock-wait-ms, --run-cap and
+       --park-cap set the server's parking and admission bounds. *)
     let find_arg name default =
       let rec go = function
         | a :: v :: _ when a = name -> int_of_string v
@@ -882,7 +962,7 @@ let () =
     let base = if List.mem "--quick" args then Lt.quick_config else Lt.default_config in
     let factors =
       let rec go = function
-        | "--factors" :: v :: _ ->
+        | ("--factors" | "--overload-factors") :: v :: _ ->
           String.split_on_char ',' v |> List.map (fun s -> float_of_string (String.trim s))
         | _ :: rest -> go rest
         | [] -> base.Lt.load_factors
@@ -890,6 +970,7 @@ let () =
       go args
     in
     let seed = Int64.of_int (find_arg "--seed" 1) in
+    let deadline_ms = find_float "--deadline-ms" 0. in
     let cfg =
       {
         base with
@@ -899,6 +980,10 @@ let () =
         load_factors = factors;
         zipf_theta = find_float "--theta" base.Lt.zipf_theta;
         slo_p99_s = find_float "--slo-ms" (base.Lt.slo_p99_s *. 1e3) /. 1e3;
+        deadline_s = (if deadline_ms > 0. then Some (deadline_ms /. 1e3) else None);
+        lock_wait_s = find_float "--lock-wait-ms" (base.Lt.lock_wait_s *. 1e3) /. 1e3;
+        run_cap = find_arg "--run-cap" base.Lt.run_cap;
+        park_cap = find_arg "--park-cap" base.Lt.park_cap;
         trace = List.mem "--trace" args;
       }
     in

@@ -58,6 +58,13 @@ type config = {
   slo_p99_s : float; (* the per-level p99 SLO a knee can trip on *)
   verify_each_level : bool; (* full-tree walk after every level *)
   trace : bool;
+  deadline_s : float option;
+      (* per-op deadline, relative to the op's arrival: propagated to the
+         server, which refuses work whose caller gave up.  None (the
+         seed behaviour) sends no deadlines and degrades by queueing. *)
+  lock_wait_s : float; (* server: how long parked requests may wait *)
+  run_cap : int; (* server: run-queue + parked bound *)
+  park_cap : int; (* server: parked-request bound *)
 }
 
 let default_config =
@@ -80,6 +87,10 @@ let default_config =
     slo_p99_s = 1.0;
     verify_each_level = true;
     trace = false;
+    deadline_s = None;
+    lock_wait_s = 0.;
+    run_cap = 256;
+    park_cap = 64;
   }
 
 (* Small enough that a seeded sweep of it rides `dune runtest`. *)
@@ -215,6 +226,13 @@ type level = {
   l_max_wait_queue : int; (* lock.wait_queue high-water mark *)
   l_peak_link_depth : int; (* deepest per-link message backlog *)
   l_tenant_p99_s : float array;
+  l_shed_deadline : int; (* ops refused because their deadline passed *)
+  l_shed_overload : int; (* ops refused by admission control (EBUSY) *)
+  l_admitted : int; (* ops not shed (includes lock skips) *)
+  l_admitted_p99_s : float; (* p99 latency over admitted ops only *)
+  l_slo_goodput_ops_s : float;
+      (* applied ops that also met the SLO, per second: the protected
+         number an overloaded server is supposed to hold near capacity *)
 }
 
 type outcome = {
@@ -232,23 +250,28 @@ type outcome = {
   time_travel_checks : int;
   full_verifies : int;
   mismatches : string list;
+  shed_deadline : int;
+  shed_overload : int;
 }
 
 let level_to_string l =
   Printf.sprintf
     "  x%.2f offered=%.1f/s realized=%.1f/s achieved=%.1f/s ops=%d applied=%d \
-     skips=%d p50=%.1fms p95=%.1fms p99=%.1fms wq=%d qd=%d"
+     skips=%d shed=%d+%d adm_p99=%.1fms slo_good=%.1f/s p50=%.1fms p95=%.1fms \
+     p99=%.1fms wq=%d qd=%d"
     l.l_factor l.l_offered_ops_s l.l_offered_realized_ops_s l.l_achieved_ops_s
-    l.l_ops l.l_applied l.l_lock_skips (1e3 *. l.l_p50_s) (1e3 *. l.l_p95_s)
-    (1e3 *. l.l_p99_s) l.l_max_wait_queue l.l_peak_link_depth
+    l.l_ops l.l_applied l.l_lock_skips l.l_shed_deadline l.l_shed_overload
+    (1e3 *. l.l_admitted_p99_s) l.l_slo_goodput_ops_s (1e3 *. l.l_p50_s)
+    (1e3 *. l.l_p95_s) (1e3 *. l.l_p99_s) l.l_max_wait_queue l.l_peak_link_depth
 
 let outcome_to_string o =
   Printf.sprintf
     "seed=%Ld capacity=%.1f/s levels=%d knee=%.1f/s (%s) ops=%d applied=%d \
-     skips=%d commits=%d aborts=%d tt_checks=%d verifies=%d mismatches=%d\n%s"
+     skips=%d shed=%d+%d commits=%d aborts=%d tt_checks=%d verifies=%d \
+     mismatches=%d\n%s"
     o.seed o.capacity_ops_s (List.length o.levels) o.knee_offered_ops_s
-    o.knee_reason o.ops_total o.applied_total o.lock_skips o.commits o.aborts
-    o.time_travel_checks o.full_verifies
+    o.knee_reason o.ops_total o.applied_total o.lock_skips o.shed_deadline
+    o.shed_overload o.commits o.aborts o.time_travel_checks o.full_verifies
     (List.length o.mismatches)
     (String.concat "\n" (List.map level_to_string o.levels))
 
@@ -319,6 +342,8 @@ type state = {
   mutable commits : int;
   mutable aborts : int;
   mutable lock_skips : int;
+  mutable shed_deadline : int;
+  mutable shed_overload : int;
   mutable time_travel_checks : int;
   mutable full_verifies : int;
   mutable mismatches : string list;
@@ -374,15 +399,33 @@ let commit_overlay st cs =
   OM.iter (fun oid b -> st.files <- OM.add oid b st.files) cs.ov_files;
   clear_overlay cs
 
-(* A conflicting two-phase lock is not a failure, it is the measurement:
-   the op aborts cleanly, the oracle applies nothing. *)
-let lock_skip st cs =
-  st.lock_skips <- st.lock_skips + 1;
+(* Abandon the session's open transaction (if any) and its overlay.
+   [c_abort] is deadline-exempt on the client and never shed by the
+   server, so cleanup always lands. *)
+let drop_txn st cs =
   if cs.in_txn then begin
     (try Client.c_abort cs.c with _ -> ());
     st.aborts <- st.aborts + 1
   end;
   clear_overlay cs
+
+(* A conflicting two-phase lock is not a failure, it is the measurement:
+   the op aborts cleanly, the oracle applies nothing. *)
+let lock_skip st cs =
+  st.lock_skips <- st.lock_skips + 1;
+  drop_txn st cs
+
+(* Deadline failures — the client's fail-fast and the server's recorded
+   rejection — both say "deadline ..."; lock-wait expiries say "lock wait
+   timed out ...".  Same [ETIMEDOUT], different stories. *)
+let is_deadline_msg msg = String.length msg >= 8 && String.sub msg 0 8 = "deadline"
+
+(* Clean overload refusals, classified by [run_op] — ops that catch
+   [Fs_error] themselves must let these through. *)
+let is_shed_exn = function
+  | Errors.Fs_error (Errors.ETIMEDOUT, msg) -> is_deadline_msg msg
+  | Errors.Fs_error (Errors.EBUSY, _) -> true
+  | _ -> false
 
 (* ---------- the ops ---------- *)
 
@@ -419,9 +462,14 @@ let exec_write st cs op =
     let fd = Client.c_open cs.c path Fs.Rdwr in
     ignore (Client.c_lseek cs.c fd (Int64.of_int off) Fs.Seek_set : int64);
     ignore (Client.c_write cs.c fd data dlen : int);
-    Client.c_close cs.c fd;
+    (* The write RPC is the oracle's commit point: outside a transaction
+       it auto-committed durably right there, and inside one the overlay
+       dies with the transaction if anything later aborts.  Updating
+       after the close would let a deadline-shed close strand a committed
+       write outside the oracle. *)
     if cs.in_txn then cs.ov_files <- OM.add oid after cs.ov_files
-    else st.files <- OM.add oid after st.files
+    else st.files <- OM.add oid after st.files;
+    Client.c_close cs.c fd
 
 let exec_create st cs _op =
   let n = st.next_name in
@@ -431,7 +479,8 @@ let exec_create st cs _op =
   st.next_oid <- Int64.add oid 1L;
   trace st "s%d creat %s" cs.id path;
   let fd = Client.c_creat cs.c path in
-  Client.c_close cs.c fd;
+  (* As with writes, the create RPC — not the close — is the oracle's
+     commit point. *)
   if cs.in_txn then begin
     cs.ov_names <- (path, oid) :: cs.ov_names;
     cs.ov_files <- OM.add oid Bytes.empty cs.ov_files
@@ -440,7 +489,8 @@ let exec_create st cs _op =
     popn_add st.pop path oid;
     zipf_add st.zipf;
     st.files <- OM.add oid Bytes.empty st.files
-  end
+  end;
+  Client.c_close cs.c fd
 
 let exec_time_travel st cs op =
   match st.history with
@@ -459,6 +509,7 @@ let exec_time_travel st cs op =
         match bytes_diff expect real with
         | None -> ()
         | Some d -> mismatch st "time travel @%Ld: %s differs: %s" ts path d)
+      | exception (Errors.Fs_error _ as e) when is_shed_exn e -> raise e
       | exception Errors.Fs_error (code, msg) ->
         mismatch st "time travel @%Ld: %s unreadable (%s: %s)" ts path
           (Errors.code_to_string code) msg))
@@ -490,16 +541,26 @@ let exec_op st cs op =
 let run_op st op =
   let cs = st.clients.(op.o_client) in
   match exec_op st cs op with
-  | () -> true
+  | () -> `Applied
+  | exception Errors.Fs_error (Errors.ETIMEDOUT, msg) when is_deadline_msg msg ->
+    trace st "s%d .. deadline shed" cs.id;
+    st.shed_deadline <- st.shed_deadline + 1;
+    drop_txn st cs;
+    `Shed
+  | exception Errors.Fs_error (Errors.EBUSY, _) ->
+    trace st "s%d .. overload shed" cs.id;
+    st.shed_overload <- st.shed_overload + 1;
+    drop_txn st cs;
+    `Shed
   | exception
       Errors.Fs_error ((Errors.EAGAIN | Errors.EDEADLK | Errors.ETIMEDOUT), _) ->
     trace st "s%d .. lock skip" cs.id;
     lock_skip st cs;
-    false
+    `Skipped
   | exception Errors.Fs_error (code, msg) ->
     mismatch st "unexpected fs error %s: %s" (Errors.code_to_string code) msg;
     lock_skip st cs;
-    false
+    `Skipped
 
 (* ---------- snapshots, verification ---------- *)
 
@@ -559,20 +620,52 @@ let verify_full_state st ~phase =
 (* Execute one schedule against the system, open-loop: if the clock has
    not yet reached an op's arrival the server is idle and time skips
    forward; if it has, the op has been queueing and its latency says so. *)
-let run_schedule st ~t_start ~lat ~tenant_lat ~max_wq sched =
-  let applied = ref 0 in
+let run_schedule st ~t_start ~deadline ~headroom ~lat ~adm_lat ~tenant_lat ~max_wq
+    sched =
+  let applied = ref 0 and slo_ok = ref 0 in
   List.iter
     (fun op ->
       let arrival = t_start +. op.o_arrival in
       let now = Simclock.Clock.now st.clock in
       if now < arrival then
         Simclock.Clock.advance st.clock ~account:"load.idle" (arrival -. now);
-      let ok = run_op st op in
-      if ok then incr applied;
+      let now = Simclock.Clock.now st.clock in
+      let cs = st.clients.(op.o_client) in
+      (* The deadline is the op's, measured from its arrival: by the time
+         a backlogged engine gets to it, part of the budget is already
+         spent queueing — exactly what the caller experiences.  An op
+         whose remaining budget is under [headroom] (the expected service
+         time) is given up before its first RPC: under sustained overload
+         the backlog pins at exactly the deadline boundary, and without
+         this check nearly every started op expires halfway through,
+         burning server time on work nobody will see. *)
+      let res =
+        match deadline with
+        | Some d when now -. arrival >= d -. headroom ->
+          trace st "s%d .. deadline give-up (%.0fms queued)" cs.id
+            (1e3 *. (now -. arrival));
+          st.shed_deadline <- st.shed_deadline + 1;
+          drop_txn st cs;
+          `Shed
+        | _ ->
+          (match deadline with
+          | None -> ()
+          | Some d -> Client.set_deadline cs.c (Some (arrival +. d)));
+          let r = run_op st op in
+          Client.set_deadline cs.c None;
+          r
+      in
       let done_t = Simclock.Clock.now st.clock in
       let d = done_t -. arrival in
       Metrics.observe lat d;
-      Metrics.observe tenant_lat.(st.clients.(op.o_client).tenant) d;
+      Metrics.observe tenant_lat.(cs.tenant) d;
+      (match res with
+      | `Applied ->
+        incr applied;
+        Metrics.observe adm_lat d;
+        if d <= st.cfg.slo_p99_s then incr slo_ok
+      | `Skipped -> Metrics.observe adm_lat d
+      | `Shed -> ());
       match Metrics.read "lock.wait_queue" with
       | Some wq when wq > !max_wq -> max_wq := wq
       | _ -> ())
@@ -587,7 +680,7 @@ let run_schedule st ~t_start ~lat ~tenant_lat ~max_wq sched =
         clear_overlay cs
       end)
     st.clients;
-  !applied
+  (!applied, !slo_ok)
 
 let run ?(config = default_config) ~seed () =
   if config.clients < 1 then invalid_arg "Loadtest.run: clients must be >= 1";
@@ -604,7 +697,10 @@ let run ?(config = default_config) ~seed () =
   (* lease_s = 0: no lease reaping.  Sessions here never die, and a
      backlogged level must not have idle-looking clients reaped out from
      under the measurement. *)
-  let server = Server.create ~fs ~lease_s:0. () in
+  let server =
+    Server.create ~fs ~lease_s:0. ~run_cap:config.run_cap
+      ~park_cap:config.park_cap ~lock_wait_s:config.lock_wait_s ()
+  in
   let net = Netsim.create ~clock Netsim.tcp_1993 in
   let links = Array.init config.clients (fun _ -> Link.create net) in
   let mk_client id =
@@ -633,6 +729,8 @@ let run ?(config = default_config) ~seed () =
       commits = 0;
       aborts = 0;
       lock_skips = 0;
+      shed_deadline = 0;
+      shed_overload = 0;
       time_travel_checks = 0;
       full_verifies = 0;
       mismatches = [];
@@ -657,12 +755,14 @@ let run ?(config = default_config) ~seed () =
     st.files <- OM.add oid data st.files
   done;
   let lat = Metrics.histogram "load.latency_us" in
+  let adm_lat = Metrics.histogram "load.admitted_latency_us" in
   let tenant_lat =
     Array.init config.tenants (fun t ->
         Metrics.histogram (Printf.sprintf "load.tenant%d.latency_us" t))
   in
   let reset_phase () =
     Metrics.hist_reset lat;
+    Metrics.hist_reset adm_lat;
     Array.iter Metrics.hist_reset tenant_lat;
     Array.iter Link.reset_peak_depth links
   in
@@ -676,7 +776,12 @@ let run ?(config = default_config) ~seed () =
   in
   let cal_t0 = Simclock.Clock.now clock in
   let max_wq = ref 0 in
-  let (_ : int) = run_schedule st ~t_start:cal_t0 ~lat ~tenant_lat ~max_wq cal_sched in
+  (* Calibration runs deadline-free: it measures what the service path
+     can do, not what admission control would let through. *)
+  let (_ : int * int) =
+    run_schedule st ~t_start:cal_t0 ~deadline:None ~headroom:0. ~lat ~adm_lat
+      ~tenant_lat ~max_wq cal_sched
+  in
   let cal_dt = Simclock.Clock.now clock -. cal_t0 in
   let capacity =
     if cal_dt <= 0. then 1.
@@ -697,7 +802,11 @@ let run ?(config = default_config) ~seed () =
         let t_start = Simclock.Clock.now clock in
         let max_wq = ref 0 in
         let skips0 = st.lock_skips in
-        let applied = run_schedule st ~t_start ~lat ~tenant_lat ~max_wq sched in
+        let sd0 = st.shed_deadline and so0 = st.shed_overload in
+        let applied, slo_ok =
+          run_schedule st ~t_start ~deadline:config.deadline_s
+            ~headroom:(1.5 /. capacity) ~lat ~adm_lat ~tenant_lat ~max_wq sched
+        in
         let t_end = Simclock.Clock.now clock in
         let last_arrival =
           List.fold_left (fun acc o -> max acc o.o_arrival) 0. sched
@@ -726,6 +835,11 @@ let run ?(config = default_config) ~seed () =
           l_peak_link_depth =
             Array.fold_left (fun acc l -> max acc (Link.peak_depth l)) 0 links;
           l_tenant_p99_s = Array.map (fun h -> Metrics.percentile h 0.99) tenant_lat;
+          l_shed_deadline = st.shed_deadline - sd0;
+          l_shed_overload = st.shed_overload - so0;
+          l_admitted = n - (st.shed_deadline - sd0) - (st.shed_overload - so0);
+          l_admitted_p99_s = Metrics.percentile adm_lat 0.99;
+          l_slo_goodput_ops_s = float_of_int slo_ok /. duration;
         })
       config.load_factors
   in
@@ -763,4 +877,6 @@ let run ?(config = default_config) ~seed () =
     time_travel_checks = st.time_travel_checks;
     full_verifies = st.full_verifies;
     mismatches = List.rev st.mismatches;
+    shed_deadline = st.shed_deadline;
+    shed_overload = st.shed_overload;
   }

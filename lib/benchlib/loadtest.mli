@@ -45,6 +45,13 @@ type config = {
   slo_p99_s : float;  (** the per-level p99 SLO a knee can trip on *)
   verify_each_level : bool;  (** full-tree walk after every level *)
   trace : bool;
+  deadline_s : float option;
+      (** per-op deadline, relative to the op's arrival, propagated to
+          the server.  [None] (the seed behaviour) sends no deadlines
+          and the system degrades by queueing alone. *)
+  lock_wait_s : float;  (** server: how long parked requests may wait *)
+  run_cap : int;  (** server: run-queue + parked bound *)
+  park_cap : int;  (** server: parked-request bound *)
 }
 
 val default_config : config
@@ -99,6 +106,15 @@ type level = {
   l_max_wait_queue : int;  (** [lock.wait_queue] probe high-water mark *)
   l_peak_link_depth : int;  (** deepest per-link message backlog *)
   l_tenant_p99_s : float array;
+  l_shed_deadline : int;
+      (** ops refused, client- or server-side, because their deadline
+          passed (clean, definitive rejections) *)
+  l_shed_overload : int;  (** ops refused by admission control ([EBUSY]) *)
+  l_admitted : int;  (** ops not shed (lock skips included) *)
+  l_admitted_p99_s : float;  (** p99 latency over admitted ops only *)
+  l_slo_goodput_ops_s : float;
+      (** applied ops that also met the SLO, per second — the number an
+          overloaded-but-protected server holds near capacity *)
 }
 
 type outcome = {
@@ -119,6 +135,8 @@ type outcome = {
   time_travel_checks : int;
   full_verifies : int;
   mismatches : string list;  (** empty = oracle-equivalent *)
+  shed_deadline : int;
+  shed_overload : int;
 }
 
 val level_to_string : level -> string

@@ -13,6 +13,8 @@ type code =
   | EIO
   | ETIMEDOUT
   | ECONNRESET
+  | EBUSY
+  | ENOTSUP
 
 exception Fs_error of code * string
 
@@ -31,5 +33,7 @@ let code_to_string = function
   | EIO -> "EIO"
   | ETIMEDOUT -> "ETIMEDOUT"
   | ECONNRESET -> "ECONNRESET"
+  | EBUSY -> "EBUSY"
+  | ENOTSUP -> "ENOTSUP"
 
 let fail code fmt = Printf.ksprintf (fun msg -> raise (Fs_error (code, msg))) fmt

@@ -447,12 +447,18 @@ let write_at s txn of_ ~offset data =
     stage_att s txn { att with Fileatt.size = new_size; mtime = now_ts t }
   end
 
+(* The buffer is cleared only after the write lands: a flush that blocks
+   on a lock (Would_block out of [write_at]) leaves [pending] intact, so
+   a re-issued commit re-runs the same write — same offset, same bytes,
+   idempotent within the transaction — instead of silently dropping it.
+   The remote server relies on this to park-and-re-execute a [Commit]
+   that lost a lock race. *)
 let flush_pending s txn of_ =
   match of_.pending with
   | None -> ()
   | Some p ->
-    of_.pending <- None;
-    write_at s txn of_ ~offset:p.pstart (Buffer.to_bytes p.pbuf)
+    write_at s txn of_ ~offset:p.pstart (Buffer.to_bytes p.pbuf);
+    of_.pending <- None
 
 let () = flush_pending_ref := flush_pending
 
@@ -1037,11 +1043,20 @@ let write_file s path data =
     let fd =
       if exists s path then p_open s path Rdwr else p_creat s path
     in
-    Fun.protect
-      ~finally:(fun () -> p_close s fd)
-      (fun () ->
-        ignore (p_write s fd data (Bytes.length data) : int);
-        ftruncate s fd (Int64.of_int (Bytes.length data)))
+    match
+      ignore (p_write s fd data (Bytes.length data) : int);
+      ftruncate s fd (Int64.of_int (Bytes.length data))
+    with
+    | () -> p_close s fd
+    | exception e ->
+      (* The write failed (typically a lock conflict): drop the buffered
+         data — [flush_pending] keeps it across a blocked flush — so
+         releasing the fd cannot block on the same lock and mask [e]. *)
+      (match Hashtbl.find_opt s.fds fd with
+      | Some of_ -> of_.pending <- None
+      | None -> ());
+      (try p_close s fd with _ -> ());
+      raise e
   in
   if in_transaction s then run () else with_transaction s run
 

@@ -14,6 +14,10 @@ type t = {
       (* resource -> blocked requests; a pending Exclusive entry bars
          new Shared grants so a stream of readers cannot starve a
          writer (no barging) *)
+  mutable release_gen : int;
+      (* bumped on every release_all: parked requests re-try their
+         acquisition only when this has advanced, because nothing else
+         can have unblocked them *)
 }
 
 let wait_queue_length t = Hashtbl.length t.wait_for
@@ -24,6 +28,7 @@ let create () =
       locks = Hashtbl.create 64;
       wait_for = Hashtbl.create 16;
       waiters = Hashtbl.create 16;
+      release_gen = 0;
     }
   in
   (* Live view for dashboards and the load harness; replace-on-register
@@ -239,7 +244,10 @@ let retry_backoff ?clock ?rng ?(attempts = 4) ?(base_s = 0.01) ?(max_s = 0.5)
    point *after* releasing, and the trace-checked invariant "a committed
    transaction's span contains nothing after txn.commit" depends on the
    release being silent. *)
+let release_generation t = t.release_gen
+
 let release_all t xid =
+  t.release_gen <- t.release_gen + 1;
   Obs.Metrics.incr m_releases;
   Hashtbl.iter (fun _ h -> Hashtbl.remove h xid) t.locks;
   Hashtbl.remove t.wait_for xid;

@@ -66,6 +66,13 @@ val wait_queue_length : t -> int
     the wait-for table).  Also exported as the Obs probe
     ["lock.wait_queue"] by {!create} (last-created manager wins). *)
 
+val release_generation : t -> int
+(** Monotone counter bumped by every {!release_all}.  In a
+    single-threaded simulation a blocked request can only have been
+    unblocked by some transaction releasing, so a parked request need
+    only re-try its acquisition when this has advanced — the remote
+    server's event loop gates parked-request resumption on it. *)
+
 val reset : t -> unit
 (** Drop every lock and wait-for edge.  Locks are volatile state: crash
     recovery calls this. *)

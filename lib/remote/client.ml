@@ -10,6 +10,8 @@ type config = {
   backoff_base_s : float;
   backoff_max_s : float;
   reconnect_attempts : int;
+  retry_budget : int;
+  retry_refill_per_s : float;
 }
 
 let default_config =
@@ -19,6 +21,8 @@ let default_config =
     backoff_base_s = 0.05;
     backoff_max_s = 1.0;
     reconnect_attempts = 4;
+    retry_budget = 8;
+    retry_refill_per_s = 2.0;
   }
 
 type t = {
@@ -33,10 +37,16 @@ type t = {
   mutable sid : int64; (* 0 = no session *)
   mutable next_rid : int64;
   mutable in_txn : bool;
+  mutable deadline : float; (* absolute seconds; infinity = none *)
+  mutable tokens : float; (* retry-budget token bucket *)
+  mutable tokens_at : float; (* clock time of the last refill *)
   mutable retries : int;
   mutable timeouts : int;
   mutable reconnects : int;
   mutable sessions_lost : int;
+  mutable overloaded : int;
+  mutable deadline_failfasts : int;
+  mutable budget_denials : int;
 }
 
 let sid t = t.sid
@@ -46,6 +56,37 @@ let retries t = t.retries
 let timeouts t = t.timeouts
 let reconnects t = t.reconnects
 let sessions_lost t = t.sessions_lost
+let overloaded t = t.overloaded
+let deadline_failfasts t = t.deadline_failfasts
+let budget_denials t = t.budget_denials
+
+(* Deadline propagation is opt-in, per client: an installed deadline
+   rides every request's frame header as an absolute simulated-clock
+   timestamp, telling the server when this caller will have given up.
+   [None] (the default) sends no deadline and changes nothing on the
+   wire. *)
+let set_deadline t d =
+  t.deadline <- (match d with None -> infinity | Some s -> s)
+
+let deadline t = if t.deadline = infinity then None else Some t.deadline
+
+(* The retry budget: a token bucket refilled by simulated time.  Spent
+   only on re-offering work a saturated server explicitly shed
+   ([Overloaded]) — ordinary timeout retries keep their exponential
+   backoff — so a herd of clients cannot hammer an overloaded server in
+   a tight retry loop. *)
+let take_token t =
+  let now = Clock.now t.clock in
+  t.tokens <-
+    min
+      (float_of_int t.cfg.retry_budget)
+      (t.tokens +. ((now -. t.tokens_at) *. t.cfg.retry_refill_per_s));
+  t.tokens_at <- now;
+  if t.tokens >= 1. then begin
+    t.tokens <- t.tokens -. 1.;
+    true
+  end
+  else false
 
 let fresh_rid t =
   let rid = t.next_rid in
@@ -146,16 +187,57 @@ let send_and_pump t ~pipelined frames =
 
 (* One request/reply exchange with bounded retries: at-least-once on the
    wire, exactly-once observed thanks to the server's dedup window (every
-   retry reuses the same request id). *)
+   retry reuses the same request id).  Frames are re-encoded per attempt
+   so retransmissions carry the retry flag — admission control sheds
+   flagged traffic first — and every attempt carries the caller's
+   deadline.
+
+   An [Overloaded] answer means the server shed the request before
+   executing it: definitively nothing happened.  The client stands back
+   for the server's hint and re-offers — if its retry budget and the
+   deadline allow; otherwise the call fails cleanly with [EBUSY]. *)
 let exchange t ~sid ~rid ~pipelined req =
-  let frames = Wire.encode_request ~sid ~rid req in
+  let deadline_us =
+    if t.deadline = infinity then 0L else Int64.of_float (t.deadline *. 1e6)
+  in
   let rec attempt k =
+    let frames = Wire.encode_request ~retry:(k > 0) ~deadline_us ~sid ~rid req in
     send_and_pump t ~pipelined:(pipelined && k = 0) frames;
     match drain_replies t ~rid with
+    | Some (Wire.Overloaded { retry_after_s }) ->
+      t.overloaded <- t.overloaded + 1;
+      if Obs.on Obs.Net then
+        Obs.event Obs.Net "net.overloaded"
+          ~args:[ ("retry_after_ms", Obs.I (int_of_float (retry_after_s *. 1e3))) ]
+          ();
+      let headroom_after_wait =
+        Clock.now t.clock +. retry_after_s <= t.deadline
+      in
+      if k >= t.cfg.max_retries || not headroom_after_wait then
+        raise
+          (Errors.Fs_error
+             (Errors.EBUSY, Printf.sprintf "server overloaded; gave up after %d offers" (k + 1)))
+      else if not (take_token t) then begin
+        t.budget_denials <- t.budget_denials + 1;
+        raise
+          (Errors.Fs_error
+             (Errors.EBUSY, "server overloaded and retry budget exhausted"))
+      end
+      else begin
+        Clock.advance t.clock ~account:"net.retry_after" retry_after_s;
+        Netsim.note_retry t.net;
+        t.retries <- t.retries + 1;
+        attempt (k + 1)
+      end
     | Some reply -> Some reply
     | None ->
       charge_timeout t;
-      if k < t.cfg.max_retries then begin
+      if Clock.now t.clock > t.deadline then
+        (* the caller's deadline passed while the request was in flight:
+           stop re-offering; the outcome is whatever the usual lost-reply
+           accounting concludes *)
+        None
+      else if k < t.cfg.max_retries then begin
         backoff_and_note t k;
         attempt (k + 1)
       end
@@ -232,7 +314,28 @@ let give_up t ~was_txn req =
       (Printf.sprintf "session lost; %s outcome indeterminate" (Wire.req_name req))
   else conn_reset (Printf.sprintf "session lost during %s" (Wire.req_name req))
 
+(* Requests that are always worth sending, deadline or not: they release
+   server resources or end the conversation. *)
+let deadline_exempt = function
+  | Wire.Abort | Wire.Bye | Wire.Crash_server -> true
+  | _ -> false
+
 let rec rpc ?(pipelined = false) ?(reissued = false) t req =
+  (if
+     t.deadline < infinity
+     && Clock.now t.clock > t.deadline
+     && not (deadline_exempt req)
+   then begin
+     (* fail fast: the deadline already passed, so don't spend wire time
+        on work whose answer nobody wants.  Nothing was sent — the
+        failure is definitive, and the transaction (if any) is intact. *)
+     t.deadline_failfasts <- t.deadline_failfasts + 1;
+     if Obs.on Obs.Net then Obs.event Obs.Net "net.deadline_failfast" ();
+     raise
+       (Errors.Fs_error
+          ( Errors.ETIMEDOUT,
+            Printf.sprintf "deadline expired before sending %s" (Wire.req_name req) ))
+   end);
   if t.sid = 0L && not (reconnect t) then give_up t ~was_txn:false req
   else begin
     let was_txn = t.in_txn in
@@ -263,6 +366,17 @@ and finish t ~was_txn ~reissued ~pipelined req reply =
     (* surface the injected transient fault under its own exception, as
        the local API does *)
     raise (Pagestore.Device.Io_fault { device = "remote"; segid = -1; blkno = -1 })
+  | Wire.Overloaded _ ->
+    (* normally intercepted inside [exchange]; a stray one (e.g. from the
+       post-probe exchange) means the same thing: definitively shed *)
+    raise (Errors.Fs_error (Errors.EBUSY, "server overloaded"))
+  | Wire.Unsupported { opcode } ->
+    (* version skew: this server predates the opcode.  Structural and
+       definitive — nothing executed. *)
+    raise
+      (Errors.Fs_error
+         ( Errors.ENOTSUP,
+           Printf.sprintf "server does not support opcode %d (version skew)" opcode ))
   | Wire.Unknown_session ->
     (* the server lost our session: it crashed, or our lease expired.
        Reconnect; then decide what the caller may be told. *)
@@ -296,10 +410,16 @@ let connect ?(config = default_config) ~server ~link ~rng () =
       sid = 0L;
       next_rid = 1L;
       in_txn = false;
+      deadline = infinity;
+      tokens = float_of_int config.retry_budget;
+      tokens_at = Clock.now (Netsim.clock net);
       retries = 0;
       timeouts = 0;
       reconnects = 0;
       sessions_lost = 0;
+      overloaded = 0;
+      deadline_failfasts = 0;
+      budget_denials = 0;
     }
   in
   Server.attach server link;
@@ -310,6 +430,9 @@ let connect ?(config = default_config) ~server ~link ~rng () =
   Obs.Metrics.probe "net.client.timeouts" (fun () -> t.timeouts);
   Obs.Metrics.probe "net.client.reconnects" (fun () -> t.reconnects);
   Obs.Metrics.probe "net.client.sessions_lost" (fun () -> t.sessions_lost);
+  Obs.Metrics.probe "net.client.overloaded" (fun () -> t.overloaded);
+  Obs.Metrics.probe "net.client.deadline_failfasts" (fun () -> t.deadline_failfasts);
+  Obs.Metrics.probe "net.client.budget_denials" (fun () -> t.budget_denials);
   Obs.Metrics.probe "net.messages" (fun () -> Netsim.messages net);
   Obs.Metrics.probe "net.bytes_sent" (fun () -> Netsim.bytes_sent net);
   if not (hello t) then conn_reset "could not establish a session";

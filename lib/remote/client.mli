@@ -30,7 +30,26 @@
     File positions are client-side state: seeks are free of round trips
     (except [Seek_end], which asks the server for the size) and every
     read/write carries its offset explicitly, keeping requests
-    idempotent. *)
+    idempotent.
+
+    {2 Overload and deadlines}
+
+    Retransmissions carry the retry flag, which the server's admission
+    control sheds first under load.  A {!Wire.Overloaded} answer
+    (definitively not executed) makes the client stand back for the
+    server's retry-after hint and re-offer — paying one token from a
+    {e retry budget} (a token bucket refilled by simulated time); when
+    the budget, the attempt limit, or the deadline runs out the call
+    fails cleanly with [Fs_error (EBUSY, _)].
+
+    An installed {!set_deadline} rides every request header.  A call
+    whose deadline has already passed fails fast with
+    [Fs_error (ETIMEDOUT, "deadline expired before sending ...")]
+    without touching the wire; the server refuses (recorded, definitive)
+    work whose deadline passed in flight; and the client stops
+    retransmitting once the deadline passes — an already-sent mutation
+    then resolves through the usual lost-reply accounting.  [Abort] and
+    [Bye] are exempt: releasing resources is always worth sending. *)
 
 type config = {
   timeout_s : float;  (** per-attempt reply timeout *)
@@ -38,6 +57,8 @@ type config = {
   backoff_base_s : float;  (** backoff before retry k is [base * 2^k] ... *)
   backoff_max_s : float;  (** ... capped here, then jittered 0.5–1.5x *)
   reconnect_attempts : int;  (** liveness probes before declaring the path dead *)
+  retry_budget : int;  (** token-bucket capacity for re-offering shed work *)
+  retry_refill_per_s : float;  (** tokens regained per simulated second *)
 }
 
 val default_config : config
@@ -58,6 +79,14 @@ val connect :
 val sid : t -> int64
 val in_txn : t -> bool
 val link : t -> Netsim.Link.t
+
+val set_deadline : t -> float option -> unit
+(** Install ([Some abs_s], absolute simulated seconds) or clear ([None],
+    the default) the deadline propagated with every subsequent request.
+    With no deadline installed the wire traffic is identical to older
+    clients. *)
+
+val deadline : t -> float option
 
 (** {2 The client library} *)
 
@@ -111,3 +140,14 @@ val reconnects : t -> int
 
 val sessions_lost : t -> int
 (** Times the session could not be recovered (crash/lease/unreachable). *)
+
+val overloaded : t -> int
+(** {!Wire.Overloaded} answers received (probe ["net.client.overloaded"]). *)
+
+val deadline_failfasts : t -> int
+(** Calls refused client-side because the deadline had already passed
+    before anything was sent. *)
+
+val budget_denials : t -> int
+(** Re-offers of shed work refused because the retry budget was dry
+    (the call failed with [EBUSY]). *)

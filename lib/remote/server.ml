@@ -9,18 +9,44 @@ type sess = {
   mutable last_active : float;
   mutable max_rid : int64; (* highest request id executed *)
   mutable window : (int64 * string list) list; (* rid -> recorded reply frames *)
+  inflight : (int64, unit) Hashtbl.t;
+      (* rids admitted (queued or parked) but not yet answered: a
+         retransmission of one is dropped, not enqueued twice *)
+}
+
+(* One admitted request: the unit of work on the run queue.  Parking
+   turns it into the session's continuation — the request re-executes
+   from scratch when the blocking lock is released, which is safe
+   exactly for the restartable class ([parkable] below). *)
+type task = {
+  tk_link : Link.t;
+  tk_sid : int64;
+  tk_rid : int64;
+  tk_req : Wire.req;
+  tk_deadline : float; (* absolute seconds; infinity = none *)
+  tk_enq : float;
+  mutable tk_park_deadline : float; (* lock-wait timer, set when parked *)
+  mutable tk_park_gen : int; (* lock release generation at last attempt *)
+  mutable tk_blocked_on : string; (* what the last attempt blocked on *)
 }
 
 type t = {
   fs : Fs.t;
   clock : Simclock.Clock.t;
+  locks : Relstore.Lock_mgr.t;
   lease_s : float;
   dedup_window : int;
-  lock_attempts : int;
+  run_cap : int;
+  park_cap : int;
+  lock_wait_s : float;
+  shed_mark : int; (* depth at which retry traffic sheds *)
   mutable on_crash : t -> unit;
   mutable links : Link.t list;
   sessions : (int64, sess) Hashtbl.t;
   asm : Wire.Assembly.t;
+  run_q : task Queue.t;
+  mutable parked : task list; (* FIFO: oldest first *)
+  mutable parked_n : int;
   mutable next_sid : int64;
   mutable hello_window : (int64 * string list) list; (* nonce -> reply frames *)
   mutable crashes : int;
@@ -28,23 +54,40 @@ type t = {
   mutable leases_expired : int;
   mutable fenced : int;
   mutable requests : int;
+  mutable sheds : int;
+  mutable retry_sheds : int;
+  mutable deadline_rejects : int;
+  mutable parks : int;
+  mutable park_resumes : int;
+  mutable park_timeouts : int;
+  mutable deadlock_aborts : int;
+  mutable unsupported : int;
 }
 
 let default_on_crash t = ignore (Fs.crash_and_recover t.fs : Fs.recovery)
 
-let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(lock_attempts = 3) ?on_crash
-    () =
+let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(run_cap = 256)
+    ?(park_cap = 64) ?(lock_wait_s = 0.) ?(shed_watermark = 0.75) ?on_crash () =
+  if run_cap < 1 then invalid_arg "Server.create: run_cap must be >= 1";
+  if park_cap < 0 then invalid_arg "Server.create: park_cap must be >= 0";
   let t =
     {
       fs;
       clock = Fs.clock fs;
+      locks = Relstore.Db.lock_mgr (Fs.db fs);
       lease_s;
       dedup_window;
-      lock_attempts;
+      run_cap;
+      park_cap;
+      lock_wait_s;
+      shed_mark = max 1 (int_of_float (shed_watermark *. float_of_int run_cap));
       on_crash = default_on_crash;
       links = [];
       sessions = Hashtbl.create 8;
       asm = Wire.Assembly.create ();
+      run_q = Queue.create ();
+      parked = [];
+      parked_n = 0;
       next_sid = 1L;
       hello_window = [];
       crashes = 0;
@@ -52,9 +95,21 @@ let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(lock_attempts = 3) ?on_c
       leases_expired = 0;
       fenced = 0;
       requests = 0;
+      sheds = 0;
+      retry_sheds = 0;
+      deadline_rejects = 0;
+      parks = 0;
+      park_resumes = 0;
+      park_timeouts = 0;
+      deadlock_aborts = 0;
+      unsupported = 0;
     }
   in
   (match on_crash with Some f -> t.on_crash <- f | None -> ());
+  (* Event-loop health as live probes (replace-on-register: the registry
+     tracks the most recently built server, the singleton in practice). *)
+  Obs.Metrics.probe "net.server.run_queue" (fun () -> Queue.length t.run_q);
+  Obs.Metrics.probe "net.server.parked" (fun () -> t.parked_n);
   t
 
 let fs t = t.fs
@@ -65,26 +120,41 @@ let leases_expired t = t.leases_expired
 let fenced t = t.fenced
 let requests t = t.requests
 let sessions_live t = Hashtbl.length t.sessions
+let sheds t = t.sheds
+let retry_sheds t = t.retry_sheds
+let deadline_rejects t = t.deadline_rejects
+let parks t = t.parks
+let park_resumes t = t.park_resumes
+let park_timeouts t = t.park_timeouts
+let deadlock_aborts t = t.deadlock_aborts
+let unsupported t = t.unsupported
+let parked_now t = t.parked_n
+let run_queue_depth t = Queue.length t.run_q
 
 let attach t link = if not (List.memq link t.links) then t.links <- link :: t.links
 
-(* The machine dies: every connection, session, fd, dedup window and
-   half-assembled request is volatile state and goes with it.  Then the
-   crash handler (by default {!Fs.crash_and_recover}; harnesses install
-   one that first clears their fault schedule and then verifies) brings
-   the durable state back. *)
+(* The machine dies: every connection, session, fd, dedup window,
+   half-assembled request, queued task and parked continuation is
+   volatile state and goes with it.  Then the crash handler (by default
+   {!Fs.crash_and_recover}; harnesses install one that first clears
+   their fault schedule and then verifies) brings the durable state
+   back. *)
 let crash_now t =
   t.crashes <- t.crashes + 1;
   Hashtbl.reset t.sessions;
   t.hello_window <- [];
   Wire.Assembly.reset t.asm;
+  Queue.clear t.run_q;
+  t.parked <- [];
+  t.parked_n <- 0;
   List.iter Link.clear t.links;
   t.on_crash t
 
 (* Sessions whose client has gone silent past the lease are reaped, and a
    transaction left open by a dead client is aborted — so its locks
    cannot outlive the client that took them (the HopsFS-style lease
-   discipline). *)
+   discipline).  This is the first timer of every pump: a lease expiry
+   is what can actually unblock a parked request whose holder died. *)
 let expire_leases t =
   if t.lease_s > 0. then begin
     let now = Simclock.Clock.now t.clock in
@@ -101,119 +171,325 @@ let expire_leases t =
       stale
   end
 
-(* Read-only operations are safe to re-run, so lock waits on them go
-   through the bounded-backoff helper; each wait expires leases, which is
-   what can actually free a dead client's locks. *)
 let read_only = function
   | Wire.Open _ | Wire.Read _ | Wire.Readdir _ | Wire.Stat _ | Wire.Exists _
   | Wire.Query _ | Wire.Filesize _ ->
     true
   | _ -> false
 
+(* Which blocked requests may park and re-execute later?  Re-execution
+   must be a clean restart: read-only requests always are; an
+   auto-commit mutation rolled its implicit transaction back when the
+   lock wait surfaced, so it restarts from nothing; [Commit] re-runs
+   its flushes idempotently ({!Invfs.Fs} keeps pending write buffers
+   until they land).  A mutation {e inside} an open transaction is the
+   exception: it may have made partial progress under locks it still
+   holds (a creat that inserted before blocking would EEXIST itself on
+   re-run), so it keeps the immediate-EAGAIN reply and the client
+   decides. *)
+let parkable s req =
+  read_only req || req = Wire.Commit || not (Fs.in_transaction s.fsess)
+
 let exec t (s : sess) (req : Wire.req) : Wire.result =
   let fsess = s.fsess in
-  let run () =
-    match req with
-    | Wire.Hello | Wire.Ping | Wire.Crash_server ->
-      (* handled before dispatch reaches here *)
-      Errors.fail Errors.EINVAL "unexpected control request in session dispatch"
-    | Wire.Bye ->
-      if Fs.in_transaction fsess then (try Fs.p_abort fsess with _ -> ());
-      Hashtbl.remove t.sessions s.sid;
-      Wire.R_unit
-    | Wire.Begin ->
-      Fs.p_begin fsess;
-      Wire.R_unit
-    | Wire.Commit ->
-      Fs.p_commit fsess;
-      Wire.R_unit
-    | Wire.Abort ->
-      (* idempotent: an abort of a transaction that is already gone
-         (rolled back by a crash, reaped by a lease) has happened *)
-      if Fs.in_transaction fsess then Fs.p_abort fsess;
-      Wire.R_unit
-    | Wire.Creat { path; device; ftype; compressed } ->
-      Wire.R_fd (Fs.p_creat fsess ?device ?ftype ~compressed path)
-    | Wire.Open { path; mode; timestamp } ->
-      let mode = if mode = 0 then Fs.Rdonly else Fs.Rdwr in
-      Wire.R_fd (Fs.p_open fsess ?timestamp path mode)
-    | Wire.Close { fd } ->
-      Fs.p_close fsess fd;
-      Wire.R_unit
-    | Wire.Read { fd; off; len } ->
-      ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
-      let buf = Bytes.create len in
-      let n = Fs.p_read fsess fd buf len in
-      Wire.R_data (Bytes.sub_string buf 0 n)
-    | Wire.Write { fd; off; data } ->
-      ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
-      let b = Bytes.of_string data in
-      Wire.R_int (Int64.of_int (Fs.p_write fsess fd b (Bytes.length b)))
-    | Wire.Ftruncate { fd; size } ->
-      Fs.ftruncate fsess fd size;
-      Wire.R_unit
-    | Wire.Filesize { fd } -> Wire.R_int (Fs.p_lseek fsess fd 0L Fs.Seek_end)
-    | Wire.Mkdir { path } ->
-      Fs.mkdir fsess path;
-      Wire.R_unit
-    | Wire.Readdir { path; timestamp } -> Wire.R_names (Fs.readdir fsess ?timestamp path)
-    | Wire.Unlink { path } ->
-      Fs.unlink fsess path;
-      Wire.R_unit
-    | Wire.Rmdir { path } ->
-      Fs.rmdir fsess path;
-      Wire.R_unit
-    | Wire.Rename { src; dst } ->
-      Fs.rename fsess src dst;
-      Wire.R_unit
-    | Wire.Stat { path; timestamp } -> Wire.R_att (Fs.stat fsess ?timestamp path)
-    | Wire.Exists { path; timestamp } -> Wire.R_bool (Fs.exists fsess ?timestamp path)
-    | Wire.Query { text; timestamp } ->
-      Wire.R_rows
-        (List.map
-           (List.map Postquel.Value.to_string)
-           (Fs.query fsess ?timestamp text))
-    | Wire.Set_owner { path; owner } ->
-      Fs.set_owner fsess path owner;
-      Wire.R_unit
-    | Wire.Set_type { path; ftype } ->
-      Fs.set_type fsess path ftype;
-      Wire.R_unit
-    | Wire.Define_type { name } ->
-      Fs.define_type t.fs name;
-      Wire.R_unit
-  in
-  if read_only req && t.lock_attempts > 1 then
-    Relstore.Lock_mgr.retry_backoff ~clock:t.clock ~attempts:t.lock_attempts
-      ~base_s:0.002 ~max_s:0.05
-      ~on_wait:(fun ~attempt:_ ~blocked_on:_ -> expire_leases t)
-      ~blocked:Fs.lock_blocked run
-  else run ()
+  match req with
+  | Wire.Hello | Wire.Ping | Wire.Crash_server ->
+    (* handled before dispatch reaches here *)
+    Errors.fail Errors.EINVAL "unexpected control request in session dispatch"
+  | Wire.Bye ->
+    if Fs.in_transaction fsess then (try Fs.p_abort fsess with _ -> ());
+    Hashtbl.remove t.sessions s.sid;
+    Wire.R_unit
+  | Wire.Begin ->
+    Fs.p_begin fsess;
+    Wire.R_unit
+  | Wire.Commit ->
+    Fs.p_commit fsess;
+    Wire.R_unit
+  | Wire.Abort ->
+    (* idempotent: an abort of a transaction that is already gone
+       (rolled back by a crash, reaped by a lease) has happened *)
+    if Fs.in_transaction fsess then Fs.p_abort fsess;
+    Wire.R_unit
+  | Wire.Creat { path; device; ftype; compressed } ->
+    Wire.R_fd (Fs.p_creat fsess ?device ?ftype ~compressed path)
+  | Wire.Open { path; mode; timestamp } ->
+    let mode = if mode = 0 then Fs.Rdonly else Fs.Rdwr in
+    Wire.R_fd (Fs.p_open fsess ?timestamp path mode)
+  | Wire.Close { fd } ->
+    Fs.p_close fsess fd;
+    Wire.R_unit
+  | Wire.Read { fd; off; len } ->
+    ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
+    let buf = Bytes.create len in
+    let n = Fs.p_read fsess fd buf len in
+    Wire.R_data (Bytes.sub_string buf 0 n)
+  | Wire.Write { fd; off; data } ->
+    ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
+    let b = Bytes.of_string data in
+    Wire.R_int (Int64.of_int (Fs.p_write fsess fd b (Bytes.length b)))
+  | Wire.Ftruncate { fd; size } ->
+    Fs.ftruncate fsess fd size;
+    Wire.R_unit
+  | Wire.Filesize { fd } -> Wire.R_int (Fs.p_lseek fsess fd 0L Fs.Seek_end)
+  | Wire.Mkdir { path } ->
+    Fs.mkdir fsess path;
+    Wire.R_unit
+  | Wire.Readdir { path; timestamp } -> Wire.R_names (Fs.readdir fsess ?timestamp path)
+  | Wire.Unlink { path } ->
+    Fs.unlink fsess path;
+    Wire.R_unit
+  | Wire.Rmdir { path } ->
+    Fs.rmdir fsess path;
+    Wire.R_unit
+  | Wire.Rename { src; dst } ->
+    Fs.rename fsess src dst;
+    Wire.R_unit
+  | Wire.Stat { path; timestamp } -> Wire.R_att (Fs.stat fsess ?timestamp path)
+  | Wire.Exists { path; timestamp } -> Wire.R_bool (Fs.exists fsess ?timestamp path)
+  | Wire.Query { text; timestamp } ->
+    Wire.R_rows
+      (List.map
+         (List.map Postquel.Value.to_string)
+         (Fs.query fsess ?timestamp text))
+  | Wire.Set_owner { path; owner } ->
+    Fs.set_owner fsess path owner;
+    Wire.R_unit
+  | Wire.Set_type { path; ftype } ->
+    Fs.set_type fsess path ftype;
+    Wire.R_unit
+  | Wire.Define_type { name } ->
+    Fs.define_type t.fs name;
+    Wire.R_unit
 
 let m_requests = Obs.Metrics.counter "net.server.requests"
 let m_replays = Obs.Metrics.counter "net.server.replays"
+let m_sheds = Obs.Metrics.counter "net.server.sheds"
+let m_retry_sheds = Obs.Metrics.counter "net.server.retry_sheds"
+let m_deadline_rejects = Obs.Metrics.counter "net.server.deadline_rejects"
+let m_parks = Obs.Metrics.counter "net.server.parks"
+let m_park_resumes = Obs.Metrics.counter "net.server.park_resumes"
+let m_park_timeouts = Obs.Metrics.counter "net.server.park_timeouts"
+let m_deadlock_aborts = Obs.Metrics.counter "net.server.deadlock_aborts"
+let m_unsupported = Obs.Metrics.counter "net.server.unsupported"
 
 (* Pure execution time per dispatched request (simulated clock around
    [exec], excluding wire time and dedup replays).  The load harness
    calibrates offered-load levels from its mean. *)
 let h_service = Obs.Metrics.histogram "net.server.service_us"
 
-let handle t link ~sid ~rid req =
+let send_frames link frames = List.iter (fun f -> Link.send link Link.To_client f) frames
+
+let reply_now link ~sid ~rid reply = send_frames link (Wire.encode_reply ~sid ~rid reply)
+
+(* Record the reply in the session's dedup window (the request id is
+   settled: retries replay this answer, never re-execute) and send it. *)
+let record_and_send t (s : sess) ~rid reply =
+  let frames = Wire.encode_reply ~sid:s.sid ~rid reply in
+  s.max_rid <- max s.max_rid rid;
+  s.window <- (rid, frames) :: s.window;
+  (if List.length s.window > t.dedup_window then
+     s.window <- List.filteri (fun i _ -> i < t.dedup_window) s.window);
+  Hashtbl.remove s.inflight rid;
+  send_frames s.link frames
+
+let queue_depth t = Queue.length t.run_q + t.parked_n
+
+(* How long a shed client should stand back: enough pump turns for the
+   present backlog to drain at the measured mean service time.
+   Deterministic — it reads only the queue depth and the service
+   histogram. *)
+let retry_after_hint t =
+  let mean =
+    let n = Obs.Metrics.hist_count h_service in
+    if n = 0 then 0.005 else Obs.Metrics.hist_sum h_service /. float_of_int n
+  in
+  min 1.0 (max 0.02 (float_of_int (queue_depth t + 1) *. mean))
+
+let now_s t = Simclock.Clock.now t.clock
+
+let deadline_of_us us = if us = 0L then infinity else Int64.to_float us /. 1e6
+
+(* Requests that release resources (or end the conversation) are never
+   shed and never deadline-rejected: refusing an Abort under overload
+   only makes the overload worse. *)
+let relief = function Wire.Abort | Wire.Bye -> true | _ -> false
+
+(* ---------------- execution ---------------- *)
+
+(* Run one admitted task to an answer — or park it.  Returns [true] when
+   the task reached a reply (or was dropped for a vanished session),
+   [false] when it parked/stayed parked. *)
+let run_task t (tk : task) ~(was_parked : bool) =
+  match Hashtbl.find_opt t.sessions tk.tk_sid with
+  | None ->
+    (* the session died while the request waited (fence, lease, Bye) *)
+    reply_now tk.tk_link ~sid:tk.tk_sid ~rid:tk.tk_rid Wire.Unknown_session;
+    true
+  | Some s ->
+    let now = now_s t in
+    if now > tk.tk_deadline && not (relief tk.tk_req) then begin
+      (* the caller has given up: abort the work before doing any of it.
+         Definitive (recorded): this request id will never execute. *)
+      t.deadline_rejects <- t.deadline_rejects + 1;
+      Obs.Metrics.incr m_deadline_rejects;
+      record_and_send t s ~rid:tk.tk_rid
+        (Wire.Err_reply
+           {
+             txn_open = Fs.in_transaction s.fsess;
+             code = Errors.ETIMEDOUT;
+             msg =
+               Printf.sprintf "deadline expired %.3fs before execution"
+                 (now -. tk.tk_deadline);
+           });
+      true
+    end
+    else begin
+      let t0 = now in
+      let outcome =
+        match exec t s tk.tk_req with
+        | result -> `Reply (Wire.Ok_reply { txn_open = Fs.in_transaction s.fsess; result })
+        | exception Errors.Fs_error (Errors.EAGAIN, msg) ->
+          (* Park only work that can wait with its deadline intact: the
+             remaining headroom must cover the whole lock wait. *)
+          let can_park =
+            parkable s tk.tk_req && tk.tk_deadline -. now >= t.lock_wait_s
+          in
+          if can_park && (was_parked || t.parked_n < t.park_cap) then `Park msg
+          else if can_park && not was_parked then `Shed_park_full
+          else
+            `Reply
+              (Wire.Err_reply
+                 { txn_open = Fs.in_transaction s.fsess; code = Errors.EAGAIN; msg })
+        | exception Errors.Fs_error (Errors.EDEADLK, msg) ->
+          (* Deadlock victim: break the cycle here, whether the request
+             arrived fresh or resumed from parking.  The server aborts
+             the victim's transaction itself — a parked victim's client
+             is mid-retry and may never get the chance — so the other
+             parties' wait-for edges clear and they can proceed. *)
+          if Fs.in_transaction s.fsess then (try Fs.p_abort s.fsess with _ -> ());
+          t.deadlock_aborts <- t.deadlock_aborts + 1;
+          Obs.Metrics.incr m_deadlock_aborts;
+          `Reply (Wire.Err_reply { txn_open = false; code = Errors.EDEADLK; msg })
+        | exception Errors.Fs_error (code, msg) ->
+          `Reply (Wire.Err_reply { txn_open = Fs.in_transaction s.fsess; code; msg })
+        | exception Pagestore.Device.Io_fault _ ->
+          `Reply (Wire.Io_fault_reply { txn_open = Fs.in_transaction s.fsess })
+        | exception Not_found ->
+          `Reply
+            (Wire.Err_reply
+               {
+                 txn_open = Fs.in_transaction s.fsess;
+                 code = Errors.ENOENT;
+                 msg = "raced with a concurrent unlink";
+               })
+      in
+      Obs.Metrics.observe h_service (now_s t -. t0);
+      match outcome with
+      | `Reply reply ->
+        (if was_parked then begin
+           t.park_resumes <- t.park_resumes + 1;
+           Obs.Metrics.incr m_park_resumes
+         end);
+        record_and_send t s ~rid:tk.tk_rid reply;
+        true
+      | `Shed_park_full ->
+        (* no parking slot left: shed rather than spin *)
+        t.sheds <- t.sheds + 1;
+        Obs.Metrics.incr m_sheds;
+        Hashtbl.remove s.inflight tk.tk_rid;
+        reply_now tk.tk_link ~sid:tk.tk_sid ~rid:tk.tk_rid
+          (Wire.Overloaded { retry_after_s = retry_after_hint t });
+        true
+      | `Park blocked_on ->
+        tk.tk_blocked_on <- blocked_on;
+        tk.tk_park_gen <- Relstore.Lock_mgr.release_generation t.locks;
+        if not was_parked then begin
+          tk.tk_park_deadline <- now +. min t.lock_wait_s (tk.tk_deadline -. now);
+          t.parked <- t.parked @ [ tk ];
+          t.parked_n <- t.parked_n + 1;
+          t.parks <- t.parks + 1;
+          Obs.Metrics.incr m_parks;
+          if Obs.on Obs.Net then
+            Obs.event Obs.Net "net.park"
+              ~args:
+                [ ("req", Obs.S (Wire.req_name tk.tk_req));
+                  ("rid", Obs.I (Int64.to_int tk.tk_rid));
+                ]
+              ()
+        end;
+        false
+    end
+
+(* A parked request whose lock-wait timer fired: answer ETIMEDOUT (the
+   bounded-lock-wait contract), keeping the transaction open just as the
+   old bounded-backoff path did — the client decides whether to abort. *)
+let park_timeout t (tk : task) =
+  t.park_timeouts <- t.park_timeouts + 1;
+  Obs.Metrics.incr m_park_timeouts;
+  match Hashtbl.find_opt t.sessions tk.tk_sid with
+  | None -> reply_now tk.tk_link ~sid:tk.tk_sid ~rid:tk.tk_rid Wire.Unknown_session
+  | Some s ->
+    record_and_send t s ~rid:tk.tk_rid
+      (Wire.Err_reply
+         {
+           txn_open = Fs.in_transaction s.fsess;
+           code = Errors.ETIMEDOUT;
+           msg =
+             Printf.sprintf "lock wait timed out after %.3fs: %s"
+               (now_s t -. tk.tk_enq) tk.tk_blocked_on;
+         })
+
+(* Drain the run queue, then give parked requests their shot: resume
+   those whose world may have changed (a lock release happened since
+   their last attempt), expire those whose lock-wait timer passed.
+   Resumptions can release locks and unblock further parked requests
+   (commit chains), so loop until a pass makes no progress. *)
+let run_all t =
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    while not (Queue.is_empty t.run_q) do
+      let tk = Queue.pop t.run_q in
+      ignore (run_task t tk ~was_parked:false : bool)
+    done;
+    if t.parked_n > 0 then begin
+      let gen = Relstore.Lock_mgr.release_generation t.locks in
+      let keep = ref [] in
+      List.iter
+        (fun tk ->
+          let resumed =
+            if gen > tk.tk_park_gen then run_task t tk ~was_parked:true else false
+          in
+          if resumed then continue := true
+          else if now_s t >= tk.tk_park_deadline then begin
+            park_timeout t tk;
+            continue := true
+          end
+          else keep := tk :: !keep)
+        t.parked;
+      t.parked <- List.rev !keep;
+      t.parked_n <- List.length t.parked
+    end
+  done
+
+(* ---------------- admission ---------------- *)
+
+let handle t link ~(h : Wire.hdr) req =
+  let sid = h.sid and rid = h.rid in
   t.requests <- t.requests + 1;
   Obs.Metrics.incr m_requests;
   if Obs.on Obs.Net then
     Obs.event Obs.Net "net.dispatch"
       ~args:[ ("req", Obs.S (Wire.req_name req)); ("rid", Obs.I (Int64.to_int rid)) ]
       ();
-  let send frames = List.iter (fun f -> Link.send link Link.To_client f) frames in
-  let reply_now reply = send (Wire.encode_reply ~sid ~rid reply) in
   match req with
-  | Wire.Ping -> reply_now (Wire.Ok_reply { txn_open = false; result = Wire.R_unit })
+  | Wire.Ping -> reply_now link ~sid ~rid (Wire.Ok_reply { txn_open = false; result = Wire.R_unit })
   | Wire.Crash_server ->
     (* crash the machine mid-flight, recover, and only then answer: the
        reply is the evidence recovery came back up *)
     crash_now t;
-    reply_now (Wire.Ok_reply { txn_open = false; result = Wire.R_unit })
+    reply_now link ~sid ~rid (Wire.Ok_reply { txn_open = false; result = Wire.R_unit })
   | Wire.Hello -> (
     (* the request id is the client's nonce: replaying a duplicate Hello
        must return the same session, not mint a second one *)
@@ -221,7 +497,7 @@ let handle t link ~sid ~rid req =
     | Some frames ->
       t.replays <- t.replays + 1;
       Obs.Metrics.incr m_replays;
-      send frames
+      send_frames link frames
     | None ->
       (* one connection carries one session: a fresh handshake on this
          link supersedes whatever session was bound to it before, so a
@@ -248,6 +524,7 @@ let handle t link ~sid ~rid req =
           last_active = Simclock.Clock.now t.clock;
           max_rid = 0L;
           window = [];
+          inflight = Hashtbl.create 4;
         }
       in
       Hashtbl.replace t.sessions new_sid s;
@@ -257,56 +534,79 @@ let handle t link ~sid ~rid req =
       t.hello_window <- (rid, frames) :: t.hello_window;
       (if List.length t.hello_window > 32 then
          t.hello_window <- List.filteri (fun i _ -> i < 32) t.hello_window);
-      send frames)
+      send_frames link frames)
   | _ -> (
     match Hashtbl.find_opt t.sessions sid with
-    | None -> reply_now Wire.Unknown_session
-    | Some s -> (
+    | None -> reply_now link ~sid ~rid Wire.Unknown_session
+    | Some s ->
       s.last_active <- Simclock.Clock.now t.clock;
-      match List.assoc_opt rid s.window with
+      (match List.assoc_opt rid s.window with
       | Some frames ->
         (* the dedup window: this request already executed; replay the
            recorded reply instead of executing it twice *)
         t.replays <- t.replays + 1;
         Obs.Metrics.incr m_replays;
-        send frames
+        send_frames link frames
       | None when rid <= s.max_rid ->
         (* a stale duplicate from before the window: the client has long
            since moved on and will discard any answer; drop it *)
         ()
+      | None when Hashtbl.mem s.inflight rid ->
+        (* a retransmission of a request still queued or parked: the
+           original will answer; admitting it twice would execute twice *)
+        ()
       | None ->
-        let t0 = Simclock.Clock.now t.clock in
-        let reply =
-          match exec t s req with
-          | result -> Wire.Ok_reply { txn_open = Fs.in_transaction s.fsess; result }
-          | exception Errors.Fs_error (code, msg) ->
-            Wire.Err_reply { txn_open = Fs.in_transaction s.fsess; code; msg }
-          | exception Pagestore.Device.Io_fault _ ->
-            Wire.Io_fault_reply { txn_open = Fs.in_transaction s.fsess }
-          | exception Relstore.Lock_mgr.Lock_timeout { attempts; waited_s; blocked_on } ->
-            Wire.Err_reply
-              {
-                txn_open = Fs.in_transaction s.fsess;
-                code = Errors.ETIMEDOUT;
-                msg =
-                  Printf.sprintf "lock wait timed out after %d attempts (%.3fs): %s"
-                    attempts waited_s blocked_on;
-              }
-          | exception Not_found ->
-            Wire.Err_reply
-              {
-                txn_open = Fs.in_transaction s.fsess;
-                code = Errors.ENOENT;
-                msg = "raced with a concurrent unlink";
-              }
-        in
-        Obs.Metrics.observe h_service (Simclock.Clock.now t.clock -. t0);
-        let frames = Wire.encode_reply ~sid ~rid reply in
-        s.max_rid <- max s.max_rid rid;
-        s.window <- (rid, frames) :: s.window;
-        (if List.length s.window > t.dedup_window then
-           s.window <- List.filteri (fun i _ -> i < t.dedup_window) s.window);
-        send frames))
+        let now = Simclock.Clock.now t.clock in
+        let deadline = deadline_of_us h.deadline_us in
+        if now > deadline && not (relief req) then begin
+          (* never admit work whose caller has already given up.
+             Recorded: the rejection is definitive, so a racing retry
+             deduplicates onto it instead of executing. *)
+          t.deadline_rejects <- t.deadline_rejects + 1;
+          Obs.Metrics.incr m_deadline_rejects;
+          record_and_send t s ~rid
+            (Wire.Err_reply
+               {
+                 txn_open = Fs.in_transaction s.fsess;
+                 code = Errors.ETIMEDOUT;
+                 msg =
+                   Printf.sprintf "deadline expired %.3fs before admission"
+                     (now -. deadline);
+               })
+        end
+        else if
+          (not (relief req))
+          && (queue_depth t >= t.run_cap
+              || (h.retry && queue_depth t >= t.shed_mark))
+        then begin
+          (* bounded queues: past capacity everyone sheds; past the
+             watermark, retransmitted traffic sheds first so first
+             attempts keep landing.  Overloaded is NOT recorded in the
+             dedup window — a later retry may be admitted. *)
+          t.sheds <- t.sheds + 1;
+          Obs.Metrics.incr m_sheds;
+          if h.retry && queue_depth t < t.run_cap then begin
+            t.retry_sheds <- t.retry_sheds + 1;
+            Obs.Metrics.incr m_retry_sheds
+          end;
+          reply_now link ~sid ~rid (Wire.Overloaded { retry_after_s = retry_after_hint t })
+        end
+        else begin
+          Hashtbl.replace s.inflight rid ();
+          Queue.push
+            {
+              tk_link = link;
+              tk_sid = sid;
+              tk_rid = rid;
+              tk_req = req;
+              tk_deadline = deadline;
+              tk_enq = now;
+              tk_park_deadline = infinity;
+              tk_park_gen = 0;
+              tk_blocked_on = "";
+            }
+            t.run_q
+        end))
 
 let process t link frame =
   match Wire.decode_header frame with
@@ -316,10 +616,40 @@ let process t link frame =
     match Wire.Assembly.add t.asm h with
     | `Pending -> ()
     | `Complete payload -> (
-      match Wire.decode_request payload with
-      | None -> ()
-      | Some req -> handle t link ~sid:h.sid ~rid:h.rid req))
+      match Wire.decode_request_any payload with
+      | `Malformed -> () (* damaged beyond recognition: the wire ate it *)
+      | `Unknown opcode -> (
+        (* version skew: a future client spoke an opcode we don't have.
+           Answer structurally instead of going silent — the client must
+           be able to tell "not supported" from "lost on the wire".  The
+           verdict is definitive, so it dedups like any executed request:
+           a retransmission replays the recorded answer instead of being
+           judged (and counted) twice. *)
+        match Hashtbl.find_opt t.sessions h.sid with
+        | Some s -> (
+          match List.assoc_opt h.rid s.window with
+          | Some frames ->
+            t.replays <- t.replays + 1;
+            Obs.Metrics.incr m_replays;
+            send_frames link frames
+          | None when h.rid <= s.max_rid -> ()
+          | None ->
+            t.unsupported <- t.unsupported + 1;
+            Obs.Metrics.incr m_unsupported;
+            record_and_send t s ~rid:h.rid (Wire.Unsupported { opcode }))
+        | None ->
+          t.unsupported <- t.unsupported + 1;
+          Obs.Metrics.incr m_unsupported;
+          reply_now link ~sid:h.sid ~rid:h.rid (Wire.Unsupported { opcode }))
+      | `Req req -> handle t link ~h req))
 
+(* The event loop.  One pump is one turn: timers first (lease expiry),
+   then admission — every link drained, each complete request either
+   answered inline (control plane, dedup replays, deadline and overload
+   rejections) or placed on the bounded run queue — then execution,
+   which drains the run queue and drives the parked requests' lock-wait
+   and resume timers.  Everything is driven by the shared simulated
+   clock; a pump with nothing to do is free. *)
 let pump t =
   expire_leases t;
   let crashed = ref false in
@@ -342,4 +672,7 @@ let pump t =
             drain ()
       in
       drain ())
-    t.links
+    t.links;
+  if not !crashed then
+    try run_all t
+    with Pagestore.Device.Crash_injected _ -> crash_now t

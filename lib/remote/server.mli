@@ -1,11 +1,15 @@
-(** The Inversion server: a dispatch loop exposing the {!Invfs.Fs} API
-    over {!Wire} frames on {!Netsim.Link} connections.
+(** The Inversion server: an event-driven dispatch core exposing the
+    {!Invfs.Fs} API over {!Wire} frames on {!Netsim.Link} connections.
 
     One server owns one file system and any number of client connections
-    ({!attach}).  {!pump} drains every connection's inbound queue,
-    reassembles fragmented requests, and dispatches them; corrupt frames
-    (CRC failure) are silently dropped, exactly as a damaged packet would
-    be.
+    ({!attach}).  {!pump} is one turn of the event loop: timers first
+    (lease expiry), then {e admission} — every connection's inbound
+    queue drained, fragmented requests reassembled, each complete
+    request either answered inline (control plane, dedup replays,
+    deadline and overload rejections) or placed on the bounded {e run
+    queue} — then {e execution}, which drains the run queue and drives
+    the parked requests' timers.  Corrupt frames (CRC failure) are
+    silently dropped, exactly as a damaged packet would be.
 
     {2 Exactly-once-observed semantics}
 
@@ -14,7 +18,39 @@
     answered by replaying the recorded reply, never by executing twice —
     so a retried-then-duplicated committed [p_write] is applied exactly
     once.  Duplicates older than the window are dropped (their client
-    has provably moved on).
+    has provably moved on); duplicates of a request still queued or
+    parked are dropped too (the original will answer).
+
+    {2 Parking: blocking without blocking}
+
+    A request that hits a lock conflict and is safe to re-execute from
+    scratch — any read-only request, an auto-commit mutation (its
+    implicit transaction rolled back when the wait surfaced), or a
+    [Commit] (its flushes re-run idempotently) — {e parks}: it leaves
+    the run queue and waits, its lock-manager wait-for edge intact, for
+    either a lock release (parked requests re-try only when
+    {!Relstore.Lock_mgr.release_generation} has advanced — in a
+    single-threaded simulation nothing else can unblock them) or its
+    lock-wait timer ([lock_wait_s]), which expires it with [ETIMEDOUT].
+    A parked request whose own re-acquisition completes a deadlock cycle
+    is the victim: the server aborts its transaction and answers
+    [EDEADLK] with the transaction closed.  Mutations inside an open
+    transaction never park (they may hold partial progress) and answer
+    [EAGAIN] immediately, as before.
+
+    {2 Admission control and deadlines}
+
+    The run and park queues are bounded ([run_cap], [park_cap]).  Past
+    capacity — and past the [shed_watermark] fraction for traffic
+    flagged as a retransmission, so first attempts keep landing — a
+    request is answered {!Wire.Overloaded} with a retry-after hint and
+    is {e not} recorded in the dedup window: a later re-offer may be
+    admitted.  A request whose header deadline has already passed is
+    refused with a {e recorded} [ETIMEDOUT] rejection (definitive: that
+    request id will never execute), both at admission and again just
+    before execution — the server never does work whose caller has given
+    up.  [Abort] and [Bye] are exempt from both: refusing work that
+    releases resources only deepens an overload.
 
     {2 Sessions, leases}
 
@@ -30,12 +66,13 @@
     A poisoned frame ({!Netsim.Link.fault.Server_crash}) or an injected
     device crash during execution kills the machine mid-request: all
     volatile state (sessions, dedup windows, fds, connection queues,
-    partial reassemblies) is discarded and the crash handler runs —
-    {!Invfs.Fs.crash_and_recover} by default; harnesses install one that
-    clears their fault schedule and verifies the recovered state.  The
-    commit path forces data pages before the status log, so a request
-    that never replied either committed durably or left no trace: no
-    observable partial progress. *)
+    partial reassemblies, the run queue, parked requests) is discarded
+    and the crash handler runs — {!Invfs.Fs.crash_and_recover} by
+    default; harnesses install one that clears their fault schedule and
+    verifies the recovered state.  The commit path forces data pages
+    before the status log, so a request that never replied either
+    committed durably or left no trace: no observable partial
+    progress. *)
 
 type t
 
@@ -43,16 +80,22 @@ val create :
   fs:Invfs.Fs.t ->
   ?lease_s:float ->
   ?dedup_window:int ->
-  ?lock_attempts:int ->
+  ?run_cap:int ->
+  ?park_cap:int ->
+  ?lock_wait_s:float ->
+  ?shed_watermark:float ->
   ?on_crash:(t -> unit) ->
   unit ->
   t
 (** [lease_s] (default 120 simulated seconds; 0 disables) bounds how long
     a silent client's session survives.  [dedup_window] (default 16) is
-    replies remembered per session.  [lock_attempts] (default 3) bounds
-    the {!Relstore.Lock_mgr.retry_backoff} wait on read-only operations —
-    each wait expires leases, which is what can actually release a dead
-    client's locks. *)
+    replies remembered per session.  [run_cap] (default 256) bounds the
+    run queue plus parked backlog; [park_cap] (default 64) bounds parked
+    requests alone; [shed_watermark] (default 0.75, a fraction of
+    [run_cap]) is the depth past which retransmitted traffic sheds.
+    [lock_wait_s] (default 0) is how long a parked request may wait for
+    its lock before expiring with [ETIMEDOUT]; the default expires
+    same-pump, preserving the old immediate-conflict-reply behaviour. *)
 
 val attach : t -> Netsim.Link.t -> unit
 (** Accept a connection (idempotent).  Clients create a link and attach
@@ -62,9 +105,9 @@ val fs : t -> Invfs.Fs.t
 val set_on_crash : t -> (t -> unit) -> unit
 
 val pump : t -> unit
-(** Drain and dispatch every attached connection.  Runs lease expiry
-    first.  A mid-pump crash stops the dispatch (the machine is gone);
-    by the time [pump] returns the crash handler has recovered it. *)
+(** One turn of the event loop (see above).  A mid-pump crash stops the
+    turn (the machine is gone); by the time [pump] returns the crash
+    handler has recovered it. *)
 
 val crash_now : t -> unit
 (** Crash the server machine immediately (the boundary-crash entry point
@@ -84,3 +127,41 @@ val fenced : t -> int
 
 val requests : t -> int
 val sessions_live : t -> int
+
+(** {2 Event-loop health} *)
+
+val run_queue_depth : t -> int
+(** Requests admitted but not yet executed (also the Obs probe
+    ["net.server.run_queue"]; zero between pumps). *)
+
+val parked_now : t -> int
+(** Requests currently parked on a lock (probe ["net.server.parked"]). *)
+
+val sheds : t -> int
+(** Requests refused with {!Wire.Overloaded} (counter
+    ["net.server.sheds"]). *)
+
+val retry_sheds : t -> int
+(** The subset of {!sheds} refused at the watermark for carrying the
+    retransmission flag while first attempts were still admitted. *)
+
+val deadline_rejects : t -> int
+(** Requests refused (recorded [ETIMEDOUT]) because their propagated
+    deadline had passed at admission or execution. *)
+
+val parks : t -> int
+(** Requests that parked on a lock conflict at least once. *)
+
+val park_resumes : t -> int
+(** Parked requests that resumed after a lock release and reached an
+    answer (including [EDEADLK] victims). *)
+
+val park_timeouts : t -> int
+(** Parked requests expired by their lock-wait timer. *)
+
+val deadlock_aborts : t -> int
+(** Transactions the server aborted as deadlock victims. *)
+
+val unsupported : t -> int
+(** Cleanly-framed requests with an opcode from a future protocol
+    revision, answered {!Wire.Unsupported}. *)

@@ -29,6 +29,7 @@ let crc32 b ~off ~len =
 (* ---------------- primitive (de)serialization ---------------- *)
 
 exception Decode
+exception Unknown_opcode of int
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 let put_bool b v = put_u8 b (if v then 1 else 0)
@@ -236,7 +237,11 @@ let encode_req_payload req =
   | Crash_server -> put_u8 b 25);
   Buffer.contents b
 
-let decode_request payload =
+(* Distinguishes an opcode from the future ([`Unknown]) from a payload
+   that is damaged or truncated ([`Malformed]): the server answers the
+   former with a structured [Unsupported] reply — version skew must not
+   look like packet loss — and drops only the latter. *)
+let decode_request_any payload =
   let c = { data = payload; pos = 0 } in
   try
     let req =
@@ -307,11 +312,16 @@ let decode_request payload =
         Set_type { path; ftype }
       | 24 -> Define_type { name = get_str c }
       | 25 -> Crash_server
-      | _ -> raise Decode
+      | op -> raise (Unknown_opcode op)
     in
     if c.pos <> String.length payload then raise Decode;
-    Some req
-  with Decode -> None
+    `Req req
+  with
+  | Decode -> `Malformed
+  | Unknown_opcode op -> `Unknown op
+
+let decode_request payload =
+  match decode_request_any payload with `Req r -> Some r | `Unknown _ | `Malformed -> None
 
 (* ---------------- replies ---------------- *)
 
@@ -331,6 +341,8 @@ type reply =
   | Err_reply of { txn_open : bool; code : Invfs.Errors.code; msg : string }
   | Io_fault_reply of { txn_open : bool }
   | Unknown_session
+  | Overloaded of { retry_after_s : float }
+  | Unsupported of { opcode : int }
 
 let code_to_byte : Invfs.Errors.code -> int = function
   | ENOENT -> 1
@@ -347,6 +359,8 @@ let code_to_byte : Invfs.Errors.code -> int = function
   | EIO -> 12
   | ETIMEDOUT -> 13
   | ECONNRESET -> 14
+  | EBUSY -> 15
+  | ENOTSUP -> 16
 
 let code_of_byte : int -> Invfs.Errors.code = function
   | 1 -> ENOENT
@@ -363,6 +377,8 @@ let code_of_byte : int -> Invfs.Errors.code = function
   | 12 -> EIO
   | 13 -> ETIMEDOUT
   | 14 -> ECONNRESET
+  | 15 -> EBUSY
+  | 16 -> ENOTSUP
   | _ -> raise Decode
 
 let encode_reply_payload reply =
@@ -420,7 +436,14 @@ let encode_reply_payload reply =
   | Io_fault_reply { txn_open } ->
     put_u8 b 2;
     put_bool b txn_open
-  | Unknown_session -> put_u8 b 3);
+  | Unknown_session -> put_u8 b 3
+  | Overloaded { retry_after_s } ->
+    put_u8 b 4;
+    (* microseconds on the wire: floats don't serialize *)
+    put_i64 b (Int64.of_float (retry_after_s *. 1e6))
+  | Unsupported { opcode } ->
+    put_u8 b 5;
+    put_u8 b opcode);
   Buffer.contents b
 
 let decode_reply payload =
@@ -487,6 +510,8 @@ let decode_reply payload =
         Err_reply { txn_open; code; msg }
       | 2 -> Io_fault_reply { txn_open = get_bool c }
       | 3 -> Unknown_session
+      | 4 -> Overloaded { retry_after_s = Int64.to_float (get_i64 c) /. 1e6 }
+      | 5 -> Unsupported { opcode = get_u8 c }
       | _ -> raise Decode
     in
     if c.pos <> String.length payload then raise Decode;
@@ -501,6 +526,8 @@ type hdr = {
   rid : int64;
   frame_ix : int;
   nframes : int;
+  retry : bool; (* flags bit 0: this frame is a retransmission *)
+  deadline_us : int64; (* absolute sim-clock µs; 0 = no deadline *)
   payload : string;
 }
 
@@ -535,17 +562,19 @@ let i64_at s off =
   done;
   !v
 
-let make_frame ~kind ~sid ~rid ~frame_ix ~nframes fragment =
+let make_frame ~kind ~sid ~rid ~frame_ix ~nframes ~retry ~deadline_us fragment =
   let n = String.length fragment in
   let b = Bytes.make (header_bytes + n) '\000' in
   Bytes.blit_string magic 0 b 0 4;
   set_u16 b 4 version;
   Bytes.set b 6 (Char.chr kind);
+  Bytes.set b 7 (Char.chr (if retry then 1 else 0));
   set_i64 b 8 sid;
   set_i64 b 16 rid;
   set_u16 b 24 frame_ix;
   set_u16 b 26 nframes;
   set_u32 b 28 n;
+  set_i64 b 36 deadline_us;
   Bytes.blit_string fragment 0 b header_bytes n;
   (* CRC over the whole frame with the crc field zeroed *)
   let crc = crc32 b ~off:0 ~len:(Bytes.length b) in
@@ -555,7 +584,7 @@ let make_frame ~kind ~sid ~rid ~frame_ix ~nframes fragment =
 (* Split a logical payload into CRC'd frames.  Streamed requests
    ([trailer]) append a zero-length end-of-stream frame, the explicit
    "that was all of it" marker a windowed upload needs. *)
-let frame_payload ~kind ~sid ~rid ~trailer payload =
+let frame_payload ~kind ~sid ~rid ~trailer ~retry ~deadline_us payload =
   let len = String.length payload in
   let data_frames = max 1 ((len + max_fragment - 1) / max_fragment) in
   let nframes = data_frames + if trailer then 1 else 0 in
@@ -565,18 +594,24 @@ let frame_payload ~kind ~sid ~rid ~trailer payload =
     let off = ix * max_fragment in
     let n = min max_fragment (len - off) in
     let n = max n 0 in
-    frames := make_frame ~kind ~sid ~rid ~frame_ix:ix ~nframes (String.sub payload off n) :: !frames
+    frames :=
+      make_frame ~kind ~sid ~rid ~frame_ix:ix ~nframes ~retry ~deadline_us
+        (String.sub payload off n)
+      :: !frames
   done;
   if trailer then
-    frames := !frames @ [ make_frame ~kind ~sid ~rid ~frame_ix:(nframes - 1) ~nframes "" ];
+    frames :=
+      !frames
+      @ [ make_frame ~kind ~sid ~rid ~frame_ix:(nframes - 1) ~nframes ~retry ~deadline_us "" ];
   !frames
 
-let encode_request ~sid ~rid req =
+let encode_request ?(retry = false) ?(deadline_us = 0L) ~sid ~rid req =
   let trailer = match req with Write _ -> true | _ -> false in
-  frame_payload ~kind:0 ~sid ~rid ~trailer (encode_req_payload req)
+  frame_payload ~kind:0 ~sid ~rid ~trailer ~retry ~deadline_us (encode_req_payload req)
 
 let encode_reply ~sid ~rid reply =
-  frame_payload ~kind:1 ~sid ~rid ~trailer:false (encode_reply_payload reply)
+  frame_payload ~kind:1 ~sid ~rid ~trailer:false ~retry:false ~deadline_us:0L
+    (encode_reply_payload reply)
 
 let decode_header frame =
   let n = String.length frame in
@@ -607,6 +642,8 @@ let decode_header frame =
                 rid = i64_at frame 16;
                 frame_ix;
                 nframes;
+                retry = Char.code frame.[7] land 1 <> 0;
+                deadline_us = i64_at frame 36;
                 payload = String.sub frame header_bytes plen;
               }
 

@@ -9,15 +9,22 @@
     0       magic "INVW"
     4       version (u16)
     6       kind: 0 = request, 1 = reply
+    7       flags (u8): bit 0 = retransmission
     8       session id (i64)
     16      request id (i64)
     24      frame index (u16)   | large payloads fragment at
     26      frame count (u16)   | [max_fragment] bytes per frame
     28      fragment length (u32)
     32      CRC-32 of the whole frame (crc field zeroed)
-    36..95  reserved
+    36      deadline (i64, absolute sim-clock µs; 0 = none)
+    44..95  reserved
     96      fragment payload
     v}
+
+    The flags byte and the deadline ride in previously-reserved header
+    bytes, so version 1 frames from older peers (all zeros there) decode
+    as "first attempt, no deadline" — the admission-control fields are
+    backward compatible by construction.
 
     The 96-byte header matches the RPC header size the cost model always
     charged, so Table-3 numbers flow through unchanged — but now each
@@ -97,9 +104,22 @@ type reply =
   | Unknown_session
       (** the server does not know this session: it crashed, or the
           session's lease expired.  The client must reconnect. *)
+  | Overloaded of { retry_after_s : float }
+      (** admission control shed this request before executing it; the
+          client should wait [retry_after_s] before re-offering.  Never
+          recorded in the dedup window — a later retry of the same
+          request id may be admitted and execute. *)
+  | Unsupported of { opcode : int }
+      (** the request decoded cleanly but its opcode is from a future
+          protocol revision this server does not implement (version
+          skew).  Definitive — recorded in the dedup window. *)
 
-val encode_request : sid:int64 -> rid:int64 -> req -> string list
-(** The frames of one request, in send order. *)
+val encode_request :
+  ?retry:bool -> ?deadline_us:int64 -> sid:int64 -> rid:int64 -> req -> string list
+(** The frames of one request, in send order.  [retry] sets the
+    retransmission flag (admission control sheds flagged traffic first
+    under overload); [deadline_us] (absolute simulated µs, 0 = none)
+    tells the server when the caller will have given up. *)
 
 val encode_reply : sid:int64 -> rid:int64 -> reply -> string list
 
@@ -109,6 +129,8 @@ type hdr = {
   rid : int64;
   frame_ix : int;
   nframes : int;
+  retry : bool;
+  deadline_us : int64;
   payload : string;
 }
 
@@ -117,6 +139,12 @@ val decode_header : string -> hdr option
 
 val decode_request : string -> req option
 (** Decode an assembled request payload. *)
+
+val decode_request_any : string -> [ `Req of req | `Unknown of int | `Malformed ]
+(** Like {!decode_request} but distinguishes a cleanly-framed opcode
+    from a future protocol revision ([`Unknown], answered with
+    {!reply.Unsupported}) from a damaged payload ([`Malformed],
+    dropped as wire noise). *)
 
 val decode_reply : string -> reply option
 

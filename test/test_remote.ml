@@ -11,7 +11,7 @@ module Client = Remote.Client
 module Link = Netsim.Link
 module F = Faultsim
 
-let mk ?lease_s () =
+let mk ?lease_s ?run_cap ?park_cap ?lock_wait_s ?shed_watermark () =
   let clock = Simclock.Clock.create () in
   let switch = Pagestore.Switch.create ~clock in
   ignore
@@ -20,7 +20,7 @@ let mk ?lease_s () =
       : Pagestore.Device.t);
   let db = Relstore.Db.create ~switch ~clock () in
   let fs = Fs.make db () in
-  let server = Server.create ~fs ?lease_s () in
+  let server = Server.create ~fs ?lease_s ?run_cap ?park_cap ?lock_wait_s ?shed_watermark () in
   let net = Netsim.create ~clock Netsim.tcp_1993 in
   (clock, fs, server, net)
 
@@ -34,6 +34,96 @@ let expect_error code f =
   | exception E.Fs_error (got, msg) ->
     Alcotest.(check string) "error code" (E.code_to_string code) (E.code_to_string got);
     msg
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* ---- raw sessions: hand-built frames, no client library ----
+
+   The overload, deadline and version-skew tests need precise control
+   over request ids, retry flags, deadlines and pump timing — things the
+   client library deliberately hides — so they speak {!Wire} directly:
+   build frames, put them on the link, pump the server, drain replies. *)
+
+type raw = {
+  r_link : Link.t;
+  mutable r_sid : int64;
+  mutable r_rid : int64;
+  r_asm : Wire.Assembly.t;
+}
+
+let raw_send ?(charge = true) ?retry ?deadline_us ?rid r req =
+  let rid =
+    match rid with
+    | Some rid -> rid
+    | None ->
+      r.r_rid <- Int64.add r.r_rid 1L;
+      r.r_rid
+  in
+  List.iter
+    (fun f -> Link.send ~charge r.r_link Link.To_server f)
+    (Wire.encode_request ?retry ?deadline_us ~sid:r.r_sid ~rid req);
+  rid
+
+(* Drain and decode every reply currently queued toward this client. *)
+let raw_replies r =
+  let out = ref [] in
+  let rec drain () =
+    match Link.recv r.r_link Link.To_client with
+    | None -> ()
+    | Some (frame, _poisoned) ->
+      (match Wire.decode_header frame with
+      | None -> ()
+      | Some h -> (
+        match Wire.Assembly.add r.r_asm h with
+        | `Complete payload -> (
+          match Wire.decode_reply payload with
+          | Some rep -> out := (h.Wire.rid, rep) :: !out
+          | None -> ())
+        | `Pending -> ()));
+      drain ()
+  in
+  drain ();
+  List.rev !out
+
+let raw_reply r rid =
+  match List.assoc_opt rid (raw_replies r) with
+  | Some rep -> rep
+  | None -> Alcotest.fail (Printf.sprintf "no reply for rid %Ld" rid)
+
+(* Hello request ids are connection nonces, deduplicated in a window
+   shared across connections — every raw session needs a fresh one or
+   the server replays the previous session's handshake. *)
+let raw_nonce = ref 0x5EED00L
+
+let raw_connect server net =
+  let link = Link.create net in
+  Server.attach server link;
+  let r = { r_link = link; r_sid = 0L; r_rid = 0L; r_asm = Wire.Assembly.create () } in
+  raw_nonce := Int64.add !raw_nonce 1L;
+  let rid = raw_send ~rid:!raw_nonce r Wire.Hello in
+  Server.pump server;
+  (match raw_reply r rid with
+  | Wire.Ok_reply { result = Wire.R_sid sid; _ } -> r.r_sid <- sid
+  | _ -> Alcotest.fail "raw hello failed");
+  r
+
+(* Send one request, pump, and insist on an [Ok_reply]. *)
+let raw_ok r server req =
+  let rid = raw_send r req in
+  Server.pump server;
+  match raw_reply r rid with
+  | Wire.Ok_reply { result; _ } -> result
+  | Wire.Err_reply { code; msg; _ } ->
+    Alcotest.fail
+      (Printf.sprintf "%s failed: %s %s" (Wire.req_name req) (E.code_to_string code) msg)
+  | _ -> Alcotest.fail (Wire.req_name req ^ ": unexpected reply kind")
+
+let raw_fd r server req =
+  match raw_ok r server req with
+  | Wire.R_fd fd -> fd
+  | _ -> Alcotest.fail (Wire.req_name req ^ ": expected a file descriptor")
 
 (* ---- wire framing ---- *)
 
@@ -412,6 +502,381 @@ let test_crash_server_op () =
   Alcotest.(check string) "durable data survived" "durable"
     (Bytes.to_string (Client.read_whole_file c "/f"))
 
+(* ---- admission control: a full run queue sheds, shed work never ran ---- *)
+
+let test_overload_shed_and_reoffer () =
+  let _, _, server, net = mk ~run_cap:1 () in
+  let r = raw_connect server net in
+  let rid_a = raw_send r (Wire.Mkdir { path = "/a" }) in
+  let rid_b = raw_send r (Wire.Mkdir { path = "/b" }) in
+  Server.pump server;
+  let reps = raw_replies r in
+  (match List.assoc_opt rid_a reps with
+  | Some (Wire.Ok_reply _) -> ()
+  | _ -> Alcotest.fail "first mkdir should be admitted and executed");
+  (match List.assoc_opt rid_b reps with
+  | Some (Wire.Overloaded { retry_after_s }) ->
+    Alcotest.(check bool) "retry-after hint is positive" true (retry_after_s > 0.)
+  | _ -> Alcotest.fail "second mkdir should shed at the queue bound");
+  Alcotest.(check int) "one shed" 1 (Server.sheds server);
+  (* Overloaded is definitively-not-executed and unrecorded: re-offering
+     the very same request id is admitted and executes.  (If the shed had
+     secretly executed, this mkdir would answer EEXIST.) *)
+  ignore (raw_send ~rid:rid_b r (Wire.Mkdir { path = "/b" }) : int64);
+  Server.pump server;
+  (match raw_reply r rid_b with
+  | Wire.Ok_reply _ -> ()
+  | Wire.Err_reply { msg; _ } -> Alcotest.fail ("re-offer should be admitted: " ^ msg)
+  | _ -> Alcotest.fail "re-offer should be admitted");
+  Alcotest.(check int) "re-offer executed rather than replayed" 0 (Server.replays server);
+  match raw_ok r server (Wire.Readdir { path = "/"; timestamp = None }) with
+  | Wire.R_names names ->
+    Alcotest.(check (list string)) "exactly the admitted work landed" [ "a"; "b" ]
+      (List.sort compare names)
+  | _ -> Alcotest.fail "readdir failed"
+
+(* ---- the watermark sheds retransmissions while first attempts land ---- *)
+
+let test_watermark_sheds_retries_first () =
+  let _, _, server, net = mk ~run_cap:4 ~shed_watermark:0.25 () in
+  let r = raw_connect server net in
+  let rid_a = raw_send r (Wire.Mkdir { path = "/a" }) in
+  let rid_b = raw_send ~retry:true r (Wire.Mkdir { path = "/b" }) in
+  let rid_c = raw_send r (Wire.Mkdir { path = "/c" }) in
+  Server.pump server;
+  let reps = raw_replies r in
+  (match List.assoc_opt rid_a reps with
+  | Some (Wire.Ok_reply _) -> ()
+  | _ -> Alcotest.fail "first attempt below the watermark should be admitted");
+  (match List.assoc_opt rid_b reps with
+  | Some (Wire.Overloaded _) -> ()
+  | _ -> Alcotest.fail "a retransmission past the watermark should shed");
+  (match List.assoc_opt rid_c reps with
+  | Some (Wire.Ok_reply _) -> ()
+  | _ -> Alcotest.fail "a first attempt past the watermark should still be admitted");
+  Alcotest.(check int) "the shed was counted as a retry shed" 1 (Server.retry_sheds server);
+  Alcotest.(check int) "one shed total" 1 (Server.sheds server)
+
+(* ---- expired deadlines are refused, recorded, and deduplicated ---- *)
+
+let test_deadline_reject_recorded () =
+  let clock, _, server, net = mk () in
+  Simclock.Clock.advance clock 1.;
+  let r = raw_connect server net in
+  let rid = raw_send ~deadline_us:1L r (Wire.Mkdir { path = "/late" }) in
+  Server.pump server;
+  (match raw_reply r rid with
+  | Wire.Err_reply { code; msg; _ } ->
+    Alcotest.(check string) "code" "ETIMEDOUT" (E.code_to_string code);
+    Alcotest.(check bool) "names the expired deadline" true
+      (starts_with ~prefix:"deadline expired" msg)
+  | _ -> Alcotest.fail "expired work should be refused at admission");
+  Alcotest.(check int) "rejection counted" 1 (Server.deadline_rejects server);
+  (* the rejection is definitive: a retransmission replays the verdict
+     instead of judging (or executing) the request again *)
+  ignore (raw_send ~rid ~retry:true ~deadline_us:1L r (Wire.Mkdir { path = "/late" }) : int64);
+  Server.pump server;
+  (match raw_reply r rid with
+  | Wire.Err_reply { code; _ } ->
+    Alcotest.(check string) "replayed code" "ETIMEDOUT" (E.code_to_string code)
+  | _ -> Alcotest.fail "retransmission should replay the recorded rejection");
+  Alcotest.(check bool) "served from the dedup window" true (Server.replays server >= 1);
+  Alcotest.(check int) "not re-judged" 1 (Server.deadline_rejects server);
+  match raw_ok r server (Wire.Readdir { path = "/"; timestamp = None }) with
+  | Wire.R_names names -> Alcotest.(check (list string)) "nothing executed" [] names
+  | _ -> Alcotest.fail "readdir failed"
+
+(* ---- a deadline that expires in the queue is caught before execution ---- *)
+
+let test_deadline_expires_in_queue () =
+  let clock, _, server, net = mk () in
+  let setup = mk_client server net 40L in
+  Client.write_file setup "/big" (Bytes.make 4096 'z');
+  let a = raw_connect server net in
+  let b = raw_connect server net in
+  ignore (raw_ok b server Wire.Begin : Wire.result);
+  let fd = raw_fd b server (Wire.Open { path = "/big"; mode = 1; timestamp = None }) in
+  ignore
+    (raw_ok b server (Wire.Write { fd; off = 0L; data = String.make 4096 'w' })
+      : Wire.result);
+  (* One pump, two admissions.  Links drain newest-attached first, so
+     B's commit enters the run queue ahead of A's mkdir; the commit
+     forces pages to the magnetic disk (several milliseconds of
+     simulated time), and the mkdir's deadline — alive at admission —
+     has passed by the time the queue reaches it.  The frames go out
+     uncharged so the deadline races only the commit's disk time, not
+     the wire. *)
+  let deadline_us = Int64.of_float ((Simclock.Clock.now clock +. 0.002) *. 1e6) in
+  ignore (raw_send ~charge:false b Wire.Commit : int64);
+  let rid_a = raw_send ~charge:false ~deadline_us a (Wire.Mkdir { path = "/d" }) in
+  Server.pump server;
+  (match raw_reply a rid_a with
+  | Wire.Err_reply { code; msg; _ } ->
+    Alcotest.(check string) "code" "ETIMEDOUT" (E.code_to_string code);
+    Alcotest.(check bool) "caught at the pre-execution check" true
+      (starts_with ~prefix:"deadline expired" msg
+      && String.sub msg (String.length msg - String.length "execution")
+           (String.length "execution")
+         = "execution")
+  | _ -> Alcotest.fail "queued work whose deadline passed should be refused");
+  Alcotest.(check int) "rejection counted" 1 (Server.deadline_rejects server);
+  match raw_ok a server (Wire.Readdir { path = "/"; timestamp = None }) with
+  | Wire.R_names names ->
+    Alcotest.(check (list string)) "the mkdir never ran" [ "big" ]
+      (List.sort compare names)
+  | _ -> Alcotest.fail "readdir failed"
+
+(* ---- version skew: unknown opcodes answer Unsupported, recorded ---- *)
+
+let test_unknown_opcode_unsupported () =
+  let _, _, server, net = mk () in
+  let r = raw_connect server net in
+  (* a frame from a future protocol revision: take a valid single-frame
+     request, rewrite its opcode byte to 99, recompute the CRC *)
+  r.r_rid <- Int64.add r.r_rid 1L;
+  let rid = r.r_rid in
+  let frame = Bytes.of_string (List.hd (Wire.encode_request ~sid:r.r_sid ~rid Wire.Ping)) in
+  Bytes.set frame Wire.header_bytes (Char.chr 99);
+  for i = 32 to 35 do
+    Bytes.set frame i '\000'
+  done;
+  let crc = Wire.crc32 frame ~off:0 ~len:(Bytes.length frame) in
+  Bytes.set frame 32 (Char.chr (Int32.to_int (Int32.shift_right_logical crc 24) land 0xff));
+  Bytes.set frame 33 (Char.chr (Int32.to_int (Int32.shift_right_logical crc 16) land 0xff));
+  Bytes.set frame 34 (Char.chr (Int32.to_int (Int32.shift_right_logical crc 8) land 0xff));
+  Bytes.set frame 35 (Char.chr (Int32.to_int crc land 0xff));
+  let frame = Bytes.to_string frame in
+  (* the patched frame passes the CRC and is cleanly framed — distinguishable
+     from wire damage — but carries an opcode this server does not have *)
+  (match Wire.decode_header frame with
+  | None -> Alcotest.fail "patched frame should pass the CRC"
+  | Some h -> (
+    match Wire.decode_request_any h.Wire.payload with
+    | `Unknown 99 -> ()
+    | `Req _ -> Alcotest.fail "opcode 99 should not decode as a known request"
+    | _ -> Alcotest.fail "opcode 99 should decode as `Unknown, not `Malformed"));
+  Link.send r.r_link Link.To_server frame;
+  Server.pump server;
+  (match raw_reply r rid with
+  | Wire.Unsupported { opcode } -> Alcotest.(check int) "opcode echoed" 99 opcode
+  | _ -> Alcotest.fail "expected a structured Unsupported answer");
+  Alcotest.(check int) "counted once" 1 (Server.unsupported server);
+  (* the verdict is definitive and recorded: a retransmission replays it *)
+  Link.send r.r_link Link.To_server frame;
+  Server.pump server;
+  (match raw_reply r rid with
+  | Wire.Unsupported { opcode = 99 } -> ()
+  | _ -> Alcotest.fail "retransmission should replay Unsupported");
+  Alcotest.(check bool) "served from the dedup window" true (Server.replays server >= 1);
+  Alcotest.(check int) "not double-counted" 1 (Server.unsupported server);
+  (* version skew is per-request, not fatal: the session still works *)
+  match raw_ok r server (Wire.Readdir { path = "/"; timestamp = None }) with
+  | Wire.R_names [] -> ()
+  | _ -> Alcotest.fail "session should survive an unsupported opcode"
+
+(* ---- parking: a lock-wait that never resolves times out, recorded ---- *)
+
+let test_park_timeout_expires () =
+  let clock, _, server, net = mk ~lock_wait_s:2. () in
+  let setup = mk_client server net 20L in
+  Client.write_file setup "/f" (Bytes.of_string "data");
+  let a = raw_connect server net in
+  ignore (raw_ok a server Wire.Begin : Wire.result);
+  let fd_a = raw_fd a server (Wire.Open { path = "/f"; mode = 1; timestamp = None }) in
+  ignore (raw_ok a server (Wire.Ftruncate { fd = fd_a; size = 0L }) : Wire.result);
+  (* B's auto-commit truncate hits A's exclusive lock and parks *)
+  let b = raw_connect server net in
+  let fd_b = raw_fd b server (Wire.Open { path = "/f"; mode = 1; timestamp = None }) in
+  let rid_b = raw_send b (Wire.Ftruncate { fd = fd_b; size = 1L }) in
+  Server.pump server;
+  Alcotest.(check int) "parked on the held lock" 1 (Server.parked_now server);
+  Alcotest.(check int) "no reply while parked" 0 (List.length (raw_replies b));
+  (* nobody releases the lock; the lock-wait timer expires the request *)
+  Simclock.Clock.advance clock 3.;
+  Server.pump server;
+  (match raw_reply b rid_b with
+  | Wire.Err_reply { code; msg; _ } ->
+    Alcotest.(check string) "code" "ETIMEDOUT" (E.code_to_string code);
+    Alcotest.(check bool) "names the lock wait" true
+      (starts_with ~prefix:"lock wait timed out" msg)
+  | _ -> Alcotest.fail "the parked request should expire");
+  Alcotest.(check int) "timeout counted" 1 (Server.park_timeouts server);
+  Alcotest.(check int) "nothing left parked" 0 (Server.parked_now server);
+  (* recorded: a retransmission replays the timeout verdict *)
+  ignore (raw_send ~rid:rid_b ~retry:true b (Wire.Ftruncate { fd = fd_b; size = 1L }) : int64);
+  Server.pump server;
+  (match raw_reply b rid_b with
+  | Wire.Err_reply { code; _ } ->
+    Alcotest.(check string) "replayed code" "ETIMEDOUT" (E.code_to_string code)
+  | _ -> Alcotest.fail "retransmission should replay the timeout");
+  Alcotest.(check bool) "served from the dedup window" true (Server.replays server >= 1)
+
+(* ---- the client's retry budget stops it hammering a saturated server ---- *)
+
+let test_retry_budget_exhaustion () =
+  let _, _, server, net = mk ~run_cap:1 ~lock_wait_s:1000. () in
+  let setup = mk_client server net 21L in
+  Client.write_file setup "/f" (Bytes.of_string "data");
+  (* pin the backlog: A holds the lock in a transaction it never ends,
+     B's truncate parks behind it, so queue depth sits at run_cap *)
+  let a = raw_connect server net in
+  ignore (raw_ok a server Wire.Begin : Wire.result);
+  let fd_a = raw_fd a server (Wire.Open { path = "/f"; mode = 1; timestamp = None }) in
+  ignore (raw_ok a server (Wire.Ftruncate { fd = fd_a; size = 0L }) : Wire.result);
+  let b = raw_connect server net in
+  let fd_b = raw_fd b server (Wire.Open { path = "/f"; mode = 1; timestamp = None }) in
+  let rid_b = raw_send b (Wire.Ftruncate { fd = fd_b; size = 1L }) in
+  Server.pump server;
+  Alcotest.(check int) "backlog pinned at one parked request" 1 (Server.parked_now server);
+  (* a fresh client with a one-token budget: the first Overloaded answer
+     spends the token on a re-offer, the second finds the bucket dry *)
+  let config =
+    { Client.default_config with Client.retry_budget = 1; retry_refill_per_s = 0. }
+  in
+  let c = mk_client ~config server net 22L in
+  let msg = expect_error E.EBUSY (fun () -> Client.c_mkdir c "/x") in
+  Alcotest.(check string) "names the dry budget"
+    "server overloaded and retry budget exhausted" msg;
+  Alcotest.(check int) "two overload answers" 2 (Client.overloaded c);
+  Alcotest.(check int) "one budget denial" 1 (Client.budget_denials c);
+  (* relief traffic is exempt from admission control: A's abort lands
+     through the full queue, releases the lock, and the parked request
+     resumes in the same pump *)
+  ignore (raw_ok a server Wire.Abort : Wire.result);
+  (match raw_reply b rid_b with
+  | Wire.Ok_reply _ -> ()
+  | _ -> Alcotest.fail "the parked truncate should resume after the release");
+  Alcotest.(check bool) "resume counted" true (Server.park_resumes server >= 1);
+  Alcotest.(check int) "backlog drained" 0 (Server.parked_now server);
+  (* with the backlog gone the same client is admitted, dry budget and all *)
+  Client.c_mkdir c "/x";
+  Alcotest.(check bool) "the shed mkdir finally landed" true (Client.c_exists c "/x")
+
+(* ---- an expired client deadline fails fast, off the wire ---- *)
+
+let test_client_deadline_failfast () =
+  let clock, _, server, net = mk () in
+  let c = mk_client server net 23L in
+  Client.c_mkdir c "/d";
+  let wire_requests = Server.requests server in
+  Client.set_deadline c (Some (Simclock.Clock.now clock -. 0.1));
+  let msg = expect_error E.ETIMEDOUT (fun () -> Client.c_mkdir c "/e") in
+  Alcotest.(check bool) "refused before sending" true
+    (starts_with ~prefix:"deadline expired before sending" msg);
+  Alcotest.(check int) "fail-fast counted" 1 (Client.deadline_failfasts c);
+  Alcotest.(check int) "nothing reached the wire" wire_requests (Server.requests server);
+  (* clearing the deadline restores plain behaviour *)
+  Client.set_deadline c None;
+  Client.c_mkdir c "/e";
+  Alcotest.(check (list string)) "only the admitted mkdirs exist" [ "d"; "e" ]
+    (List.sort compare (Client.c_readdir c "/"))
+
+(* ---- a parked deadlock victim is aborted cleanly across three parties ---- *)
+
+let test_parked_deadlock_victim () =
+  let _, _, server, net = mk ~lock_wait_s:1000. () in
+  let setup = mk_client server net 30L in
+  Client.write_file setup "/fx" (Bytes.of_string "xx");
+  Client.write_file setup "/fa" (Bytes.of_string "aa");
+  Client.write_file setup "/f2" (Bytes.of_string "22");
+  (* connect order fixes pump drain order (newest-attached first): the
+     final pump must admit D's commit before E's truncate *)
+  let x = raw_connect server net in
+  let a = raw_connect server net in
+  let e = raw_connect server net in
+  let d = raw_connect server net in
+  (* X holds /fx exclusively; A holds /fa *)
+  ignore (raw_ok x server Wire.Begin : Wire.result);
+  let xfx = raw_fd x server (Wire.Open { path = "/fx"; mode = 1; timestamp = None }) in
+  ignore (raw_ok x server (Wire.Ftruncate { fd = xfx; size = 0L }) : Wire.result);
+  ignore (raw_ok a server Wire.Begin : Wire.result);
+  let afa = raw_fd a server (Wire.Open { path = "/fa"; mode = 1; timestamp = None }) in
+  ignore (raw_ok a server (Wire.Ftruncate { fd = afa; size = 0L }) : Wire.result);
+  (* X → A: X's in-transaction read of /fa parks behind A's lock *)
+  let xfa = raw_fd x server (Wire.Open { path = "/fa"; mode = 0; timestamp = None }) in
+  let rid_x = raw_send x (Wire.Read { fd = xfa; off = 0L; len = 4 }) in
+  Server.pump server;
+  Alcotest.(check int) "X parked" 1 (Server.parked_now server);
+  (* E → X: E's read of /fx parks behind X *)
+  ignore (raw_ok e server Wire.Begin : Wire.result);
+  let efx = raw_fd e server (Wire.Open { path = "/fx"; mode = 0; timestamp = None }) in
+  let ef2 = raw_fd e server (Wire.Open { path = "/f2"; mode = 1; timestamp = None }) in
+  let rid_e = raw_send e (Wire.Read { fd = efx; off = 0L; len = 4 }) in
+  Server.pump server;
+  Alcotest.(check int) "X and E parked" 2 (Server.parked_now server);
+  (* D holds /f2 *)
+  ignore (raw_ok d server Wire.Begin : Wire.result);
+  let df2 = raw_fd d server (Wire.Open { path = "/f2"; mode = 1; timestamp = None }) in
+  ignore (raw_ok d server (Wire.Ftruncate { fd = df2; size = 0L }) : Wire.result);
+  (* A → D: A's read of /f2 parks behind D *)
+  let af2 = raw_fd a server (Wire.Open { path = "/f2"; mode = 0; timestamp = None }) in
+  let rid_a = raw_send a (Wire.Read { fd = af2; off = 0L; len = 4 }) in
+  Server.pump server;
+  Alcotest.(check int) "X, E and A parked" 3 (Server.parked_now server);
+  (* One pump: D commits (releasing /f2, waking the parked requests) and
+     E's in-transaction truncate takes the lock D dropped.  A's parked
+     read then re-acquires into the cycle A→E→X→A and is the victim:
+     its transaction is aborted server-side, the others survive — and
+     A's released lock lets X's parked read complete in the same pump. *)
+  ignore (raw_send d Wire.Commit : int64);
+  ignore (raw_send e (Wire.Ftruncate { fd = ef2; size = 1L }) : int64);
+  Server.pump server;
+  (match raw_reply a rid_a with
+  | Wire.Err_reply { code; txn_open; _ } ->
+    Alcotest.(check string) "victim code" "EDEADLK" (E.code_to_string code);
+    Alcotest.(check bool) "victim transaction aborted server-side" false txn_open
+  | _ -> Alcotest.fail "A should be the deadlock victim");
+  (match raw_reply x rid_x with
+  | Wire.Ok_reply { result = Wire.R_data _; txn_open } ->
+    Alcotest.(check bool) "X's transaction survives" true txn_open
+  | _ -> Alcotest.fail "X's parked read should resume once the victim aborts");
+  Alcotest.(check int) "one deadlock abort" 1 (Server.deadlock_aborts server);
+  Alcotest.(check int) "each of X, E, A parked once" 3 (Server.parks server);
+  Alcotest.(check int) "no park timeouts" 0 (Server.park_timeouts server);
+  Alcotest.(check int) "E still parked behind X" 1 (Server.parked_now server);
+  (* X commits, releasing /fx: E's read completes and the system drains *)
+  ignore (raw_ok x server Wire.Commit : Wire.result);
+  (match raw_reply e rid_e with
+  | Wire.Ok_reply { result = Wire.R_data _; _ } -> ()
+  | _ -> Alcotest.fail "E's parked read should resume after X commits");
+  Alcotest.(check int) "nothing left parked" 0 (Server.parked_now server);
+  Alcotest.(check bool) "resumes counted" true (Server.park_resumes server >= 3)
+
+(* ---- same inputs, same answers: the overload machinery is deterministic ---- *)
+
+let overload_scenario () =
+  let clock, _, server, net = mk ~run_cap:1 () in
+  Simclock.Clock.advance clock 1.;
+  let r = raw_connect server net in
+  let buf = Buffer.create 256 in
+  let note reps =
+    List.iter
+      (fun (rid, rep) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%Ld=%s;" rid
+             (Digest.to_hex
+                (Digest.string (String.concat "" (Wire.encode_reply ~sid:9L ~rid rep))))))
+      reps
+  in
+  let rid_a = raw_send r (Wire.Mkdir { path = "/a" }) in
+  ignore (raw_send ~retry:true r (Wire.Mkdir { path = "/b" }) : int64);
+  ignore (raw_send ~deadline_us:1L r (Wire.Mkdir { path = "/c" }) : int64);
+  Server.pump server;
+  note (raw_replies r);
+  ignore rid_a;
+  ignore (raw_send r (Wire.Readdir { path = "/"; timestamp = None }) : int64);
+  Server.pump server;
+  note (raw_replies r);
+  Buffer.add_string buf
+    (Printf.sprintf "sheds=%d retry=%d dead=%d replays=%d reqs=%d" (Server.sheds server)
+       (Server.retry_sheds server) (Server.deadline_rejects server)
+       (Server.replays server) (Server.requests server));
+  Buffer.contents buf
+
+let test_overload_determinism () =
+  Alcotest.(check string) "identical replies and counters" (overload_scenario ())
+    (overload_scenario ())
+
 let () =
   Alcotest.run "remote"
     [
@@ -426,6 +891,8 @@ let () =
             test_wire_max_frame_roundtrip;
           Alcotest.test_case "duplicate fragments ignored" `Quick
             test_wire_duplicate_fragments;
+          Alcotest.test_case "unknown opcode answers Unsupported" `Quick
+            test_unknown_opcode_unsupported;
         ] );
       ( "rpc",
         [
@@ -448,5 +915,29 @@ let () =
           Alcotest.test_case "transparent reissue of reads" `Quick
             test_transparent_reissue_after_crash;
           Alcotest.test_case "crash_server admin op" `Quick test_crash_server_op;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "queue bound sheds, re-offer admitted" `Quick
+            test_overload_shed_and_reoffer;
+          Alcotest.test_case "watermark sheds retransmissions first" `Quick
+            test_watermark_sheds_retries_first;
+          Alcotest.test_case "expired deadline refused and recorded" `Quick
+            test_deadline_reject_recorded;
+          Alcotest.test_case "deadline expiring in the queue" `Quick
+            test_deadline_expires_in_queue;
+          Alcotest.test_case "client retry budget exhausts to EBUSY" `Quick
+            test_retry_budget_exhaustion;
+          Alcotest.test_case "client deadline fails fast off the wire" `Quick
+            test_client_deadline_failfast;
+          Alcotest.test_case "overload machinery is deterministic" `Quick
+            test_overload_determinism;
+        ] );
+      ( "parking",
+        [
+          Alcotest.test_case "lock-wait timeout expires a parked request" `Quick
+            test_park_timeout_expires;
+          Alcotest.test_case "parked deadlock victim aborts cleanly" `Quick
+            test_parked_deadlock_victim;
         ] );
     ]
