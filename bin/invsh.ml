@@ -25,7 +25,8 @@ type shell = {
   mutable marks : (string * int64) list; (* named timestamps *)
 }
 
-let make_shell ~cache_pages ~remote =
+let make_shell ~cache_pages ~remote ~group_commit ~flush_wait_us ~deferred_index
+    ~early_release =
   let clock = Simclock.Clock.create () in
   let switch = Pagestore.Switch.create ~clock in
   let add name kind =
@@ -34,7 +35,10 @@ let make_shell ~cache_pages ~remote =
   add "disk0" Pagestore.Device.Magnetic_disk;
   add "nvram0" Pagestore.Device.Nvram;
   add "jukebox" Pagestore.Device.Worm_jukebox;
-  let db = Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages () in
+  let db =
+    Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages ~group_commit
+      ~flush_wait_us ~deferred_index ~early_release ()
+  in
   let fs = Fs.make db () in
   let remote =
     if not remote then None
@@ -73,6 +77,7 @@ let help () =
     \  migrate PATH DEVICE      move a file's storage (disk0|nvram0|jukebox)\n\
     \  vacuum PATH archive|discard   vacuum one file's table\n\
     \  crash                    crash the machine (instant recovery)\n\
+    \  sync                     force the pending commit group (see --group-commit)\n\
     \  fsck                     run the audit that never finds anything\n\
     \  devices | clock | stats  inspect the simulated machine\n\
     \  trace on [SUB...]        enable tracing (all, or: device cache heap\n\
@@ -220,6 +225,13 @@ let run_command shell line =
     | None -> Fs.crash shell.fs);
     shell.session <- Fs.new_session shell.fs;
     say "crashed and recovered (open transactions rolled back, no fsck needed)"
+  | [ "sync" ] ->
+    let pending =
+      Relstore.Status_log.pending_force (Relstore.Db.status_log shell.db)
+    in
+    Fs.sync shell.fs;
+    say "forced the pending commit group (%d commit%s settled)" pending
+      (if pending = 1 then "" else "s")
   | [ "fsck" ] -> say "%s" (Invfs.Fsck.report_to_string (Invfs.Fsck.audit shell.fs))
   | [ "devices" ] ->
     List.iter
@@ -326,8 +338,12 @@ let repl shell ~input ~interactive =
 
 (* ---- cmdliner wiring ---- *)
 
-let main script cache_pages remote =
-  let shell = make_shell ~cache_pages ~remote in
+let main script cache_pages remote group_commit flush_wait_us deferred_index
+    early_release =
+  let shell =
+    make_shell ~cache_pages ~remote ~group_commit ~flush_wait_us ~deferred_index
+      ~early_release
+  in
   match script with
   | None ->
     say "Inversion file system shell — 'help' lists commands.%s"
@@ -363,9 +379,50 @@ let () =
              migrate, vacuum, fsck — still run server-side).  'stats' then \
              also shows wire and retry counters.")
   in
+  let group_commit =
+    Arg.(
+      value & opt int 1
+      & info [ "group-commit" ]
+          ~docv:"N"
+          ~doc:
+            "Batch up to $(docv) commits behind one stable status-table \
+             write (1 = every commit forces its own, the seed behaviour).  \
+             Commits are durable the moment they are logged — the NVRAM \
+             status area makes the force a cost event, not a durability \
+             boundary.")
+  in
+  let flush_wait_us =
+    Arg.(
+      value & opt int 2_000
+      & info [ "flush-wait-us" ]
+          ~docv:"US"
+          ~doc:
+            "Age bound on a pending commit group, in simulated \
+             microseconds: a partially-filled batch is forced once its \
+             oldest member has waited this long.")
+  in
+  let deferred_index =
+    Arg.(
+      value & flag
+      & info [ "deferred-index" ]
+          ~doc:
+            "Stage B-tree inserts per transaction as logical intents and \
+             bulk-apply them (sorted runs, one leaf touch each) at the \
+             batch force; logical REDO replays them after a crash.")
+  in
+  let early_release =
+    Arg.(
+      value & flag
+      & info [ "early-release" ]
+          ~doc:
+            "Release a transaction's locks as soon as its status entry and \
+             index intents are logged, without waiting for the batch force.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "invsh" ~doc:"Interactive shell over the Inversion file system")
-      Term.(const main $ script $ cache_pages $ remote)
+      Term.(
+        const main $ script $ cache_pages $ remote $ group_commit $ flush_wait_us
+        $ deferred_index $ early_release)
   in
   exit (Cmd.eval cmd)

@@ -21,7 +21,8 @@ type t = {
 
 (* ---------------- Inversion ---------------- *)
 
-let inversion_machine ~cache_pages ~os_cache_pages =
+let inversion_machine ~cache_pages ~os_cache_pages ?group_commit ?flush_wait_us
+    ?deferred_index ?early_release () =
   let clock = Simclock.Clock.create () in
   let switch = Pagestore.Switch.create ~clock in
   let (_ : Pagestore.Device.t) =
@@ -29,12 +30,17 @@ let inversion_machine ~cache_pages ~os_cache_pages =
   in
   let db =
     Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages
-      ~os_cache_blocks:os_cache_pages ()
+      ~os_cache_blocks:os_cache_pages ?group_commit ?flush_wait_us ?deferred_index
+      ?early_release ()
   in
   let fs = Fs.make db () in
   (clock, db, fs)
 
 let flush_db_caches db () =
+  (* Settle the commit pipeline first: apply any staged index overlay and
+     charge the pending batched force, so a phase boundary never leaves
+     work (or cost) hanging into the next measurement. *)
+  Relstore.Db.force_group db;
   let cache = Relstore.Db.cache db in
   Pagestore.Bufcache.flush cache;
   Pagestore.Bufcache.crash cache
@@ -46,8 +52,11 @@ let flush_db_caches db () =
    back one fragment per chunk, bulk writes overlap the wire with the
    server's work through the client's pipelined path. *)
 let inversion_remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
-    ~compressed name =
-  let clock, db, fs = inversion_machine ~cache_pages ~os_cache_pages in
+    ~compressed ?group_commit ?flush_wait_us ?deferred_index ?early_release name =
+  let clock, db, fs =
+    inversion_machine ~cache_pages ~os_cache_pages ?group_commit ?flush_wait_us
+      ?deferred_index ?early_release ()
+  in
   (* the benchmark connection is fault-free and some simulated ops are
      long (synchronous 1 MB writes take ~30 s), so lease reaping is off *)
   let server = Remote.Server.create ~fs ~lease_s:0. () in
@@ -122,8 +131,11 @@ let inversion_remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scal
 
 (* Single process: the benchmark runs inside the data manager, no network. *)
 let inversion_local ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
-    ~compressed name =
-  let clock, db, fs = inversion_machine ~cache_pages ~os_cache_pages in
+    ~compressed ?group_commit ?flush_wait_us ?deferred_index ?early_release name =
+  let clock, db, fs =
+    inversion_machine ~cache_pages ~os_cache_pages ?group_commit ?flush_wait_us
+      ?deferred_index ?early_release ()
+  in
   let session = Fs.new_session fs in
   let apply_cpu_scale () = Relstore.Cpu_model.scale := cpu_scale in
   let mk_file fd =
@@ -174,19 +186,26 @@ let inversion_local ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
     end_batch =
       (fun () ->
         apply_cpu_scale ();
-        Fs.p_commit session);
+        Fs.p_commit session;
+        (* a single-process caller waits on its own commit: the batched
+           force is charged here, not left pending into the next op *)
+        Fs.sync fs);
     flush_caches = flush_db_caches db;
   }
 
 let inversion_client_server ?(cache_pages = 300) ?(os_cache_pages = 16384)
-    ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false) () =
+    ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false)
+    ?group_commit ?flush_wait_us ?deferred_index ?early_release () =
   inversion_remote ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
-    ~compressed "Inversion client/server"
+    ~compressed ?group_commit ?flush_wait_us ?deferred_index ?early_release
+    "Inversion client/server"
 
 let inversion_single_process ?(cache_pages = 300) ?(os_cache_pages = 16384)
-    ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false) () =
+    ?(index_write_through = false) ?(cpu_scale = 1.0) ?(compressed = false)
+    ?group_commit ?flush_wait_us ?deferred_index ?early_release () =
   inversion_local ~cache_pages ~os_cache_pages ~index_write_through ~cpu_scale
-    ~compressed "Inversion single process"
+    ~compressed ?group_commit ?flush_wait_us ?deferred_index ?early_release
+    "Inversion single process"
 
 (* ---------------- ULTRIX NFS ---------------- *)
 

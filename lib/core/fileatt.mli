@@ -45,6 +45,10 @@ val find_any : t -> file:int64 -> att option
 val iter_all : t -> Relstore.Snapshot.t -> (att -> unit) -> unit
 
 val heap : t -> Relstore.Heap.t
+
+val indexes : t -> Index.Btree.t list
+(** The oid index, for logical REDO replay. *)
+
 val index_maintenance_on_vacuum : t -> Relstore.Heap.record -> unit
 
 val crash_reset : t -> unit

@@ -13,6 +13,7 @@ type t = {
   atime_enabled : bool;
   files : (int64, Inv_file.t) Hashtbl.t; (* open storage handles by oid *)
   mutable qsnap : Snapshot.t; (* snapshot of the query being evaluated *)
+  mutable last_intents_replayed : int; (* REDO work done by the last crash *)
 }
 
 type query_ctx = { qfs : t; snapshot : Snapshot.t }
@@ -345,6 +346,7 @@ let make db ?default_device ?(atime = false) () =
       atime_enabled = atime;
       files = Hashtbl.create 64;
       qsnap = Snapshot.As_of 0L;
+      last_intents_replayed = 0;
     }
   in
   Postquel.Registry.define_type registry directory_type;
@@ -887,12 +889,51 @@ let iter_file_handles t f =
 let naming_catalog t = t.naming
 let fileatt_catalog t = t.fileatt
 
+let sync t = Db.force_group t.db
+
+(* Logical REDO: replay the logged index intents of committed
+   transactions.  Deferred inserts staged in the (volatile) overlays die
+   with the machine; the intents survive in the status log's stable area,
+   and re-inserting them is idempotent (an exact duplicate is a no-op),
+   so a crash mid-replay just means the next recovery replays again. *)
+let replay_intents t =
+  let log = Db.status_log t.db in
+  let intents = Relstore.Status_log.committed_intents log in
+  if intents = [] then 0
+  else begin
+    let trees = Hashtbl.create 16 in
+    let note tree = Hashtbl.replace trees (Index.Btree.tag tree) tree in
+    List.iter note (Naming.indexes t.naming);
+    List.iter note (Fileatt.indexes t.fileatt);
+    iter_file_handles t (fun _ inv -> note (Inv_file.index inv));
+    let replayed = ref 0 in
+    List.iter
+      (fun (_xid, items) ->
+        List.iter
+          (fun (tag, key, value) ->
+            match Hashtbl.find_opt trees tag with
+            | None -> () (* tree dropped (migration, unlink) — entry is moot *)
+            | Some tree -> (
+              try
+                Index.Btree.insert tree ~key ~value;
+                incr replayed
+              with Pagestore.Device.Media_failure _ ->
+                (* Degraded device: the index is unreachable on every copy
+                   and will be reported as degraded, not repaired here. *)
+                ()))
+          items)
+      intents;
+    !replayed
+  end
+
 let crash t =
   Db.crash t.db;
-  (* Volatile per-index state (cached entry counts) died with the machine. *)
+  (* Volatile per-index state (cached entry counts, deferred overlays)
+     died with the machine. *)
   Naming.crash_reset t.naming;
   Fileatt.crash_reset t.fileatt;
-  iter_file_handles t (fun _ inv -> Inv_file.crash_reset inv)
+  iter_file_handles t (fun _ inv -> Inv_file.crash_reset inv);
+  t.last_intents_replayed <- replay_intents t
 
 type recovery = {
   rolled_back : Relstore.Xid.t list;
@@ -900,6 +941,7 @@ type recovery = {
   catalogs_rebuilt : string list;
   file_indexes_rebuilt : int64 list;
   degraded : string list;
+  intents_replayed : int;
 }
 
 let crash_and_recover t =
@@ -939,6 +981,7 @@ let crash_and_recover t =
     catalogs_rebuilt = List.rev !catalogs_rebuilt;
     file_indexes_rebuilt = List.rev !files_rebuilt;
     degraded;
+    intents_replayed = t.last_intents_replayed;
   }
 
 let vacuum_file t ~oid ?horizon ~mode () =
@@ -954,6 +997,9 @@ let migrate_file t ~oid ~device =
   | Some old_inv ->
     if String.equal (Inv_file.device_name old_inv) device then ()
     else begin
+      (* Settle overlays and pending commits before the old index (and
+         the intents naming it) are abandoned. *)
+      sync t;
       let tmp_name = Inv_file.relname oid ^ ".migrating" in
       let dst =
         Inv_file.create_named t.db ~oid ~relname:tmp_name ~device

@@ -49,6 +49,7 @@ let write_through t = t.write_through
 
 let oid t = t.oid
 let heap t = t.heap
+let index t = t.index
 let index_segid t = Index.Btree.segid t.index
 let device_name t = Pagestore.Device.name (H.device t.heap)
 let is_compressed t = t.compressed
@@ -160,7 +161,7 @@ let write_chunk t txn ~chunkno data =
    with Exit -> ());
   let payload = Chunk.encode (encode_for_storage t ~chunkno data) in
   let tid = H.insert t.heap txn ~oid:t.oid payload in
-  Index.Btree.insert t.index ~key:(Index.Key.of_int64 chunkno)
+  Index.Btree.insert_logged t.index txn ~key:(Index.Key.of_int64 chunkno)
     ~value:(Relstore.Tid.encode tid);
   t.memo <-
     Some { m_chunkno = chunkno; m_tid = tid; m_payload = payload; m_data = Bytes.copy data };

@@ -36,6 +36,10 @@ val attach :
 
 val oid : t -> int64
 val heap : t -> Relstore.Heap.t
+
+val index : t -> Index.Btree.t
+(** The chunk-number index, for logical REDO replay. *)
+
 val index_segid : t -> int
 val device_name : t -> string
 val is_compressed : t -> bool

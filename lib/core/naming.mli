@@ -49,6 +49,9 @@ val iter_all : t -> Relstore.Snapshot.t -> (entry -> unit) -> unit
 val heap : t -> Relstore.Heap.t
 (** The underlying relation (vacuum, tests). *)
 
+val indexes : t -> Index.Btree.t list
+(** Both namespace indexes, for logical REDO replay. *)
+
 val index_maintenance_on_vacuum : t -> Relstore.Heap.record -> unit
 (** [on_remove] hook: drop index entries for a vacuumed record. *)
 

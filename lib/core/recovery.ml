@@ -4,6 +4,7 @@ type report = {
   catalogs_rebuilt : string list;
   file_indexes_rebuilt : int64 list;
   degraded : string list;
+  intents_replayed : int;
   audit : Fsck.report;
 }
 
@@ -22,6 +23,7 @@ let crash_and_recover fs =
           ("catalogs_rebuilt", Obs.I (List.length r.Fs.catalogs_rebuilt));
           ("file_indexes_rebuilt", Obs.I (List.length r.Fs.file_indexes_rebuilt));
           ("degraded", Obs.I (List.length r.Fs.degraded));
+          ("intents_replayed", Obs.I r.Fs.intents_replayed);
         ]
       ();
   {
@@ -30,6 +32,7 @@ let crash_and_recover fs =
     catalogs_rebuilt = r.Fs.catalogs_rebuilt;
     file_indexes_rebuilt = r.Fs.file_indexes_rebuilt;
     degraded = r.Fs.degraded;
+    intents_replayed = r.Fs.intents_replayed;
     audit;
   }
 
@@ -40,7 +43,7 @@ let indexes_rebuilt r =
 
 let report_to_string r =
   Printf.sprintf
-    "rolled back %d txn(s) [%s]; %d page problem(s)%s; rebuilt indexes: %s; degraded: %s; audit: %s"
+    "rolled back %d txn(s) [%s]; %d page problem(s)%s; rebuilt indexes: %s; replayed %d intent(s); degraded: %s; audit: %s"
     (List.length r.rolled_back)
     (String.concat "," (List.map string_of_int r.rolled_back))
     (List.length r.page_problems)
@@ -52,5 +55,6 @@ let report_to_string r =
      with
     | [] -> "none"
     | l -> String.concat "," l)
+    r.intents_replayed
     (match r.degraded with [] -> "none" | l -> String.concat "," l)
     (Fsck.report_to_string r.audit)

@@ -18,6 +18,9 @@ type report = {
   degraded : string list;
       (** relations unreachable on every copy (dead device, no live
           mirror): the file system keeps serving everything else *)
+  intents_replayed : int;
+      (** logical index intents REDO-replayed for committed transactions
+          (deferred inserts lost from the buffer pool) *)
   audit : Fsck.report;
 }
 

@@ -10,7 +10,8 @@ type t = {
   mutable next_oid : int64;
 }
 
-let create ?(cache_capacity = 300) ?os_cache_blocks ?readahead_window ?switch ?clock () =
+let create ?(cache_capacity = 300) ?os_cache_blocks ?readahead_window ?group_commit
+    ?flush_wait_us ?deferred_index ?early_release ?switch ?clock () =
   let clock = match clock with Some c -> c | None -> Simclock.Clock.create () in
   let switch =
     match switch with
@@ -29,6 +30,10 @@ let create ?(cache_capacity = 300) ?os_cache_blocks ?readahead_window ?switch ?c
   let log = Status_log.create ~clock in
   let locks = Lock_mgr.create () in
   let mgr = Txn.create_manager ~clock ~log ~locks ~cache in
+  Option.iter (Status_log.set_group_size log) group_commit;
+  Option.iter (Status_log.set_flush_wait_us log) flush_wait_us;
+  Option.iter (Txn.set_deferred_index mgr) deferred_index;
+  Option.iter (Txn.set_early_release mgr) early_release;
   (* Any system built the normal way gets trace timestamps for free. *)
   Obs.set_clock clock;
   {
@@ -97,10 +102,13 @@ let rename_relation t ~old_name ~new_name =
 let relations t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.relations [] |> List.sort String.compare
 
+let force_group t = Txn.force_group t.mgr
+
 let crash t =
   Pagestore.Bufcache.crash t.cache;
   Status_log.crash_recover t.log;
   Lock_mgr.reset t.locks;
+  Txn.crash_reset_manager t.mgr;
   Pagestore.Switch.crash t.switch
 
 (* A relation is degraded when no device holding a copy of it answers:
@@ -140,6 +148,10 @@ let find_jukebox t =
     (Pagestore.Switch.devices t.switch)
 
 let vacuum t ~relation ?horizon ~mode ?on_remove () =
+  (* Settle the deferred overlay and pending commits first: the vacuum
+     deletes index entries for the records it removes, and an entry still
+     staged (or an intent still replayable) must not resurrect them. *)
+  Txn.force_group t.mgr;
   let heap = find_relation t relation in
   let horizon = match horizon with Some h -> h | None -> now t in
   (match mode with

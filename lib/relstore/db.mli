@@ -17,6 +17,10 @@ val create :
   ?cache_capacity:int ->
   ?os_cache_blocks:int ->
   ?readahead_window:int ->
+  ?group_commit:int ->
+  ?flush_wait_us:int ->
+  ?deferred_index:bool ->
+  ?early_release:bool ->
   ?switch:Pagestore.Switch.t ->
   ?clock:Simclock.Clock.t ->
   unit ->
@@ -25,7 +29,9 @@ val create :
     magnetic disk named ["disk0"] is created.  [cache_capacity] defaults
     to 300 pages (the Berkeley configuration).  [readahead_window] is
     passed to {!Pagestore.Bufcache.create} (0 disables read-ahead — the
-    benchmark ablation uses this). *)
+    benchmark ablation uses this).  [group_commit] (batch size, default 1
+    = off), [flush_wait_us], [deferred_index] and [early_release] are the
+    create-path knobs — see {!Status_log} and {!Txn}. *)
 
 val clock : t -> Simclock.Clock.t
 val switch : t -> Pagestore.Switch.t
@@ -65,6 +71,11 @@ val rename_relation : t -> old_name:string -> new_name:string -> unit
 
 val relations : t -> string list
 (** All relation names, sorted. *)
+
+val force_group : t -> unit
+(** The group-commit flush point ({!Txn.force_group}): apply deferred
+    index overlays, flush dirty pages, charge one stable status write
+    for every pending commit.  A no-op when nothing is pending. *)
 
 val crash : t -> unit
 (** Simulate a machine failure and instant recovery: the buffer cache is

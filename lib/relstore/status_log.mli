@@ -9,7 +9,23 @@
 
     The log survives {!crash}: commits force their status entry to stable
     storage (we charge one small I/O per commit).  Transactions that were
-    in progress at the crash are marked aborted by recovery. *)
+    in progress at the crash are marked aborted by recovery.
+
+    {b Group commit.}  With {!set_group_size} above 1, a commit enqueues
+    its status entry instead of paying its own stable write; a later
+    {!force_pending} (triggered by batch size, the {!set_flush_wait_us}
+    age bound, or an explicit sync) charges {e one} force for the whole
+    batch.  The status area is modeled as NVRAM-backed (a PRESTOserve-
+    style stable buffer), so enqueued entries already survive a crash —
+    the batch force is an I/O-cost event, not a durability boundary —
+    which is what keeps the differential crash sweeps oracle-equivalent
+    with batching on or off.
+
+    {b Logical index intents.}  Deferred B-tree inserts record a logical
+    (tree, key, value) intent here at stage time.  Intents ride the same
+    stable area; after a crash, {!committed_intents} feeds REDO-only
+    recovery, which replays intents of committed transactions whose index
+    pages never left the buffer pool. *)
 
 type state = In_progress | Committed of int64  (** commit time, µs *) | Aborted
 
@@ -23,12 +39,59 @@ val begin_txn : t -> Xid.t
 val commit : ?force:bool -> t -> Xid.t -> int64
 (** Mark committed at the current simulated time; returns the commit
     timestamp.  Charges the forced status-file write unless [force:false]
-    (read-only transactions, which have nothing to make durable).  Raises
-    [Invalid_argument] if the xid is not in progress. *)
+    (read-only transactions, which have nothing to make durable).  With
+    group commit enabled the force is enqueued instead of charged; see
+    {!force_pending}.  Raises [Invalid_argument] if the xid is not in
+    progress. *)
 
 val abort : t -> Xid.t -> unit
 (** Mark aborted.  Idempotent on already-aborted transactions; raises
-    [Invalid_argument] on a committed one. *)
+    [Invalid_argument] on a committed one.  Drops the xid's intents. *)
+
+(** {2 Group-commit knobs and the batch force} *)
+
+val set_group_size : t -> int -> unit
+(** Target batch size; [1] (the default) disables batching and keeps the
+    commit path cost-identical to the ungrouped model. *)
+
+val group_size : t -> int
+
+val set_flush_wait_us : t -> int -> unit
+(** Age bound for a partially filled batch, µs of simulated time.  The
+    log never polls its own clock; callers (the server pump, explicit
+    syncs) ask {!age_due} and then {!force_pending}. *)
+
+val flush_wait_us : t -> int
+val pending_force : t -> int
+(** Commits enqueued and not yet covered by a batch force. *)
+
+val force_pending : t -> int
+(** Charge one stable write covering every pending commit; returns the
+    batch size (0 = nothing pending, nothing charged).  Feeds the
+    [txn.commit.group_size] histogram and [log.commit.durable] counter. *)
+
+val size_due : t -> bool
+(** Batching is on and the pending batch reached [group_size]. *)
+
+val age_due : t -> bool
+(** Something is pending and the oldest enqueued commit has waited at
+    least [flush_wait_us] of simulated time. *)
+
+(** {2 Logical index intents} *)
+
+val log_intent : t -> Xid.t -> tree:string -> key:string -> value:int64 -> unit
+(** Record a deferred index insert for REDO.  [tree] names the index
+    (device:segment). *)
+
+val intent_count : t -> int
+
+val committed_intents : t -> (Xid.t * (string * string * int64) list) list
+(** Intents of committed transactions, in xid order, each transaction's
+    intents in stage order.  Recovery replays these idempotently. *)
+
+val clear_settled_intents : t -> unit
+(** Drop intents whose transaction is committed or aborted — called after
+    a batch force once the applied index pages are on disk. *)
 
 val state : t -> Xid.t -> state
 (** Raises [Not_found] for an unknown xid. *)
@@ -45,9 +108,12 @@ val active : t -> Xid.t list
 
 val crash_recover : t -> unit
 (** Simulate crash + instant recovery: every in-progress transaction is
-    marked aborted.  Committed and aborted entries survive untouched, and
-    the (volatile) xid counter is revalidated against the highest logged
-    xid so post-recovery transactions never reuse one. *)
+    marked aborted.  Committed and aborted entries survive untouched
+    (including enqueued-but-unforced commits — the status area is NVRAM-
+    backed), the pending-force count resets, intents of transactions that
+    never committed are dropped, and the (volatile) xid counter is
+    revalidated against the highest logged xid so post-recovery
+    transactions never reuse one. *)
 
 val last_xid : t -> Xid.t
 (** Highest xid ever assigned (0 if none). *)

@@ -8,6 +8,16 @@
     invisible, and recovery costs nothing.  Abort writes nothing back: the
     status entry is all it takes to undo.
 
+    {b Group commit} (manager-wide, via {!Status_log.set_group_size}):
+    commits enqueue their status entry and {!force_group} pays one stable
+    write per batch.  {b Deferred index inserts} ([set_deferred_index]):
+    B-tree inserts stage into per-index overlays plus logical intents and
+    are applied as sorted runs by hooks run at the flush point.
+    {b Early lock release} ([set_early_release]): locks drop once the
+    status entry and intents are logged, before the batch force, relying
+    on logical REDO after a crash; the conservative order holds them
+    across the force.
+
     Neither POSTGRES nor Inversion supports nested transactions, so a
     session may hold only one active transaction at a time; the manager
     enforces this per {!session}. *)
@@ -31,6 +41,40 @@ val log : manager -> Status_log.t
 val locks : manager -> Lock_mgr.t
 val cache : manager -> Pagestore.Bufcache.t
 
+(** {2 Create-path knobs} *)
+
+val set_deferred_index : manager -> bool -> unit
+(** Stage index inserts in per-index overlays (applied sorted at the
+    flush point) instead of descending the tree inside the operation. *)
+
+val deferred_index : manager -> bool
+
+val set_early_release : manager -> bool -> unit
+val early_release : manager -> bool
+
+val register_apply_hook : manager -> (unit -> unit) -> unit
+(** Called by an index whose overlay just became non-empty; the hook
+    applies (and empties) the overlay.  Hooks run once, in registration
+    order, at the next flush point. *)
+
+val force_group : manager -> unit
+(** The group-commit flush point: run apply hooks, flush dirty pages,
+    charge one stable status write for every pending commit, and drop
+    settled intents.  A no-op when nothing is staged or pending.  Wrapped
+    in a [log.flush] trace span carrying the batch size. *)
+
+val maybe_force_by_age : manager -> unit
+(** {!force_group} if the oldest pending commit has waited at least
+    [flush_wait_us] — called from pollers (the server pump). *)
+
+val force_generation : manager -> int
+(** Bumped by every {!force_group} that did work; the server parks
+    commit replies behind the flush and drains them when this advances. *)
+
+val crash_reset_manager : manager -> unit
+(** Drop registered apply hooks (the overlays they would apply are
+    volatile and gone) and advance the generation. *)
+
 val begin_txn : manager -> t
 (** Start a transaction: assign an xid and record its start time. *)
 
@@ -46,6 +90,15 @@ val lock : t -> resource:string -> Lock_mgr.mode -> unit
 (** Take a two-phase lock on behalf of this transaction.  Propagates
     {!Lock_mgr.Would_block} / {!Lock_mgr.Deadlock}.  Raises
     [Invalid_argument] if the transaction is no longer active. *)
+
+val defers_index : t -> bool
+(** Should index inserts made on behalf of this transaction stage into
+    the deferred overlay?  True iff the transaction is active and the
+    manager's deferred-index knob is on. *)
+
+val log_index_intent : t -> tree:string -> key:string -> value:int64 -> unit
+(** Record a logical index intent for this transaction in the status
+    log, for REDO if the applied pages never reach disk. *)
 
 val commit : t -> int64
 (** Force dirty pages, then the status entry; release locks.  Returns the

@@ -606,8 +606,16 @@ let frame_payload ~kind ~sid ~rid ~trailer ~retry ~deadline_us payload =
   !frames
 
 let encode_request ?(retry = false) ?(deadline_us = 0L) ~sid ~rid req =
-  let trailer = match req with Write _ -> true | _ -> false in
-  frame_payload ~kind:0 ~sid ~rid ~trailer ~retry ~deadline_us (encode_req_payload req)
+  let payload = encode_req_payload req in
+  (* Only a windowed (multi-fragment) upload needs the end-of-stream
+     trailer; a write that fits one frame is its own "that was all of
+     it", and the spare frame would cost a full per-frame latency on the
+     hottest path in the system (the 8 KB chunk writes of a file
+     create). *)
+  let trailer =
+    match req with Write _ -> String.length payload > max_fragment | _ -> false
+  in
+  frame_payload ~kind:0 ~sid ~rid ~trailer ~retry ~deadline_us payload
 
 let encode_reply ~sid ~rid reply =
   frame_payload ~kind:1 ~sid ~rid ~trailer:false ~retry:false ~deadline_us:0L

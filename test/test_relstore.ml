@@ -451,6 +451,97 @@ let test_db_oids_unique () =
   let b = Db.allocate_oid db in
   Alcotest.(check bool) "monotone" true (Int64.compare a b < 0)
 
+(* ---- group commit ---- *)
+
+let read_counter name = match Obs.Metrics.read name with Some v -> v | None -> 0
+
+let test_group_commit_batches_forces () =
+  let h = Obs.Metrics.histogram "txn.commit.group_size" in
+  let run ?group_commit () =
+    let db = Db.create ?group_commit () in
+    let heap = Db.create_relation db ~name:"r" () in
+    let d0 = read_counter "log.commit.durable" in
+    let f0 = Obs.Metrics.hist_count h in
+    let t0 = Simclock.Clock.now (Db.clock db) in
+    for i = 1 to 8 do
+      Db.with_txn db (fun txn ->
+          ignore (H.insert heap txn ~oid:(Int64.of_int i) (payload "x") : Relstore.Tid.t))
+    done;
+    Db.force_group db;
+    ( Simclock.Clock.now (Db.clock db) -. t0,
+      read_counter "log.commit.durable" - d0,
+      Obs.Metrics.hist_count h - f0 )
+  in
+  let off_t, off_durable, off_flushes = run () in
+  let on_t, on_durable, on_flushes = run ~group_commit:8 () in
+  Alcotest.(check int) "durable commits equal" off_durable on_durable;
+  Alcotest.(check int) "off: one force per commit" 8 off_flushes;
+  Alcotest.(check int) "on: one force for the batch" 1 on_flushes;
+  (* the batch is charged one stable write where the seed path pays
+     eight: the grouped run must finish earlier on the simulated clock *)
+  Alcotest.(check bool) "batched run is cheaper" true (on_t < off_t)
+
+let test_status_log_group_api () =
+  let clock = Simclock.Clock.create () in
+  let log = SL.create ~clock in
+  SL.set_group_size log 3;
+  SL.set_flush_wait_us log 500;
+  let commit_one () =
+    let x = SL.begin_txn log in
+    ignore (SL.commit ~force:true log x : int64)
+  in
+  commit_one ();
+  Alcotest.(check int) "pending 1" 1 (SL.pending_force log);
+  Alcotest.(check bool) "not size_due yet" false (SL.size_due log);
+  commit_one ();
+  commit_one ();
+  Alcotest.(check bool) "size_due at 3" true (SL.size_due log);
+  Alcotest.(check int) "force covers the batch" 3 (SL.force_pending log);
+  Alcotest.(check int) "drained" 0 (SL.pending_force log);
+  (* age bound: a lone pending commit comes due after flush_wait_us *)
+  commit_one ();
+  Alcotest.(check bool) "fresh batch not age_due" false (SL.age_due log);
+  Simclock.Clock.advance clock 0.001;
+  Alcotest.(check bool) "age_due after the wait" true (SL.age_due log);
+  Alcotest.(check int) "age force covers it" 1 (SL.force_pending log)
+
+let test_intents_follow_transaction_outcome () =
+  let clock = Simclock.Clock.create () in
+  let log = SL.create ~clock in
+  SL.set_group_size log 4;
+  let x1 = SL.begin_txn log in
+  SL.log_intent log x1 ~tree:"d:1" ~key:"k1" ~value:1L;
+  let x2 = SL.begin_txn log in
+  SL.log_intent log x2 ~tree:"d:1" ~key:"k2" ~value:2L;
+  ignore (SL.commit ~force:true log x1 : int64);
+  SL.abort log x2;
+  Alcotest.(check int) "aborted intent dropped" 1 (SL.intent_count log);
+  (match SL.committed_intents log with
+  | [ (x, [ ("d:1", "k1", 1L) ]) ] -> Alcotest.(check int) "xid" x1 x
+  | _ -> Alcotest.fail "committed_intents should list exactly x1's intent");
+  SL.clear_settled_intents log;
+  Alcotest.(check int) "settled cleared" 0 (SL.intent_count log)
+
+let test_group_commit_survives_crash () =
+  let clock = Simclock.Clock.create () in
+  let log = SL.create ~clock in
+  SL.set_group_size log 4;
+  let x1 = SL.begin_txn log in
+  SL.log_intent log x1 ~tree:"d:1" ~key:"k1" ~value:1L;
+  ignore (SL.commit ~force:true log x1 : int64);
+  let x2 = SL.begin_txn log in
+  SL.log_intent log x2 ~tree:"d:1" ~key:"k2" ~value:2L;
+  Alcotest.(check int) "one pending" 1 (SL.pending_force log);
+  SL.crash_recover log;
+  (* the status area is NVRAM-backed: the enqueued-but-unforced commit
+     survives the crash; the in-flight transaction dies with its intent *)
+  Alcotest.(check bool) "x1 committed" true (SL.is_committed log x1);
+  Alcotest.(check bool) "x2 aborted" true (SL.state log x2 = SL.Aborted);
+  Alcotest.(check int) "pending reset" 0 (SL.pending_force log);
+  match SL.committed_intents log with
+  | [ (_, [ ("d:1", "k1", 1L) ]) ] -> ()
+  | _ -> Alcotest.fail "x1's intent must survive for REDO; x2's must not"
+
 let test_fsck_detects_media_corruption () =
   (* "The only difficulties arise when the physical storage medium is
      damaged" — flip bytes behind the storage manager's back and the
@@ -621,6 +712,16 @@ let () =
         [
           Alcotest.test_case "relation catalog" `Quick test_db_relations;
           Alcotest.test_case "oid allocation" `Quick test_db_oids_unique;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "batched force accounting" `Quick
+            test_group_commit_batches_forces;
+          Alcotest.test_case "size and age triggers" `Quick test_status_log_group_api;
+          Alcotest.test_case "intent lifecycle" `Quick
+            test_intents_follow_transaction_outcome;
+          Alcotest.test_case "enqueued commits survive crash" `Quick
+            test_group_commit_survives_crash;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

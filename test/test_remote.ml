@@ -208,10 +208,10 @@ let roundtrip_write data =
   frames
 
 let test_wire_empty_payload () =
-  (* a zero-byte write still frames, assembles, and decodes to "" *)
+  (* a zero-byte write still frames, assembles, and decodes to "";
+     fitting one frame, it carries no end-of-stream trailer *)
   let frames = roundtrip_write "" in
-  Alcotest.(check int) "one data frame + end-of-stream trailer" 2
-    (List.length frames);
+  Alcotest.(check int) "a short write is a single frame" 1 (List.length frames);
   (* Ping carries no fields at all: the minimal message on the wire *)
   let frames = Wire.encode_request ~sid:1L ~rid:1L Wire.Ping in
   Alcotest.(check int) "ping is one frame" 1 (List.length frames);
@@ -238,8 +238,8 @@ let test_wire_boundary_payload () =
   let overhead = payload_len probe - 100 in
   let at_boundary = String.make (Wire.max_fragment - overhead) 'b' in
   let frames = roundtrip_write at_boundary in
-  Alcotest.(check int) "exact fit: one full data frame + trailer" 2
-    (List.length frames);
+  (* exactly filling one frame is still "not windowed": no trailer *)
+  Alcotest.(check int) "exact fit: one full data frame" 1 (List.length frames);
   (match Wire.decode_header (List.hd frames) with
   | Some h ->
     Alcotest.(check int) "data frame filled to max_fragment" Wire.max_fragment
@@ -842,6 +842,61 @@ let test_parked_deadlock_victim () =
   Alcotest.(check int) "nothing left parked" 0 (Server.parked_now server);
   Alcotest.(check bool) "resumes counted" true (Server.park_resumes server >= 3)
 
+(* ---- group commit: explicit commit replies ride the batch force ---- *)
+
+let test_group_commit_defers_replies () =
+  let clock = Simclock.Clock.create () in
+  let switch = Pagestore.Switch.create ~clock in
+  ignore
+    (Pagestore.Switch.add_device switch ~name:"disk0"
+       ~kind:Pagestore.Device.Magnetic_disk ()
+      : Pagestore.Device.t);
+  let db =
+    Relstore.Db.create ~switch ~clock ~group_commit:8 ~flush_wait_us:1_000_000
+      ~deferred_index:true ~early_release:true ()
+  in
+  let fs = Fs.make db () in
+  let server = Server.create ~fs () in
+  let net = Netsim.create ~clock Netsim.tcp_1993 in
+  (* set up /fb outside any explicit transaction so B's writes don't
+     contend with A's create on the naming relation *)
+  let setup = raw_connect server net in
+  ignore
+    (raw_ok setup server
+       (Wire.Creat { path = "/fb"; device = None; ftype = None; compressed = false })
+      : Wire.result);
+  let a = raw_connect server net and b = raw_connect server net in
+  ignore (raw_ok a server Wire.Begin : Wire.result);
+  ignore
+    (raw_ok a server
+       (Wire.Creat { path = "/fa"; device = None; ftype = None; compressed = false })
+      : Wire.result);
+  ignore (raw_ok b server Wire.Begin : Wire.result);
+  let fd_b = raw_fd b server (Wire.Open { path = "/fb"; mode = 1; timestamp = None }) in
+  ignore
+    (raw_ok b server (Wire.Write { fd = fd_b; off = 0L; data = "group" })
+      : Wire.result);
+  Alcotest.(check int) "no deferrals yet" 0 (Server.group_defers server);
+  (* both commits land in one pump: each joins the pending batch, so
+     neither acknowledgement may go out before the end-of-pump force *)
+  let ra = raw_send a Wire.Commit in
+  let rb = raw_send b Wire.Commit in
+  Server.pump server;
+  Alcotest.(check int) "both commit replies deferred" 2 (Server.group_defers server);
+  (match raw_reply a ra with
+  | Wire.Ok_reply _ -> ()
+  | _ -> Alcotest.fail "A's commit should succeed after the group force");
+  (match raw_reply b rb with
+  | Wire.Ok_reply _ -> ()
+  | _ -> Alcotest.fail "B's commit should succeed after the group force");
+  (* the force drained the batch: nothing pending, files durable *)
+  Alcotest.(check int) "batch drained" 0
+    (Relstore.Status_log.pending_force (Relstore.Db.status_log db));
+  let c = raw_connect server net in
+  match raw_ok c server (Wire.Exists { path = "/fa"; timestamp = None }) with
+  | Wire.R_bool true -> ()
+  | _ -> Alcotest.fail "/fa should exist after the batched commit"
+
 (* ---- same inputs, same answers: the overload machinery is deterministic ---- *)
 
 let overload_scenario () =
@@ -939,5 +994,10 @@ let () =
             test_park_timeout_expires;
           Alcotest.test_case "parked deadlock victim aborts cleanly" `Quick
             test_parked_deadlock_victim;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "commit replies ride the batch force" `Quick
+            test_group_commit_defers_replies;
         ] );
     ]
