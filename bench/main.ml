@@ -4,7 +4,7 @@
    paper artifact against the real (wall-clock) implementation.
 
    Usage:
-     bench/main.exe [all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|net|degraded] [--mb N]
+     bench/main.exe [all|tab3|fig3|fig4|fig5|fig6|ablate|json|sequoia|micro|crash|net|shard|degraded] [--mb N]
 
    [--mb N] sizes the benchmark file (default 25, the paper's size; the
    create time is scaled for smaller files so reports stay comparable). *)
@@ -647,7 +647,249 @@ let json_of_load (o : Lt.outcome) =
       ("shed_overload", J_int o.Lt.shed_overload);
     ]
 
-let bench_json ~mb ~out ~smoke =
+(* ------------------------------------------------------------------ *)
+(* Sharded fleet: scale-out throughput and failover blackout           *)
+(* ------------------------------------------------------------------ *)
+
+module Sh = Benchlib.Shardtest
+
+let shard_bench () =
+  let points = List.map (fun n -> Sh.scaleout ~seed:11L ~nshards:n ()) [ 1; 2; 4 ] in
+  let bo = Sh.failover_blackout ~seed:12L () in
+  let point_obj (p : Sh.scale_point) =
+    J_obj
+      [
+        ("shards", J_int p.Sh.sp_shards);
+        ("ops", J_int p.Sh.sp_ops);
+        ("wall_s", J_num p.Sh.sp_wall_s);
+        ("bottleneck_busy_s", J_num p.Sh.sp_bottleneck_s);
+        ("throughput_ops_s", J_num p.Sh.sp_throughput);
+      ]
+  in
+  let obj =
+    J_obj
+      [
+        ("scaleout", J_arr (List.map point_obj points));
+        ( "failover",
+          J_obj
+            [
+              ("blackout_s", J_num bo.Sh.bo_blackout_s);
+              ("detect_horizon_s", J_num bo.Sh.bo_detect_s);
+              ("fence_events", J_int bo.Sh.bo_fence_events);
+              ("stale_rejects", J_int bo.Sh.bo_stale_rejects);
+              ("migrations", J_int bo.Sh.bo_migrations);
+              ("consistent", J_int (if bo.Sh.bo_consistent then 1 else 0));
+            ] );
+      ]
+  in
+  (obj, points, bo)
+
+let print_shard () =
+  progress "sharded fleet: scale-out (N=1/2/4) and failover blackout...";
+  let _, points, bo = shard_bench () in
+  print_string "Sharded fleet (coordinator + N chunk shards)\n";
+  List.iter
+    (fun (p : Sh.scale_point) ->
+      Printf.printf
+        "  N=%d: %d writes, bottleneck busy %6.2fs -> %7.2f ops/s (wall %6.2fs)\n"
+        p.Sh.sp_shards p.Sh.sp_ops p.Sh.sp_bottleneck_s p.Sh.sp_throughput p.Sh.sp_wall_s)
+    points;
+  Printf.printf
+    "  failover: blackout %.2fs (detect horizon %.2fs), %d fence(s), %d stale \
+     rejects, %d migrations, consistent=%b\n"
+    bo.Sh.bo_blackout_s bo.Sh.bo_detect_s bo.Sh.bo_fence_events bo.Sh.bo_stale_rejects
+    bo.Sh.bo_migrations bo.Sh.bo_consistent
+
+(* ------------------------------------------------------------------ *)
+(* --compare: regression gate against a previous bench json            *)
+(* ------------------------------------------------------------------ *)
+
+(* Just enough of a JSON reader for our own output (and any conforming
+   producer): objects, arrays, strings with escapes, numbers, literals. *)
+let json_parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = failwith (Printf.sprintf "json: %s at byte %d" msg !pos) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'u' ->
+          (* skip the four hex digits; our own output never emits these *)
+          for _ = 1 to 4 do
+            advance ()
+          done
+        | Some c -> Buffer.add_char buf c
+        | None -> fail "unterminated escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> J_int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some f -> J_num f
+      | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            J_obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            J_arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        items []
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' ->
+      pos := !pos + 4;
+      J_int 1
+    | Some 'f' ->
+      pos := !pos + 5;
+      J_int 0
+    | Some 'n' ->
+      pos := !pos + 4;
+      J_obj []
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  v
+
+let json_member key = function
+  | J_obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let json_number = function
+  | Some (J_num f) -> Some f
+  | Some (J_int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* The headline the regression gate watches: simulated seconds per
+   Table-3 op on the client/server system — the number every PR is
+   ultimately trying to move down.  Returns [(op, seconds)]. *)
+let headline_seconds doc =
+  match json_member "table3_seconds" doc with
+  | None -> []
+  | Some t3 -> (
+    match json_member "inversion_client_server" t3 with
+    | Some (J_obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun f -> (k, f)) (json_number (Some v)))
+        fields
+    | _ -> [])
+
+let compare_headline ~prev_path ~current =
+  let prev_doc =
+    let ic = open_in prev_path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    json_parse s
+  in
+  let prev = headline_seconds prev_doc in
+  let cur = headline_seconds current in
+  if prev = [] then [ Printf.sprintf "%s has no table3_seconds headline" prev_path ]
+  else
+    List.filter_map
+      (fun (op, before) ->
+        match List.assoc_opt op cur with
+        | None -> Some (Printf.sprintf "%s: missing from current run (was %.3fs)" op before)
+        | Some now ->
+          (* >10% slower on any headline op is a regression; faster or
+             within noise passes *)
+          if before > 1e-9 && now > before *. 1.10 then
+            Some
+              (Printf.sprintf "%s: %.3fs -> %.3fs (+%.1f%%, gate is 10%%)" op before
+                 now
+                 ((now /. before -. 1.) *. 100.))
+          else None)
+      prev
+
+let bench_json ~mb ~out ~smoke ~compare_prev =
   let date =
     let tm = Unix.localtime (Unix.time ()) in
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -706,6 +948,8 @@ let bench_json ~mb ~out ~smoke =
     Lt.run ~config:{ ov_base with Lt.deadline_s = Some ov_deadline_s } ~seed:2L ()
   in
   let ov_seed = Lt.run ~config:ov_base ~seed:2L () in
+  progress "bench json: sharded fleet scale-out + failover blackout...";
+  let shard_obj, shard_points, shard_bo = shard_bench () in
   let doc =
     J_obj
       [
@@ -731,6 +975,14 @@ let bench_json ~mb ~out ~smoke =
              cleanly, holding slo_goodput_ops_s near capacity and \
              admitted_p99_s under the SLO), 'unprotected' is the seed \
              behaviour (unbounded queueing, both numbers collapse); \
+             shard: the sharded fleet: scale-out write throughput modeled \
+             from the bottleneck member's busy share at N=1/2/4 chunk shards \
+             (one simulated clock serializes machines, so throughput = ops / \
+             busiest member's simulated seconds; N=4 must beat 2x N=1), plus \
+             a heartbeat-partition failover drill reporting the longest \
+             single-op stall (blackout_s), the detection horizon, \
+             fence/stale-reject/migration counts and post-failover \
+             consistency; \
              knobs: the commit-pipeline settings the Inversion systems ran \
              with (group_commit = status writes batched behind one force, \
              1 = off; flush_wait_us = age bound on a pending batch, in \
@@ -769,6 +1021,7 @@ let bench_json ~mb ~out ~smoke =
               ("protected", json_of_load ov_protected);
               ("unprotected", json_of_load ov_seed);
             ] );
+        ("shard", shard_obj);
         ("metrics", json_of_metrics ());
       ]
   in
@@ -776,6 +1029,17 @@ let bench_json ~mb ~out ~smoke =
   output_string oc (json_to_string doc);
   close_out oc;
   progress "bench json: wrote %s" out;
+  let regression_msgs =
+    match compare_prev with
+    | None -> []
+    | Some prev_path -> compare_headline ~prev_path ~current:doc
+  in
+  (match compare_prev with
+  | Some p when regression_msgs = [] ->
+    progress "bench json --compare: no headline regression vs %s" p
+  | Some _ ->
+    List.iter (fun m -> progress "bench json --compare: REGRESSION %s" m) regression_msgs
+  | None -> ());
   if smoke then begin
     let fail = ref [] in
     let check name ok detail = if not ok then fail := (name ^ ": " ^ detail) :: !fail in
@@ -897,6 +1161,32 @@ let bench_json ~mb ~out ~smoke =
                u.Lt.l_factor u.Lt.l_slo_goodput_ops_s u.Lt.l_admitted_p99_s)
         end)
       ov_protected.Lt.levels ov_seed.Lt.levels;
+    (* The sharded fleet: adding shards must actually buy throughput
+       (the data plane parallelizes; N=4 beating 2x N=1 proves the
+       coordinator is not the bottleneck), and losing a shard must cost
+       a bounded, consistency-preserving blackout. *)
+    (let tp n =
+       match List.find_opt (fun (p : Sh.scale_point) -> p.Sh.sp_shards = n) shard_points with
+       | Some p -> p.Sh.sp_throughput
+       | None -> 0.
+     in
+     check "shard-scaleout"
+       (tp 1 > 0. && tp 4 > 2.0 *. tp 1)
+       (Printf.sprintf "N=1 %.1f ops/s, N=4 %.1f ops/s — need N4 > 2 x N1" (tp 1)
+          (tp 4)));
+    check "shard-blackout"
+      (shard_bo.Sh.bo_blackout_s >= 0.
+      && shard_bo.Sh.bo_blackout_s <= (3. *. shard_bo.Sh.bo_detect_s) +. 1.0)
+      (Printf.sprintf "failover blackout %.2fs outside [0, 3 x detect %.2fs + 1s]"
+         shard_bo.Sh.bo_blackout_s shard_bo.Sh.bo_detect_s);
+    check "shard-failover-worked"
+      (shard_bo.Sh.bo_fence_events >= 1 && shard_bo.Sh.bo_consistent)
+      (Printf.sprintf "fences=%d consistent=%b — the drill must fail over and stay \
+                       consistent"
+         shard_bo.Sh.bo_fence_events shard_bo.Sh.bo_consistent);
+    (* The regression gate: against a previous run's json, any headline
+       Table-3 op more than 10% slower fails the smoke. *)
+    List.iter (fun msg -> check "headline-regression" false msg) regression_msgs;
     match !fail with
     | [] -> progress "bench json --smoke: all checks passed"
     | fails ->
@@ -954,11 +1244,13 @@ let () =
   | "ablate" -> ablations ~mb
   | "json" ->
     (* Machine-readable benchmark trajectory:
-         bench json [--mb N] [--out PATH] [--smoke]
+         bench json [--mb N] [--out PATH] [--smoke] [--compare PREV.json]
        Writes BENCH_<date>.json (schema "inversion-bench/1").  --smoke
        additionally asserts the cache-performance invariants (flat
-       eviction cost, read-ahead wins, scan resistance) and exits 1 on
-       violation. *)
+       eviction cost, read-ahead wins, scan resistance), the shard
+       scale-out and failover bounds, and exits 1 on violation.
+       --compare diffs the headline Table-3 seconds against a previous
+       run's json; with --smoke, any op more than 10% slower fails. *)
     let out =
       let rec go = function
         | "--out" :: p :: _ -> Some p
@@ -967,7 +1259,16 @@ let () =
       in
       go args
     in
-    bench_json ~mb ~out ~smoke:(List.mem "--smoke" args)
+    let compare_prev =
+      let rec go = function
+        | "--compare" :: p :: _ -> Some p
+        | _ :: rest -> go rest
+        | [] -> None
+      in
+      go args
+    in
+    bench_json ~mb ~out ~smoke:(List.mem "--smoke" args) ~compare_prev
+  | "shard" -> print_shard ()
   | "sequoia" ->
     print_string (Benchlib.Sequoia.report_to_string (Benchlib.Sequoia.run ()))
   | "micro" -> micro ()

@@ -21,35 +21,59 @@ type shell = {
   mutable session : Fs.session;
   remote : Remote.Client.t option;
       (* with --remote: file commands cross the wire protocol; admin
-         commands (deffn, migrate, vacuum, fsck) still run server-side *)
+         commands (deffn, migrate, vacuum, fsck) still run server-side.
+         With --shards this is the coordinator's client. *)
+  cluster : (Remote.Cluster.t * Remote.Cluster.conn) option;
+      (* with --shards N: metadata through the coordinator ([remote]),
+         chunk data routed to the owning shard by the placement map *)
   mutable marks : (string * int64) list; (* named timestamps *)
 }
 
-let make_shell ~cache_pages ~remote ~group_commit ~flush_wait_us ~deferred_index
-    ~early_release =
-  let clock = Simclock.Clock.create () in
-  let switch = Pagestore.Switch.create ~clock in
-  let add name kind =
-    ignore (Pagestore.Switch.add_device switch ~name ~kind () : Pagestore.Device.t)
-  in
-  add "disk0" Pagestore.Device.Magnetic_disk;
-  add "nvram0" Pagestore.Device.Nvram;
-  add "jukebox" Pagestore.Device.Worm_jukebox;
-  let db =
-    Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages ~group_commit
-      ~flush_wait_us ~deferred_index ~early_release ()
-  in
-  let fs = Fs.make db () in
-  let remote =
-    if not remote then None
-    else begin
-      let server = Remote.Server.create ~fs () in
-      let net = Netsim.create ~clock Netsim.tcp_1993 in
-      let link = Netsim.Link.create net in
-      Some (Remote.Client.connect ~server ~link ~rng:(Simclock.Rng.create 42L) ())
-    end
-  in
-  { clock; db; fs; session = Fs.new_session fs; remote; marks = [] }
+let make_shell ~cache_pages ~remote ~shards ~group_commit ~flush_wait_us
+    ~deferred_index ~early_release =
+  if shards > 0 then begin
+    if remote then failwith "--remote is implied by --shards; pass only one";
+    let clock = Simclock.Clock.create () in
+    let net = Netsim.create ~clock Netsim.tcp_1993 in
+    let rng = Simclock.Rng.create 42L in
+    let cluster = Remote.Cluster.create ~clock ~net ~rng ~nshards:shards () in
+    let conn = Remote.Cluster.connect cluster ~rng:(Simclock.Rng.split rng) () in
+    let fs = Remote.Server.fs (Remote.Cluster.member_server cluster 0) in
+    {
+      clock;
+      db = Fs.db fs;
+      fs;
+      session = Fs.new_session fs;
+      remote = Some (Remote.Cluster.coord conn);
+      cluster = Some (cluster, conn);
+      marks = [];
+    }
+  end
+  else begin
+    let clock = Simclock.Clock.create () in
+    let switch = Pagestore.Switch.create ~clock in
+    let add name kind =
+      ignore (Pagestore.Switch.add_device switch ~name ~kind () : Pagestore.Device.t)
+    in
+    add "disk0" Pagestore.Device.Magnetic_disk;
+    add "nvram0" Pagestore.Device.Nvram;
+    add "jukebox" Pagestore.Device.Worm_jukebox;
+    let db =
+      Relstore.Db.create ~switch ~clock ~cache_capacity:cache_pages ~group_commit
+        ~flush_wait_us ~deferred_index ~early_release ()
+    in
+    let fs = Fs.make db () in
+    let remote =
+      if not remote then None
+      else begin
+        let server = Remote.Server.create ~fs () in
+        let net = Netsim.create ~clock Netsim.tcp_1993 in
+        let link = Netsim.Link.create net in
+        Some (Remote.Client.connect ~server ~link ~rng:(Simclock.Rng.create 42L) ())
+      end
+    in
+    { clock; db; fs; session = Fs.new_session fs; remote; cluster = None; marks = [] }
+  end
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -114,14 +138,29 @@ let run_command shell line =
     | None -> Fs.readdir s ?timestamp p
   in
   let write_file p data =
-    match r with
-    | Some c -> Remote.Client.write_file c p data
-    | None -> Fs.write_file s p data
+    match (shell.cluster, r) with
+    | Some (_, conn), Some c ->
+      (* metadata on the coordinator, chunk data on the owning shard *)
+      if not (Remote.Client.c_exists c p) then
+        Remote.Client.c_close c (Remote.Client.c_creat c p);
+      let oid = (Remote.Client.c_stat c p).Invfs.Fileatt.file in
+      ignore
+        (Remote.Cluster.shard_write conn ~oid ~off:0L ~data:(Bytes.to_string data)
+          : int);
+      Remote.Cluster.shard_truncate conn ~oid
+        ~size:(Int64.of_int (Bytes.length data))
+    | _, Some c -> Remote.Client.write_file c p data
+    | _, None -> Fs.write_file s p data
   in
   let read_file ?timestamp p =
-    match r with
-    | Some c -> Remote.Client.read_whole_file c ?timestamp p
-    | None -> Fs.read_whole_file s ?timestamp p
+    match (shell.cluster, r) with
+    | Some (_, conn), Some c ->
+      if timestamp <> None then
+        failwith "time travel reads only cover metadata under --shards";
+      let oid = (Remote.Client.c_stat c p).Invfs.Fileatt.file in
+      Bytes.of_string (Remote.Cluster.shard_read conn ~oid ~off:0L ~len:(1 lsl 20))
+    | _, Some c -> Remote.Client.read_whole_file c ?timestamp p
+    | _, None -> Fs.read_whole_file s ?timestamp p
   in
   let stat ?timestamp p =
     match r with
@@ -220,9 +259,14 @@ let run_command shell line =
     say "scanned %d, archived %d, discarded %d" stats.Relstore.Vacuum.scanned
       stats.Relstore.Vacuum.archived stats.Relstore.Vacuum.discarded
   | [ "crash" ] ->
-    (match r with
-    | Some c -> Remote.Client.c_crash_server c
-    | None -> Fs.crash shell.fs);
+    (match (shell.cluster, r) with
+    | Some (cl, _), _ ->
+      for m = 0 to Remote.Cluster.nshards cl do
+        Remote.Cluster.crash_member cl m
+      done;
+      Remote.Cluster.pump cl
+    | None, Some c -> Remote.Client.c_crash_server c
+    | None, None -> Fs.crash shell.fs);
     shell.session <- Fs.new_session shell.fs;
     say "crashed and recovered (open transactions rolled back, no fsck needed)"
   | [ "sync" ] ->
@@ -232,7 +276,12 @@ let run_command shell line =
     Fs.sync shell.fs;
     say "forced the pending commit group (%d commit%s settled)" pending
       (if pending = 1 then "" else "s")
-  | [ "fsck" ] -> say "%s" (Invfs.Fsck.report_to_string (Invfs.Fsck.audit shell.fs))
+  | [ "fsck" ] ->
+    say "%s" (Invfs.Fsck.report_to_string (Invfs.Fsck.audit shell.fs));
+    (match shell.cluster with
+    | None -> ()
+    | Some (cl, _) ->
+      say "%s" (Invfs.Fsck.shard_report_to_string (Remote.Cluster.cross_shard_audit cl)))
   | [ "devices" ] ->
     List.iter
       (fun d ->
@@ -256,6 +305,18 @@ let run_command shell line =
       say "  %-22s %8d" "client.retries" (Remote.Client.retries c);
       say "  %-22s %8d" "client.timeouts" (Remote.Client.timeouts c);
       say "  %-22s %8d" "client.reconnects" (Remote.Client.reconnects c));
+    (match shell.cluster with
+    | None -> ()
+    | Some (cl, conn) ->
+      let st = Remote.Cluster.stats cl in
+      say "  %-22s %8d" "shard.epoch" st.Remote.Cluster.epoch;
+      say "  %-22s %8d" "shard.fence_events" st.Remote.Cluster.fence_events;
+      say "  %-22s %8d" "shard.heartbeats_seen" st.Remote.Cluster.heartbeats_seen;
+      say "  %-22s %8d" "shard.stale_rejects" st.Remote.Cluster.stale_rejects;
+      say "  %-22s %8d" "shard.migrations" st.Remote.Cluster.migrations;
+      say "  %-22s %8d" "shard.handoffs_done" st.Remote.Cluster.handoffs_completed;
+      say "  %-22s %8d" "shard.drops_done" st.Remote.Cluster.drops_done;
+      say "  %-22s %8d" "shard.redirects" (Remote.Cluster.redirects conn));
     say "metrics registry:";
     List.iter
       (fun (name, entry) ->
@@ -322,6 +383,10 @@ let repl shell ~input ~interactive =
          flush stdout);
        let line = input_line input in
        Simclock.Clock.advance shell.clock ~account:"shell.idle" 1.0;
+       (* under --shards a second of idle time carries heartbeat rounds *)
+       (match shell.cluster with
+       | Some (cl, _) -> Remote.Cluster.pump cl
+       | None -> ());
        (try run_command shell line with
        | Exit -> raise Exit
        | Invfs.Errors.Fs_error (code, msg) ->
@@ -338,16 +403,19 @@ let repl shell ~input ~interactive =
 
 (* ---- cmdliner wiring ---- *)
 
-let main script cache_pages remote group_commit flush_wait_us deferred_index
-    early_release =
+let main script cache_pages remote shards group_commit flush_wait_us
+    deferred_index early_release =
   let shell =
-    make_shell ~cache_pages ~remote ~group_commit ~flush_wait_us ~deferred_index
-      ~early_release
+    make_shell ~cache_pages ~remote ~shards ~group_commit ~flush_wait_us
+      ~deferred_index ~early_release
   in
   match script with
   | None ->
     say "Inversion file system shell — 'help' lists commands.%s"
-      (if remote then " (remote: commands cross the wire protocol)" else "");
+      (if shards > 0 then
+         Printf.sprintf " (sharded: coordinator + %d chunk servers)" shards
+       else if remote then " (remote: commands cross the wire protocol)"
+       else "");
     repl shell ~input:stdin ~interactive:(Unix.isatty Unix.stdin)
   | Some path ->
     let ic = open_in path in
@@ -378,6 +446,21 @@ let () =
              TCP/IP link to the data manager (admin commands — deffn, \
              migrate, vacuum, fsck — still run server-side).  'stats' then \
              also shows wire and retry counters.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~docv:"N"
+          ~doc:
+            "Drive the shell against a sharded fleet: a coordinator owning \
+             the namespace plus $(docv) chunk servers, each behind its own \
+             simulated link.  Metadata commands go to the coordinator; put \
+             and cat follow the epoch-numbered placement map to the owning \
+             shard (retrying through fencing redirects).  'stats' shows \
+             fleet counters and 'fsck' adds the cross-shard placement \
+             audit.  Implies the wire protocol; do not combine with \
+             $(b,--remote).")
   in
   let group_commit =
     Arg.(
@@ -422,7 +505,7 @@ let () =
     Cmd.v
       (Cmd.info "invsh" ~doc:"Interactive shell over the Inversion file system")
       Term.(
-        const main $ script $ cache_pages $ remote $ group_commit $ flush_wait_us
-        $ deferred_index $ early_release)
+        const main $ script $ cache_pages $ remote $ shards $ group_commit
+        $ flush_wait_us $ deferred_index $ early_release)
   in
   exit (Cmd.eval cmd)

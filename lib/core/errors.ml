@@ -15,6 +15,7 @@ type code =
   | ECONNRESET
   | EBUSY
   | ENOTSUP
+  | ESTALE
 
 exception Fs_error of code * string
 
@@ -35,5 +36,6 @@ let code_to_string = function
   | ECONNRESET -> "ECONNRESET"
   | EBUSY -> "EBUSY"
   | ENOTSUP -> "ENOTSUP"
+  | ESTALE -> "ESTALE"
 
 let fail code fmt = Printf.ksprintf (fun msg -> raise (Fs_error (code, msg))) fmt

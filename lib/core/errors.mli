@@ -29,6 +29,11 @@ type code =
   | ENOTSUP
       (** the server does not implement the requested operation (wire
           version skew: a newer client spoke to an older server) *)
+  | ESTALE
+      (** (remote client) the contacted shard refused the request because
+          the client's cached placement epoch is stale or the shard no
+          longer owns the chunk range; refresh the placement map from the
+          coordinator and retry *)
 
 exception Fs_error of code * string
 

@@ -42,3 +42,57 @@ val report_to_string : report -> string
 
 val cache_to_string : report -> string
 (** The cache counter snapshot as one [key=value] line. *)
+
+(** {2 Cross-shard audit}
+
+    When the file system is sharded (a coordinator owning the namespace
+    plus N chunk-owning shards behind an epoch-numbered placement map),
+    single-machine audits cannot see misplaced data: every machine can
+    be locally clean while a chunk copy sits on a shard that no longer
+    owns its bucket.  This audit is the placement-map walk — pure over
+    plain data so it needs no dependency on the cluster layer; the
+    cluster provides a wrapper that gathers the inputs.
+
+    Mirroring [degraded] above, shards that cannot be reached are
+    availability loss, not corruption: they are skipped and reported in
+    [sh_unreachable] without making the audit unclean. *)
+
+type shard_report = {
+  sh_shards_checked : int;
+  sh_files_checked : int;  (** named oids whose placement was audited *)
+  sh_copies_checked : int;  (** resident chunk copies across all shards *)
+  sh_problems : problem list;
+      (** [relation] names the faulty side: ["placement"] for a
+          malformed map, ["shard<k>"] for a stray or missing copy *)
+  sh_unreachable : string list;  (** shards skipped, ["shard<k>"] *)
+}
+
+val cross_shard_audit :
+  nshards:int ->
+  owner:int array ->
+  handoff:(int * int * int) list ->
+  drops:(int * int) list ->
+  bucket_of:(int64 -> int) ->
+  named:int64 list ->
+  resident:(int * int64 list option) list ->
+  shard_report
+(** [owner] maps bucket -> owning shard id (1-based); [handoff] is the
+    in-flight [(bucket, src, dst)] migrations and [drops] the
+    [(bucket, shard)] stale copies already queued for garbage
+    collection.  [named] is every oid the coordinator namespace
+    references; [resident] gives each shard's locally-resident oids, or
+    [None] if that shard could not be audited.
+
+    Checks: the map covers every bucket with a valid shard; handoff and
+    drop entries reference valid shards and disagree with neither the
+    map nor each other; a named oid resident {e anywhere} must be
+    resident on its bucket's authority (the handoff source while a
+    migration is in flight, the owner otherwise — never-written files
+    legitimately have no copy at all) unless that authority is
+    unreachable; and every resident copy is accounted for — authority
+    copy, handoff destination's partial copy, or a queued drop —
+    anything else is a stray that fencing should have prevented. *)
+
+val is_shard_clean : shard_report -> bool
+
+val shard_report_to_string : shard_report -> string

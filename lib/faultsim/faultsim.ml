@@ -39,6 +39,7 @@ type net_action =
   | Net_corrupt
   | Net_partition of int
   | Net_server_crash
+  | Net_crash_of of int
 
 let net_action_to_string = function
   | Net_drop -> "net_drop"
@@ -47,6 +48,7 @@ let net_action_to_string = function
   | Net_corrupt -> "net_corrupt"
   | Net_partition n -> Printf.sprintf "net_partition:%d" n
   | Net_server_crash -> "net_server_crash"
+  | Net_crash_of n -> Printf.sprintf "net_crash_of:%d" n
 
 type net_event = {
   nseq : int;
@@ -78,7 +80,7 @@ type t = {
   mutable net_msgs : int;
   mutable sched_net : (int * net_action) list;
   mutable net_log : net_event list; (* newest first *)
-  mutable links : Netsim.Link.t list;
+  mutable links : (Netsim.Link.t * int option) list; (* link, instance tag *)
 }
 
 let create () =
@@ -243,15 +245,37 @@ let arm_cache t cache =
 
 let arm_switch t sw = List.iter (arm_device t) (Switch.devices sw)
 
-(* Count one message on the (global) net stream and pop the scheduled
-   action due at this count, mirroring [fire] for the io streams. *)
-let link_hook t dir ~bytes =
+(* Count one message on the (global) net stream and pop the first due
+   scheduled action this link may fire, mirroring [fire] for the io
+   streams.  An instance-targeted crash ([Net_crash_of]) only fires on a
+   server-bound message of a link armed with that instance's tag — a due
+   entry seen from any other link stays scheduled and fires on the
+   target's next inbound message, so "crash server n mid-request" lands
+   on server n no matter whose traffic advanced the counter. *)
+let link_hook t tag dir ~bytes =
   let n = t.net_msgs + 1 in
   t.net_msgs <- n;
-  match t.sched_net with
-  | (at, a) :: rest when at <= n ->
-    t.sched_net <- rest;
-    t.net_log <- { nseq = n; ndir = dir; nbytes = bytes; naction = a } :: t.net_log;
+  let fireable = function
+    | Net_crash_of m -> tag = Some m && dir = Netsim.Link.To_server
+    | Net_drop | Net_duplicate | Net_reorder | Net_corrupt | Net_partition _
+    | Net_server_crash ->
+      true
+  in
+  let rec pick skipped = function
+    | (at, a) :: rest when at <= n ->
+      if fireable a then begin
+        t.sched_net <- List.rev_append skipped rest;
+        t.net_log <- { nseq = n; ndir = dir; nbytes = bytes; naction = a } :: t.net_log;
+        Some a
+      end
+      else pick ((at, a) :: skipped) rest
+    | l ->
+      t.sched_net <- List.rev_append skipped l;
+      None
+  in
+  match pick [] t.sched_net with
+  | None -> None
+  | Some a ->
     Some
       (match a with
       | Net_drop -> Netsim.Link.Drop
@@ -259,19 +283,18 @@ let link_hook t dir ~bytes =
       | Net_reorder -> Netsim.Link.Reorder
       | Net_corrupt -> Netsim.Link.Corrupt
       | Net_partition n -> Netsim.Link.Partition n
-      | Net_server_crash -> Netsim.Link.Server_crash)
-  | _ -> None
+      | Net_server_crash | Net_crash_of _ -> Netsim.Link.Server_crash)
 
-let arm_link t link =
-  if not (List.memq link t.links) then begin
-    Netsim.Link.set_fault_hook link (Some (link_hook t));
-    t.links <- link :: t.links
+let arm_link t ?tag link =
+  if not (List.exists (fun (l, _) -> l == link) t.links) then begin
+    Netsim.Link.set_fault_hook link (Some (link_hook t tag));
+    t.links <- (link, tag) :: t.links
   end
 
 let disarm t =
   List.iter (fun dev -> Device.set_fault_hook dev None) t.devices;
   List.iter (fun cache -> Bufcache.set_writeback_hook cache None) t.caches;
-  List.iter (fun link -> Netsim.Link.set_fault_hook link None) t.links;
+  List.iter (fun (link, _) -> Netsim.Link.set_fault_hook link None) t.links;
   t.devices <- [];
   t.caches <- [];
   t.links <- []

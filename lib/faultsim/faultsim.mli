@@ -61,7 +61,14 @@ type event = {
     - {!Net_partition}[ n] — one-way partition swallowing [n] consecutive
       messages in one direction, then healing.
     - {!Net_server_crash} — the server machine crashes at the instant the
-      message reaches it (mid-request, before executing or replying). *)
+      message reaches it (mid-request, before executing or replying).
+    - {!Net_crash_of}[ n] — like {!Net_server_crash}, but targeted at the
+      server {e instance} whose links were armed with [~tag:n]: the due
+      entry waits (other links' traffic keeps the counter advancing past
+      it) until the next server-bound message on one of instance [n]'s
+      links, and poisons that one.  This is how a multi-server fleet's
+      fault plan crashes a {e chosen} member (coordinator or any shard)
+      mid-request. *)
 type net_action =
   | Net_drop
   | Net_duplicate
@@ -69,6 +76,7 @@ type net_action =
   | Net_corrupt
   | Net_partition of int
   | Net_server_crash
+  | Net_crash_of of int
 
 type net_event = {
   nseq : int;  (** net-stream counter value when the fault fired *)
@@ -91,10 +99,12 @@ val arm_cache : t -> Pagestore.Bufcache.t -> unit
 (** Install the plan's write-back hook so faults can fire at
     dirty-page-flush granularity ([io = Writeback]). *)
 
-val arm_link : t -> Netsim.Link.t -> unit
+val arm_link : t -> ?tag:int -> Netsim.Link.t -> unit
 (** Install the plan's network hook on a client/server connection
     (idempotent).  Messages on every armed link share one net-stream
-    counter. *)
+    counter.  [tag] names the server instance behind this link (cluster
+    harnesses tag every link to a member with its id) so
+    {!Net_crash_of} can target it. *)
 
 val disarm : t -> unit
 (** Remove all hooks installed by this plan.  Scheduled-but-unfired

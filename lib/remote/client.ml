@@ -102,7 +102,8 @@ let fresh_rid t =
 let mutating = function
   | Wire.Creat _ | Wire.Write _ | Wire.Ftruncate _ | Wire.Mkdir _ | Wire.Unlink _
   | Wire.Rmdir _ | Wire.Rename _ | Wire.Set_owner _ | Wire.Set_type _
-  | Wire.Define_type _ ->
+  | Wire.Define_type _ | Wire.Shard_write _ | Wire.Shard_truncate _
+  | Wire.Migrate_in _ | Wire.Drop_bucket _ ->
     true
   | _ -> false
 
@@ -112,11 +113,19 @@ let mutating = function
    cannot resume — the fd died with the session. *)
 let reissuable = function
   | Wire.Readdir _ | Wire.Stat _ | Wire.Exists _ | Wire.Query _ | Wire.Open _
-  | Wire.Begin | Wire.Ping ->
+  | Wire.Begin | Wire.Ping | Wire.Shard_read _ | Wire.Fetch_chunks _
+  | Wire.Get_placement ->
     true
   | _ -> false
 
 let conn_reset msg = raise (Errors.Fs_error (Errors.ECONNRESET, msg))
+
+(* Bounded jitter on the server's retry-after hint: every shed client
+   sleeping exactly [retry_after] would re-arrive as the same
+   synchronized herd that was just shed.  0.75x-1.25x keeps the hint's
+   magnitude (the server sized it to drain the backlog) while spreading
+   the re-offers across half a hint-width. *)
+let jitter_retry_after rng d = d *. (0.75 +. Rng.float rng 0.5)
 
 let backoff_and_note t attempt =
   let d =
@@ -210,9 +219,8 @@ let exchange t ~sid ~rid ~pipelined req =
         Obs.event Obs.Net "net.overloaded"
           ~args:[ ("retry_after_ms", Obs.I (int_of_float (retry_after_s *. 1e3))) ]
           ();
-      let headroom_after_wait =
-        Clock.now t.clock +. retry_after_s <= t.deadline
-      in
+      let pause = jitter_retry_after t.rng retry_after_s in
+      let headroom_after_wait = Clock.now t.clock +. pause <= t.deadline in
       if k >= t.cfg.max_retries || not headroom_after_wait then
         raise
           (Errors.Fs_error
@@ -224,7 +232,7 @@ let exchange t ~sid ~rid ~pipelined req =
              (Errors.EBUSY, "server overloaded and retry budget exhausted"))
       end
       else begin
-        Clock.advance t.clock ~account:"net.retry_after" retry_after_s;
+        Clock.advance t.clock ~account:"net.retry_after" pause;
         Netsim.note_retry t.net;
         t.retries <- t.retries + 1;
         attempt (k + 1)
@@ -377,6 +385,15 @@ and finish t ~was_txn ~reissued ~pipelined req reply =
       (Errors.Fs_error
          ( Errors.ENOTSUP,
            Printf.sprintf "server does not support opcode %d (version skew)" opcode ))
+  | Wire.Wrong_shard { epoch } ->
+    (* the shard's epoch fence refused the op: definitively not
+       executed.  The composite cluster client catches ESTALE, refreshes
+       its placement cache from the coordinator and retries. *)
+    raise
+      (Errors.Fs_error
+         ( Errors.ESTALE,
+           Printf.sprintf "wrong shard for %s (shard placement epoch %d)"
+             (Wire.req_name req) epoch ))
   | Wire.Unknown_session ->
     (* the server lost our session: it crashed, or our lease expired.
        Reconnect; then decide what the caller may be told. *)
@@ -549,6 +566,34 @@ let c_crash_server t =
     (* our session died with the machine; reconnect lazily on next use *)
     session_dead t
   | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+(* ---------------- cluster (data-plane and admin) wrappers ---------------- *)
+
+let expect_data = function
+  | Wire.R_data s -> s
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let c_get_placement t =
+  match rpc t Wire.Get_placement with
+  | Wire.R_placement p -> p
+  | _ -> Errors.fail Errors.EINVAL "remote: malformed reply"
+
+let c_shard_read t ~oid ~off ~len ~epoch =
+  expect_data (rpc t (Wire.Shard_read { oid; off; len; epoch }))
+
+let c_shard_write t ~oid ~off ~data ~epoch =
+  Int64.to_int (expect_int (rpc ~pipelined:true t (Wire.Shard_write { oid; off; data; epoch })))
+
+let c_shard_truncate t ~oid ~size ~epoch =
+  expect_unit (rpc t (Wire.Shard_truncate { oid; size; epoch }))
+
+let c_fetch_chunks t ~oid = expect_data (rpc t (Wire.Fetch_chunks { oid }))
+
+let c_migrate_in t ~oid ~epoch ~data =
+  expect_unit (rpc ~pipelined:true t (Wire.Migrate_in { oid; epoch; data }))
+
+let c_drop_bucket t ~bucket ~epoch =
+  expect_unit (rpc t (Wire.Drop_bucket { bucket; epoch }))
 
 let write_file t path data =
   (* like Fs.write_file: join the caller's open transaction if any,

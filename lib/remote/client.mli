@@ -127,6 +127,32 @@ val c_crash_server : t -> unit
 (** Admin/test op: crash the server machine and wait for it to recover.
     The client's own session dies with it and reconnects on next use. *)
 
+(** {2 Cluster data-plane and admin ops}
+
+    Used by {!Cluster} conns (data ops addressed by global oid, carrying
+    the caller's cached placement epoch) and by the coordinator's handoff
+    driver.  A {!Wire.Wrong_shard} refusal surfaces as
+    [Fs_error (ESTALE, _)]: definitively not executed — refresh the
+    placement cache and retry. *)
+
+val c_get_placement : t -> Wire.placement
+val c_shard_read : t -> oid:int64 -> off:int64 -> len:int -> epoch:int -> string
+val c_shard_write : t -> oid:int64 -> off:int64 -> data:string -> epoch:int -> int
+val c_shard_truncate : t -> oid:int64 -> size:int64 -> epoch:int -> unit
+
+val c_fetch_chunks : t -> oid:int64 -> string
+(** Whole local copy of [oid]'s chunk range, bypassing the epoch fence
+    (handoff reads travel the storage/admin network). *)
+
+val c_migrate_in : t -> oid:int64 -> epoch:int -> data:string -> unit
+val c_drop_bucket : t -> bucket:int -> epoch:int -> unit
+
+val jitter_retry_after : Simclock.Rng.t -> float -> float
+(** The bounded jitter (0.75x–1.25x) applied to a server's
+    {!Wire.Overloaded} retry-after hint before sleeping on it, so a shed
+    burst of clients does not re-arrive as a synchronized herd.  Exposed
+    for the desynchronization test. *)
+
 val write_file : t -> string -> bytes -> unit
 (** Create-or-truncate and write whole contents in one transaction. *)
 

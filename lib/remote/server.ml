@@ -30,6 +30,46 @@ type task = {
   mutable tk_blocked_on : string; (* what the last attempt blocked on *)
 }
 
+(* ---------------- cluster roles ---------------- *)
+
+(* A shard's view of the placement map, learned from heartbeat replies.
+   All of it is volatile: a crashed shard comes back with [sh_epoch = 0]
+   and no lease, refusing every data op until the next heartbeat reply
+   re-arms it — the conservative default that can never split-brain. *)
+type shard_role = {
+  shard_id : int;
+  nbuckets : int;
+  mutable sh_epoch : int; (* last learned placement epoch; 0 = unknown *)
+  mutable sh_owner : int array; (* bucket -> owning shard id at sh_epoch *)
+  mutable sh_handoff : int list; (* buckets mid-migration at sh_epoch *)
+  mutable sh_lease_until : float; (* serving lease; self-fence past this *)
+  mutable sh_stale_rejects : int; (* fenced data ops (the no-split-brain count) *)
+}
+
+(* The coordinator's authoritative placement map.  The epoch/owner pair
+   is mirrored to a durable file by the cluster layer before any push,
+   so a coordinator crash reloads the same map (and any handoff left in
+   flight restarts idempotently). *)
+type coord_role = {
+  c_nbuckets : int;
+  c_lease_s : float; (* serving-lease duration granted per heartbeat reply *)
+  mutable c_epoch : int;
+  mutable c_owner : int array; (* bucket -> owning shard id *)
+  mutable c_handoff : (int * int * int) list; (* (bucket, src, dst) mid-migration *)
+  mutable c_drops : (int * int) list; (* (bucket, shard) garbage awaiting Drop_bucket *)
+  c_last_hb : (int, float) Hashtbl.t; (* shard id -> last heartbeat arrival *)
+  mutable c_heartbeats : int;
+  mutable c_fence_events : int; (* failovers declared *)
+}
+
+type role = Standalone | Coordinator of coord_role | Shard of shard_role
+
+(* Data-plane fence refusals.  Raised inside [exec], answered like
+   [Overloaded]: definitively-not-executed and never recorded in the
+   dedup window, so a retry after a placement refresh may be admitted. *)
+exception Stale_shard of int
+exception Handoff_busy
+
 type t = {
   fs : Fs.t;
   clock : Simclock.Clock.t;
@@ -41,6 +81,7 @@ type t = {
   lock_wait_s : float;
   shed_mark : int; (* depth at which retry traffic sheds *)
   mutable on_crash : t -> unit;
+  mutable role : role;
   mutable links : Link.t list;
   sessions : (int64, sess) Hashtbl.t;
   asm : Wire.Assembly.t;
@@ -68,6 +109,12 @@ type t = {
   mutable deadlock_aborts : int;
   mutable unsupported : int;
   mutable group_defers : int;
+  (* Simulated seconds this machine spent inside [pump] — its share of
+     the one global clock.  A cluster bench on a single simulated clock
+     cannot observe parallelism directly, so scale-out throughput is
+     modeled from the bottleneck member: T_par = max over machines of
+     busy time (see DESIGN.md, "Sharding"). *)
+  mutable busy_s : float;
 }
 
 let default_on_crash t = ignore (Fs.crash_and_recover t.fs : Fs.recovery)
@@ -88,6 +135,7 @@ let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(run_cap = 256)
       lock_wait_s;
       shed_mark = max 1 (int_of_float (shed_watermark *. float_of_int run_cap));
       on_crash = default_on_crash;
+      role = Standalone;
       links = [];
       sessions = Hashtbl.create 8;
       asm = Wire.Assembly.create ();
@@ -111,6 +159,7 @@ let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(run_cap = 256)
       deadlock_aborts = 0;
       unsupported = 0;
       group_defers = 0;
+      busy_s = 0.;
     }
   in
   (match on_crash with Some f -> t.on_crash <- f | None -> ());
@@ -122,6 +171,8 @@ let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(run_cap = 256)
 
 let fs t = t.fs
 let set_on_crash t f = t.on_crash <- f
+let set_role t role = t.role <- role
+let role t = t.role
 let crashes t = t.crashes
 let replays t = t.replays
 let leases_expired t = t.leases_expired
@@ -150,6 +201,19 @@ let attach t link = if not (List.memq link t.links) then t.links <- link :: t.li
    back. *)
 let crash_now t =
   t.crashes <- t.crashes + 1;
+  (* Role state is volatile too.  A shard forgets the placement map and
+     its lease (re-armed by the next heartbeat reply); the coordinator's
+     map is reloaded from its durable mirror by the cluster's crash
+     handler. *)
+  (match t.role with
+  | Shard sh ->
+    sh.sh_epoch <- 0;
+    sh.sh_handoff <- [];
+    sh.sh_lease_until <- 0.
+  | Coordinator c ->
+    c.c_epoch <- 0;
+    Hashtbl.reset c.c_last_hb
+  | Standalone -> ());
   Hashtbl.reset t.sessions;
   t.hello_window <- [];
   Wire.Assembly.reset t.asm;
@@ -183,7 +247,8 @@ let expire_leases t =
 
 let read_only = function
   | Wire.Open _ | Wire.Read _ | Wire.Readdir _ | Wire.Stat _ | Wire.Exists _
-  | Wire.Query _ | Wire.Filesize _ ->
+  | Wire.Query _ | Wire.Filesize _ | Wire.Shard_read _ | Wire.Fetch_chunks _
+  | Wire.Get_placement ->
     true
   | _ -> false
 
@@ -199,6 +264,57 @@ let read_only = function
    decides. *)
 let parkable s req =
   read_only req || req = Wire.Commit || not (Fs.in_transaction s.fsess)
+
+(* A shard stores each global oid's chunk range as one local file; the
+   shard's own Fs namespace is private to it, so a flat root works. *)
+let shard_path oid = Printf.sprintf "/o%Ld" oid
+
+let oid_of_shard_name name =
+  if String.length name > 1 && name.[0] = 'o' then
+    Int64.of_string_opt (String.sub name 1 (String.length name - 1))
+  else None
+
+let placement_of_coord (c : coord_role) =
+  Wire.
+    {
+      p_epoch = c.c_epoch;
+      p_owner = Array.copy c.c_owner;
+      p_handoff = List.map (fun (b, _, _) -> b) c.c_handoff;
+    }
+
+(* The epoch fence, checked on every data-plane op.  Serving requires a
+   live lease (self-fence: a shard that missed heartbeats refuses on its
+   own before the coordinator could have reassigned its buckets), a
+   placement map at the client's exact epoch, and current ownership of
+   the oid's bucket.  Reads are fenced too — a stale read from a
+   reassigned bucket would be as wrong as a stale write. *)
+let shard_fence t ~epoch ~oid =
+  match t.role with
+  | Shard sh ->
+    let b = Wire.bucket_of ~nbuckets:sh.nbuckets oid in
+    let now = Simclock.Clock.now t.clock in
+    if
+      sh.sh_epoch = 0 || now >= sh.sh_lease_until || epoch <> sh.sh_epoch
+      || b >= Array.length sh.sh_owner
+      || sh.sh_owner.(b) <> sh.shard_id
+    then begin
+      sh.sh_stale_rejects <- sh.sh_stale_rejects + 1;
+      raise (Stale_shard sh.sh_epoch)
+    end;
+    if List.mem b sh.sh_handoff then raise Handoff_busy
+  | Standalone | Coordinator _ -> Errors.fail Errors.ENOTSUP "not a shard server"
+
+let shard_only t =
+  match t.role with
+  | Shard sh -> sh
+  | Standalone | Coordinator _ -> Errors.fail Errors.ENOTSUP "not a shard server"
+
+let with_fd fsess fd f =
+  Fun.protect ~finally:(fun () -> try Fs.p_close fsess fd with _ -> ()) (fun () -> f fd)
+
+let open_or_creat fsess path =
+  if Fs.exists fsess path then Fs.p_open fsess path Fs.Rdwr
+  else Fs.p_creat fsess ~compressed:false path
 
 let exec t (s : sess) (req : Wire.req) : Wire.result =
   let fsess = s.fsess in
@@ -270,6 +386,64 @@ let exec t (s : sess) (req : Wire.req) : Wire.result =
     Wire.R_unit
   | Wire.Define_type { name } ->
     Fs.define_type t.fs name;
+    Wire.R_unit
+  | Wire.Heartbeat _ ->
+    (* control plane; handled before dispatch reaches here *)
+    Errors.fail Errors.EINVAL "unexpected control request in session dispatch"
+  | Wire.Get_placement -> (
+    match t.role with
+    | Coordinator c -> Wire.R_placement (placement_of_coord c)
+    | Standalone | Shard _ -> Errors.fail Errors.ENOTSUP "not a coordinator")
+  | Wire.Shard_read { oid; off; len; epoch } ->
+    shard_fence t ~epoch ~oid;
+    let path = shard_path oid in
+    if not (Fs.exists fsess path) then Wire.R_data "" (* never written: sparse-empty *)
+    else
+      with_fd fsess (Fs.p_open fsess path Fs.Rdonly) (fun fd ->
+          ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
+          let buf = Bytes.create len in
+          let n = Fs.p_read fsess fd buf len in
+          Wire.R_data (Bytes.sub_string buf 0 n))
+  | Wire.Shard_write { oid; off; data; epoch } ->
+    shard_fence t ~epoch ~oid;
+    with_fd fsess (open_or_creat fsess (shard_path oid)) (fun fd ->
+        ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
+        let b = Bytes.of_string data in
+        Wire.R_int (Int64.of_int (Fs.p_write fsess fd b (Bytes.length b))))
+  | Wire.Shard_truncate { oid; size; epoch } ->
+    shard_fence t ~epoch ~oid;
+    with_fd fsess (open_or_creat fsess (shard_path oid)) (fun fd ->
+        Fs.ftruncate fsess fd size;
+        Wire.R_unit)
+  | Wire.Fetch_chunks { oid } ->
+    (* Handoff read, deliberately unfenced: the coordinator pulls a dead
+       or draining shard's copy over the storage/admin network, which
+       stays reachable when the client network partitions. *)
+    ignore (shard_only t : shard_role);
+    let path = shard_path oid in
+    if Fs.exists fsess path then
+      Wire.R_data (Bytes.to_string (Fs.read_whole_file fsess path))
+    else Wire.R_data ""
+  | Wire.Migrate_in { oid; epoch; data } ->
+    let sh = shard_only t in
+    (* Only the coordinator sends these; refuse pushes older than what
+       we already learned, accept ones from epochs we have not seen yet
+       (the handoff push usually precedes the heartbeat that would have
+       taught us the epoch).  Whole-copy overwrite: idempotent, so a
+       crash-restarted handoff just re-sends. *)
+    if epoch < sh.sh_epoch then raise (Stale_shard sh.sh_epoch);
+    Fs.write_file fsess (shard_path oid) (Bytes.of_string data);
+    Wire.R_unit
+  | Wire.Drop_bucket { bucket; epoch } ->
+    let sh = shard_only t in
+    if epoch < sh.sh_epoch then raise (Stale_shard sh.sh_epoch);
+    List.iter
+      (fun name ->
+        match oid_of_shard_name name with
+        | Some oid when Wire.bucket_of ~nbuckets:sh.nbuckets oid = bucket ->
+          Fs.unlink fsess ("/" ^ name)
+        | Some _ | None -> ())
+      (Fs.readdir fsess "/");
     Wire.R_unit
 
 let m_requests = Obs.Metrics.counter "net.server.requests"
@@ -381,6 +555,8 @@ let run_task t (tk : task) ~(was_parked : bool) =
           t.deadlock_aborts <- t.deadlock_aborts + 1;
           Obs.Metrics.incr m_deadlock_aborts;
           `Reply (Wire.Err_reply { txn_open = false; code = Errors.EDEADLK; msg })
+        | exception Stale_shard epoch -> `Wrong_shard epoch
+        | exception Handoff_busy -> `Handoff_busy
         | exception Errors.Fs_error (code, msg) ->
           `Reply (Wire.Err_reply { txn_open = Fs.in_transaction s.fsess; code; msg })
         | exception Pagestore.Device.Io_fault _ ->
@@ -424,6 +600,20 @@ let run_task t (tk : task) ~(was_parked : bool) =
         Hashtbl.remove s.inflight tk.tk_rid;
         reply_now tk.tk_link ~sid:tk.tk_sid ~rid:tk.tk_rid
           (Wire.Overloaded { retry_after_s = retry_after_hint t });
+        true
+      | `Wrong_shard epoch ->
+        (* fence refusal: definitively not executed, never recorded —
+           the client refreshes its placement cache and may retry this
+           very request id at whichever shard now owns the bucket *)
+        Hashtbl.remove s.inflight tk.tk_rid;
+        reply_now tk.tk_link ~sid:tk.tk_sid ~rid:tk.tk_rid (Wire.Wrong_shard { epoch });
+        true
+      | `Handoff_busy ->
+        (* the bucket is mid-migration: a bounded blackout the client
+           rides out with its existing Overloaded retry machinery *)
+        Hashtbl.remove s.inflight tk.tk_rid;
+        reply_now tk.tk_link ~sid:tk.tk_sid ~rid:tk.tk_rid
+          (Wire.Overloaded { retry_after_s = max 0.2 (retry_after_hint t) });
         true
       | `Park blocked_on ->
         tk.tk_blocked_on <- blocked_on;
@@ -509,6 +699,21 @@ let handle t link ~(h : Wire.hdr) req =
       ();
   match req with
   | Wire.Ping -> reply_now link ~sid ~rid (Wire.Ok_reply { txn_open = false; result = Wire.R_unit })
+  | Wire.Heartbeat { shard; epoch = _ } -> (
+    (* Control plane, no session: the reply is the shard's lease renewal
+       and carries the authoritative placement map.  Answered
+       immediately and never recorded — heartbeats are periodic, a lost
+       one is simply superseded by the next. *)
+    match t.role with
+    | Coordinator c ->
+      c.c_heartbeats <- c.c_heartbeats + 1;
+      Hashtbl.replace c.c_last_hb shard (Simclock.Clock.now t.clock);
+      reply_now link ~sid ~rid
+        (Wire.Ok_reply { txn_open = false; result = Wire.R_placement (placement_of_coord c) })
+    | Standalone | Shard _ ->
+      reply_now link ~sid ~rid
+        (Wire.Err_reply
+           { txn_open = false; code = Errors.ENOTSUP; msg = "not a coordinator" }))
   | Wire.Crash_server ->
     (* crash the machine mid-flight, recover, and only then answer: the
        reply is the evidence recovery came back up *)
@@ -703,7 +908,7 @@ let flush_group t =
    which drains the run queue and drives the parked requests' lock-wait
    and resume timers.  Everything is driven by the shared simulated
    clock; a pump with nothing to do is free. *)
-let pump t =
+let pump_turn t =
   expire_leases t;
   let crashed = ref false in
   List.iter
@@ -731,3 +936,10 @@ let pump t =
       run_all t;
       flush_group t
     with Pagestore.Device.Crash_injected _ -> crash_now t)
+
+let pump t =
+  let t0 = Simclock.Clock.now t.clock in
+  pump_turn t;
+  t.busy_s <- t.busy_s +. (Simclock.Clock.now t.clock -. t0)
+
+let busy_s t = t.busy_s

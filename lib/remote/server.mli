@@ -76,6 +76,50 @@
 
 type t
 
+(** {2 Cluster roles}
+
+    A server is standalone by default.  {!Cluster} assembles fleets: one
+    {e coordinator} owning the namespace ([naming]/[fileatt]) plus the
+    epoch-numbered placement map, and N {e shards} owning chunk data,
+    addressed by [Wire.bucket_of] over the file's global oid.
+
+    Shards learn the placement map (and renew their serving lease) from
+    heartbeat replies; every data-plane op carries the client's cached
+    epoch and is refused with {!Wire.Wrong_shard} unless the shard holds
+    a live lease, the exact epoch, and current ownership of the bucket —
+    the fence that makes failover safe against split brain.  Role state
+    is volatile: a crashed shard comes back knowing nothing and serving
+    nothing until the next heartbeat reply re-arms it. *)
+
+type shard_role = {
+  shard_id : int;
+  nbuckets : int;
+  mutable sh_epoch : int;  (** last learned placement epoch; 0 = unknown *)
+  mutable sh_owner : int array;  (** bucket -> owning shard id at [sh_epoch] *)
+  mutable sh_handoff : int list;  (** buckets mid-migration at [sh_epoch] *)
+  mutable sh_lease_until : float;  (** serving lease; self-fence past this *)
+  mutable sh_stale_rejects : int;  (** fenced data ops (no-split-brain count) *)
+}
+
+type coord_role = {
+  c_nbuckets : int;
+  c_lease_s : float;  (** serving-lease duration granted per heartbeat reply *)
+  mutable c_epoch : int;
+  mutable c_owner : int array;  (** bucket -> owning shard id *)
+  mutable c_handoff : (int * int * int) list;
+      (** [(bucket, src, dst)] migrations in flight *)
+  mutable c_drops : (int * int) list;
+      (** [(bucket, shard)] stale copies awaiting [Drop_bucket] *)
+  c_last_hb : (int, float) Hashtbl.t;  (** shard id -> last heartbeat arrival *)
+  mutable c_heartbeats : int;
+  mutable c_fence_events : int;  (** failovers declared *)
+}
+
+type role = Standalone | Coordinator of coord_role | Shard of shard_role
+
+val set_role : t -> role -> unit
+val role : t -> role
+
 val create :
   fs:Invfs.Fs.t ->
   ?lease_s:float ->
@@ -112,6 +156,12 @@ val pump : t -> unit
 val crash_now : t -> unit
 (** Crash the server machine immediately (the boundary-crash entry point
     for harnesses and the [Crash_server] admin op). *)
+
+val busy_s : t -> float
+(** Simulated seconds this machine has spent inside {!pump} — its share
+    of the one global clock.  The cluster bench models scale-out
+    throughput from the bottleneck member's busy time, since a single
+    simulated clock serializes all machines' work. *)
 
 val crashes : t -> int
 val replays : t -> int

@@ -126,6 +126,23 @@ type req =
   | Set_type of { path : string; ftype : string }
   | Define_type of { name : string }
   | Crash_server
+  | Heartbeat of { shard : int; epoch : int }
+  | Get_placement
+  | Shard_read of { oid : int64; off : int64; len : int; epoch : int }
+  | Shard_write of { oid : int64; off : int64; data : string; epoch : int }
+  | Shard_truncate of { oid : int64; size : int64; epoch : int }
+  | Fetch_chunks of { oid : int64 }
+  | Migrate_in of { oid : int64; epoch : int; data : string }
+  | Drop_bucket of { bucket : int; epoch : int }
+
+(* Chunk-range addressing: a file's data lives in the placement bucket
+   its oid hashes to.  Mixed rather than [oid mod n] so renumbering one
+   relation cannot pile every hot file onto one shard. *)
+let bucket_of ~nbuckets oid =
+  let h = Int64.logxor oid (Int64.shift_right_logical oid 7) in
+  let h = Int64.mul h 0x9E3779B97F4A7C15L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 32) in
+  Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int nbuckets))
 
 let req_name = function
   | Hello -> "hello"
@@ -153,6 +170,14 @@ let req_name = function
   | Set_type _ -> "set_type"
   | Define_type _ -> "define_type"
   | Crash_server -> "crash_server"
+  | Heartbeat _ -> "heartbeat"
+  | Get_placement -> "get_placement"
+  | Shard_read _ -> "shard_read"
+  | Shard_write _ -> "shard_write"
+  | Shard_truncate _ -> "shard_truncate"
+  | Fetch_chunks _ -> "fetch_chunks"
+  | Migrate_in _ -> "migrate_in"
+  | Drop_bucket _ -> "drop_bucket"
 
 let encode_req_payload req =
   let b = Buffer.create 64 in
@@ -234,7 +259,41 @@ let encode_req_payload req =
   | Define_type { name } ->
     put_u8 b 24;
     put_str b name
-  | Crash_server -> put_u8 b 25);
+  | Crash_server -> put_u8 b 25
+  | Heartbeat { shard; epoch } ->
+    put_u8 b 26;
+    put_i32 b shard;
+    put_i32 b epoch
+  | Get_placement -> put_u8 b 27
+  | Shard_read { oid; off; len; epoch } ->
+    put_u8 b 28;
+    put_i64 b oid;
+    put_i64 b off;
+    put_i32 b len;
+    put_i32 b epoch
+  | Shard_write { oid; off; data; epoch } ->
+    put_u8 b 29;
+    put_i64 b oid;
+    put_i64 b off;
+    put_i32 b epoch;
+    put_str b data
+  | Shard_truncate { oid; size; epoch } ->
+    put_u8 b 30;
+    put_i64 b oid;
+    put_i64 b size;
+    put_i32 b epoch
+  | Fetch_chunks { oid } ->
+    put_u8 b 31;
+    put_i64 b oid
+  | Migrate_in { oid; epoch; data } ->
+    put_u8 b 32;
+    put_i64 b oid;
+    put_i32 b epoch;
+    put_str b data
+  | Drop_bucket { bucket; epoch } ->
+    put_u8 b 33;
+    put_i32 b bucket;
+    put_i32 b epoch);
   Buffer.contents b
 
 (* Distinguishes an opcode from the future ([`Unknown]) from a payload
@@ -312,6 +371,38 @@ let decode_request_any payload =
         Set_type { path; ftype }
       | 24 -> Define_type { name = get_str c }
       | 25 -> Crash_server
+      | 26 ->
+        let shard = get_i32 c in
+        let epoch = get_i32 c in
+        Heartbeat { shard; epoch }
+      | 27 -> Get_placement
+      | 28 ->
+        let oid = get_i64 c in
+        let off = get_i64 c in
+        let len = get_i32 c in
+        let epoch = get_i32 c in
+        Shard_read { oid; off; len; epoch }
+      | 29 ->
+        let oid = get_i64 c in
+        let off = get_i64 c in
+        let epoch = get_i32 c in
+        let data = get_str c in
+        Shard_write { oid; off; data; epoch }
+      | 30 ->
+        let oid = get_i64 c in
+        let size = get_i64 c in
+        let epoch = get_i32 c in
+        Shard_truncate { oid; size; epoch }
+      | 31 -> Fetch_chunks { oid = get_i64 c }
+      | 32 ->
+        let oid = get_i64 c in
+        let epoch = get_i32 c in
+        let data = get_str c in
+        Migrate_in { oid; epoch; data }
+      | 33 ->
+        let bucket = get_i32 c in
+        let epoch = get_i32 c in
+        Drop_bucket { bucket; epoch }
       | op -> raise (Unknown_opcode op)
     in
     if c.pos <> String.length payload then raise Decode;
@@ -325,6 +416,11 @@ let decode_request payload =
 
 (* ---------------- replies ---------------- *)
 
+(* The placement map: [owner.(b)] is the shard id serving bucket [b] at
+   [epoch]; [handoff] lists buckets mid-migration (no shard serves them
+   until the coordinator commits the transfer). *)
+type placement = { p_epoch : int; p_owner : int array; p_handoff : int list }
+
 type result =
   | R_unit
   | R_sid of int64
@@ -335,6 +431,7 @@ type result =
   | R_names of string list
   | R_rows of string list list
   | R_att of Invfs.Fileatt.att
+  | R_placement of placement
 
 type reply =
   | Ok_reply of { txn_open : bool; result : result }
@@ -343,6 +440,7 @@ type reply =
   | Unknown_session
   | Overloaded of { retry_after_s : float }
   | Unsupported of { opcode : int }
+  | Wrong_shard of { epoch : int }
 
 let code_to_byte : Invfs.Errors.code -> int = function
   | ENOENT -> 1
@@ -361,6 +459,7 @@ let code_to_byte : Invfs.Errors.code -> int = function
   | ECONNRESET -> 14
   | EBUSY -> 15
   | ENOTSUP -> 16
+  | ESTALE -> 17
 
 let code_of_byte : int -> Invfs.Errors.code = function
   | 1 -> ENOENT
@@ -379,6 +478,7 @@ let code_of_byte : int -> Invfs.Errors.code = function
   | 14 -> ECONNRESET
   | 15 -> EBUSY
   | 16 -> ENOTSUP
+  | 17 -> ESTALE
   | _ -> raise Decode
 
 let encode_reply_payload reply =
@@ -427,7 +527,14 @@ let encode_reply_payload reply =
       put_bool b a.compressed;
       put_i64 b a.ctime;
       put_i64 b a.mtime;
-      put_i64 b a.atime)
+      put_i64 b a.atime
+    | R_placement { p_epoch; p_owner; p_handoff } ->
+      put_u8 b 9;
+      put_i32 b p_epoch;
+      put_i32 b (Array.length p_owner);
+      Array.iter (put_i32 b) p_owner;
+      put_i32 b (List.length p_handoff);
+      List.iter (put_i32 b) p_handoff)
   | Err_reply { txn_open; code; msg } ->
     put_u8 b 1;
     put_bool b txn_open;
@@ -443,7 +550,10 @@ let encode_reply_payload reply =
     put_i64 b (Int64.of_float (retry_after_s *. 1e6))
   | Unsupported { opcode } ->
     put_u8 b 5;
-    put_u8 b opcode);
+    put_u8 b opcode
+  | Wrong_shard { epoch } ->
+    put_u8 b 6;
+    put_i32 b epoch);
   Buffer.contents b
 
 let decode_reply payload =
@@ -500,6 +610,15 @@ let decode_reply payload =
                 mtime;
                 atime;
               }
+          | 9 ->
+            let p_epoch = get_i32 c in
+            let n = get_i32 c in
+            if n < 0 || n > 0xffff then raise Decode;
+            let p_owner = Array.init n (fun _ -> get_i32 c) in
+            let m = get_i32 c in
+            if m < 0 || m > 0xffff then raise Decode;
+            let p_handoff = List.init m (fun _ -> get_i32 c) in
+            R_placement { p_epoch; p_owner; p_handoff }
           | _ -> raise Decode
         in
         Ok_reply { txn_open; result }
@@ -512,6 +631,7 @@ let decode_reply payload =
       | 3 -> Unknown_session
       | 4 -> Overloaded { retry_after_s = Int64.to_float (get_i64 c) /. 1e6 }
       | 5 -> Unsupported { opcode = get_u8 c }
+      | 6 -> Wrong_shard { epoch = get_i32 c }
       | _ -> raise Decode
     in
     if c.pos <> String.length payload then raise Decode;
@@ -613,7 +733,9 @@ let encode_request ?(retry = false) ?(deadline_us = 0L) ~sid ~rid req =
      hottest path in the system (the 8 KB chunk writes of a file
      create). *)
   let trailer =
-    match req with Write _ -> String.length payload > max_fragment | _ -> false
+    match req with
+    | Write _ | Shard_write _ | Migrate_in _ -> String.length payload > max_fragment
+    | _ -> false
   in
   frame_payload ~kind:0 ~sid ~rid ~trailer ~retry ~deadline_us payload
 

@@ -80,8 +80,36 @@ type req =
   | Set_type of { path : string; ftype : string }
   | Define_type of { name : string }
   | Crash_server
+  | Heartbeat of { shard : int; epoch : int }
+      (** shard → coordinator liveness beacon (control plane, no
+          session); the reply carries the current placement map and
+          renews the shard's serving lease *)
+  | Get_placement  (** client → coordinator: fetch the placement map *)
+  | Shard_read of { oid : int64; off : int64; len : int; epoch : int }
+      (** data-plane read addressed by global oid; [epoch] is the
+          client's cached placement epoch, fenced at the shard *)
+  | Shard_write of { oid : int64; off : int64; data : string; epoch : int }
+  | Shard_truncate of { oid : int64; size : int64; epoch : int }
+  | Fetch_chunks of { oid : int64 }
+      (** coordinator → shard handoff read: returns the shard's whole
+          local copy, bypassing the epoch fence (the storage/admin
+          network stays reachable when the client network partitions) *)
+  | Migrate_in of { oid : int64; epoch : int; data : string }
+      (** coordinator → shard handoff write: install a full copy of
+          [oid]'s data; idempotent, so a restarted handoff re-sends *)
+  | Drop_bucket of { bucket : int; epoch : int }
+      (** coordinator → shard: delete local copies of every oid hashing
+          to [bucket] (post-handoff garbage collection); idempotent *)
+
+val bucket_of : nbuckets:int -> int64 -> int
+(** The placement bucket an oid's chunk range hashes to (mixed, so
+    sequential oids spread). *)
 
 val req_name : req -> string
+
+(** The placement map: [p_owner.(b)] is the shard id serving bucket [b]
+    at [p_epoch]; [p_handoff] lists buckets mid-migration. *)
+type placement = { p_epoch : int; p_owner : int array; p_handoff : int list }
 
 type result =
   | R_unit
@@ -93,6 +121,7 @@ type result =
   | R_names of string list
   | R_rows of string list list
   | R_att of Invfs.Fileatt.att
+  | R_placement of placement
 
 type reply =
   | Ok_reply of { txn_open : bool; result : result }
@@ -113,6 +142,14 @@ type reply =
       (** the request decoded cleanly but its opcode is from a future
           protocol revision this server does not implement (version
           skew).  Definitive — recorded in the dedup window. *)
+  | Wrong_shard of { epoch : int }
+      (** the contacted shard refuses a data-plane op: the request's
+          placement epoch is stale, the shard no longer (or does not
+          yet) own the bucket, or its serving lease expired (self-fence
+          after missed heartbeats).  [epoch] is the shard's view.
+          Definitively not executed and never recorded in the dedup
+          window — the client refreshes its placement cache from the
+          coordinator and retries, possibly at a different shard. *)
 
 val encode_request :
   ?retry:bool -> ?deadline_us:int64 -> sid:int64 -> rid:int64 -> req -> string list

@@ -1,9 +1,11 @@
 (* Long-mode crash-recovery sweep, run via `dune build @crash`.
 
    Always covers the fixed seed set below; CRASH_SEEDS=5,6,7 appends
-   extra comma-separated seeds and CRASH_OPS=N lengthens each run. *)
+   extra comma-separated seeds, CRASH_OPS=N lengthens each run, and
+   `--quick` (used by the @sweeps meta-alias) trims to a fast subset. *)
 
 let fixed_seeds = [ 1L; 2L; 3L; 5L; 7L; 11L; 13L; 17L; 42L; 1993L ]
+let quick_seeds = [ 1L; 2L; 3L; 42L ]
 
 let env_seeds () =
   match Sys.getenv_opt "CRASH_SEEDS" with
@@ -23,8 +25,9 @@ let ops () =
   | Some s -> int_of_string s
 
 let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
   let config = { Benchlib.Crashtest.default_config with ops = ops () } in
-  let seeds = fixed_seeds @ env_seeds () in
+  let seeds = (if quick then quick_seeds else fixed_seeds) @ env_seeds () in
   let failed = ref 0 in
   List.iter
     (fun seed ->

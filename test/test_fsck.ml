@@ -119,6 +119,79 @@ let test_catalog_index_rebuild () =
   Alcotest.(check string) "namespace intact" "more data"
     (str (Fs.read_whole_file s "/more"))
 
+(* ---- the cross-shard placement walk (pure: inputs built by hand) ----
+
+   Two shards, four buckets: bucket = oid mod 4, owner = 1 + (bucket mod
+   2).  oids 0,2 -> shard 1; oids 1,3 -> shard 2. *)
+
+let audit ?(owner = [| 1; 2; 1; 2 |]) ?(handoff = []) ?(drops = []) ~named ~resident
+    () =
+  Fsck.cross_shard_audit ~nshards:2 ~owner ~handoff ~drops
+    ~bucket_of:(fun oid -> Int64.to_int (Int64.rem oid 4L))
+    ~named ~resident
+
+let problems r = List.map (fun p -> p.Fsck.relation) r.Fsck.sh_problems
+
+let test_shard_audit_clean () =
+  let r =
+    audit ~named:[ 0L; 1L; 2L; 7L ]
+      ~resident:[ (1, Some [ 0L; 2L ]); (2, Some [ 1L; 7L ]) ]
+      ()
+  in
+  Alcotest.(check bool) ("clean: " ^ Fsck.shard_report_to_string r) true
+    (Fsck.is_shard_clean r);
+  Alcotest.(check int) "files" 4 r.Fsck.sh_files_checked;
+  Alcotest.(check int) "copies" 4 r.Fsck.sh_copies_checked;
+  (* a never-written file (no copy anywhere) is legitimate *)
+  let r = audit ~named:[ 0L ] ~resident:[ (1, Some []); (2, Some []) ] () in
+  Alcotest.(check bool) "empty file clean" true (Fsck.is_shard_clean r)
+
+let test_shard_audit_stray_and_missing () =
+  (* oid 0 belongs on shard 1 but only shard 2 holds it: one stray copy
+     on shard 2, one missing-from-authority on shard 1 *)
+  let r = audit ~named:[ 0L ] ~resident:[ (1, Some []); (2, Some [ 0L ]) ] () in
+  Alcotest.(check bool) "unclean" false (Fsck.is_shard_clean r);
+  Alcotest.(check (list string)) "both sides named" [ "shard1"; "shard2" ]
+    (List.sort compare (problems r));
+  (* the same copy excused by an in-flight handoff whose source is 2:
+     bucket 0 moving 2 -> 1, map already points at 1 *)
+  let r =
+    audit ~handoff:[ (0, 2, 1) ] ~named:[ 0L ]
+      ~resident:[ (1, Some []); (2, Some [ 0L ]) ]
+      ()
+  in
+  Alcotest.(check bool) ("handoff source is authority: " ^ Fsck.shard_report_to_string r)
+    true (Fsck.is_shard_clean r);
+  (* ...and by a queued drop once the migration committed *)
+  let r =
+    audit ~drops:[ (0, 2) ] ~named:[ 0L ]
+      ~resident:[ (1, Some [ 0L ]); (2, Some [ 0L ]) ]
+      ()
+  in
+  Alcotest.(check bool) "queued drop excuses the stale copy" true
+    (Fsck.is_shard_clean r)
+
+let test_shard_audit_degraded_not_unclean () =
+  (* shard 2 unreachable: its files cannot be audited — degraded shape,
+     reported but clean, exactly like a dead unmirrored device *)
+  let r = audit ~named:[ 0L; 1L ] ~resident:[ (1, Some [ 0L ]); (2, None) ] () in
+  Alcotest.(check bool) ("degraded is clean: " ^ Fsck.shard_report_to_string r) true
+    (Fsck.is_shard_clean r);
+  Alcotest.(check (list string)) "reported unreachable" [ "shard2" ]
+    r.Fsck.sh_unreachable;
+  Alcotest.(check int) "only reachable copies counted" 1 r.Fsck.sh_copies_checked
+
+let test_shard_audit_malformed_map () =
+  let r =
+    audit
+      ~owner:[| 1; 9; 1; 2 |] (* bucket 1 owned by a shard that does not exist *)
+      ~handoff:[ (2, 1, 1) ] (* self-handoff *)
+      ~named:[] ~resident:[ (1, Some []); (2, Some []) ] ()
+  in
+  Alcotest.(check bool) "unclean" false (Fsck.is_shard_clean r);
+  Alcotest.(check bool) "all problems are the map's" true
+    (List.for_all (( = ) "placement") (problems r))
+
 let () =
   Alcotest.run "fsck"
     [
@@ -135,5 +208,15 @@ let () =
           Alcotest.test_case "corrupted index detected and rebuilt" `Quick
             test_corrupted_index_detected_and_rebuilt;
           Alcotest.test_case "catalog indexes recover" `Quick test_catalog_index_rebuild;
+        ] );
+      ( "cross-shard",
+        [
+          Alcotest.test_case "clean placement walk" `Quick test_shard_audit_clean;
+          Alcotest.test_case "stray and missing copies flagged" `Quick
+            test_shard_audit_stray_and_missing;
+          Alcotest.test_case "unreachable shard degrades, not unclean" `Quick
+            test_shard_audit_degraded_not_unclean;
+          Alcotest.test_case "malformed map flagged" `Quick
+            test_shard_audit_malformed_map;
         ] );
     ]

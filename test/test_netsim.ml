@@ -1,4 +1,6 @@
-(* Network cost models. *)
+(* Network cost models and link fault semantics. *)
+
+module Link = Netsim.Link
 
 let fresh params =
   let clock = Simclock.Clock.create () in
@@ -59,6 +61,83 @@ let test_segmentation_steps () =
   Alcotest.(check bool) "segment boundary adds cpu" true
     (two_seg -. one_seg >= p.Netsim.per_segment_cpu_s)
 
+(* ---- one-way partitions: swallow a window, heal, exactly-once ---- *)
+
+let mk_link () =
+  let _, net = fresh Netsim.tcp_1993 in
+  Link.create net
+
+(* Arm a hook that fires the given fault on exactly one send (the next
+   one) in [dir], then stands down. *)
+let arm_once link dir fault =
+  let fired = ref false in
+  Link.set_fault_hook link
+    (Some
+       (fun d ~bytes:_ ->
+         if d = dir && not !fired then begin
+           fired := true;
+           Some fault
+         end
+         else None))
+
+let drain link dir =
+  let rec go acc =
+    match Link.recv link dir with
+    | Some (frame, _poisoned) -> go (frame :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_partition_swallows_window_then_heals () =
+  let link = mk_link () in
+  Link.send link Link.To_server "before";
+  arm_once link Link.To_server (Link.Partition 3);
+  (* the partition fires on m1 and swallows it plus the next two *)
+  List.iter (Link.send link Link.To_server) [ "m1"; "m2"; "m3"; "m4"; "m5" ];
+  Alcotest.(check (list string)) "window swallowed, heal delivers the rest"
+    [ "before"; "m4"; "m5" ]
+    (drain link Link.To_server);
+  Alcotest.(check int) "three messages partitioned" 3 (Link.partitioned link);
+  Alcotest.(check int) "every swallowed message counted as a fault" 3
+    (Link.faults_injected link);
+  (* healed: later traffic is exactly-once, in order, no residue *)
+  List.iter (Link.send link Link.To_server) [ "after1"; "after2" ];
+  Alcotest.(check (list string)) "post-heal exactly-once" [ "after1"; "after2" ]
+    (drain link Link.To_server);
+  Alcotest.(check (list string)) "nothing left over" [] (drain link Link.To_server)
+
+let test_partition_is_one_way () =
+  let link = mk_link () in
+  arm_once link Link.To_server (Link.Partition 2);
+  Link.send link Link.To_server "req";
+  (* the reverse path keeps flowing while the forward path is down *)
+  Link.send link Link.To_client "rep1";
+  Link.send link Link.To_client "rep2";
+  Alcotest.(check (list string)) "forward path swallowed" [] (drain link Link.To_server);
+  Alcotest.(check (list string)) "reverse path unaffected" [ "rep1"; "rep2" ]
+    (drain link Link.To_client);
+  Alcotest.(check int) "only the forward message partitioned" 1 (Link.partitioned link)
+
+let test_peak_depth_across_partition () =
+  let link = mk_link () in
+  (* stack three frames behind a non-draining receiver *)
+  List.iter (Link.send link Link.To_server) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "pending counts the backlog" 3 (Link.pending link Link.To_server);
+  Alcotest.(check int) "peak tracks the high water" 3 (Link.peak_depth link);
+  ignore (drain link Link.To_server : string list);
+  (* a partition swallows traffic before it queues: the high-water mark
+     must not move while the path is down *)
+  Link.reset_peak_depth link;
+  arm_once link Link.To_server (Link.Partition 2);
+  Link.send link Link.To_server "x";
+  Link.send link Link.To_server "y";
+  Alcotest.(check int) "swallowed traffic never queued" 0 (Link.peak_depth link);
+  (* healed traffic queues and is seen by the refreshed peak *)
+  Link.send link Link.To_server "z";
+  Alcotest.(check int) "post-heal backlog measured" 1 (Link.peak_depth link);
+  Alcotest.(check (list string)) "healed frame delivered exactly once" [ "z" ]
+    (drain link Link.To_server)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -72,5 +151,13 @@ let () =
           Alcotest.test_case "call = request + reply" `Quick test_call_is_two_sends;
           Alcotest.test_case "edge sizes" `Quick test_zero_and_negative;
           Alcotest.test_case "segmentation steps" `Quick test_segmentation_steps;
+        ] );
+      ( "link faults",
+        [
+          Alcotest.test_case "partition swallows a window then heals" `Quick
+            test_partition_swallows_window_then_heals;
+          Alcotest.test_case "partition is one-way" `Quick test_partition_is_one_way;
+          Alcotest.test_case "peak depth across partition and heal" `Quick
+            test_peak_depth_across_partition;
         ] );
     ]

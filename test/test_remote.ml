@@ -932,6 +932,29 @@ let test_overload_determinism () =
   Alcotest.(check string) "identical replies and counters" (overload_scenario ())
     (overload_scenario ())
 
+(* ---- shed clients desynchronize: jittered retry-after ----
+
+   The server hands every shed client the same retry-after hint; if they
+   all slept exactly that long they would re-arrive as the same
+   thundering herd.  The client jitters the hint within +/-25%, so two
+   clients with different rng streams sleep different amounts — and the
+   jitter never leaves the band, so backoff stays within the server's
+   intent. *)
+
+let test_retry_after_jitter_desyncs () =
+  let a = Simclock.Rng.create 1L and b = Simclock.Rng.create 2L in
+  let hint = 0.04 in
+  let distinct = ref false in
+  for _ = 1 to 64 do
+    let ja = Client.jitter_retry_after a hint in
+    let jb = Client.jitter_retry_after b hint in
+    Alcotest.(check bool) "within [0.75x, 1.25x)" true
+      (ja >= 0.75 *. hint && ja < 1.25 *. hint && jb >= 0.75 *. hint
+     && jb < 1.25 *. hint);
+    if ja <> jb then distinct := true
+  done;
+  Alcotest.(check bool) "two clients desynchronize" true !distinct
+
 let () =
   Alcotest.run "remote"
     [
@@ -987,6 +1010,8 @@ let () =
             test_client_deadline_failfast;
           Alcotest.test_case "overload machinery is deterministic" `Quick
             test_overload_determinism;
+          Alcotest.test_case "jittered retry-after desynchronizes" `Quick
+            test_retry_after_jitter_desyncs;
         ] );
       ( "parking",
         [
