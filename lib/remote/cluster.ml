@@ -224,6 +224,17 @@ let detect_failures t =
       match live_shards t c ~except:dead with
       | [] -> () (* nowhere to fail over to; keep waiting *)
       | live ->
+        (* Snapshot first: a new epoch becomes publishable (through
+           heartbeat replies) the moment it exists in memory, so if the
+           durable write below fails the whole fence must roll back —
+           otherwise a coordinator crash could reload the old epoch and
+           mint the same number for a different ownership map, defeating
+           the exact-epoch fence. *)
+        let epoch0 = c.Server.c_epoch in
+        let owner0 = Array.copy c.Server.c_owner in
+        let handoff0 = c.Server.c_handoff in
+        let drops0 = c.Server.c_drops in
+        let fences0 = c.Server.c_fence_events in
         c.Server.c_epoch <- c.Server.c_epoch + 1;
         c.Server.c_fence_events <- c.Server.c_fence_events + 1;
         let k = ref 0 in
@@ -235,17 +246,41 @@ let detect_failures t =
               c.Server.c_owner.(b) <- dst;
               (* If the bucket was already mid-handoff the data never
                  left the original source: keep that source, retarget
-                 the destination (chained failovers). *)
+                 the destination (chained failovers) — and queue a drop
+                 for the abandoned destination, whose partial copies
+                 nothing else would ever garbage-collect. *)
+              (match List.find_opt (fun (b', _, _) -> b' = b) c.Server.c_handoff with
+              | Some (_, _, old_dst)
+                when old_dst <> dst && not (List.mem (b, old_dst) c.Server.c_drops) ->
+                c.Server.c_drops <- (b, old_dst) :: c.Server.c_drops
+              | Some _ | None -> ());
               let src =
                 match List.find_opt (fun (b', _, _) -> b' = b) c.Server.c_handoff with
                 | Some (_, s0, _) -> s0
                 | None -> dead
               in
               c.Server.c_handoff <-
-                (b, src, dst) :: List.filter (fun (b', _, _) -> b' <> b) c.Server.c_handoff
+                (b, src, dst) :: List.filter (fun (b', _, _) -> b' <> b) c.Server.c_handoff;
+              (* A pending drop aimed at the shard that just became the
+                 owner would discard the soon-to-be-authoritative copy
+                 once the handoff commits: cancel it. *)
+              c.Server.c_drops <-
+                List.filter (fun (b', sh') -> not (b' = b && sh' = dst)) c.Server.c_drops
             end)
           c.Server.c_owner;
-        persist t)
+        (match persist t with
+        | () -> ()
+        | exception e ->
+          c.Server.c_epoch <- epoch0;
+          c.Server.c_owner <- owner0;
+          c.Server.c_handoff <- handoff0;
+          c.Server.c_drops <- drops0;
+          c.Server.c_fence_events <- fences0;
+          (* An Fs-level refusal (lock conflict past the retry budget,
+             disk full, ...) just means no failover this pump — the next
+             one retries from unchanged state.  Anything else (injected
+             crash) propagates to the crash machinery. *)
+          (match e with Errors.Fs_error _ -> () | _ -> raise e)))
     | Some _ | None -> ()
   done
 

@@ -269,6 +269,17 @@ let parkable s req =
    shard's own Fs namespace is private to it, so a flat root works. *)
 let shard_path oid = Printf.sprintf "/o%Ld" oid
 
+(* Wire-supplied read lengths are untrusted: a negative one would make
+   [Bytes.create] raise [Invalid_argument] — which is not an [Fs_error]
+   and so would escape the reply path and kill the pump — and a huge one
+   would size a real allocation from a single request.  Refuse the
+   former, clamp the latter: a short read is already in-contract. *)
+let max_read_len = 1 lsl 22
+
+let checked_read_len len =
+  if len < 0 then Errors.fail Errors.EINVAL "negative read length %d" len;
+  min len max_read_len
+
 let oid_of_shard_name name =
   if String.length name > 1 && name.[0] = 'o' then
     Int64.of_string_opt (String.sub name 1 (String.length name - 1))
@@ -346,6 +357,7 @@ let exec t (s : sess) (req : Wire.req) : Wire.result =
     Fs.p_close fsess fd;
     Wire.R_unit
   | Wire.Read { fd; off; len } ->
+    let len = checked_read_len len in
     ignore (Fs.p_lseek fsess fd off Fs.Seek_set : int64);
     let buf = Bytes.create len in
     let n = Fs.p_read fsess fd buf len in
@@ -396,6 +408,7 @@ let exec t (s : sess) (req : Wire.req) : Wire.result =
     | Standalone | Shard _ -> Errors.fail Errors.ENOTSUP "not a coordinator")
   | Wire.Shard_read { oid; off; len; epoch } ->
     shard_fence t ~epoch ~oid;
+    let len = checked_read_len len in
     let path = shard_path oid in
     if not (Fs.exists fsess path) then Wire.R_data "" (* never written: sparse-empty *)
     else
@@ -437,6 +450,19 @@ let exec t (s : sess) (req : Wire.req) : Wire.result =
   | Wire.Drop_bucket { bucket; epoch } ->
     let sh = shard_only t in
     if epoch < sh.sh_epoch then raise (Stale_shard sh.sh_epoch);
+    (* Never discard a copy this shard currently serves.  If the latest
+       placement we learned assigns us the bucket, the drop is a stale
+       or misdirected plan — e.g. a delayed drop from before a failover
+       handed the bucket back to us — and executing it would delete the
+       authoritative copy.  Refusing is safe either way: a legitimate
+       drop targets a shard that will learn it is no longer the owner
+       from its next heartbeat reply, after which the retried drop is
+       admitted. *)
+    if
+      sh.sh_epoch > 0
+      && bucket < Array.length sh.sh_owner
+      && sh.sh_owner.(bucket) = sh.shard_id
+    then raise (Stale_shard sh.sh_epoch);
     List.iter
       (fun name ->
         match oid_of_shard_name name with

@@ -212,6 +212,189 @@ let test_handoff_idempotent_under_crash () =
   Alcotest.(check string) "read two" "second file"
     (Cluster.shard_read conn ~oid:oid2 ~off:0L ~len:64)
 
+(* ---- failing back a bucket cancels the garbage drop aimed at it ----
+
+   The data-loss scenario: shard 1's copy of bucket [b] is queued for a
+   garbage drop after a failover moved the bucket to shard 2, but the
+   drop cannot execute (here: the admin link eats every frame, standing
+   in for a faulted path — the shard itself still heartbeats fine).
+   Shard 2 then dies and the bucket fails back to shard 1.  The pending
+   drop now aims at the owning copy: the coordinator must cancel it at
+   fence time, and the shard must refuse any delayed copy that still
+   arrives — otherwise the authoritative data is deleted. *)
+
+let test_failback_cancels_pending_drop () =
+  let clock, _net, cluster, conn = mk ~nshards:2 ~nbuckets:4 ~hb:0.2 () in
+  let block = ref false in
+  let admin1 = List.assoc 1 (Cluster.internal_links cluster) in
+  Link.set_fault_hook admin1
+    (Some (fun _dir ~bytes:_ -> if !block then Some Link.Drop else None));
+  let oid, _b = file_on conn cluster ~shard:1 in
+  ignore (Cluster.shard_write conn ~oid ~off:0L ~data:"precious" : int);
+  (* failover #1: shard 1 dead, its buckets move to shard 2.  The drop
+     of shard 1's stale copies stays pending: shard 1's placement map is
+     stale (it still believes it owns the bucket), so its own owner
+     guard refuses the drop until it learns otherwise. *)
+  Cluster.set_partitioned cluster ~shard:1 true;
+  tick clock cluster ~step:0.1 11;
+  let s = Cluster.stats cluster in
+  Alcotest.(check bool) "first failover declared" true (s.Cluster.fence_events >= 1);
+  Alcotest.(check int) "handoffs drained" 0 s.Cluster.handoffs_pending;
+  Alcotest.(check bool) "drop for shard 1's copy pending" true
+    (s.Cluster.drops_pending >= 1);
+  Alcotest.(check int) "no drop executed against a stale map" 0 s.Cluster.drops_done;
+  (* heal shard 1 (it learns the new map, so only the dead admin link
+     keeps the drop pending now) and kill shard 2 *)
+  block := true;
+  Cluster.set_partitioned cluster ~shard:1 false;
+  Cluster.set_partitioned cluster ~shard:2 true;
+  tick clock cluster ~step:0.1 12;
+  let s = Cluster.stats cluster in
+  Alcotest.(check bool) "failback declared" true (s.Cluster.fence_events >= 2);
+  (* the fence that handed the buckets back canceled the drops aimed at
+     the new owner (fresh drops aimed at shard 2's garbage may remain) *)
+  let drops_on_owner =
+    match Server.role (Cluster.member_server cluster 0) with
+    | Server.Coordinator c ->
+      List.length (List.filter (fun (_, sh) -> sh = 1) c.Server.c_drops)
+    | Server.Standalone | Server.Shard _ -> -1
+  in
+  Alcotest.(check int) "pending drops on the new owner canceled" 0 drops_on_owner;
+  (* let the redo handoff land, then let shard 2's garbage go *)
+  block := false;
+  settle clock cluster;
+  Cluster.set_partitioned cluster ~shard:2 false;
+  tick clock cluster ~step:0.1 6;
+  settle clock cluster;
+  Alcotest.(check string) "authoritative copy survived the failback" "precious"
+    (Cluster.peek_data cluster ~oid);
+  Alcotest.(check string) "readable through the fleet" "precious"
+    (Cluster.shard_read conn ~oid ~off:0L ~len:64);
+  let audit = Cluster.cross_shard_audit cluster in
+  Alcotest.(check bool)
+    ("audit after failback: " ^ Invfs.Fsck.shard_report_to_string audit)
+    true
+    (Invfs.Fsck.is_shard_clean audit)
+
+(* ---- chained failover garbage-collects the abandoned destination ----
+
+   A handoff stalls with one of two files already pushed to its
+   destination; then the destination itself dies and the handoff is
+   retargeted.  The partial copies on the abandoned destination must get
+   a garbage-drop entry — nothing else ever cleans them, and the
+   cross-shard audit has no excuse for them otherwise. *)
+
+let test_chained_failover_drops_abandoned_dst () =
+  let clock, _net, cluster, conn = mk ~nshards:3 ~nbuckets:4 ~hb:0.2 () in
+  let oid1, b1 = file_on conn cluster ~shard:1 in
+  let rec second () =
+    let oid, b = file_on conn cluster ~shard:1 in
+    if b = b1 && oid <> oid1 then oid else second ()
+  in
+  let oid2 = second () in
+  ignore (Cluster.shard_write conn ~oid:oid1 ~off:0L ~data:"file one" : int);
+  ignore (Cluster.shard_write conn ~oid:oid2 ~off:0L ~data:"file two" : int);
+  (* per bucket: let the first file through, stall on any second one *)
+  let stall = ref true in
+  let pushed = Hashtbl.create 4 in
+  Cluster.set_on_migrate cluster
+    (Some
+       (fun ~oid ~bucket ->
+         if !stall then
+           match Hashtbl.find_opt pushed bucket with
+           | None -> Hashtbl.replace pushed bucket oid
+           | Some o when o = oid -> ()
+           | Some _ -> raise Exit));
+  Cluster.set_partitioned cluster ~shard:1 true;
+  tick clock cluster ~step:0.1 11;
+  let s = Cluster.stats cluster in
+  Alcotest.(check bool) "first failover declared" true (s.Cluster.fence_events >= 1);
+  Alcotest.(check bool) "two-file handoff is stalled" true
+    (s.Cluster.handoffs_pending >= 1);
+  let d0 = (Client.c_get_placement (Cluster.coord conn)).Wire.p_owner.(b1) in
+  Alcotest.(check bool) "bucket moved off shard 1" true (d0 <> 1);
+  (* the mid-handoff destination dies: chained failover *)
+  Cluster.set_partitioned cluster ~shard:d0 true;
+  tick clock cluster ~step:0.1 11;
+  let s = Cluster.stats cluster in
+  Alcotest.(check bool) "chained failover declared" true (s.Cluster.fence_events >= 2);
+  let d1 = (Client.c_get_placement (Cluster.coord conn)).Wire.p_owner.(b1) in
+  Alcotest.(check bool) "retargeted off both dead shards" true (d1 <> 1 && d1 <> d0);
+  (* release the stall, let the retargeted handoff finish, then heal the
+     dead shards so the garbage drops (abandoned destination included)
+     can execute *)
+  stall := false;
+  settle clock cluster;
+  Cluster.set_on_migrate cluster None;
+  Cluster.set_partitioned cluster ~shard:1 false;
+  Cluster.set_partitioned cluster ~shard:d0 false;
+  tick clock cluster ~step:0.1 6;
+  settle clock cluster;
+  let s = Cluster.stats cluster in
+  Alcotest.(check int) "handoffs drained" 0 s.Cluster.handoffs_pending;
+  Alcotest.(check int) "drops drained" 0 s.Cluster.drops_pending;
+  Alcotest.(check bool) "abandoned partial copy was garbage-collected" true
+    (s.Cluster.drops_done >= 2);
+  Alcotest.(check string) "file one intact" "file one" (Cluster.peek_data cluster ~oid:oid1);
+  Alcotest.(check string) "file two intact" "file two" (Cluster.peek_data cluster ~oid:oid2);
+  let audit = Cluster.cross_shard_audit cluster in
+  Alcotest.(check bool)
+    ("audit after chained failover: " ^ Invfs.Fsck.shard_report_to_string audit)
+    true
+    (Invfs.Fsck.is_shard_clean audit)
+
+(* ---- a drop aimed at the owning copy is refused by the shard ---- *)
+
+let test_drop_refused_for_owned_bucket () =
+  let clock, net, cluster, conn = mk () in
+  let oid, b = file_on conn cluster ~shard:2 in
+  ignore (Cluster.shard_write conn ~oid ~off:0L ~data:"keep me" : int);
+  let direct = direct_client cluster net ~shard:2 in
+  expect_estale (fun () -> Client.c_drop_bucket direct ~bucket:b ~epoch:1);
+  Alcotest.(check string) "owning copy survived the misdirected drop" "keep me"
+    (Cluster.peek_data cluster ~oid);
+  (* a drop for a bucket this shard does NOT own is admitted (a no-op
+     here: it holds no such files) *)
+  let pl = Client.c_get_placement (Cluster.coord conn) in
+  let other =
+    let rec go b' = if pl.Wire.p_owner.(b') <> 2 then b' else go (b' + 1) in
+    go 0
+  in
+  Client.c_drop_bucket direct ~bucket:other ~epoch:1;
+  Alcotest.(check string) "still intact" "keep me" (Cluster.peek_data cluster ~oid);
+  ignore clock
+
+(* ---- wire-supplied read lengths cannot kill the server ----
+
+   A negative length travels as a huge unsigned value; either way the
+   old code handed it straight to [Bytes.create], whose exception is not
+   an [Fs_error] and so would escape the reply path and take down the
+   pump.  Now it is clamped (short reads are in-contract) and the server
+   stays up. *)
+
+let test_read_len_validation () =
+  let _clock, net, cluster, conn = mk () in
+  let oid, _ = file_on conn cluster ~shard:2 in
+  ignore (Cluster.shard_write conn ~oid ~off:0L ~data:"hello" : int);
+  let direct = direct_client cluster net ~shard:2 in
+  Alcotest.(check string) "negative length is clamped, not fatal" "hello"
+    (Client.c_shard_read direct ~oid ~off:0L ~len:(-1) ~epoch:1);
+  Alcotest.(check string) "huge length is clamped, not allocated" "hello"
+    (Client.c_shard_read direct ~oid ~off:0L ~len:(1 lsl 30) ~epoch:1);
+  (* same guard on the plain file read path *)
+  let coord = Cluster.coord conn in
+  let fd = Client.c_creat coord "/lenprobe" in
+  ignore (Client.c_write coord fd (Bytes.of_string "abcde") 5 : int);
+  Client.c_close coord fd;
+  let fd = Client.c_open coord "/lenprobe" Fs.Rdonly in
+  let buf = Bytes.create 64 in
+  Alcotest.(check int) "plain read with hostile length" 5
+    (Client.c_read coord fd buf (-1));
+  Client.c_close coord fd;
+  (* the server survived: normal traffic still flows *)
+  Alcotest.(check int) "server still serving" 5
+    (Cluster.shard_write conn ~oid ~off:0L ~data:"world")
+
 (* ---- a crashed shard reboots fenced until re-armed ---- *)
 
 let test_crashed_shard_reboots_fenced () =
@@ -240,6 +423,13 @@ let () =
             test_fencing_ordering_and_failover;
           Alcotest.test_case "handoff idempotent under crash" `Quick
             test_handoff_idempotent_under_crash;
+          Alcotest.test_case "failback cancels pending drop" `Quick
+            test_failback_cancels_pending_drop;
+          Alcotest.test_case "chained failover drops abandoned destination" `Quick
+            test_chained_failover_drops_abandoned_dst;
+          Alcotest.test_case "drop refused for owned bucket" `Quick
+            test_drop_refused_for_owned_bucket;
+          Alcotest.test_case "read length validation" `Quick test_read_len_validation;
           Alcotest.test_case "crashed shard reboots fenced" `Quick
             test_crashed_shard_reboots_fenced;
         ] );
