@@ -701,6 +701,119 @@ let print_shard () =
     bo.Sh.bo_migrations bo.Sh.bo_consistent
 
 (* ------------------------------------------------------------------ *)
+(* Incremental vacuum vs stop-the-world (the "vacuum" object)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two identical seeded foreground runs over a history-heavy working
+   set — one undisturbed, one with a budgeted archive-vacuum increment
+   interleaved after every op — plus the stop-the-world alternative on
+   the same history (the full-pass blackout any foreground op arriving
+   mid-pass would wait out) and the cost of faulting history back
+   through the WORM archive tier on an [As_of] read. *)
+let vacuum_bench () =
+  let module Fs = Invfs.Fs in
+  let mk () =
+    let clock = Simclock.Clock.create () in
+    let switch = Pagestore.Switch.create ~clock in
+    ignore
+      (Pagestore.Switch.add_device switch ~name:"disk0"
+         ~kind:Pagestore.Device.Magnetic_disk ()
+        : Pagestore.Device.t);
+    ignore
+      (Pagestore.Switch.add_device switch ~name:"jukebox"
+         ~kind:Pagestore.Device.Worm_jukebox ()
+        : Pagestore.Device.t);
+    let db = Relstore.Db.create ~switch ~clock () in
+    (Fs.make db (), clock)
+  in
+  let nfiles = 8 and history_rounds = 3 and fg_ops = 150 in
+  let path i = Printf.sprintf "/f%d" i in
+  let payload = Bytes.make (Invfs.Chunk.capacity + 100) 'h' in
+  let populate fs s =
+    for i = 0 to nfiles - 1 do
+      Fs.write_file s (path i) payload
+    done;
+    let t_old = Fs.snapshot fs in
+    for _ = 1 to history_rounds do
+      for i = 0 to nfiles - 1 do
+        Fs.write_file s (path i) payload
+      done
+    done;
+    Simclock.Clock.advance (Fs.clock fs) 1.;
+    t_old
+  in
+  let percentile p l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a.(min (Array.length a - 1) (int_of_float ((p *. float_of_int (Array.length a - 1)) +. 0.5)))
+  in
+  let run ~vacuum =
+    let fs, clock = mk () in
+    let s = Fs.new_session fs in
+    let t_old = populate fs s in
+    let rng = Simclock.Rng.create 7L in
+    let lats = ref [] in
+    let archived = ref 0 and steps = ref 0 and step_max = ref 0. in
+    for _ = 1 to fg_ops do
+      let i = Simclock.Rng.int rng nfiles in
+      let t0 = Simclock.Clock.now clock in
+      (if Simclock.Rng.bool rng then ignore (Fs.read_whole_file s (path i) : bytes)
+       else Fs.write_file s (path i) payload);
+      lats := (Simclock.Clock.now clock -. t0) :: !lats;
+      if vacuum then begin
+        let v0 = Simclock.Clock.now clock in
+        (match Fs.vacuum_step fs ~pages:4 ~mode:`Archive () with
+        | Some (_, st) -> archived := !archived + st.Relstore.Vacuum.s_archived
+        | None -> ());
+        incr steps;
+        step_max := Float.max !step_max (Simclock.Clock.now clock -. v0)
+      end
+    done;
+    (percentile 0.99 !lats, !archived, !steps, !step_max, fs, t_old)
+  in
+  progress "bench json: vacuum differential (incremental vs stop-the-world)...";
+  let p99_base, _, _, _, _, _ = run ~vacuum:false in
+  let p99_vac, archived, steps, step_max, fs, t_old = run ~vacuum:true in
+  let stw_s =
+    let fs2, clock2 = mk () in
+    let s2 = Fs.new_session fs2 in
+    ignore (populate fs2 s2 : int64);
+    let t0 = Simclock.Clock.now clock2 in
+    ignore (Fs.vacuum_all fs2 ~mode:`Archive () : Relstore.Vacuum.stats);
+    Simclock.Clock.now clock2 -. t0
+  in
+  (* drop the cache, then fault a pre-history version back from the
+     archive tier and compare with a current read on the same cold cache *)
+  ignore (Fs.crash_and_recover fs : Fs.recovery);
+  let s = Fs.new_session fs in
+  let clock = Fs.clock fs in
+  let t0 = Simclock.Clock.now clock in
+  let hist = Fs.read_whole_file s ~timestamp:t_old (path 0) in
+  let archive_read_s = Simclock.Clock.now clock -. t0 in
+  let t0 = Simclock.Clock.now clock in
+  ignore (Fs.read_whole_file s (path 0) : bytes);
+  let current_read_s = Simclock.Clock.now clock -. t0 in
+  let readthrough_ok = Bytes.equal hist payload in
+  let degradation_pct =
+    if p99_base > 1e-12 then ((p99_vac /. p99_base) -. 1.) *. 100. else 0.
+  in
+  let obj =
+    J_obj
+      [
+        ("foreground_p99_s", J_num p99_base);
+        ("foreground_p99_vacuum_s", J_num p99_vac);
+        ("degradation_pct", J_num degradation_pct);
+        ("vacuum_steps", J_int steps);
+        ("step_max_s", J_num step_max);
+        ("versions_archived", J_int archived);
+        ("stop_the_world_s", J_num stw_s);
+        ("archive_read_through_s", J_num archive_read_s);
+        ("current_read_s", J_num current_read_s);
+      ]
+  in
+  (obj, p99_base, p99_vac, step_max, stw_s, archived, readthrough_ok)
+
+(* ------------------------------------------------------------------ *)
 (* --compare: regression gate against a previous bench json            *)
 (* ------------------------------------------------------------------ *)
 
@@ -852,15 +965,28 @@ let json_number = function
    Table-3 op on the client/server system — the number every PR is
    ultimately trying to move down.  Returns [(op, seconds)]. *)
 let headline_seconds doc =
-  match json_member "table3_seconds" doc with
-  | None -> []
-  | Some t3 -> (
-    match json_member "inversion_client_server" t3 with
-    | Some (J_obj fields) ->
-      List.filter_map
-        (fun (k, v) -> Option.map (fun f -> (k, f)) (json_number (Some v)))
-        fields
-    | _ -> [])
+  let t3 =
+    match json_member "table3_seconds" doc with
+    | None -> []
+    | Some t3 -> (
+      match json_member "inversion_client_server" t3 with
+      | Some (J_obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun f -> (k, f)) (json_number (Some v)))
+          fields
+      | _ -> [])
+  in
+  (* the vacuum differential rides the same gate: foreground p99 with
+     the incremental vacuum interleaved must not creep either *)
+  let vac =
+    match json_member "vacuum" doc with
+    | None -> []
+    | Some v -> (
+      match json_number (json_member "foreground_p99_vacuum_s" v) with
+      | Some f -> [ ("vacuum.foreground_p99_vacuum_s", f) ]
+      | None -> [])
+  in
+  t3 @ vac
 
 let compare_headline ~prev_path ~current =
   let prev_doc =
@@ -950,6 +1076,9 @@ let bench_json ~mb ~out ~smoke ~compare_prev =
   let ov_seed = Lt.run ~config:ov_base ~seed:2L () in
   progress "bench json: sharded fleet scale-out + failover blackout...";
   let shard_obj, shard_points, shard_bo = shard_bench () in
+  let vac_obj, vac_p99_base, vac_p99, vac_step_max, vac_stw_s, vac_archived, vac_rt_ok =
+    vacuum_bench ()
+  in
   let doc =
     J_obj
       [
@@ -983,6 +1112,14 @@ let bench_json ~mb ~out ~smoke ~compare_prev =
              single-op stall (blackout_s), the detection horizon, \
              fence/stale-reject/migration counts and post-failover \
              consistency; \
+             vacuum: the incremental-vacuum differential: foreground p99 on \
+             an identical seeded workload with and without a budgeted \
+             archive-vacuum increment after every op (degradation must stay \
+             under 20%), the longest single increment vs the stop-the-world \
+             full pass it replaces (the blackout any op arriving mid-pass \
+             would wait out), versions migrated to the WORM tier, and the \
+             cold-cache cost of an As_of read faulting history back through \
+             the archive vs a current read; \
              knobs: the commit-pipeline settings the Inversion systems ran \
              with (group_commit = status writes batched behind one force, \
              1 = off; flush_wait_us = age bound on a pending batch, in \
@@ -1022,6 +1159,7 @@ let bench_json ~mb ~out ~smoke ~compare_prev =
               ("unprotected", json_of_load ov_seed);
             ] );
         ("shard", shard_obj);
+        ("vacuum", vac_obj);
         ("metrics", json_of_metrics ());
       ]
   in
@@ -1161,6 +1299,25 @@ let bench_json ~mb ~out ~smoke ~compare_prev =
                u.Lt.l_factor u.Lt.l_slo_goodput_ops_s u.Lt.l_admitted_p99_s)
         end)
       ov_protected.Lt.levels ov_seed.Lt.levels;
+    (* The vacuum differential: the incremental vacuum must be cheap to
+       stand next to (foreground p99 within 20% of the undisturbed run),
+       each increment must be far shorter than the stop-the-world
+       blackout it replaces, and the archive tier must actually be in
+       play (versions migrated, history faulting back correctly). *)
+    check "vacuum-degradation" (vac_p99 <= vac_p99_base *. 1.20)
+      (Printf.sprintf
+         "foreground p99 %.6fs with the incremental vacuum vs %.6fs without \
+          (+%.1f%%, gate is 20%%)"
+         vac_p99 vac_p99_base
+         (((vac_p99 /. vac_p99_base) -. 1.) *. 100.));
+    check "vacuum-bounded-step" (vac_step_max < vac_stw_s)
+      (Printf.sprintf
+         "longest vacuum increment %.4fs not under the %.4fs stop-the-world pass"
+         vac_step_max vac_stw_s);
+    check "vacuum-archived" (vac_archived > 0)
+      "the interleaved vacuum never migrated a version to the WORM tier";
+    check "vacuum-read-through" vac_rt_ok
+      "As_of read through the archive tier returned the wrong bytes";
     (* The sharded fleet: adding shards must actually buy throughput
        (the data plane parallelizes; N=4 beating 2x N=1 proves the
        coordinator is not the bottleneck), and losing a shard must cost

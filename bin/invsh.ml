@@ -94,12 +94,16 @@ let help () =
     \  fnsrc NAME               show a stored function's source\n\
     \  query RETRIEVE...        run a POSTQUEL retrieve\n\
     \  begin | commit | abort   transaction control (p_begin/p_commit/p_abort)\n\
+    \  txbegin | txcommit | txabort   aliases: batch many file ops atomically\n\
     \  mark NAME                remember the current instant\n\
     \  marks                    list remembered instants\n\
+    \  snapshot NAME            O(1) snapshot: sync, then mark the horizon\n\
+    \  clone SRC DST            O(1) copy-on-write clone of a file\n\
     \  asof NAME ls|cat|stat ARG   run a read-only command in the past\n\
     \  undelete NAME PATH       restore PATH as it was at mark NAME\n\
     \  migrate PATH DEVICE      move a file's storage (disk0|nvram0|jukebox)\n\
-    \  vacuum PATH archive|discard   vacuum one file's table\n\
+    \  vacuum PATH archive|discard   vacuum one file's table (stop-the-world)\n\
+    \  vacuumstep [PAGES]       one budgeted increment of the concurrent vacuum\n\
     \  crash                    crash the machine (instant recovery)\n\
     \  sync                     force the pending commit group (see --group-commit)\n\
     \  fsck                     run the audit that never finds anything\n\
@@ -218,13 +222,13 @@ let run_command shell line =
     let rows = query (String.concat " " rest) in
     List.iter (fun row -> say "  %s" (String.concat ", " row)) rows;
     say "(%d rows)" (List.length rows)
-  | [ "begin" ] ->
+  | [ "begin" ] | [ "txbegin" ] ->
     (match r with Some c -> Remote.Client.c_begin c | None -> Fs.p_begin s);
     say "transaction open"
-  | [ "commit" ] ->
+  | [ "commit" ] | [ "txcommit" ] ->
     (match r with Some c -> Remote.Client.c_commit c | None -> Fs.p_commit s);
     say "committed"
-  | [ "abort" ] ->
+  | [ "abort" ] | [ "txabort" ] ->
     (match r with Some c -> Remote.Client.c_abort c | None -> Fs.p_abort s);
     say "aborted"
   | [ "mark"; name ] ->
@@ -232,6 +236,19 @@ let run_command shell line =
     say "marked %s at %s" name (fmt_time (Relstore.Db.now shell.db))
   | [ "marks" ] ->
     List.iter (fun (n, ts) -> say "  %-12s %s" n (fmt_time ts)) (List.rev shell.marks)
+  | [ "snapshot"; name ] ->
+    let ts =
+      match r with
+      | Some c -> Remote.Client.c_snapshot c
+      | None -> Fs.snapshot shell.fs
+    in
+    shell.marks <- (name, ts) :: shell.marks;
+    say "snapshot %s at %s (use with 'asof %s ...')" name (fmt_time ts) name
+  | [ "clone"; src; dst ] ->
+    (match r with
+    | Some c -> Remote.Client.c_clone c ~src ~dst
+    | None -> ignore (Fs.clone s ~src ~dst : int64));
+    say "cloned %s -> %s (copy-on-write)" src dst
   | [ "asof"; mark; "ls"; path ] ->
     let ts = find_mark shell mark in
     List.iter (fun n -> say "  %s" n) (readdir ~timestamp:ts path)
@@ -258,6 +275,24 @@ let run_command shell line =
     let stats = Fs.vacuum_file shell.fs ~oid:(Fs.lookup_oid s path) ~mode () in
     say "scanned %d, archived %d, discarded %d" stats.Relstore.Vacuum.scanned
       stats.Relstore.Vacuum.archived stats.Relstore.Vacuum.discarded
+  | [ "vacuumstep" ] | [ "vacuumstep"; _ ] as cmd ->
+    let pages =
+      match cmd with
+      | [ _; n ] -> (try int_of_string n with _ -> failwith "vacuumstep: PAGES must be an integer")
+      | _ -> 4
+    in
+    (match r with
+    | Some c ->
+      let scanned = Remote.Client.c_vacuum_step c ~pages () in
+      say "vacuum step: scanned %d version(s)" scanned
+    | None -> (
+      match Fs.vacuum_step shell.fs ~pages ~mode:`Archive () with
+      | None -> say "vacuum step: nothing to vacuum"
+      | Some (rel, st) ->
+        say "vacuum step on %s: scanned %d, archived %d, discarded %d%s" rel
+          st.Relstore.Vacuum.s_scanned st.Relstore.Vacuum.s_archived
+          st.Relstore.Vacuum.s_discarded
+          (if st.Relstore.Vacuum.s_skipped then " (skipped: relation busy)" else "")))
   | [ "crash" ] ->
     (match (shell.cluster, r) with
     | Some (cl, _), _ ->

@@ -3,6 +3,18 @@ module Txn = Relstore.Txn
 module Snapshot = Relstore.Snapshot
 module Value = Postquel.Value
 
+(* An O(1) clone: the destination file starts life as a view of the
+   source's committed state at [chorizon], up to [base_len] bytes.  Chunks
+   the clone has not overwritten fault through to the base; the mapping
+   holds a vacuum lease at [chorizon] so the base history stays
+   readable. *)
+type clone_base = {
+  src_oid : int64;
+  chorizon : int64;
+  base_len : int64;
+  lease : int;
+}
+
 type t = {
   db : Db.t;
   naming : Naming.t;
@@ -14,6 +26,9 @@ type t = {
   files : (int64, Inv_file.t) Hashtbl.t; (* open storage handles by oid *)
   mutable qsnap : Snapshot.t; (* snapshot of the query being evaluated *)
   mutable last_intents_replayed : int; (* REDO work done by the last crash *)
+  clone_bases : (int64, clone_base) Hashtbl.t; (* dst oid -> base view *)
+  mutable clones_loaded : bool; (* lazy reload of the durable clonemap *)
+  mutable vac_rr : int; (* incremental vacuum's round-robin position *)
 }
 
 type query_ctx = { qfs : t; snapshot : Snapshot.t }
@@ -29,6 +44,7 @@ type open_file = {
   inv : Inv_file.t option; (* None when opened via a historical unlink edge *)
   mode : open_mode;
   hist : int64 option;
+  hist_lease : int; (* vacuum lease pinning [hist]; -1 when not historical *)
   mutable pos : int64;
   mutable pending : pending option;
 }
@@ -69,6 +85,11 @@ let translate_locks f =
        absorb: the operation fails with EIO, the file system stays up. *)
     Errors.fail Errors.EIO "media failure on %s (segment %d, block %d): %s" device segid
       blkno reason
+  | Relstore.Vacuum.Busy xids ->
+    Errors.fail Errors.EBUSY "vacuum needs quiescence: %d transaction(s) active (xid %s)"
+      (List.length xids)
+      (String.concat ", " (List.map Relstore.Xid.to_string xids))
+  | Relstore.Heap.Append_only msg -> Errors.fail Errors.EROFS "%s" msg
 
 (* Classifier for Lock_mgr.retry_backoff at this layer: after
    [translate_locks], a lock wait is an EAGAIN. *)
@@ -226,6 +247,112 @@ let file_handle t ~oid =
   | Some inv -> Some inv
   | None -> get_inv t (Snapshot.As_of (now_ts t)) oid
 
+(* ---------- clones ---------- *)
+
+(* The clone map is a raw catalog relation: one record per live clone,
+   oid = the clone, payload = (base oid, base horizon, base length) as
+   three big-endian int64s.  It is ordinary transactional storage, so the
+   mapping is exactly as durable as the clone's directory entry. *)
+let clonemap_rel = "clonemap"
+
+let clonemap_heap t =
+  match Db.find_relation_opt t.db clonemap_rel with
+  | Some h -> h
+  | None -> Db.create_relation t.db ~name:clonemap_rel ()
+
+let encode_clone ~src_oid ~horizon ~base_len =
+  let b = Bytes.create 24 in
+  Bytes.set_int64_be b 0 src_oid;
+  Bytes.set_int64_be b 8 horizon;
+  Bytes.set_int64_be b 16 base_len;
+  b
+
+(* In-memory clone bases (and their vacuum leases) are a volatile cache
+   of the clonemap; they reload lazily from durable state, which is also
+   how they come back after a crash. *)
+let drop_clone_cache t =
+  Hashtbl.iter (fun _ cb -> Db.release_lease t.db cb.lease) t.clone_bases;
+  Hashtbl.reset t.clone_bases;
+  t.clones_loaded <- false
+
+let load_clone_bases t =
+  if not t.clones_loaded then begin
+    t.clones_loaded <- true;
+    match Db.find_relation_opt t.db clonemap_rel with
+    | None -> ()
+    | Some h ->
+      Relstore.Heap.scan h (Snapshot.As_of (now_ts t)) (fun r ->
+          if Bytes.length r.Relstore.Heap.payload = 24 then begin
+            let src_oid = Bytes.get_int64_be r.Relstore.Heap.payload 0 in
+            let chorizon = Bytes.get_int64_be r.Relstore.Heap.payload 8 in
+            let base_len = Bytes.get_int64_be r.Relstore.Heap.payload 16 in
+            let lease = Db.acquire_lease t.db ~horizon:chorizon in
+            Hashtbl.replace t.clone_bases r.Relstore.Heap.oid
+              { src_oid; chorizon; base_len; lease }
+          end)
+  end
+
+let clone_base_of t oid =
+  load_clone_bases t;
+  Hashtbl.find_opt t.clone_bases oid
+
+(* The mapping as of a past instant.  A clone severed later (truncating
+   below the base materializes the copied range and deletes the map
+   record) must still read through its base for time travel at instants
+   before the severance — so [As_of] reads consult the durable clonemap
+   at the read timestamp, never the current cache.  The scan reads
+   through the archive tier like any other, so even a vacuumed-away map
+   record keeps answering. *)
+let clone_base_at t ~ts oid =
+  match Db.find_relation_opt t.db clonemap_rel with
+  | None -> None
+  | Some h ->
+    let found = ref None in
+    Relstore.Heap.scan h (Snapshot.As_of ts) (fun r ->
+        if Int64.equal r.Relstore.Heap.oid oid
+           && Bytes.length r.Relstore.Heap.payload = 24
+        then
+          found :=
+            Some
+              {
+                src_oid = Bytes.get_int64_be r.Relstore.Heap.payload 0;
+                chorizon = Bytes.get_int64_be r.Relstore.Heap.payload 8;
+                base_len = Bytes.get_int64_be r.Relstore.Heap.payload 16;
+                lease = -1;
+              });
+    !found
+
+let clone_base_for t snap oid =
+  match snap with
+  | Snapshot.As_of ts -> clone_base_at t ~ts oid
+  | _ -> clone_base_of t oid
+
+(* Read one chunk of [oid], faulting through to the clone base when the
+   file has not overwritten it.  Bases chain (a clone of a clone), each
+   level read as of its own horizon and clipped to its base length. *)
+let rec chunk_read t snap inv ~oid ~chunkno =
+  match Inv_file.read_chunk inv snap ~chunkno with
+  | Some data -> Some data
+  | None -> (
+    match clone_base_for t snap oid with
+    | None -> None
+    | Some cb ->
+      let cap = Int64.of_int chunk_capacity in
+      let chunk_start = Int64.mul chunkno cap in
+      if Int64.compare chunk_start cb.base_len >= 0 then None
+      else
+        let bsnap = Snapshot.As_of cb.chorizon in
+        (match get_inv t bsnap cb.src_oid with
+        | None -> None
+        | Some binv -> (
+          match chunk_read t bsnap binv ~oid:cb.src_oid ~chunkno with
+          | None -> None
+          | Some d ->
+            let avail = Int64.sub cb.base_len chunk_start in
+            if Int64.compare (Int64.of_int (Bytes.length d)) avail > 0 then
+              Some (Bytes.sub d 0 (Int64.to_int avail))
+            else Some d)))
+
 let read_file_at t snap ~oid =
   match get_inv t snap oid with
   | None -> Bytes.create 0
@@ -240,7 +367,7 @@ let read_file_at t snap ~oid =
     let cap = chunk_capacity in
     let nchunks = (size + cap - 1) / cap in
     for c = 0 to nchunks - 1 do
-      match Inv_file.read_chunk inv snap ~chunkno:(Int64.of_int c) with
+      match chunk_read t snap inv ~oid ~chunkno:(Int64.of_int c) with
       | Some data ->
         let off = c * cap in
         let len = min (Bytes.length data) (size - off) in
@@ -347,6 +474,9 @@ let make db ?default_device ?(atime = false) () =
       files = Hashtbl.create 64;
       qsnap = Snapshot.As_of 0L;
       last_intents_replayed = 0;
+      clone_bases = Hashtbl.create 16;
+      clones_loaded = false;
+      vac_rr = 0;
     }
   in
   Postquel.Registry.define_type registry directory_type;
@@ -431,7 +561,7 @@ let write_at s txn of_ ~offset data =
         if in_chunk_off = 0 && slice_len = chunk_capacity then Bytes.sub data src_off slice_len
         else begin
           let existing =
-            match Inv_file.read_chunk inv snap ~chunkno:!c with
+            match chunk_read t snap inv ~oid:of_.oid ~chunkno:!c with
             | Some d -> d
             | None -> Bytes.create 0
           in
@@ -464,7 +594,7 @@ let flush_pending s txn of_ =
 
 let () = flush_pending_ref := flush_pending
 
-let read_at t snap inv ~size ~pos buf len =
+let read_at t snap inv ~oid ~size ~pos buf len =
   let avail = Int64.sub size pos in
   let n = min (Int64.of_int len) (max 0L avail) in
   let n = Int64.to_int n in
@@ -479,7 +609,7 @@ let read_at t snap inv ~size ~pos buf len =
     let c = ref first in
     while Int64.compare !c last <= 0 do
       let chunk_start = Int64.mul !c cap in
-      (match Inv_file.read_chunk inv snap ~chunkno:!c with
+      (match chunk_read t snap inv ~oid ~chunkno:!c with
       | Some data ->
         let lo = max pos chunk_start in
         let hi =
@@ -494,7 +624,6 @@ let read_at t snap inv ~size ~pos buf len =
       c := Int64.add !c 1L
     done
   end;
-  ignore t;
   n
 
 (* ---------- the p_* interface ---------- *)
@@ -536,7 +665,9 @@ let p_creat s ?device ?(ftype = "unknown") ?(owner = "user") ?(compressed = fals
         oid)
   in
   let inv = Hashtbl.find t.files oid in
-  alloc_fd s { oid; inv = Some inv; mode = Rdwr; hist = None; pos = 0L; pending = None }
+  alloc_fd s
+    { oid; inv = Some inv; mode = Rdwr; hist = None; hist_lease = -1; pos = 0L;
+      pending = None }
 
 let p_open s ?timestamp path mode =
   let t = s.owner_fs in
@@ -557,11 +688,19 @@ let p_open s ?timestamp path mode =
   let att = att_of t snap oid in
   if is_dir att then Errors.fail Errors.EISDIR "%s" path;
   let inv = get_inv t snap oid in
-  alloc_fd s { oid; inv; mode; hist = timestamp; pos = 0L; pending = None }
+  (* A historical open leases its horizon so the incremental vacuum
+     cannot discard versions this fd may still read. *)
+  let hist_lease =
+    match timestamp with
+    | Some ts -> Db.acquire_lease t.db ~horizon:ts
+    | None -> -1
+  in
+  alloc_fd s { oid; inv; mode; hist = timestamp; hist_lease; pos = 0L; pending = None }
 
 let p_close s fd =
   let of_ = find_fd s fd in
   if of_.pending <> None then with_op s (fun txn -> flush_pending s txn of_);
+  if of_.hist_lease >= 0 then Db.release_lease s.owner_fs.db of_.hist_lease;
   Hashtbl.remove s.fds fd
 
 let maybe_touch_atime s txn of_ =
@@ -581,7 +720,7 @@ let p_read s fd buf len =
     | Some ts ->
       let snap = Snapshot.As_of ts in
       let att = att_of t snap of_.oid in
-      read_at t snap inv ~size:att.Fileatt.size ~pos:of_.pos buf len
+      read_at t snap inv ~oid:of_.oid ~size:att.Fileatt.size ~pos:of_.pos buf len
     | None ->
       with_op s (fun txn ->
           flush_pending s txn of_;
@@ -591,7 +730,10 @@ let p_read s fd buf len =
             | Some a -> a
             | None -> Errors.fail Errors.ENOENT "file oid %Ld vanished" of_.oid
           in
-          let n = read_at t (Txn.snapshot txn) inv ~size:att.Fileatt.size ~pos:of_.pos buf len in
+          let n =
+            read_at t (Txn.snapshot txn) inv ~oid:of_.oid ~size:att.Fileatt.size
+              ~pos:of_.pos buf len
+          in
           maybe_touch_atime s txn of_;
           n)
   in
@@ -653,12 +795,38 @@ let ftruncate s fd new_size =
         | Some a -> a
         | None -> Errors.fail Errors.ENOENT "file oid %Ld vanished" of_.oid
       in
+      (match clone_base_of t of_.oid with
+      | Some cb when Int64.compare new_size cb.base_len < 0 ->
+        (* Shrinking below the base view would let a later growth
+           resurrect base bytes where zeros belong.  Materialize the
+           surviving base chunks into the clone and sever the mapping —
+           the file owns its bytes from here on. *)
+        let cap = Int64.of_int chunk_capacity in
+        let nchunks = Int64.div (Int64.add new_size (Int64.sub cap 1L)) cap in
+        let c = ref 0L in
+        while Int64.compare !c nchunks < 0 do
+          (match Inv_file.read_chunk inv (Txn.snapshot txn) ~chunkno:!c with
+          | Some _ -> ()
+          | None -> (
+            match chunk_read t (Txn.snapshot txn) inv ~oid:of_.oid ~chunkno:!c with
+            | Some d -> Inv_file.write_chunk inv txn ~chunkno:!c d
+            | None -> ()));
+          c := Int64.add !c 1L
+        done;
+        let cm = clonemap_heap t in
+        let tids = ref [] in
+        Relstore.Heap.scan cm (Txn.snapshot txn) (fun r ->
+            if Int64.equal r.Relstore.Heap.oid of_.oid then
+              tids := r.Relstore.Heap.tid :: !tids);
+        List.iter (fun tid -> Relstore.Heap.delete cm txn tid) !tids;
+        drop_clone_cache t
+      | _ -> ());
       if Int64.compare new_size att.Fileatt.size < 0 then begin
         let cap = Int64.of_int chunk_capacity in
         let boundary = Int64.div new_size cap in
         let keep = Int64.to_int (Int64.rem new_size cap) in
         (* trim the boundary chunk, drop everything after it *)
-        (match Inv_file.read_chunk inv (Txn.snapshot txn) ~chunkno:boundary with
+        (match chunk_read t (Txn.snapshot txn) inv ~oid:of_.oid ~chunkno:boundary with
         | Some data when Bytes.length data > keep ->
           Inv_file.delete_chunks_from inv txn ~chunkno:boundary;
           if keep > 0 then
@@ -933,6 +1101,11 @@ let crash t =
   Naming.crash_reset t.naming;
   Fileatt.crash_reset t.fileatt;
   iter_file_handles t (fun _ inv -> Inv_file.crash_reset inv);
+  (* Clone bases (and the leases they held) are a cache of the durable
+     clonemap; they reload lazily, re-registering their leases. *)
+  Hashtbl.reset t.clone_bases;
+  t.clones_loaded <- false;
+  t.vac_rr <- 0;
   t.last_intents_replayed <- replay_intents t
 
 type recovery = {
@@ -988,8 +1161,148 @@ let vacuum_file t ~oid ?horizon ~mode () =
   match file_handle t ~oid with
   | None -> Errors.fail Errors.ENOENT "no file with oid %Ld" oid
   | Some inv ->
-    Db.vacuum t.db ~relation:(Inv_file.relname oid) ?horizon ~mode
-      ~on_remove:(Inv_file.index_maintenance_on_vacuum inv) ()
+    translate_locks (fun () ->
+        Db.vacuum t.db ~relation:(Inv_file.relname oid) ?horizon ~mode
+          ~on_remove:(Inv_file.index_maintenance_on_vacuum inv) ())
+
+(* ---------- snapshots and clones ---------- *)
+
+(* An O(1) snapshot: settle everything pending, advance the clock a tick
+   so the returned horizon is strictly after every settled commit, and
+   hand back the timestamp.  Reading the file system [As_of] that
+   horizon IS the snapshot — no data is copied, no state is created. *)
+let snapshot t =
+  sync t;
+  Simclock.Clock.tick (clock t) "fs.snapshot";
+  now_ts t
+
+let pin_snapshot t ts = Db.acquire_lease t.db ~horizon:ts
+let unpin_snapshot t lease = Db.release_lease t.db lease
+
+let clone s ~src ~dst =
+  let t = s.owner_fs in
+  if in_transaction s then
+    Errors.fail Errors.ETXN "clone runs in its own transaction";
+  load_clone_bases t;
+  (* The base view is the source's committed state as of now; settle
+     pending commits so "committed state" means what the caller sees. *)
+  sync t;
+  let oid, src_oid, chorizon, base_len =
+    translate_locks (fun () ->
+        Db.with_txn t.db (fun txn ->
+            let snap = Txn.snapshot txn in
+            let src_oid =
+              match resolve_oid t snap src with
+              | Some o -> o
+              | None -> Errors.fail Errors.ENOENT "%s" src
+            in
+            let src_att = att_of t snap src_oid in
+            if is_dir src_att then Errors.fail Errors.EISDIR "%s" src;
+            let parent, base = resolve_parent t snap dst in
+            (match Naming.lookup t.naming snap ~parentid:parent ~name:base with
+            | Some _ -> Errors.fail Errors.EEXIST "%s" dst
+            | None -> ());
+            let chorizon = now_ts t in
+            let oid = Db.allocate_oid t.db in
+            let device =
+              if String.equal src_att.Fileatt.device "" then default_device_name t
+              else src_att.Fileatt.device
+            in
+            let inv =
+              Inv_file.create t.db ~oid ~device
+                ~compressed:src_att.Fileatt.compressed
+            in
+            Hashtbl.replace t.files oid inv;
+            ignore
+              (Naming.insert t.naming txn ~parentid:parent ~file:oid ~name:base
+                : Naming.entry);
+            Fileatt.insert t.fileatt txn
+              {
+                src_att with
+                Fileatt.file = oid;
+                index_segid = Inv_file.index_segid inv;
+                ctime = now_ts t;
+                mtime = now_ts t;
+                atime = now_ts t;
+              };
+            let cm = clonemap_heap t in
+            ignore
+              (Relstore.Heap.insert cm txn ~oid
+                 (encode_clone ~src_oid ~horizon:chorizon
+                    ~base_len:src_att.Fileatt.size)
+                : Relstore.Tid.t);
+            (oid, src_oid, chorizon, src_att.Fileatt.size)))
+  in
+  let lease = Db.acquire_lease t.db ~horizon:chorizon in
+  Hashtbl.replace t.clone_bases oid { src_oid; chorizon; base_len; lease };
+  oid
+
+(* ---------- incremental vacuum ---------- *)
+
+let is_file_table name =
+  String.length name > 3
+  && String.sub name 0 3 = "inv"
+  && (not (String.length name > 5 && String.sub name (String.length name - 5) 5 = "_arch"))
+  &&
+  match Int64.of_string_opt (String.sub name 3 (String.length name - 3)) with
+  | Some _ -> true
+  | None -> false
+
+let oid_of_file_table name = Int64.of_string (String.sub name 3 (String.length name - 3))
+
+(* Make sure an inv<oid> relation has a storage handle, recovering the
+   index segment of an unlinked file from any historical attribute
+   version (vacuum still owes its history maintenance). *)
+let ensure_handle t oid =
+  match file_handle t ~oid with
+  | Some _ -> true
+  | None -> (
+    match Fileatt.find_any t.fileatt ~file:oid with
+    | Some att when att.Fileatt.index_segid >= 0 ->
+      let inv =
+        Inv_file.attach t.db ~oid ~index_segid:att.Fileatt.index_segid
+          ~compressed:att.Fileatt.compressed
+      in
+      Hashtbl.replace t.files oid inv;
+      true
+    | Some _ | None -> false)
+
+(* One budgeted increment of the concurrent vacuum, round-robin over
+   every vacuumable relation: each call steps ONE relation's window; the
+   cursor stays on a relation until its pass wraps (or it skipped for a
+   writer), then moves on.  Returns the relation stepped and its stats,
+   or [None] when there is nothing to vacuum. *)
+let vacuum_step t ?pages ~mode () =
+  let targets =
+    List.filter_map
+      (fun rel ->
+        if is_file_table rel then begin
+          let oid = oid_of_file_table rel in
+          if ensure_handle t oid then
+            let inv = Hashtbl.find t.files oid in
+            Some (rel, Some (Inv_file.index_maintenance_on_vacuum inv))
+          else None
+        end
+        else if String.equal rel "naming" then
+          Some (rel, Some (Naming.index_maintenance_on_vacuum t.naming))
+        else if String.equal rel "fileatt" then
+          Some (rel, Some (Fileatt.index_maintenance_on_vacuum t.fileatt))
+        else if String.equal rel clonemap_rel then Some (rel, None)
+        else None)
+      (Db.relations t.db)
+  in
+  match targets with
+  | [] -> None
+  | _ ->
+    let idx = t.vac_rr mod List.length targets in
+    let rel, on_remove = List.nth targets idx in
+    let st =
+      translate_locks (fun () ->
+          Db.vacuum_step t.db ~relation:rel ~mode ?pages ?on_remove ())
+    in
+    if st.Relstore.Vacuum.s_wrapped || st.Relstore.Vacuum.s_skipped then
+      t.vac_rr <- (idx + 1) mod List.length targets;
+    Some (rel, st)
 
 let migrate_file t ~oid ~device =
   match file_handle t ~oid with
@@ -1019,12 +1332,14 @@ let migrate_file t ~oid ~device =
 
 let vacuum_catalogs t ?horizon ~mode () =
   let s1 =
-    Db.vacuum t.db ~relation:"naming" ?horizon ~mode
-      ~on_remove:(Naming.index_maintenance_on_vacuum t.naming) ()
+    translate_locks (fun () ->
+        Db.vacuum t.db ~relation:"naming" ?horizon ~mode
+          ~on_remove:(Naming.index_maintenance_on_vacuum t.naming) ())
   in
   let s2 =
-    Db.vacuum t.db ~relation:"fileatt" ?horizon ~mode
-      ~on_remove:(Fileatt.index_maintenance_on_vacuum t.fileatt) ()
+    translate_locks (fun () ->
+        Db.vacuum t.db ~relation:"fileatt" ?horizon ~mode
+          ~on_remove:(Fileatt.index_maintenance_on_vacuum t.fileatt) ())
   in
   {
     Relstore.Vacuum.scanned = s1.Relstore.Vacuum.scanned + s2.Relstore.Vacuum.scanned;
@@ -1045,38 +1360,12 @@ let vacuum_all t ?horizon ~mode () =
   (* Every inv<oid> relation in the catalog — named or unlinked — then
      the catalogs themselves.  Archive relations are skipped (they are
      the destination, not a source). *)
-  let is_file_table name =
-    String.length name > 3
-    && String.sub name 0 3 = "inv"
-    && (not (String.length name > 5 && String.sub name (String.length name - 5) 5 = "_arch"))
-    &&
-    match Int64.of_string_opt (String.sub name 3 (String.length name - 3)) with
-    | Some _ -> true
-    | None -> false
-  in
-  let oid_of name = Int64.of_string (String.sub name 3 (String.length name - 3)) in
   let stats = ref { Relstore.Vacuum.scanned = 0; archived = 0; discarded = 0; pages_compacted = 0 } in
-  let ensure_handle oid =
-    match file_handle t ~oid with
-    | Some _ -> true
-    | None -> (
-      (* unlinked file: recover the index segment from any historical
-         attribute version *)
-      match Fileatt.find_any t.fileatt ~file:oid with
-      | Some att when att.Fileatt.index_segid >= 0 ->
-        let inv =
-          Inv_file.attach t.db ~oid ~index_segid:att.Fileatt.index_segid
-            ~compressed:att.Fileatt.compressed
-        in
-        Hashtbl.replace t.files oid inv;
-        true
-      | Some _ | None -> false)
-  in
   List.iter
     (fun rel ->
       if is_file_table rel then begin
-        let oid = oid_of rel in
-        if ensure_handle oid then
+        let oid = oid_of_file_table rel in
+        if ensure_handle t oid then
           stats := combine_stats !stats (vacuum_file t ~oid ?horizon ~mode ())
       end)
     (Db.relations t.db);

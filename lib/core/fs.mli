@@ -277,7 +277,54 @@ val vacuum_all :
   t -> ?horizon:int64 -> mode:[ `Archive | `Discard ] -> unit -> Relstore.Vacuum.stats
 (** The vacuum cleaner's full sweep: every file table (including those of
     unlinked files, whose storage this is what finally reclaims or
-    archives) plus the catalogs.  Combined stats. *)
+    archives) plus the catalogs.  Combined stats.  Like every
+    stop-the-world vacuum entry point, fails with [EBUSY] while any
+    transaction is active — use {!vacuum_step} under live traffic. *)
+
+val vacuum_step :
+  t ->
+  ?pages:int ->
+  mode:[ `Archive | `Discard ] ->
+  unit ->
+  (string * Relstore.Vacuum.step_stats) option
+(** One budgeted increment of the {e concurrent} vacuum: steps one
+    relation's next [pages]-page window (default 4), round-robin over
+    every file table (named or unlinked), the catalogs and the clone
+    map.  Returns the relation stepped and its stats ([None] on an empty
+    system).  Safe under live traffic: runs as ordinary transactions at
+    the {!Relstore.Db.safe_horizon} (never past an open transaction or a
+    registered snapshot/clone lease), gives way instantly to writers
+    ([s_skipped]), and survives a crash at any point — archive copies
+    commit before main-heap slots die, and historical scans collapse the
+    duplicates a crash window can leave. *)
+
+(* {2 Snapshots and clones} *)
+
+val snapshot : t -> int64
+(** An O(1) file-system snapshot: settle pending commits and return a
+    horizon timestamp strictly after them.  Reading [As_of] that horizon
+    {e is} the snapshot; nothing is copied.  Pair with {!pin_snapshot}
+    to keep a [`Discard]-mode vacuum from reclaiming its history
+    ([`Archive]-mode vacuums preserve it regardless). *)
+
+val pin_snapshot : t -> int64 -> int
+(** Register a vacuum lease at the given horizon ({!Relstore.Db.acquire_lease});
+    returns the lease id.  Volatile across crashes. *)
+
+val unpin_snapshot : t -> int -> unit
+
+val clone : session -> src:string -> dst:string -> int64
+(** An O(1) writable clone: create [dst] as a copy-on-write view of
+    [src]'s committed state right now, sharing all chunk storage.  One
+    transaction inserts the directory entry, attributes and a durable
+    clone-map record — no data is copied; chunks materialize in the
+    clone only when overwritten.  The clone holds a vacuum lease on its
+    base horizon (re-registered on reload after a crash), so the base
+    history stays readable even under [`Discard] vacuums.  Shrinking a
+    clone below its base length materializes the surviving base chunks
+    and severs the mapping.  Returns the new file's oid.  [EEXIST] if
+    [dst] exists, [EISDIR] on directories, [ETXN] inside an explicit
+    transaction (the clone is its own transaction). *)
 
 val write_file : session -> string -> bytes -> unit
 (** Convenience: create-or-truncate and write whole contents in one

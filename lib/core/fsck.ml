@@ -3,6 +3,7 @@ type problem = { relation : string; detail : string }
 type report = {
   relations_checked : int;
   files_checked : int;
+  archived_checked : int;
   problems : problem list;
   degraded : string list;
   cache : Pagestore.Bufcache.stats;
@@ -16,9 +17,14 @@ let report_to_string r =
     | [] -> ""
     | l -> Printf.sprintf "; degraded (dead device, no mirror): %s" (String.concat "," l)
   in
+  let archive_suffix =
+    if r.archived_checked > 0 then
+      Printf.sprintf ", %d archived versions" r.archived_checked
+    else ""
+  in
   if is_clean r then
-    Printf.sprintf "clean: %d relations, %d files%s" r.relations_checked r.files_checked
-      degraded_suffix
+    Printf.sprintf "clean: %d relations, %d files%s%s" r.relations_checked r.files_checked
+      archive_suffix degraded_suffix
   else
     String.concat "\n"
       (List.map (fun p -> Printf.sprintf "%s: %s" p.relation p.detail) r.problems)
@@ -108,9 +114,53 @@ let audit fs =
         | Ok () -> ()
         | Error msg -> push (Inv_file.relname oid) ("index: " ^ msg)
         | exception Pagestore.Device.Media_failure _ -> ());
+  (* 4. archive tier: WORM heaps may hold only dead history.  Every
+     archived version must carry a committed inserter AND a committed
+     deleter — the vacuum judges on exactly that, so a live or undecided
+     version on the jukebox means a record readers may still need through
+     a [Current] snapshot left the main heap. *)
+  let archived_checked = ref 0 in
+  let log = Relstore.Db.status_log db in
+  let is_arch name =
+    String.length name > 5 && String.sub name (String.length name - 5) 5 = "_arch"
+  in
+  List.iter
+    (fun name ->
+      if is_arch name && not (is_degraded name) then
+        match
+          Relstore.Heap.scan_raw (Relstore.Db.find_relation db name)
+            (fun (r : Relstore.Heap.record) ->
+              incr archived_checked;
+              (match Relstore.Status_log.state log r.xmin with
+              | Relstore.Status_log.Committed _ -> ()
+              | Relstore.Status_log.In_progress | Relstore.Status_log.Aborted ->
+                push name
+                  (Printf.sprintf "archived version of oid %Ld has uncommitted inserter xid %s"
+                     r.oid (Relstore.Xid.to_string r.xmin))
+              | exception Not_found ->
+                push name
+                  (Printf.sprintf "archived version of oid %Ld has unknown inserter xid %s"
+                     r.oid (Relstore.Xid.to_string r.xmin)));
+              if not (Relstore.Xid.is_valid r.xmax) then
+                push name
+                  (Printf.sprintf "live version of oid %Ld on the WORM tier (no deleter)"
+                     r.oid)
+              else if not (Relstore.Status_log.is_committed log r.xmax) then
+                push name
+                  (Printf.sprintf
+                     "version of oid %Ld on the WORM tier whose deleter xid %s never committed"
+                     r.oid (Relstore.Xid.to_string r.xmax)))
+        with
+        | () -> ()
+        | exception Pagestore.Device.Media_failure m ->
+          push name
+            (Printf.sprintf "media failure: %s (%s/%d/%d)" m.reason m.device m.segid
+               m.blkno))
+    rels;
   {
     relations_checked = List.length rels;
     files_checked = !files_checked;
+    archived_checked = !archived_checked;
     problems = List.rev !problems;
     degraded;
     cache = Pagestore.Bufcache.stats (Relstore.Db.cache db);

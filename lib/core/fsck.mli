@@ -21,6 +21,11 @@ type problem = { relation : string; detail : string }
 type report = {
   relations_checked : int;
   files_checked : int;
+  archived_checked : int;
+      (** record versions audited on the WORM archive tier: each must
+          have both a committed inserter and a committed deleter — a live
+          version on write-once storage is a vacuum bug, and is reported
+          as a problem *)
   problems : problem list;
   degraded : string list;
       (** relations on a dead device with no live mirror: unreachable, so

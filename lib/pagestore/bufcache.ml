@@ -155,6 +155,7 @@ type seg_state = {
   mutable ra_next : int; (* block an ascending run would touch next *)
   mutable ra_run : int; (* length of the current ascending run *)
   mutable ra_hint : bool; (* explicit sequential hint from a scan *)
+  mutable cold_only : bool; (* archive tier: pages never promote to hot *)
 }
 
 type t = {
@@ -273,9 +274,15 @@ let seg_state t dev ~segid =
   match Hashtbl.find_opt t.segs skey with
   | Some s -> s
   | None ->
-    let s = { blocks = Hashtbl.create 16; ra_next = -1; ra_run = 0; ra_hint = false } in
+    let s =
+      { blocks = Hashtbl.create 16; ra_next = -1; ra_run = 0; ra_hint = false;
+        cold_only = false }
+    in
     Hashtbl.replace t.segs skey s;
     s
+
+let set_cold_only t dev ~segid = (seg_state t dev ~segid).cold_only <- true
+let is_cold_only t dev ~segid = (seg_state t dev ~segid).cold_only
 
 let os_cached_device dev = Device.kind dev = Device.Magnetic_disk
 
@@ -510,7 +517,11 @@ let get t dev ~segid ~blkno =
        after the page has aged past the install burst — the double-touch
        a single operation makes within microseconds does not count.
        (Promote only after unlinking from the old tier's list.) *)
-    if e.tier = Cold && now_of dev -. e.born >= t.promote_age_s then e.tier <- Hot;
+    if
+      e.tier = Cold
+      && now_of dev -. e.born >= t.promote_age_s
+      && not (seg_state t dev ~segid).cold_only
+    then e.tier <- Hot;
     e.pins <- e.pins + 1;
     (let seg = seg_state t dev ~segid in
      note_access seg blkno);

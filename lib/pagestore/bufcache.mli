@@ -79,6 +79,14 @@ val hint_sequential : t -> Device.t -> segid:int -> unit
     the segment cancels it.  Heap scans and multi-chunk file reads call
     this. *)
 
+val set_cold_only : t -> Device.t -> segid:int -> unit
+(** Pin the segment's pages to the probationary cold tier: hits never
+    promote them to hot.  Archive (WORM) segments use this so faulting
+    history through the cache cannot evict the hot working set.  The flag
+    is volatile (lost on {!crash}); owners re-arm it during recovery. *)
+
+val is_cold_only : t -> Device.t -> segid:int -> bool
+
 val flush : t -> unit
 (** Write back every dirty page (pages stay resident and become clean).
     Transaction commit uses this to make updates durable.  Write-back

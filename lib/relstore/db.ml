@@ -8,6 +8,16 @@ type t = {
   relations : (string, Heap.t) Hashtbl.t;
   mutable next_relid : int64;
   mutable next_oid : int64;
+  (* Time-travel leases: horizons registered by [As_of] readers (history
+     fds, clone bases) that the vacuum safe horizon must not pass.  Leases
+     are volatile — a crash kills the sessions that held them, and clone
+     bases re-register theirs when reloaded. *)
+  leases : (int, int64) Hashtbl.t;
+  mutable next_lease : int;
+  (* Incremental-vacuum page cursors, per relation.  Volatile: a step is
+     idempotent, so restarting from block 0 after a crash is merely
+     redundant work. *)
+  vacuum_cursors : (string, int) Hashtbl.t;
 }
 
 let create ?(cache_capacity = 300) ?os_cache_blocks ?readahead_window ?group_commit
@@ -46,6 +56,9 @@ let create ?(cache_capacity = 300) ?os_cache_blocks ?readahead_window ?group_com
     relations = Hashtbl.create 64;
     next_relid = 1000L;
     next_oid = 10000L;
+    leases = Hashtbl.create 16;
+    next_lease = 1;
+    vacuum_cursors = Hashtbl.create 16;
   }
 
 let clock t = t.clock
@@ -104,12 +117,41 @@ let relations t =
 
 let force_group t = Txn.force_group t.mgr
 
+let acquire_lease t ~horizon =
+  let id = t.next_lease in
+  t.next_lease <- id + 1;
+  Hashtbl.replace t.leases id horizon;
+  id
+
+let release_lease t id = Hashtbl.remove t.leases id
+
+let oldest_lease t =
+  Hashtbl.fold
+    (fun _ h acc -> match acc with Some best when best <= h -> acc | _ -> Some h)
+    t.leases None
+
+let safe_horizon t =
+  let h = now t in
+  let h =
+    match Status_log.oldest_active_start t.log with
+    | Some ts -> min h ts
+    | None -> h
+  in
+  match oldest_lease t with Some l -> min h l | None -> h
+
 let crash t =
   Pagestore.Bufcache.crash t.cache;
   Status_log.crash_recover t.log;
   Lock_mgr.reset t.locks;
   Txn.crash_reset_manager t.mgr;
-  Pagestore.Switch.crash t.switch
+  Pagestore.Switch.crash t.switch;
+  (* Leases died with the sessions that held them; surviving holders
+     (clone bases) re-register as they are reloaded.  Vacuum cursors are
+     scratch.  The cache lost its cold-tier pins with its pages — re-arm
+     every archive heap's policy. *)
+  Hashtbl.reset t.leases;
+  Hashtbl.reset t.vacuum_cursors;
+  Hashtbl.iter (fun _ heap -> Heap.arm_cache_policy heap) t.relations
 
 (* A relation is degraded when no device holding a copy of it answers:
    its placement device is dead and there is no live mirror.  Everything
@@ -147,25 +189,48 @@ let find_jukebox t =
     (fun d -> Pagestore.Device.kind d = Pagestore.Device.Worm_jukebox)
     (Pagestore.Switch.devices t.switch)
 
+let attach_archive t heap =
+  if Heap.archive heap = None then begin
+    let arch_name = Heap.name heap ^ "_arch" in
+    let arch =
+      match find_relation_opt t arch_name with
+      | Some a -> a
+      | None ->
+        let device = Option.map Pagestore.Device.name (find_jukebox t) in
+        create_relation t ~name:arch_name ?device ()
+    in
+    Heap.set_archive heap arch
+  end
+
 let vacuum t ~relation ?horizon ~mode ?on_remove () =
   (* Settle the deferred overlay and pending commits first: the vacuum
      deletes index entries for the records it removes, and an entry still
      staged (or an intent still replayable) must not resurrect them. *)
   Txn.force_group t.mgr;
   let heap = find_relation t relation in
-  let horizon = match horizon with Some h -> h | None -> now t in
-  (match mode with
-  | `Discard -> ()
-  | `Archive ->
-    if Heap.archive heap = None then begin
-      let arch_name = relation ^ "_arch" in
-      let arch =
-        match find_relation_opt t arch_name with
-        | Some a -> a
-        | None ->
-          let device = Option.map Pagestore.Device.name (find_jukebox t) in
-          create_relation t ~name:arch_name ?device ()
-      in
-      Heap.set_archive heap arch
-    end);
+  (* Clamp to the safe horizon even here: the quiescence guard makes
+     active transactions moot, but snapshot/clone leases must hold the
+     stop-the-world pass back exactly as they hold the incremental one. *)
+  let horizon =
+    match horizon with
+    | Some h -> min h (safe_horizon t)
+    | None -> safe_horizon t
+  in
+  (match mode with `Discard -> () | `Archive -> attach_archive t heap);
   Vacuum.run heap ~log:t.log ~horizon ~mode ?on_remove ()
+
+let vacuum_step t ~relation ?horizon ~mode ?(pages = 4) ?on_remove () =
+  Txn.force_group t.mgr;
+  let heap = find_relation t relation in
+  let horizon =
+    match horizon with
+    | Some h -> min h (safe_horizon t)
+    | None -> safe_horizon t
+  in
+  (match mode with `Discard -> () | `Archive -> attach_archive t heap);
+  let start_block =
+    Option.value (Hashtbl.find_opt t.vacuum_cursors relation) ~default:0
+  in
+  let st = Vacuum.step heap ~mgr:t.mgr ~horizon ~mode ?on_remove ~start_block ~pages () in
+  Hashtbl.replace t.vacuum_cursors relation st.Vacuum.s_next_block;
+  st

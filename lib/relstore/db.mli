@@ -109,7 +109,39 @@ val crash_and_recover : t -> Xid.t list * (string * string) list
 val vacuum :
   t -> relation:string -> ?horizon:int64 -> mode:[ `Archive | `Discard ] ->
   ?on_remove:(Heap.record -> unit) -> unit -> Vacuum.stats
-(** Run the vacuum cleaner on one relation.  [horizon] defaults to the
-    current time (archive everything already dead).  In [`Archive] mode an
-    archive relation [name ^ "_arch"] is created on demand — on a
-    jukebox-class device if one is registered, else the default device. *)
+(** Run the stop-the-world vacuum cleaner on one relation.  [horizon]
+    defaults to {!safe_horizon} (everything already dead that no
+    snapshot/clone lease still needs) and is clamped to it when given
+    explicitly.  In
+    [`Archive] mode an archive relation [name ^ "_arch"] is created on
+    demand — on a jukebox-class device if one is registered, else the
+    default device.  Raises {!Vacuum.Busy} if any transaction is active. *)
+
+(** {2 Incremental vacuum and time-travel leases} *)
+
+val acquire_lease : t -> horizon:int64 -> int
+(** Register an [As_of] horizon the vacuum must keep readable: history
+    file descriptors and clone bases hold one for as long as they live.
+    Returns a lease id for {!release_lease}.  Leases are volatile (a
+    crash clears them along with the sessions that held them; durable
+    holders re-register during reload). *)
+
+val release_lease : t -> int -> unit
+(** Drop a lease.  Unknown ids are ignored. *)
+
+val oldest_lease : t -> int64 option
+
+val safe_horizon : t -> int64
+(** The highest horizon the incremental vacuum may use right now:
+    [min(now, oldest active transaction's begin time, oldest lease)].
+    Nothing visible to any live snapshot or registered historical reader
+    is at or below it. *)
+
+val vacuum_step :
+  t -> relation:string -> ?horizon:int64 -> mode:[ `Archive | `Discard ] ->
+  ?pages:int -> ?on_remove:(Heap.record -> unit) -> unit -> Vacuum.step_stats
+(** One budgeted increment of the concurrent vacuum ({!Vacuum.step}) on
+    one relation, resuming from the per-relation page cursor and
+    advancing it.  [pages] bounds the window (default 4).  The horizon is
+    clamped to {!safe_horizon} (an explicit [horizon] may only lower it).
+    Safe under live traffic; gives way (s_skipped) to active writers. *)

@@ -7,7 +7,10 @@ type t = {
   segid : int;
   mutable insert_hint : int; (* block most likely to have room *)
   mutable archive : t option;
+  mutable append_only : bool; (* WORM archive tier: appends only, EROFS-like *)
 }
+
+exception Append_only of string
 
 type record = {
   tid : Tid.t;
@@ -19,7 +22,8 @@ type record = {
 
 let create ~cache ~device ~log ~name ~relid =
   let segid = Pagestore.Device.create_segment device in
-  { cache; device; log; name; relid; segid; insert_hint = -1; archive = None }
+  { cache; device; log; name; relid; segid; insert_hint = -1; archive = None;
+    append_only = false }
 
 let name t = t.name
 let rename t new_name = t.name <- new_name
@@ -29,8 +33,26 @@ let segid t = t.segid
 let nblocks t = Pagestore.Device.nblocks t.device t.segid
 let status_log t = t.log
 let resource t = "rel:" ^ t.name
-let set_archive t a = t.archive <- Some a
+
+(* The cache treats an append-only (archive) segment as probationary
+   forever: history faulting through the pool must never evict the hot
+   working set.  The flag on the cache is volatile; [arm_cache_policy] is
+   re-run by recovery. *)
+let arm_cache_policy t =
+  if t.append_only then
+    Pagestore.Bufcache.set_cold_only t.cache t.device ~segid:t.segid
+
+let set_archive t a =
+  a.append_only <- true;
+  arm_cache_policy a;
+  t.archive <- Some a
+
 let archive t = t.archive
+let is_append_only t = t.append_only
+
+let reject_if_append_only t op =
+  if t.append_only then
+    raise (Append_only (Printf.sprintf "%s: %s is a WORM archive tier" op t.name))
 
 let read_lock t txn = Txn.lock txn ~resource:(resource t) Lock_mgr.Shared
 let write_lock t txn = Txn.lock txn ~resource:(resource t) Lock_mgr.Exclusive
@@ -90,6 +112,7 @@ let m_delete = Obs.Metrics.counter "heap.deletes"
 let m_scan = Obs.Metrics.counter "heap.scans"
 
 let insert t txn ~oid payload =
+  reject_if_append_only t "Heap.insert";
   write_lock t txn;
   Cpu_model.charge_record_write (clock t) ~bytes:(Bytes.length payload);
   Obs.Metrics.incr m_insert;
@@ -132,6 +155,7 @@ let fetch t snap tid =
    [update] stamps the record it already holds instead of fetching it a
    second time through [delete]. *)
 let delete_stamped t txn (tid : Tid.t) r =
+  reject_if_append_only t "Heap.delete";
   if Xid.is_valid r.xmax && (r.xmax = Txn.xid txn || Status_log.is_committed t.log r.xmax)
   then invalid_arg "Heap.delete: record already deleted";
   with_page t tid.blkno (fun page ->
@@ -140,6 +164,7 @@ let delete_stamped t txn (tid : Tid.t) r =
   dirty t tid.blkno
 
 let delete t txn (tid : Tid.t) =
+  reject_if_append_only t "Heap.delete";
   write_lock t txn;
   Cpu_model.charge_record_write (clock t) ~bytes:0;
   match fetch_any t tid with
@@ -153,6 +178,7 @@ let delete t txn (tid : Tid.t) =
     delete_stamped t txn tid r
 
 let update t txn tid payload =
+  reject_if_append_only t "Heap.update";
   write_lock t txn;
   match fetch_any t tid with
   | None -> raise Not_found
@@ -187,20 +213,48 @@ let scan_raw t f =
         List.iter f (List.rev !records)
       done)
 
+let scan_block t blkno f =
+  if blkno >= 0 && blkno < nblocks t then begin
+    let records = ref [] in
+    with_page t blkno (fun page ->
+        Heap_page.iter page (fun r ->
+            records := record_of_page_record blkno r :: !records));
+    List.iter f (List.rev !records)
+  end
+
 let scan t snap f =
-  let emit r = if Snapshot.visible t.log snap ~xmin:r.xmin ~xmax:r.xmax then f r in
-  scan_raw t emit;
   match (snap, t.archive) with
-  | Snapshot.As_of _, Some arch -> scan_raw arch emit
-  | _ -> ()
+  | Snapshot.As_of _, Some arch ->
+    (* Historical read-through: archived versions join the scan.  A crash
+       between the vacuum's archive-copy commit and its main-heap kill
+       legitimately leaves the same version in both heaps (and a re-run
+       can even archive it twice), so duplicates are collapsed on the
+       version's identity — stamps plus payload. *)
+    let seen = Hashtbl.create 64 in
+    let emit r =
+      if Snapshot.visible t.log snap ~xmin:r.xmin ~xmax:r.xmax then begin
+        let key = (r.oid, r.xmin, r.xmax, Bytes.to_string r.payload) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          f r
+        end
+      end
+    in
+    scan_raw t emit;
+    scan_raw arch emit
+  | _ ->
+    scan_raw t (fun r ->
+        if Snapshot.visible t.log snap ~xmin:r.xmin ~xmax:r.xmax then f r)
 
 let kill_tid t (tid : Tid.t) =
+  reject_if_append_only t "Heap.kill_tid";
   with_page t tid.blkno (fun page ->
       Heap_page.kill_slot page ~slot:tid.slot;
       Heap_page.seal page);
   dirty t tid.blkno
 
 let compact_block t blkno =
+  reject_if_append_only t "Heap.compact_block";
   with_page t blkno (fun page ->
       Heap_page.compact page;
       Heap_page.seal page);

@@ -24,6 +24,12 @@ type record = {
   payload : bytes;
 }
 
+exception Append_only of string
+(** Raised by every overwrite/free operation ([insert], [delete],
+    [update], [kill_tid], [compact_block]) on a heap serving as a WORM
+    archive tier (marked by {!set_archive}).  Only {!append_raw} and reads
+    are legal there; the file-system layer surfaces this as [EROFS]. *)
+
 val create :
   cache:Pagestore.Bufcache.t ->
   device:Pagestore.Device.t ->
@@ -52,9 +58,19 @@ val resource : t -> string
 (** The lock-manager resource name for this relation. *)
 
 val set_archive : t -> t -> unit
-(** Attach an archive heap (usually on slower media); see {!Vacuum}. *)
+(** Attach an archive heap (usually on the WORM jukebox); see {!Vacuum}.
+    The archive becomes {e append-only}: every overwrite or free on it
+    raises {!Append_only}, and its buffer-cache segment is pinned to the
+    cold tier (history reads never evict the hot working set). *)
 
 val archive : t -> t option
+
+val is_append_only : t -> bool
+
+val arm_cache_policy : t -> unit
+(** Re-apply the cold-tier cache pin for an append-only heap — the
+    cache-side flag is volatile; {!Db.crash} re-arms every archive after
+    recovery. *)
 
 val insert : t -> Txn.t -> oid:int64 -> bytes -> Tid.t
 (** Append a record version stamped [xmin = xid].  Takes the relation's
@@ -98,6 +114,11 @@ val scan_raw : t -> (record -> unit) -> unit
 (** Every record version regardless of visibility, main heap only.
     Declares the scan to the buffer cache ({!hint_sequential}) so
     read-ahead arms from the first block. *)
+
+val scan_block : t -> int -> (record -> unit) -> unit
+(** Every record version on one page, regardless of visibility; a no-op
+    for out-of-range block numbers.  The incremental vacuum's budgeted
+    window walks pages one at a time with this. *)
 
 val hint_sequential : t -> unit
 (** Arm buffer-cache read-ahead for this relation's segment: the caller

@@ -13,6 +13,10 @@ type t = {
      REDO replays the committed ones whose index pages never made it out
      of the buffer pool. *)
   intents : (Xid.t, (string * string * int64) list ref) Hashtbl.t;
+  (* Begin timestamps of in-progress transactions, µs.  The vacuum safe
+     horizon must not pass the oldest active begin time; entries are
+     dropped when the transaction settles. *)
+  begin_times : (Xid.t, int64) Hashtbl.t;
 }
 
 (* Commit forces two tiny writes: the status (pg_log-style) page, and the
@@ -38,6 +42,7 @@ let create ~clock =
     pending_force = 0;
     oldest_pending = 0.;
     intents = Hashtbl.create 64;
+    begin_times = Hashtbl.create 64;
   }
 
 let set_group_size t n = t.group_size <- max 1 n
@@ -50,6 +55,7 @@ let begin_txn t =
   let xid = t.next_xid in
   t.next_xid <- xid + 1;
   Hashtbl.replace t.table xid In_progress;
+  Hashtbl.replace t.begin_times xid (Simclock.Clock.timestamp t.clock);
   xid
 
 let state t xid =
@@ -64,6 +70,7 @@ let commit ?(force = true) t xid =
   | In_progress ->
     let ts = Simclock.Clock.timestamp t.clock in
     Hashtbl.replace t.table xid (Committed ts);
+    Hashtbl.remove t.begin_times xid;
     if force then begin
       if t.group_size <= 1 then begin
         (* Batching disabled: cost-identical to the ungrouped model —
@@ -103,6 +110,7 @@ let abort t xid =
   match state t xid with
   | In_progress | Aborted ->
     Hashtbl.replace t.table xid Aborted;
+    Hashtbl.remove t.begin_times xid;
     (* An aborted transaction's intents will never be redone. *)
     Hashtbl.remove t.intents xid;
     Simclock.Clock.tick t.clock "txn.abort"
@@ -157,8 +165,15 @@ let active t =
   Hashtbl.fold (fun xid s acc -> if s = In_progress then xid :: acc else acc) t.table []
   |> List.sort Xid.compare
 
+let oldest_active_start t =
+  Hashtbl.fold
+    (fun _ ts acc ->
+      match acc with Some best when best <= ts -> acc | _ -> Some ts)
+    t.begin_times None
+
 let crash_recover t =
   List.iter (fun xid -> Hashtbl.replace t.table xid Aborted) (active t);
+  Hashtbl.reset t.begin_times;
   (* [next_xid] is a volatile counter; rebuild it from the durable status
      table so a post-recovery transaction can never reuse a logged xid.
      Every begun transaction has a status entry, so the table's maximum is

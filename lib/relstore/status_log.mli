@@ -106,6 +106,12 @@ val committed_before : t -> Xid.t -> int64 -> bool
 val active : t -> Xid.t list
 (** Transactions currently in progress, ascending. *)
 
+val oldest_active_start : t -> int64 option
+(** Begin timestamp (µs) of the oldest in-progress transaction, or [None]
+    when the system is quiescent.  The incremental vacuum clamps its
+    horizon here so it can never reclaim a version an open transaction
+    might still need. *)
+
 val crash_recover : t -> unit
 (** Simulate crash + instant recovery: every in-progress transaction is
     marked aborted.  Committed and aborted entries survive untouched

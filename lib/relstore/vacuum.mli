@@ -20,6 +20,12 @@ type stats = {
   pages_compacted : int;
 }
 
+exception Busy of Xid.t list
+(** Raised by {!run} when transactions are in progress: the stop-the-world
+    sweep rewrites pages without taking locks, so it demands quiescence.
+    Carries the active xids.  The file-system layer surfaces this as
+    [EBUSY]; live systems use {!step} instead. *)
+
 val run :
   Heap.t ->
   log:Status_log.t ->
@@ -28,8 +34,42 @@ val run :
   ?on_remove:(Heap.record -> unit) ->
   unit ->
   stats
-(** Sweep the heap.  [on_remove] fires for every version leaving the main
-    heap (archived or discarded) so callers can fix index entries pointing
-    at its TID.  [`Archive] requires an attached archive heap.  The vacuum
-    must run without concurrent transactions touching the relation; this
-    single-threaded engine simply assumes it. *)
+(** Sweep the whole heap in one stop-the-world pass.  [on_remove] fires
+    for every version leaving the main heap (archived or discarded) so
+    callers can fix index entries pointing at its TID.  [`Archive]
+    requires an attached archive heap.  Raises {!Busy} if any transaction
+    is active. *)
+
+type step_stats = {
+  s_scanned : int;
+  s_archived : int;
+  s_discarded : int;
+  s_pages : int;  (** pages examined (0 when skipped) *)
+  s_compacted : int;
+  s_next_block : int;  (** cursor for the next step *)
+  s_wrapped : bool;  (** this step reached the end of the heap *)
+  s_skipped : bool;  (** gave way to a writer; nothing was done *)
+}
+
+val step :
+  Heap.t ->
+  mgr:Txn.manager ->
+  horizon:int64 ->
+  mode:[ `Archive | `Discard ] ->
+  ?on_remove:(Heap.record -> unit) ->
+  start_block:int ->
+  pages:int ->
+  unit ->
+  step_stats
+(** One budgeted increment of the {e concurrent} vacuum: judge at most
+    [pages] pages starting at [start_block], as two ordinary logged
+    transactions — archive copies commit (and hit the platter) first,
+    then page latches are taken, indexes fixed via [on_remove], and the
+    doomed slots killed and compacted.  Safe under live traffic: the step
+    holds the relation's {e shared} lock, so it excludes writers (giving
+    way instantly — [s_skipped] — if one is active) but runs alongside
+    readers; the caller must clamp [horizon] below every active
+    transaction's start and every registered [As_of] lease (see
+    {!Db.safe_horizon}).  A crash between the two commits at worst leaves
+    archived duplicates, which {!Heap.scan} collapses; re-running the
+    step is idempotent. *)

@@ -595,6 +595,30 @@ let c_migrate_in t ~oid ~epoch ~data =
 let c_drop_bucket t ~bucket ~epoch =
   expect_unit (rpc t (Wire.Drop_bucket { bucket; epoch }))
 
+let c_snapshot t = expect_int (rpc t Wire.Snapshot)
+let c_clone t ~src ~dst = expect_unit (rpc t (Wire.Clone { src; dst }))
+
+let c_vacuum_step t ?(pages = 0) () =
+  Int64.to_int (expect_int (rpc t (Wire.Vacuum_step { pages })))
+
+(* WTF-style multi-file atomicity: the paper's transaction interface
+   ("a set of file operations can be batched inside a single
+   transaction") as a client-side combinator.  All-or-nothing across
+   faults: the commit acknowledgement is the only success signal, and
+   an exception aborts the server-side transaction before re-raising. *)
+let with_txn t f =
+  if in_txn t then f t
+  else begin
+    c_begin t;
+    match f t with
+    | v ->
+      c_commit t;
+      v
+    | exception e ->
+      (if in_txn t then try c_abort t with _ -> ());
+      raise e
+  end
+
 let write_file t path data =
   (* like Fs.write_file: join the caller's open transaction if any,
      otherwise wrap the whole replace in one of our own *)
@@ -628,3 +652,6 @@ let read_whole_file t ?timestamp path =
   let n = go 0 in
   c_close t fd;
   if n = Bytes.length buf then buf else Bytes.sub buf 0 n
+
+let write_many t files =
+  with_txn t (fun t -> List.iter (fun (path, data) -> write_file t path data) files)

@@ -153,8 +153,33 @@ val jitter_retry_after : Simclock.Rng.t -> float -> float
     burst of clients does not re-arrive as a synchronized herd.  Exposed
     for the desynchronization test. *)
 
+val c_snapshot : t -> int64
+(** Capture a point-in-time version horizon on the server: O(1), no data
+    copied.  The returned timestamp feeds the [?timestamp] argument of
+    [c_open]/[c_readdir]/[c_stat]/[c_exists]/[c_query] for consistent
+    time-travel reads, and [c_clone] on the server side. *)
+
+val c_clone : t -> src:string -> dst:string -> unit
+(** Create [dst] as a copy-on-write clone of [src] at the server's
+    current horizon — O(1) in file size. *)
+
+val c_vacuum_step : t -> ?pages:int -> unit -> int
+(** Run one budgeted increment of the concurrent archive vacuum on the
+    server; returns record versions scanned.  [pages <= 0] (the default)
+    uses the server's configured budget. *)
+
+val with_txn : t -> (t -> 'a) -> 'a
+(** Run [f] inside one server-side transaction: begin, [f], commit; any
+    exception aborts first.  Joins (and leaves open) a transaction the
+    caller already has — the WTF-style batching combinator for atomic
+    multi-file operations. *)
+
 val write_file : t -> string -> bytes -> unit
 (** Create-or-truncate and write whole contents in one transaction. *)
+
+val write_many : t -> (string * bytes) list -> unit
+(** Replace every listed file atomically: one transaction, all-or-nothing
+    across crashes and faults (the paper's batched-operations interface). *)
 
 val read_whole_file : t -> ?timestamp:int64 -> string -> bytes
 

@@ -80,6 +80,14 @@ type t = {
   park_cap : int;
   lock_wait_s : float;
   shed_mark : int; (* depth at which retry traffic sheds *)
+  (* Background incremental vacuum: every [vacuum_every_s] simulated
+     seconds of pump time, run one budgeted [Fs.vacuum_step] increment
+     (archive mode, [vacuum_pages] pages) before admitting requests.
+     0. disables the timer. *)
+  vacuum_every_s : float;
+  vacuum_pages : int;
+  mutable next_vacuum : float;
+  mutable vacuum_steps : int;
   mutable on_crash : t -> unit;
   mutable role : role;
   mutable links : Link.t list;
@@ -120,7 +128,8 @@ type t = {
 let default_on_crash t = ignore (Fs.crash_and_recover t.fs : Fs.recovery)
 
 let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(run_cap = 256)
-    ?(park_cap = 64) ?(lock_wait_s = 0.) ?(shed_watermark = 0.75) ?on_crash () =
+    ?(park_cap = 64) ?(lock_wait_s = 0.) ?(shed_watermark = 0.75)
+    ?(vacuum_every_s = 0.) ?(vacuum_pages = 4) ?on_crash () =
   if run_cap < 1 then invalid_arg "Server.create: run_cap must be >= 1";
   if park_cap < 0 then invalid_arg "Server.create: park_cap must be >= 0";
   let t =
@@ -134,6 +143,10 @@ let create ~fs ?(lease_s = 120.) ?(dedup_window = 16) ?(run_cap = 256)
       park_cap;
       lock_wait_s;
       shed_mark = max 1 (int_of_float (shed_watermark *. float_of_int run_cap));
+      vacuum_every_s;
+      vacuum_pages;
+      next_vacuum = vacuum_every_s;
+      vacuum_steps = 0;
       on_crash = default_on_crash;
       role = Standalone;
       links = [];
@@ -190,6 +203,7 @@ let unsupported t = t.unsupported
 let parked_now t = t.parked_n
 let run_queue_depth t = Queue.length t.run_q
 let group_defers t = t.group_defers
+let vacuum_steps t = t.vacuum_steps
 
 let attach t link = if not (List.memq link t.links) then t.links <- link :: t.links
 
@@ -471,6 +485,15 @@ let exec t (s : sess) (req : Wire.req) : Wire.result =
         | Some _ | None -> ())
       (Fs.readdir fsess "/");
     Wire.R_unit
+  | Wire.Snapshot -> Wire.R_int (Fs.snapshot t.fs)
+  | Wire.Clone { src; dst } ->
+    ignore (Fs.clone fsess ~src ~dst : int64);
+    Wire.R_unit
+  | Wire.Vacuum_step { pages } ->
+    let pages = if pages <= 0 then t.vacuum_pages else pages in
+    (match Fs.vacuum_step t.fs ~pages ~mode:`Archive () with
+    | Some (_, st) -> Wire.R_int (Int64.of_int st.Relstore.Vacuum.s_scanned)
+    | None -> Wire.R_int 0L)
 
 let m_requests = Obs.Metrics.counter "net.server.requests"
 let m_replays = Obs.Metrics.counter "net.server.replays"
@@ -934,9 +957,32 @@ let flush_group t =
    which drains the run queue and drives the parked requests' lock-wait
    and resume timers.  Everything is driven by the shared simulated
    clock; a pump with nothing to do is free. *)
+(* The background-vacuum timer slot.  Rides the event loop like lease
+   expiry: one budgeted increment per due tick, never a long pause —
+   the point of the incremental design is that foreground requests in
+   the same turn see at most a few latched pages of interference.  A
+   skipped step (writer held the relation) still counts as the tick;
+   the cursor did not move, so the next tick retries the same window. *)
+let vacuum_tick t =
+  if t.vacuum_every_s > 0. then begin
+    let now = Simclock.Clock.now t.clock in
+    if now >= t.next_vacuum then begin
+      t.next_vacuum <- now +. t.vacuum_every_s;
+      (try
+         (match Fs.vacuum_step t.fs ~pages:t.vacuum_pages ~mode:`Archive () with
+         | Some _ -> t.vacuum_steps <- t.vacuum_steps + 1
+         | None -> ())
+       with Errors.Fs_error _ -> (* e.g. a foreground txn holds the heap *) ())
+    end
+  end
+
 let pump_turn t =
   expire_leases t;
   let crashed = ref false in
+  (try vacuum_tick t
+   with Pagestore.Device.Crash_injected _ ->
+     crash_now t;
+     crashed := true);
   List.iter
     (fun link ->
       let rec drain () =

@@ -128,6 +128,8 @@ val create :
   ?park_cap:int ->
   ?lock_wait_s:float ->
   ?shed_watermark:float ->
+  ?vacuum_every_s:float ->
+  ?vacuum_pages:int ->
   ?on_crash:(t -> unit) ->
   unit ->
   t
@@ -139,7 +141,13 @@ val create :
     [run_cap]) is the depth past which retransmitted traffic sheds.
     [lock_wait_s] (default 0) is how long a parked request may wait for
     its lock before expiring with [ETIMEDOUT]; the default expires
-    same-pump, preserving the old immediate-conflict-reply behaviour. *)
+    same-pump, preserving the old immediate-conflict-reply behaviour.
+    [vacuum_every_s] (default 0 = disabled) arms the background-vacuum
+    timer slot: every that many simulated seconds the pump runs one
+    budgeted {!Invfs.Fs.vacuum_step} increment of [vacuum_pages]
+    (default 4) pages in archive mode before admitting requests — old
+    versions migrate to the WORM tier continuously instead of in a
+    stop-the-world pass. *)
 
 val attach : t -> Netsim.Link.t -> unit
 (** Accept a connection (idempotent).  Clients create a link and attach
@@ -221,3 +229,6 @@ val group_defers : t -> int
     commit's status write joined a pending batch, so the reply waited for
     the batched stable write (end of the same pump turn at the latest)
     rather than charging a private force.  Zero when group commit is off. *)
+
+val vacuum_steps : t -> int
+(** Background-vacuum increments this server has run (timer slot). *)

@@ -134,6 +134,9 @@ type req =
   | Fetch_chunks of { oid : int64 }
   | Migrate_in of { oid : int64; epoch : int; data : string }
   | Drop_bucket of { bucket : int; epoch : int }
+  | Snapshot
+  | Clone of { src : string; dst : string }
+  | Vacuum_step of { pages : int }
 
 (* Chunk-range addressing: a file's data lives in the placement bucket
    its oid hashes to.  Mixed rather than [oid mod n] so renumbering one
@@ -178,6 +181,9 @@ let req_name = function
   | Fetch_chunks _ -> "fetch_chunks"
   | Migrate_in _ -> "migrate_in"
   | Drop_bucket _ -> "drop_bucket"
+  | Snapshot -> "snapshot"
+  | Clone _ -> "clone"
+  | Vacuum_step _ -> "vacuum_step"
 
 let encode_req_payload req =
   let b = Buffer.create 64 in
@@ -293,7 +299,15 @@ let encode_req_payload req =
   | Drop_bucket { bucket; epoch } ->
     put_u8 b 33;
     put_i32 b bucket;
-    put_i32 b epoch);
+    put_i32 b epoch
+  | Snapshot -> put_u8 b 34
+  | Clone { src; dst } ->
+    put_u8 b 35;
+    put_str b src;
+    put_str b dst
+  | Vacuum_step { pages } ->
+    put_u8 b 36;
+    put_i32 b pages);
   Buffer.contents b
 
 (* Distinguishes an opcode from the future ([`Unknown]) from a payload
@@ -403,6 +417,12 @@ let decode_request_any payload =
         let bucket = get_i32 c in
         let epoch = get_i32 c in
         Drop_bucket { bucket; epoch }
+      | 34 -> Snapshot
+      | 35 ->
+        let src = get_str c in
+        let dst = get_str c in
+        Clone { src; dst }
+      | 36 -> Vacuum_step { pages = get_i32 c }
       | op -> raise (Unknown_opcode op)
     in
     if c.pos <> String.length payload then raise Decode;

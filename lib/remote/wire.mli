@@ -100,6 +100,16 @@ type req =
   | Drop_bucket of { bucket : int; epoch : int }
       (** coordinator → shard: delete local copies of every oid hashing
           to [bucket] (post-handoff garbage collection); idempotent *)
+  | Snapshot
+      (** capture a point-in-time version horizon; O(1) — the reply is
+          the timestamp usable with the [timestamp] field of [Open],
+          [Readdir], [Stat], [Exists] and [Query] *)
+  | Clone of { src : string; dst : string }
+      (** create [dst] as a copy-on-write clone of [src] at the current
+          horizon; O(1) in file size *)
+  | Vacuum_step of { pages : int }
+      (** run one budgeted increment of the concurrent archive vacuum;
+          the reply is the number of record versions scanned *)
 
 val bucket_of : nbuckets:int -> int64 -> int
 (** The placement bucket an oid's chunk range hashes to (mixed, so

@@ -716,6 +716,126 @@ let test_vacuum_archive_time_travel () =
   Alcotest.(check string) "history readable from archive" "ancient"
     (str (Fs.read_whole_file s ~timestamp:t1 "/f"))
 
+
+(* ---- O(1) snapshots and copy-on-write clones ---- *)
+
+let test_snapshot_o1 () =
+  let fs, s = fresh () in
+  Fs.write_file s "/f" (Bytes.make 9000 'a');
+  let oid = Fs.lookup_oid s "/f" in
+  let heap = Invfs.Inv_file.heap (Option.get (Fs.file_handle fs ~oid)) in
+  let blocks_before = Relstore.Heap.nblocks heap in
+  let h1 = Fs.snapshot fs in
+  Alcotest.(check int) "snapshot copies nothing" blocks_before
+    (Relstore.Heap.nblocks heap);
+  Fs.write_file s "/f" (Bytes.make 9000 'b');
+  let h2 = Fs.snapshot fs in
+  Alcotest.(check bool) "horizons are monotonic" true (h2 > h1);
+  Alcotest.(check string) "first snapshot reads the first state"
+    (String.make 9000 'a')
+    (str (Fs.read_whole_file s ~timestamp:h1 "/f"));
+  Alcotest.(check string) "second snapshot reads the second state"
+    (String.make 9000 'b')
+    (str (Fs.read_whole_file s ~timestamp:h2 "/f"))
+
+let test_pin_snapshot_blocks_discard_vacuum () =
+  let fs, s = fresh () in
+  Fs.write_file s "/f" (bytes_of "old");
+  let h = Fs.snapshot fs in
+  let lease = Fs.pin_snapshot fs h in
+  Fs.write_file s "/f" (bytes_of "new");
+  advance fs 1.;
+  let oid = Fs.lookup_oid s "/f" in
+  let st = Fs.vacuum_file fs ~oid ~mode:`Discard () in
+  Alcotest.(check int) "pinned history survives the discard vacuum" 0
+    st.Relstore.Vacuum.discarded;
+  Alcotest.(check string) "still readable" "old"
+    (str (Fs.read_whole_file s ~timestamp:h "/f"));
+  Fs.unpin_snapshot fs lease;
+  let st = Fs.vacuum_file fs ~oid ~mode:`Discard () in
+  Alcotest.(check bool) "unpinned history is reclaimed" true
+    (st.Relstore.Vacuum.discarded >= 1)
+
+let test_clone_shares_then_diverges () =
+  let fs, s = fresh () in
+  let big = Bytes.make (Invfs.Chunk.capacity * 2) 'a' in
+  Fs.write_file s "/base" big;
+  ignore (Fs.clone s ~src:"/base" ~dst:"/copy" : int64);
+  (* O(1): the clone's own relation holds no chunks until a write *)
+  let coid = Fs.lookup_oid s "/copy" in
+  let cheap = Invfs.Inv_file.heap (Option.get (Fs.file_handle fs ~oid:coid)) in
+  Alcotest.(check int) "no chunks copied at clone time" 0
+    (Relstore.Heap.nblocks cheap);
+  Alcotest.(check string) "clone reads through to the base" (str big)
+    (str (Fs.read_whole_file s "/copy"));
+  (* writes to the clone leave the base alone... *)
+  let fd = Fs.p_open s "/copy" Fs.Rdwr in
+  ignore (Fs.p_write s fd (bytes_of "XX") 2 : int);
+  Fs.p_close s fd;
+  Alcotest.(check string) "clone diverged" "XX"
+    (String.sub (str (Fs.read_whole_file s "/copy")) 0 2);
+  Alcotest.(check string) "base untouched" (str big)
+    (str (Fs.read_whole_file s "/base"));
+  (* ...and writes to the base after the clone point stay invisible to
+     the clone (it reads the base as of its creation horizon) *)
+  Fs.write_file s "/base" (bytes_of "rewritten");
+  let c = str (Fs.read_whole_file s "/copy") in
+  Alcotest.(check int) "clone still full-length" (Bytes.length big) (String.length c);
+  Alcotest.(check string) "clone tail still the old base bytes" "aaaa"
+    (String.sub c (String.length c - 4) 4)
+
+let test_clone_errors () =
+  let _, s = fresh () in
+  Fs.write_file s "/f" (bytes_of "x");
+  Fs.mkdir s "/d";
+  expect_error E.ENOENT (fun () -> Fs.clone s ~src:"/missing" ~dst:"/c");
+  expect_error E.EEXIST (fun () -> Fs.clone s ~src:"/f" ~dst:"/f");
+  expect_error E.EISDIR (fun () -> Fs.clone s ~src:"/d" ~dst:"/c");
+  Fs.p_begin s;
+  expect_error E.ETXN (fun () -> Fs.clone s ~src:"/f" ~dst:"/c");
+  Fs.p_abort s
+
+let test_clone_truncate_severs_but_history_stays () =
+  (* shrinking a clone below its base length materializes the surviving
+     bytes and severs the mapping — but a snapshot taken before the
+     severance must still read the full read-through view *)
+  let fs, s = fresh () in
+  Fs.write_file s "/base" (bytes_of "0123456789");
+  ignore (Fs.clone s ~src:"/base" ~dst:"/copy" : int64);
+  let h_shared = Fs.snapshot fs in
+  let fd = Fs.p_open s "/copy" Fs.Rdwr in
+  Fs.ftruncate s fd 4L;
+  Fs.p_close s fd;
+  Alcotest.(check string) "severed clone keeps the surviving prefix" "0123"
+    (str (Fs.read_whole_file s "/copy"));
+  Alcotest.(check string) "pre-severance snapshot reads the full clone"
+    "0123456789"
+    (str (Fs.read_whole_file s ~timestamp:h_shared "/copy"));
+  (* growing it again pads with zeros, never resurrects base bytes *)
+  let fd = Fs.p_open s "/copy" Fs.Rdwr in
+  Fs.ftruncate s fd 6L;
+  Fs.p_close s fd;
+  let back = str (Fs.read_whole_file s "/copy") in
+  Alcotest.(check string) "regrown tail is zeros" "0123\000\000" back;
+  Alcotest.(check string) "base never moved" "0123456789"
+    (str (Fs.read_whole_file s "/base"))
+
+let test_clone_survives_crash () =
+  let fs, s = fresh () in
+  Fs.write_file s "/base" (bytes_of "shared bytes");
+  ignore (Fs.clone s ~src:"/base" ~dst:"/copy" : int64);
+  ignore (Fs.crash_and_recover fs : Fs.recovery);
+  let s = Fs.new_session fs in
+  Alcotest.(check string) "clone mapping is durable" "shared bytes"
+    (str (Fs.read_whole_file s "/copy"));
+  (* the re-registered lease still guards the base history *)
+  Fs.write_file s "/base" (bytes_of "changed");
+  advance fs 1.;
+  let oid = Fs.lookup_oid s "/base" in
+  ignore (Fs.vacuum_file fs ~oid ~mode:`Discard () : Relstore.Vacuum.stats);
+  Alcotest.(check string) "clone still reads its base horizon" "shared bytes"
+    (str (Fs.read_whole_file s "/copy"))
+
 (* ---- fsck ---- *)
 
 let test_fsck_clean_system () =
@@ -911,6 +1031,18 @@ let () =
           Alcotest.test_case "discard reclaims" `Quick test_vacuum_file_reclaims_history;
           Alcotest.test_case "archive keeps time travel" `Quick test_vacuum_archive_time_travel;
           Alcotest.test_case "vacuum_all sweeps" `Quick test_vacuum_all_sweeps_everything;
+        ] );
+      ( "snapshots and clones",
+        [
+          Alcotest.test_case "O(1) snapshot" `Quick test_snapshot_o1;
+          Alcotest.test_case "pinned snapshot blocks discard vacuum" `Quick
+            test_pin_snapshot_blocks_discard_vacuum;
+          Alcotest.test_case "clone shares then diverges" `Quick
+            test_clone_shares_then_diverges;
+          Alcotest.test_case "clone error cases" `Quick test_clone_errors;
+          Alcotest.test_case "truncate severs, history stays" `Quick
+            test_clone_truncate_severs_but_history_stays;
+          Alcotest.test_case "clone survives crash" `Quick test_clone_survives_crash;
         ] );
       ("fsck", [ Alcotest.test_case "clean audit" `Quick test_fsck_clean_system ]);
       ( "properties",

@@ -1,13 +1,19 @@
 (* Property-based MVCC visibility: random interleavings of
-   begin/write/commit/abort across three concurrent transaction slots,
-   checked against a brute-force oracle computed from the operation
-   history alone (which transaction inserted each record, and what its
-   status was at each instant).
+   begin/write/delete/commit/abort across three concurrent transaction
+   slots — with budgeted increments of the concurrent archive vacuum
+   spliced in between ops — checked against a brute-force oracle
+   computed from the operation history alone (which transaction
+   inserted and deleted each record, and what its status was at each
+   instant).
 
    Each slot writes its own relation so three transactions can hold
    their exclusive locks simultaneously — the interleaving exercised
    here is of *visibility* state, which is exactly what the paper's
    status-file design claims needs no write-ahead log to get right.
+   The vacuum op must be invisible in every oracle comparison: records
+   whose deleter committed below the safe horizon migrate to the
+   archive tier but keep answering [As_of] scans, and nothing above
+   the horizon moves at all.
 
    Shrinking is by prefix: an op sequence that fails keeps failing as
    its shortest failing prefix, which is the readable repro. *)
@@ -17,24 +23,35 @@ module Heap = Relstore.Heap
 module Txn = Relstore.Txn
 module Snapshot = Relstore.Snapshot
 
-type op = Begin of int | Write of int | Commit of int | Abort of int
+type op = Begin of int | Write of int | Delete of int | Commit of int | Abort of int | Vacuum
 
 let op_of_int i =
-  let slot = i / 4 in
-  match i mod 4 with
-  | 0 -> Begin slot
-  | 1 -> Write slot
-  | 2 -> Commit slot
-  | _ -> Abort slot
+  if i >= 15 then Vacuum
+  else
+    let slot = i / 5 in
+    match i mod 5 with
+    | 0 -> Begin slot
+    | 1 -> Write slot
+    | 2 -> Delete slot
+    | 3 -> Commit slot
+    | _ -> Abort slot
 
 let op_to_string = function
   | Begin s -> Printf.sprintf "begin@%d" s
   | Write s -> Printf.sprintf "write@%d" s
+  | Delete s -> Printf.sprintf "delete@%d" s
   | Commit s -> Printf.sprintf "commit@%d" s
   | Abort s -> Printf.sprintf "abort@%d" s
+  | Vacuum -> "vacuum"
 
 (* the oracle's view of one inserted record *)
-type version = { v_oid : int64; v_xmin : int }
+type version = {
+  v_oid : int64;
+  v_slot : int;
+  v_tid : Relstore.Tid.t;
+  v_xmin : int;
+  mutable v_xmax : int option;  (** xid that last stamped a delete *)
+}
 
 type status = Active | Done_commit of int64 | Done_abort
 
@@ -48,6 +65,13 @@ let run_scenario ops =
   let next_oid = ref 1L in
   (* horizons: (timestamp, unit) captured after every op *)
   let horizons = ref [] in
+  (* a delete already stamped on [v] still blocks re-deletion unless it
+     aborted — mirrors [Heap.delete]'s "already deleted" guard *)
+  let delete_stands ~self v =
+    match v.v_xmax with
+    | None -> false
+    | Some x -> x = self || Hashtbl.find_opt statuses x <> Some Done_abort
+  in
   let step op =
     (match op with
     | Begin slot ->
@@ -62,8 +86,33 @@ let run_scenario ops =
       | Some t ->
         let oid = !next_oid in
         next_oid := Int64.add oid 1L;
-        ignore (Heap.insert rels.(slot) t ~oid (Bytes.make 24 'v') : Relstore.Tid.t);
-        versions := { v_oid = oid; v_xmin = Txn.xid t } :: !versions)
+        let tid = Heap.insert rels.(slot) t ~oid (Bytes.make 24 'v') in
+        versions :=
+          { v_oid = oid; v_slot = slot; v_tid = tid; v_xmin = Txn.xid t; v_xmax = None }
+          :: !versions)
+    | Delete slot -> (
+      match txns.(slot) with
+      | None -> ()
+      | Some t ->
+        (* oldest record in this slot's relation that t can see and that
+           no standing delete already claims *)
+        let self = Txn.xid t in
+        let victim =
+          List.find_opt
+            (fun v ->
+              v.v_slot = slot
+              && (v.v_xmin = self
+                 || match Hashtbl.find_opt statuses v.v_xmin with
+                    | Some (Done_commit _) -> true
+                    | _ -> false)
+              && not (delete_stands ~self v))
+            (List.rev !versions)
+        in
+        match victim with
+        | None -> ()
+        | Some v ->
+          Heap.delete rels.(slot) t v.v_tid;
+          v.v_xmax <- Some self)
     | Commit slot -> (
       match txns.(slot) with
       | None -> ()
@@ -77,7 +126,18 @@ let run_scenario ops =
       | Some t ->
         Txn.abort t;
         Hashtbl.replace statuses (Txn.xid t) Done_abort;
-        txns.(slot) <- None));
+        txns.(slot) <- None)
+    | Vacuum ->
+      (* one budgeted increment per relation; a skip (foreground writer
+         holds the relation) is a legal outcome and changes nothing *)
+      Array.iteri
+        (fun i _ ->
+          ignore
+            (Db.vacuum_step db
+               ~relation:(Printf.sprintf "r%d" i)
+               ~mode:`Archive ~pages:1 ()
+              : Relstore.Vacuum.step_stats))
+        rels);
     (* a strictly-later instant than anything the op just did *)
     Simclock.Clock.advance clock ~account:"test.step" 1.0;
     horizons := Db.now db :: !horizons
@@ -90,22 +150,34 @@ let scan_oids rels snap =
   Array.iter (fun rel -> Heap.scan rel snap (fun r -> acc := r.Heap.oid :: !acc)) rels;
   List.sort Int64.compare !acc
 
+let committed_by statuses xid horizon =
+  match Hashtbl.find_opt statuses xid with
+  | Some (Done_commit ts) -> ts <= horizon
+  | _ -> false
+
 let expected_as_of statuses versions horizon =
   List.filter_map
     (fun v ->
-      match Hashtbl.find_opt statuses v.v_xmin with
-      | Some (Done_commit ts) when ts <= horizon -> Some v.v_oid
-      | _ -> None)
+      if
+        committed_by statuses v.v_xmin horizon
+        && not (match v.v_xmax with Some x -> committed_by statuses x horizon | None -> false)
+      then Some v.v_oid
+      else None)
     versions
   |> List.sort Int64.compare
 
 let expected_current statuses versions ~self =
+  let committed xid = match Hashtbl.find_opt statuses xid with
+    | Some (Done_commit _) -> true
+    | _ -> false
+  in
   List.filter_map
     (fun v ->
-      match Hashtbl.find_opt statuses v.v_xmin with
-      | Some (Done_commit _) -> Some v.v_oid
-      | _ when v.v_xmin = self -> Some v.v_oid
-      | _ -> None)
+      let inserted = committed v.v_xmin || v.v_xmin = self in
+      let deleted =
+        match v.v_xmax with Some x -> committed x || x = self | None -> false
+      in
+      if inserted && not deleted then Some v.v_oid else None)
     versions
   |> List.sort Int64.compare
 
@@ -115,7 +187,9 @@ let prop_visibility codes =
   let ops = List.map op_of_int codes in
   let db, rels, txns, statuses, versions, horizons = run_scenario ops in
   (* 1. time travel: every captured horizon sees exactly the records
-        whose inserter had committed by then *)
+        whose inserter had committed — and whose deleter had not — by
+        then, no matter how much of the history the vacuum has since
+        migrated to the archive tier *)
   List.iter
     (fun horizon ->
       let got = scan_oids rels (Snapshot.As_of horizon) in
@@ -127,8 +201,8 @@ let prop_visibility codes =
           (show_oids want) (show_oids got))
     horizons;
   (* 2. each still-active transaction sees every committed record plus
-        its own uncommitted writes — and nothing from aborted or other
-        in-progress transactions *)
+        its own uncommitted writes and minus its own uncommitted deletes
+        — and nothing from aborted or other in-progress transactions *)
   Array.iter
     (fun slot_txn ->
       match slot_txn with
@@ -155,11 +229,12 @@ let prop_visibility codes =
       (show_oids want) (show_oids got);
   true
 
-(* op sequences over 3 slots x 4 op kinds, shrunk by prefix only (a
-   failing sequence stays a *sequence* — dropping middle ops would
+(* op sequences over 3 slots x 5 op kinds plus the vacuum op (codes
+   15-17, so the vacuum fires in ~1/6 of slots), shrunk by prefix only
+   (a failing sequence stays a *sequence* — dropping middle ops would
    change every later op's meaning) *)
 let arb_ops =
-  let gen = QCheck.Gen.(list_size (int_bound 40) (int_bound 11)) in
+  let gen = QCheck.Gen.(list_size (int_bound 40) (int_bound 17)) in
   let shrink l yield =
     let n = List.length l in
     if n > 0 then begin
@@ -206,12 +281,55 @@ let test_directed () =
     (collect (Snapshot.As_of (Int64.sub ts1 1L)));
   Txn.abort t3
 
+(* Directed vacuum splice: a committed-then-deleted record crosses the
+   safe horizon, a vacuum increment migrates it to the archive tier,
+   and every pre-captured horizon still reads exactly what it read
+   before the vacuum ran. *)
+let test_vacuum_preserves_horizons () =
+  let clock = Simclock.Clock.create () in
+  let db = Db.create ~clock () in
+  let rel = Db.create_relation db ~name:"r0" () in
+  let t1 = Db.begin_txn db in
+  ignore (Heap.insert rel t1 ~oid:1L (Bytes.make 8 'a') : Relstore.Tid.t);
+  ignore (Txn.commit t1 : int64);
+  Simclock.Clock.advance clock 1.0;
+  let h_alive = Db.now db in
+  Simclock.Clock.advance clock 1.0;
+  let t2 = Db.begin_txn db in
+  let tid =
+    let found = ref None in
+    Heap.scan rel (Txn.snapshot t2) (fun r -> found := Some r.Heap.tid);
+    Option.get !found
+  in
+  Heap.delete rel t2 tid;
+  ignore (Txn.commit t2 : int64);
+  Simclock.Clock.advance clock 1.0;
+  let h_dead = Db.now db in
+  Simclock.Clock.advance clock 1.0;
+  let collect h =
+    let acc = ref [] in
+    Heap.scan rel (Snapshot.As_of h) (fun r -> acc := r.Heap.oid :: !acc);
+    List.sort Int64.compare !acc
+  in
+  Alcotest.(check (list int64)) "alive before the vacuum" [ 1L ] (collect h_alive);
+  let archived = ref 0 and wrapped = ref false in
+  while not !wrapped do
+    let st = Db.vacuum_step db ~relation:"r0" ~mode:`Archive ~pages:1 () in
+    archived := !archived + st.Relstore.Vacuum.s_archived;
+    wrapped := st.Relstore.Vacuum.s_wrapped
+  done;
+  Alcotest.(check int) "the dead version migrated" 1 !archived;
+  Alcotest.(check (list int64)) "below the horizon: still alive" [ 1L ] (collect h_alive);
+  Alcotest.(check (list int64)) "above the delete: still gone" [] (collect h_dead)
+
 let () =
   Alcotest.run "mvcc"
     [
       ( "visibility",
         [
           Alcotest.test_case "directed corner cases" `Quick test_directed;
+          Alcotest.test_case "vacuum splice preserves horizons" `Quick
+            test_vacuum_preserves_horizons;
           QCheck_alcotest.to_alcotest prop_mvcc;
         ] );
     ]

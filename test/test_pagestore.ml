@@ -482,6 +482,47 @@ let test_cache_scan_resistant_insertion () =
   B.with_page cache dev ~segid:seg ~blkno:1 (fun _ -> ());
   Alcotest.(check int) "hot set survived the scan" m0 (B.misses cache)
 
+
+let test_cache_cold_only_segment_never_promotes () =
+  (* archive (WORM) tier isolation: a cold_only segment's pages serve
+     hits from the probationary tier but never promote, so faulting
+     history through the cache cannot displace the hot working set —
+     and, symmetrically, any later scan cheaply recycles them *)
+  let clock = Simclock.Clock.create () in
+  let dev = D.create ~clock ~name:"nv" ~kind:D.Nvram () in
+  let cache = B.create ~capacity:8 ~promote_age_s:0.0 () in
+  let seg = D.create_segment dev in
+  for _ = 0 to 25 do
+    ignore (B.new_block cache dev ~segid:seg : int)
+  done;
+  B.crash cache;
+  Alcotest.(check bool) "flag starts clear" false (B.is_cold_only cache dev ~segid:seg);
+  B.set_cold_only cache dev ~segid:seg;
+  Alcotest.(check bool) "flag set" true (B.is_cold_only cache dev ~segid:seg);
+  (* double-touch blocks 0 and 1 — on an ordinary segment this promotes
+     them to the hot tier (see the scan-resistance test above) *)
+  for _ = 1 to 2 do
+    B.with_page cache dev ~segid:seg ~blkno:0 (fun _ -> ());
+    B.with_page cache dev ~segid:seg ~blkno:1 (fun _ -> ())
+  done;
+  let h0 = B.hits cache in
+  B.with_page cache dev ~segid:seg ~blkno:0 (fun _ -> ());
+  Alcotest.(check int) "resident cold page still serves hits" (h0 + 1) (B.hits cache);
+  (* a single-touch scan 2.5x the pool recycles the cold tier; the
+     re-touched pages were never promoted, so they go with it *)
+  for blkno = 2 to 21 do
+    B.with_page cache dev ~segid:seg ~blkno (fun _ -> ())
+  done;
+  let m0 = B.misses cache in
+  B.with_page cache dev ~segid:seg ~blkno:0 (fun _ -> ());
+  B.with_page cache dev ~segid:seg ~blkno:1 (fun _ -> ());
+  Alcotest.(check int) "re-touched pages were recycled, not retained" (m0 + 2)
+    (B.misses cache);
+  (* the flag is volatile: a crash clears it, recovery re-arms it *)
+  B.crash cache;
+  Alcotest.(check bool) "crash clears the flag" false
+    (B.is_cold_only cache dev ~segid:seg)
+
 let test_cache_readahead_trigger_and_cancel () =
   let clock, dev = fresh_disk () in
   ignore clock;
@@ -658,6 +699,8 @@ let () =
             test_cache_eviction_order_under_pins;
           Alcotest.test_case "scan-resistant insertion" `Quick
             test_cache_scan_resistant_insertion;
+          Alcotest.test_case "cold-only segment never promotes" `Quick
+            test_cache_cold_only_segment_never_promotes;
           Alcotest.test_case "read-ahead trigger and cancel" `Quick
             test_cache_readahead_trigger_and_cancel;
           Alcotest.test_case "segment index after invalidate" `Quick

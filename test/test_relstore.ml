@@ -430,6 +430,234 @@ let test_vacuum_removes_aborted () =
   let stats = Db.vacuum db ~relation:"t" ~mode:`Discard () in
   Alcotest.(check int) "aborted garbage collected" 1 stats.discarded
 
+
+(* ---- incremental concurrent vacuum & the WORM tier ---- *)
+
+let test_vacuum_run_busy_guard () =
+  (* the stop-the-world pass requires quiescence: with any transaction
+     active it must refuse outright rather than yank pages from under it *)
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  let open_txn = Db.begin_txn db in
+  ignore (H.insert heap open_txn ~oid:1L (payload "x"));
+  Alcotest.(check bool) "Busy raised while a txn is active" true
+    (try
+       ignore (Db.vacuum db ~relation:"t" ~mode:`Discard () : Relstore.Vacuum.stats);
+       false
+     with Relstore.Vacuum.Busy xids -> xids <> []);
+  ignore (T.commit open_txn : int64);
+  ignore (Db.vacuum db ~relation:"t" ~mode:`Discard () : Relstore.Vacuum.stats)
+
+let dead_versions db heap n =
+  (* [n] records, each updated once: [n] dead versions spread over the heap *)
+  let tids =
+    Array.init n (fun i ->
+        Db.with_txn db (fun txn ->
+            H.insert heap txn ~oid:(Int64.of_int i) (payload (String.make 300 'a'))))
+  in
+  Array.iter
+    (fun tid ->
+      ignore (Db.with_txn db (fun txn -> H.update heap txn tid (payload (String.make 300 'b')))))
+    tids;
+  Simclock.Clock.advance (Db.clock db) 1.
+
+let test_vacuum_step_budget_and_cursor () =
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  dead_versions db heap 60;
+  let nb = H.nblocks heap in
+  Alcotest.(check bool) "heap spans several pages" true (nb > 2);
+  let total = ref 0 and steps = ref 0 and wrapped = ref false in
+  while not !wrapped do
+    let st = Db.vacuum_step db ~relation:"t" ~mode:`Discard ~pages:1 () in
+    incr steps;
+    Alcotest.(check bool) "one-page budget respected" true (st.Relstore.Vacuum.s_pages <= 1);
+    total := !total + st.Relstore.Vacuum.s_discarded;
+    wrapped := st.Relstore.Vacuum.s_wrapped
+  done;
+  Alcotest.(check int) "full pass collects every dead version" 60 !total;
+  Alcotest.(check bool) "took one step per page" true (!steps >= nb);
+  (* idempotent: a second full pass finds nothing *)
+  let again = ref 0 and wrapped = ref false in
+  while not !wrapped do
+    let st = Db.vacuum_step db ~relation:"t" ~mode:`Discard ~pages:4 () in
+    again := !again + st.Relstore.Vacuum.s_discarded;
+    wrapped := st.Relstore.Vacuum.s_wrapped
+  done;
+  Alcotest.(check int) "second pass is empty" 0 !again
+
+let test_vacuum_step_yields_to_writer () =
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  dead_versions db heap 4;
+  let w = Db.begin_txn db in
+  H.write_lock heap w;
+  let st = Db.vacuum_step db ~relation:"t" ~mode:`Discard ~pages:8 () in
+  Alcotest.(check bool) "skipped while the writer holds the relation" true
+    st.Relstore.Vacuum.s_skipped;
+  Alcotest.(check int) "nothing touched" 0 st.Relstore.Vacuum.s_pages;
+  T.abort w;
+  let collected = ref 0 and wrapped = ref false in
+  while not !wrapped do
+    let st = Db.vacuum_step db ~relation:"t" ~mode:`Discard ~pages:8 () in
+    Alcotest.(check bool) "runs after the writer releases" false
+      st.Relstore.Vacuum.s_skipped;
+    collected := !collected + st.Relstore.Vacuum.s_discarded;
+    wrapped := st.Relstore.Vacuum.s_wrapped
+  done;
+  Alcotest.(check int) "cursor did not advance past the skip" 4 !collected
+
+let test_vacuum_step_runs_alongside_reader () =
+  (* Shared-vs-Shared: a reader never blocks the incremental vacuum, and
+     the dead versions it can no longer see are collected under it *)
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  dead_versions db heap 3;
+  let r = Db.begin_txn db in
+  T.lock r ~resource:(H.resource heap) LM.Shared;
+  let collected = ref 0 and wrapped = ref false in
+  while not !wrapped do
+    let st = Db.vacuum_step db ~relation:"t" ~mode:`Discard ~pages:8 () in
+    Alcotest.(check bool) "reader does not block the step" false
+      st.Relstore.Vacuum.s_skipped;
+    collected := !collected + st.Relstore.Vacuum.s_discarded;
+    wrapped := st.Relstore.Vacuum.s_wrapped
+  done;
+  Alcotest.(check int) "invisible versions collected under the reader" 3 !collected;
+  T.abort r
+
+let test_vacuum_on_remove_fires_exactly_once () =
+  (* index maintenance contract, both flavours: every version leaving
+     the main heap announces its TID exactly once *)
+  let expect_removed heap =
+    let dead = ref [] in
+    H.scan_raw heap (fun r ->
+        if Relstore.Xid.is_valid r.H.xmax
+           && Relstore.Status_log.is_committed (H.status_log heap) r.H.xmax
+        then dead := r.H.tid :: !dead);
+    List.sort compare !dead
+  in
+  (* stop-the-world *)
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  dead_versions db heap 5;
+  let expected = expect_removed heap in
+  let removed = ref [] in
+  ignore
+    (Db.vacuum db ~relation:"t" ~mode:`Discard
+       ~on_remove:(fun r -> removed := r.H.tid :: !removed)
+       ()
+      : Relstore.Vacuum.stats);
+  Alcotest.(check int) "run: one callback per dead version" (List.length expected)
+    (List.length !removed);
+  Alcotest.(check bool) "run: exact tid set" true
+    (List.sort compare !removed = expected);
+  (* incremental, across the whole cursor pass *)
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  dead_versions db heap 5;
+  let expected = expect_removed heap in
+  let removed = ref [] and wrapped = ref false in
+  while not !wrapped do
+    let st =
+      Db.vacuum_step db ~relation:"t" ~mode:`Discard ~pages:1
+        ~on_remove:(fun r -> removed := r.H.tid :: !removed)
+        ()
+    in
+    wrapped := st.Relstore.Vacuum.s_wrapped
+  done;
+  Alcotest.(check bool) "step: exact tid set, once each" true
+    (List.sort compare !removed = expected)
+
+let test_archive_is_append_only () =
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  dead_versions db heap 1;
+  ignore (Db.vacuum db ~relation:"t" ~mode:`Archive () : Relstore.Vacuum.stats);
+  let arch = Option.get (H.archive heap) in
+  let archived = ref [] in
+  H.scan_raw arch (fun r -> archived := r :: !archived);
+  Alcotest.(check int) "one archived version" 1 (List.length !archived);
+  let rejected f =
+    try
+      f ();
+      false
+    with H.Append_only _ -> true
+  in
+  Alcotest.(check bool) "insert on WORM rejected" true
+    (rejected (fun () ->
+         ignore (Db.with_txn db (fun txn -> H.insert arch txn ~oid:99L (payload "x")))));
+  let victim = (List.hd !archived).H.tid in
+  Alcotest.(check bool) "delete on WORM rejected" true
+    (rejected (fun () -> ignore (Db.with_txn db (fun txn -> H.delete arch txn victim))));
+  Alcotest.(check bool) "update on WORM rejected" true
+    (rejected (fun () ->
+         ignore (Db.with_txn db (fun txn -> H.update arch txn victim (payload "y")))));
+  (* the one legal write: the vacuum's own raw append *)
+  let r = List.hd !archived in
+  ignore (H.append_raw arch ~oid:r.H.oid ~xmin:r.H.xmin ~xmax:r.H.xmax r.H.payload : Relstore.Tid.t)
+
+let test_archive_duplicate_collapses () =
+  (* a crash between the archive copy and the kill leaves the version on
+     both tiers; As_of reads must collapse the duplicate, and a re-run
+     of the step must not double anything *)
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  let tid = Db.with_txn db (fun txn -> H.insert heap txn ~oid:1L (payload "v1")) in
+  Simclock.Clock.advance (Db.clock db) 5.;
+  let t_v1 = Db.now db in
+  Simclock.Clock.advance (Db.clock db) 5.;
+  ignore (Db.with_txn db (fun txn -> H.update heap txn tid (payload "v2")));
+  Simclock.Clock.advance (Db.clock db) 1.;
+  (* attach the archive, then hand-plant the duplicate a torn step would
+     leave behind: copy the dead version without killing the original *)
+  ignore (Db.vacuum_step db ~relation:"t" ~mode:`Archive ~pages:0 () : Relstore.Vacuum.step_stats);
+  let arch = Option.get (H.archive heap) in
+  let dead = Option.get (H.fetch_any heap tid) in
+  ignore (H.append_raw arch ~oid:dead.H.oid ~xmin:dead.H.xmin ~xmax:dead.H.xmax dead.H.payload
+           : Relstore.Tid.t);
+  let versions_at ts =
+    let seen = ref [] in
+    H.scan heap (Relstore.Snapshot.As_of ts) (fun r -> seen := str r.H.payload :: !seen);
+    !seen
+  in
+  Alcotest.(check (list string)) "duplicate collapsed" [ "v1" ] (versions_at t_v1);
+  (* now the real pass archives it and kills the original *)
+  let wrapped = ref false in
+  while not !wrapped do
+    let st = Db.vacuum_step db ~relation:"t" ~mode:`Archive ~pages:4 () in
+    wrapped := st.Relstore.Vacuum.s_wrapped
+  done;
+  Alcotest.(check bool) "original gone from the main heap" true (H.fetch_any heap tid = None);
+  Alcotest.(check (list string)) "still exactly one v1" [ "v1" ] (versions_at t_v1)
+
+let test_lease_holds_the_horizon () =
+  (* an As_of holder registers a lease; the safe horizon stays below it
+     so the versions it reads cannot be reclaimed until release *)
+  let db = fresh_db () in
+  let heap = Db.create_relation db ~name:"t" () in
+  let tid = Db.with_txn db (fun txn -> H.insert heap txn ~oid:1L (payload "v1")) in
+  Simclock.Clock.advance (Db.clock db) 5.;
+  let ts = Db.now db in
+  let lease = Db.acquire_lease db ~horizon:ts in
+  Simclock.Clock.advance (Db.clock db) 5.;
+  ignore (Db.with_txn db (fun txn -> H.update heap txn tid (payload "v2")));
+  Simclock.Clock.advance (Db.clock db) 1.;
+  let sweep () =
+    let n = ref 0 and wrapped = ref false in
+    while not !wrapped do
+      let st = Db.vacuum_step db ~relation:"t" ~mode:`Discard ~pages:4 () in
+      n := !n + st.Relstore.Vacuum.s_discarded;
+      wrapped := st.Relstore.Vacuum.s_wrapped
+    done;
+    !n
+  in
+  Alcotest.(check int) "leased version survives the sweep" 0 (sweep ());
+  Alcotest.(check bool) "still readable at the lease horizon" true
+    (H.fetch_any heap tid <> None);
+  Db.release_lease db lease;
+  Alcotest.(check int) "released: the sweep reclaims it" 1 (sweep ())
+
 (* ---- Db plumbing ---- *)
 
 let test_db_relations () =
@@ -707,6 +935,18 @@ let () =
           Alcotest.test_case "archive keeps history" `Quick
             test_vacuum_archive_preserves_time_travel;
           Alcotest.test_case "aborted garbage" `Quick test_vacuum_removes_aborted;
+          Alcotest.test_case "run refuses active txns" `Quick test_vacuum_run_busy_guard;
+          Alcotest.test_case "step budget and cursor" `Quick
+            test_vacuum_step_budget_and_cursor;
+          Alcotest.test_case "step yields to writer" `Quick test_vacuum_step_yields_to_writer;
+          Alcotest.test_case "step runs alongside reader" `Quick
+            test_vacuum_step_runs_alongside_reader;
+          Alcotest.test_case "on_remove fires exactly once" `Quick
+            test_vacuum_on_remove_fires_exactly_once;
+          Alcotest.test_case "archive tier is append-only" `Quick test_archive_is_append_only;
+          Alcotest.test_case "torn-step duplicate collapses" `Quick
+            test_archive_duplicate_collapses;
+          Alcotest.test_case "lease holds the horizon" `Quick test_lease_holds_the_horizon;
         ] );
       ( "db",
         [

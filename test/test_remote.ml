@@ -11,7 +11,7 @@ module Client = Remote.Client
 module Link = Netsim.Link
 module F = Faultsim
 
-let mk ?lease_s ?run_cap ?park_cap ?lock_wait_s ?shed_watermark () =
+let mk ?lease_s ?run_cap ?park_cap ?lock_wait_s ?shed_watermark ?vacuum_every_s ?vacuum_pages () =
   let clock = Simclock.Clock.create () in
   let switch = Pagestore.Switch.create ~clock in
   ignore
@@ -20,7 +20,10 @@ let mk ?lease_s ?run_cap ?park_cap ?lock_wait_s ?shed_watermark () =
       : Pagestore.Device.t);
   let db = Relstore.Db.create ~switch ~clock () in
   let fs = Fs.make db () in
-  let server = Server.create ~fs ?lease_s ?run_cap ?park_cap ?lock_wait_s ?shed_watermark () in
+  let server =
+    Server.create ~fs ?lease_s ?run_cap ?park_cap ?lock_wait_s ?shed_watermark
+      ?vacuum_every_s ?vacuum_pages ()
+  in
   let net = Netsim.create ~clock Netsim.tcp_1993 in
   (clock, fs, server, net)
 
@@ -955,6 +958,77 @@ let test_retry_after_jitter_desyncs () =
   done;
   Alcotest.(check bool) "two clients desynchronize" true !distinct
 
+
+(* ---- snapshots, clones and multi-file transactions over the wire ---- *)
+
+let test_remote_snapshot_and_clone () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 61L in
+  Client.write_file c "/f" (Bytes.of_string "epoch one");
+  let h = Client.c_snapshot c in
+  Client.c_clone c ~src:"/f" ~dst:"/f.clone";
+  Client.write_file c "/f" (Bytes.of_string "epoch two");
+  Alcotest.(check string) "clone froze the source's committed state" "epoch one"
+    (Bytes.to_string (Client.read_whole_file c "/f.clone"));
+  Alcotest.(check string) "snapshot horizon reads the old bytes" "epoch one"
+    (Bytes.to_string (Client.read_whole_file c ~timestamp:h "/f"));
+  Alcotest.(check string) "the present moved on" "epoch two"
+    (Bytes.to_string (Client.read_whole_file c "/f"))
+
+let test_write_many_atomic () =
+  let _, _, server, net = mk () in
+  let c = mk_client server net 62L in
+  Client.write_many c
+    [ ("/a", Bytes.of_string "one"); ("/b", Bytes.of_string "two") ];
+  Alcotest.(check bool) "not left in a transaction" false (Client.in_txn c);
+  Alcotest.(check string) "first landed" "one"
+    (Bytes.to_string (Client.read_whole_file c "/a"));
+  Alcotest.(check string) "second landed" "two"
+    (Bytes.to_string (Client.read_whole_file c "/b"));
+  (* an exception mid-group aborts the whole transaction: no partial state *)
+  (match
+     Client.with_txn c (fun c ->
+         Client.write_file c "/c" (Bytes.of_string "doomed");
+         failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the injected failure"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "transaction closed after the failure" false (Client.in_txn c);
+  Alcotest.(check bool) "nothing from the aborted group" false (Client.c_exists c "/c")
+
+let test_remote_vacuum_step_rpc () =
+  let clock, fs, server, net = mk () in
+  let c = mk_client server net 63L in
+  Client.write_file c "/f" (Bytes.of_string "v1");
+  Client.write_file c "/f" (Bytes.of_string "v2");
+  Simclock.Clock.advance clock 1.;
+  (* explicit increments over the wire eventually wrap the heaps *)
+  let scanned = ref 0 in
+  for _ = 1 to 16 do
+    scanned := !scanned + Client.c_vacuum_step c ()
+  done;
+  Alcotest.(check bool) "the RPC increments scanned versions" true (!scanned > 0);
+  Alcotest.(check string) "current contents untouched" "v2"
+    (Bytes.to_string (Client.read_whole_file c "/f"));
+  let r = Invfs.Fsck.audit fs in
+  Alcotest.(check bool) "audit clean after wire-driven vacuum" true (Invfs.Fsck.is_clean r)
+
+let test_background_vacuum_timer () =
+  let clock, _, server, net = mk ~vacuum_every_s:5. () in
+  let c = mk_client server net 64L in
+  Client.write_file c "/f" (Bytes.of_string "v1");
+  Client.write_file c "/f" (Bytes.of_string "v2");
+  Alcotest.(check int) "timer has not fired yet" 0 (Server.vacuum_steps server);
+  (* idle pumps across the timer period run budgeted increments without
+     any client asking for them *)
+  for _ = 1 to 8 do
+    Simclock.Clock.advance clock 6.;
+    Server.pump server
+  done;
+  Alcotest.(check bool) "background increments ran" true (Server.vacuum_steps server > 0);
+  Alcotest.(check string) "foreground state untouched" "v2"
+    (Bytes.to_string (Client.read_whole_file c "/f"))
+
 let () =
   Alcotest.run "remote"
     [
@@ -1019,6 +1093,15 @@ let () =
             test_park_timeout_expires;
           Alcotest.test_case "parked deadlock victim aborts cleanly" `Quick
             test_parked_deadlock_victim;
+        ] );
+      ( "snapshots and clones",
+        [
+          Alcotest.test_case "snapshot + clone over the wire" `Quick
+            test_remote_snapshot_and_clone;
+          Alcotest.test_case "write_many is atomic" `Quick test_write_many_atomic;
+          Alcotest.test_case "vacuum step RPC" `Quick test_remote_vacuum_step_rpc;
+          Alcotest.test_case "background vacuum timer" `Quick
+            test_background_vacuum_timer;
         ] );
       ( "group commit",
         [
